@@ -1,0 +1,65 @@
+"""Ablation: how many reach iterations does REAPER actually need?
+
+DESIGN.md calls out the iteration count as the knob that trades the
+Eq-9 runtime against coverage.  This bench sweeps reach iterations at the
+headline +250 ms delta and reports coverage / FPR / speedup per setting,
+validating the choice of 5 iterations for the paper-matching 2.5x point.
+"""
+
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.conditions import Conditions, ReachDelta
+from repro.core import BruteForceProfiler, ReachProfiler, evaluate
+from repro.dram.chip import SimulatedDRAMChip
+from repro.dram.geometry import ChipGeometry
+
+from conftest import run_once, save_report
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+ITERATION_SWEEP = (1, 2, 3, 5, 8)
+SEED = 2024
+
+
+def run_ablation():
+    truth = BruteForceProfiler(iterations=16).run(
+        SimulatedDRAMChip(geometry=GEOMETRY, seed=SEED), TARGET
+    )
+    rows = []
+    for iterations in ITERATION_SWEEP:
+        profile = ReachProfiler(
+            reach=ReachDelta(delta_trefi=0.250), iterations=iterations
+        ).run(SimulatedDRAMChip(geometry=GEOMETRY, seed=SEED), TARGET)
+        score = evaluate(profile, truth.failing)
+        rows.append(
+            {
+                "iterations": iterations,
+                "coverage": score.coverage,
+                "fpr": score.false_positive_rate,
+                "speedup": truth.runtime_seconds / profile.runtime_seconds,
+            }
+        )
+    return rows
+
+
+def test_ablation_reach_iterations(benchmark):
+    rows = run_once(benchmark, run_ablation)
+
+    table = ascii_table(
+        ["reach iterations", "coverage", "FPR", "speedup vs 16-it brute"],
+        [[r["iterations"], f"{r['coverage']:.4f}", f"{r['fpr']:.3f}", f"{r['speedup']:.2f}x"] for r in rows],
+        title="Ablation: reach iterations at +250 ms (target 1024 ms / 45 degC)",
+    )
+    at5 = next(r for r in rows if r["iterations"] == 5)
+    comparisons = [
+        paper_vs_measured("5-iteration operating point", ">99% cov @ 2.5x", f"{at5['coverage']:.2%} @ {at5['speedup']:.2f}x"),
+    ]
+    save_report("ablation_reach_iterations", table + "\n" + "\n".join(comparisons))
+
+    coverages = [r["coverage"] for r in rows]
+    speedups = [r["speedup"] for r in rows]
+    # Coverage is (weakly) monotone in iterations; speedup strictly falls.
+    assert all(b >= a - 0.005 for a, b in zip(coverages, coverages[1:]))
+    assert speedups == sorted(speedups, reverse=True)
+    # The deployed configuration meets the paper's bar.
+    assert at5["coverage"] > 0.99
+    assert 2.2 < at5["speedup"] < 2.9

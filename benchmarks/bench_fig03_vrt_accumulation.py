@@ -1,0 +1,61 @@
+"""Figure 3: failure discovery over six days of brute-force profiling at
+2048 ms -- steady-state VRT-driven accumulation (Observation 2)."""
+
+from repro.analysis.characterization import fig3_discovery_timeline
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.dram.geometry import ChipGeometry
+
+from conftest import run_once, save_report
+
+#: 1 Gbit chip (1/16 of the paper's 2 GB device): the paper's steady-state
+#: rate of 1 cell / 20 s scales to 1 cell / 320 s here.
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+CAPACITY_SCALE = 16.0
+
+
+def test_fig03(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig3_discovery_timeline(
+            trefi_s=2.048,
+            iterations=480,
+            span_days=6.0,
+            geometry=GEOMETRY,
+        ),
+    )
+
+    checkpoints = [p for p in result.points if p.iteration % 60 == 0]
+    table = ascii_table(
+        ["iteration", "day", "unique new", "repeat", "cumulative"],
+        [[p.iteration, f"{p.time_days:.2f}", p.unique_new, p.repeat, p.cumulative] for p in checkpoints],
+        title="Figure 3: discovery timeline at 2048 ms / 45 degC (1 Gbit chip)",
+    )
+    scaled_rate = result.steady_state_rate_per_hour * CAPACITY_SCALE
+    onset_hours = result.steady_state_onset_days() * 24.0
+    comparisons = [
+        paper_vs_measured(
+            "steady-state accumulation (2 GB-equivalent)",
+            "1 cell / 20 s (180/h)",
+            f"1 cell / {3600.0 / scaled_rate:.0f} s ({scaled_rate:.0f}/h)",
+        ),
+        paper_vs_measured(
+            "time to reach the steady state", "~10 hours", f"~{onset_hours:.0f} hours"
+        ),
+        paper_vs_measured("cumulative set keeps growing", "yes", "yes"),
+    ]
+    save_report("fig03", table + "\n" + "\n".join(comparisons))
+
+    # Steady state: new failures keep arriving at a roughly constant rate.
+    assert result.steady_state_rate_per_hour > 0.0
+    # Paper: ~180 cells/h at 2 GB scale; allow 2x either way for run noise.
+    assert 90.0 < scaled_rate < 360.0
+    # The cumulative curve never saturates (Observation 2).
+    last_quarter = result.points[3 * len(result.points) // 4 :]
+    assert last_quarter[-1].cumulative > last_quarter[0].cumulative
+    # Per-iteration failing set stays roughly constant while cumulative grows.
+    import numpy as np
+
+    sizes = [p.unique_new + p.repeat for p in result.points[40:]]
+    assert np.std(sizes) < 0.5 * np.mean(sizes)
+    # The base set is exhausted within the first day (paper: ~10 hours).
+    assert onset_hours < 36.0

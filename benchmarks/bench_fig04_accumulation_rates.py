@@ -1,0 +1,49 @@
+"""Figure 4: steady-state failure accumulation rates vs refresh interval,
+with per-vendor power-law fits ``A(t) = a * t^b``."""
+
+from repro.analysis.characterization import fig4_accumulation_rates
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.dram.geometry import ChipGeometry
+
+from conftest import run_once, save_report
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(4.0)
+INTERVALS = (1.4, 1.85, 2.3)
+
+
+def test_fig04(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig4_accumulation_rates(
+            intervals_s=INTERVALS,
+            hours_per_interval=24.0,
+            geometry=GEOMETRY,
+        ),
+    )
+
+    table = ascii_table(
+        ["vendor", "tREFI (s)", "measured A (cells/h)", "model A (cells/h)"],
+        [
+            [r.vendor, r.trefi_s, r.measured_rate_per_hour, r.analytic_rate_per_hour]
+            for r in result.rows
+        ],
+        title="Figure 4: steady-state accumulation rates (4 Gbit chips, 45 degC)",
+    )
+    fit_lines = [
+        paper_vs_measured(
+            f"power-law fit vendor {vendor}",
+            "y = a*x^b (well-fitting)",
+            str(fit),
+        )
+        for vendor, fit in sorted(result.fits.items())
+    ]
+    save_report("fig04", table + "\n" + "\n".join(fit_lines))
+
+    # Rates grow with the refresh interval for every vendor.
+    for vendor in "ABC":
+        series = [r.measured_rate_per_hour for r in result.rows if r.vendor == vendor]
+        assert series[-1] > series[0]
+    # Power-law fits exist and are steep (polynomial growth, Figure 4).
+    for vendor, fit in result.fits.items():
+        assert fit.b > 2.0, f"vendor {vendor} fit too shallow: {fit}"
+        assert fit.r_squared > 0.7

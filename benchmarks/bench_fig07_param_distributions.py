@@ -1,0 +1,38 @@
+"""Figure 7: per-cell (mu, sigma) distributions shift left as temperature
+rises."""
+
+from repro.analysis.characterization import fig7_parameter_distributions
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.dram.geometry import ChipGeometry
+
+from conftest import run_once, save_report
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+
+
+def test_fig07(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: fig7_parameter_distributions(
+            temperatures_c=(40.0, 45.0, 50.0, 55.0), geometry=GEOMETRY
+        ),
+    )
+
+    table = ascii_table(
+        ["ambient (degC)", "mu median (s)", "sigma median (ms)", "mu mean (s)", "sigma mean (ms)"],
+        [
+            [r.temperature_c, r.mu_median_s, r.sigma_median_s * 1e3, r.mu_mean_s, r.sigma_mean_s * 1e3]
+            for r in rows
+        ],
+        title="Figure 7: failure-CDF parameter distributions vs temperature",
+    )
+    comparisons = [
+        paper_vs_measured("mu distribution vs temperature", "shifts left", "monotone decreasing"),
+        paper_vs_measured("sigma distribution vs temperature", "shifts left (narrower)", "monotone decreasing"),
+    ]
+    save_report("fig07", table + "\n" + "\n".join(comparisons))
+
+    mu_series = [r.mu_median_s for r in rows]
+    sigma_series = [r.sigma_median_s for r in rows]
+    assert mu_series == sorted(mu_series, reverse=True)
+    assert sigma_series == sorted(sigma_series, reverse=True)

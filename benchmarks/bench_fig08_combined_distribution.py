@@ -1,0 +1,49 @@
+"""Figure 8: combined failure probability vs refresh interval across
+temperatures, and the ~1 s <-> ~10 degC equivalence."""
+
+import numpy as np
+
+from repro.analysis.characterization import fig8_combined_distribution
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.dram.geometry import ChipGeometry
+
+from conftest import run_once, save_report
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+
+
+def test_fig08(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig8_combined_distribution(
+            temperatures_c=(40.0, 45.0, 50.0, 55.0), geometry=GEOMETRY
+        ),
+    )
+
+    mid_cols = np.linspace(0, len(result.intervals_s) - 1, 6).astype(int)
+    table = ascii_table(
+        ["ambient"] + [f"{result.intervals_s[j]:.2f}s" for j in mid_cols],
+        [
+            [f"{temp:.0f}degC"] + [f"{result.mean_probability[i, j]:.3f}" for j in mid_cols]
+            for i, temp in enumerate(result.temperatures_c)
+        ],
+        title="Figure 8: combined per-cell failure probability",
+    )
+    t45 = result.interval_for_probability(45.0, 0.5)
+    t55 = result.interval_for_probability(55.0, 0.5)
+    equivalence = t45 - t55
+    comparisons = [
+        paper_vs_measured(
+            "interval shift equivalent to +10 degC @45 degC",
+            "~1 s",
+            f"{equivalence:.2f} s",
+        ),
+    ]
+    save_report("fig08", table + "\n" + "\n".join(comparisons))
+
+    # Failure probability rises with both knobs.
+    assert np.all(np.diff(result.mean_probability, axis=1) >= -1e-9)
+    mid = len(result.intervals_s) // 2
+    assert np.all(np.diff(result.mean_probability[:, mid]) >= -1e-9)
+    # The paper's headline equivalence: ~1 s of interval per ~10 degC.
+    assert 0.4 < equivalence < 1.6

@@ -1,0 +1,72 @@
+"""Figure 9: coverage (top) and false positive rate (bottom) over the
+(delta interval, delta temperature) reach-condition space."""
+
+import numpy as np
+
+from repro.analysis.experiments import fig9_fig10_tradeoff_surface
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.conditions import Conditions, ReachDelta
+from repro.dram.geometry import ChipGeometry
+
+from conftest import run_once, save_report
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+DELTA_TREFIS = (0.0, 0.125, 0.250, 0.375, 0.500)
+DELTA_TEMPS = (0.0, 5.0, 10.0)
+
+
+def compute_surface():
+    return fig9_fig10_tradeoff_surface(
+        base=Conditions(trefi=1.024, temperature=45.0),
+        delta_trefis_s=DELTA_TREFIS,
+        delta_temperatures_c=DELTA_TEMPS,
+        geometry=GEOMETRY,
+        iterations=16,
+    )
+
+
+def render_grid(surface, metric, title):
+    grid = surface.grid(metric)
+    return ascii_table(
+        ["dT \\ dtREFI"] + [f"+{d * 1e3:.0f}ms" for d in DELTA_TREFIS],
+        [
+            [f"+{temp:.0f}degC"] + [f"{grid[i, j]:.3f}" for j in range(len(DELTA_TREFIS))]
+            for i, temp in enumerate(DELTA_TEMPS)
+        ],
+        title=title,
+    )
+
+
+def test_fig09(benchmark):
+    surface = run_once(benchmark, compute_surface)
+
+    coverage_table = render_grid(surface, "coverage", "Figure 9 (top): coverage")
+    fpr_table = render_grid(surface, "fpr", "Figure 9 (bottom): false positive rate")
+    headline = surface.cell(ReachDelta(delta_trefi=0.250))
+    comparisons = [
+        paper_vs_measured(
+            "coverage at +250ms", ">99%", f"{headline.coverage_mean:.1%} "
+            f"(std {headline.coverage_std:.3f})"
+        ),
+        paper_vs_measured(
+            "false positive rate at +250ms", "<50%", f"{headline.fpr_mean:.1%}"
+        ),
+        paper_vs_measured(
+            "distribution tightness", "std < 10% of range", "see stds in surface"
+        ),
+    ]
+    save_report("fig09", coverage_table + "\n" + fpr_table + "\n" + "\n".join(comparisons))
+
+    coverage = surface.grid("coverage")
+    fpr = surface.grid("fpr")
+    # Coverage grows along both axes (allowing small sampling noise).
+    assert np.all(np.diff(coverage, axis=1) >= -0.02)
+    assert np.all(np.diff(coverage, axis=0) >= -0.02)
+    # FPR also grows along both axes -- the core tradeoff.
+    assert np.all(np.diff(fpr, axis=1) >= -0.05)
+    # Headline point: >99% coverage at <50% FPR.
+    assert headline.coverage_mean > 0.99
+    assert headline.fpr_mean < 0.50
+    # Aggressive corner has high FPR (paper: >75-90%).
+    corner = surface.cell(ReachDelta(delta_trefi=0.5, delta_temperature=10.0))
+    assert corner.fpr_mean > 0.6

@@ -1,0 +1,80 @@
+"""Figure 10: profiling runtime (normalized to brute force) over the reach
+condition space, at fixed >=90% coverage."""
+
+import numpy as np
+
+from repro.analysis.experiments import fig9_fig10_tradeoff_surface
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.conditions import Conditions, ReachDelta
+from repro.dram.geometry import ChipGeometry
+
+from conftest import run_once, save_report
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+DELTA_TREFIS = (0.0, 0.125, 0.250, 0.375, 0.500)
+DELTA_TEMPS = (0.0, 5.0, 10.0)
+
+
+def test_fig10(benchmark):
+    surface = run_once(
+        benchmark,
+        lambda: fig9_fig10_tradeoff_surface(
+            base=Conditions(trefi=1.024, temperature=45.0),
+            delta_trefis_s=DELTA_TREFIS,
+            delta_temperatures_c=DELTA_TEMPS,
+            geometry=GEOMETRY,
+            iterations=16,
+            # The paper's Figure 10 fixes a coverage requirement and reports
+            # the runtime to reach it; our per-iteration coverage ramps
+            # faster than real chips', so the equivalent operating point is
+            # a high coverage target.
+            coverage_target=0.99,
+        ),
+    )
+
+    grid = surface.grid("runtime")
+    table = ascii_table(
+        ["dT \\ dtREFI"] + [f"+{d * 1e3:.0f}ms" for d in DELTA_TREFIS],
+        [
+            [f"+{temp:.0f}degC"] + [f"{grid[i, j]:.3f}" for j in range(len(DELTA_TREFIS))]
+            for i, temp in enumerate(DELTA_TEMPS)
+        ],
+        title="Figure 10: runtime to 99% coverage, normalized to brute force",
+    )
+    at_250 = surface.cell(ReachDelta(delta_trefi=0.250))
+    best = surface.best_reach(min_coverage=0.99, max_fpr=1.0)
+    # The paper's 2.5x operating point corresponds to REAPER's fixed
+    # configuration: 16 brute-force iterations vs 5 reach iterations (see
+    # bench_headline_speedup).  At matched *measured* coverage our simulated
+    # reach converges in fewer iterations than real chips (milder DPD), so
+    # this matched-coverage accounting reports a larger speedup; both views
+    # are shown.
+    comparisons = [
+        paper_vs_measured(
+            "speedup at +250ms (matched coverage)", ">=2.5x",
+            f"{1.0 / at_250.runtime_norm_mean:.2f}x",
+        ),
+        paper_vs_measured(
+            "speedup at +250ms (REAPER's 16-vs-5 config)", "2.5x",
+            "2.5x-2.6x (see headline bench)",
+        ),
+        paper_vs_measured(
+            "max speedup at aggressive reach", ">3.5x (at >75% FPR)",
+            f"{1.0 / best.runtime_norm_mean:.2f}x at {best.fpr_mean:.0%} FPR"
+            if best else "n/a",
+        ),
+    ]
+    save_report("fig10", table + "\n" + "\n".join(comparisons))
+
+    # Runtime at the origin is the brute-force reference.
+    assert grid[0, 0] == 1.0
+    # Everything strictly inside the reach space is faster than brute force.
+    assert np.all(grid[:, 1:] < 1.0)
+    # Reach delivers at least the paper's speedup at +250 ms.
+    speedup = 1.0 / at_250.runtime_norm_mean
+    assert speedup >= 2.5
+    # Aggressive corners push beyond 3x.
+    corner = surface.cell(ReachDelta(delta_trefi=0.5, delta_temperature=10.0))
+    assert 1.0 / corner.runtime_norm_mean > 3.0
+    # Runtime falls monotonically (within noise) along the interval axis.
+    assert np.all(np.diff(grid, axis=1) <= 0.10)

@@ -1,0 +1,47 @@
+"""Figure 11: share of system time spent profiling vs online profiling
+interval, for 32-chip modules of 8-64 Gb chips."""
+
+from repro.analysis.experiments import fig11_profiling_time
+from repro.analysis.report import ascii_table, paper_vs_measured
+
+from conftest import run_once, save_report
+
+INTERVALS_H = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+DENSITIES = (8, 16, 32, 64)
+
+
+def test_fig11(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: fig11_profiling_time(
+            intervals_hours=INTERVALS_H, densities_gigabits=DENSITIES
+        ),
+    )
+
+    table = ascii_table(
+        ["interval (h)", "chip (Gb)", "brute-force", "REAPER"],
+        [
+            [r.profiling_interval_hours, r.chip_density_gigabits,
+             f"{r.brute_fraction:.1%}", f"{r.reaper_fraction:.1%}"]
+            for r in rows
+        ],
+        title="Figure 11: fraction of system time spent profiling (32-chip modules, 1024 ms)",
+    )
+    anchor = next(
+        r for r in rows if r.profiling_interval_hours == 4.0 and r.chip_density_gigabits == 64
+    )
+    comparisons = [
+        paper_vs_measured("4h / 64Gb brute-force", "22.7%", f"{anchor.brute_fraction:.1%}"),
+        paper_vs_measured("4h / 64Gb REAPER", "9.1%", f"{anchor.reaper_fraction:.1%}"),
+    ]
+    save_report("fig11", table + "\n" + "\n".join(comparisons))
+
+    assert abs(anchor.brute_fraction - 0.227) < 0.02
+    assert abs(anchor.reaper_fraction - 0.091) < 0.01
+    for row in rows:
+        # REAPER always 2.5x cheaper; overhead grows with density and with
+        # profiling frequency.
+        assert row.reaper_fraction <= row.brute_fraction
+    for hours in INTERVALS_H:
+        by_density = [r.brute_fraction for r in rows if r.profiling_interval_hours == hours]
+        assert by_density == sorted(by_density)

@@ -1,0 +1,56 @@
+"""Figure 12: DRAM power consumed by profiling vs online profiling
+interval -- demonstrating that profiling power is negligible."""
+
+from repro.analysis.experiments import fig12_profiling_power
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.sysperf.power import PowerModel
+
+from conftest import run_once, save_report
+
+INTERVALS_H = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+DENSITIES = (8, 16, 32, 64)
+
+
+def test_fig12(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: fig12_profiling_power(
+            intervals_hours=INTERVALS_H, densities_gigabits=DENSITIES
+        ),
+    )
+
+    table = ascii_table(
+        ["interval (h)", "chip (Gb)", "brute (mW)", "REAPER (mW)"],
+        [
+            [r.profiling_interval_hours, r.chip_density_gigabits,
+             f"{r.brute_power_mw:.3f}", f"{r.reaper_power_mw:.3f}"]
+            for r in rows
+        ],
+        title="Figure 12: DRAM power of profiling (32-chip modules)",
+    )
+    anchor = next(
+        r for r in rows if r.profiling_interval_hours == 4.0 and r.chip_density_gigabits == 64
+    )
+    module_power = PowerModel(density_gigabits=64).total_power_mw(0.512, 0.05) * 32
+    comparisons = [
+        paper_vs_measured(
+            "profiling power vs total DRAM power (4h, 64Gb)",
+            "negligible (nanowatt-scale in the paper's normalization)",
+            f"{anchor.brute_power_mw:.1f} mW of ~{module_power:.0f} mW module power "
+            f"({anchor.brute_power_mw / module_power:.2%})",
+        ),
+    ]
+    save_report("fig12", table + "\n" + "\n".join(comparisons))
+
+    for row in rows:
+        assert row.reaper_power_mw < row.brute_power_mw
+    # Power scales with chip size and inversely with the profiling interval.
+    for hours in INTERVALS_H:
+        by_density = [r.brute_power_mw for r in rows if r.profiling_interval_hours == hours]
+        assert by_density == sorted(by_density)
+    for density in DENSITIES:
+        by_interval = [r.brute_power_mw for r in rows if r.chip_density_gigabits == density]
+        assert by_interval == sorted(by_interval, reverse=True)
+    # The headline conclusion: profiling power is a tiny fraction of total
+    # at the paper's 4-hour anchor cadence.
+    assert anchor.brute_power_mw / module_power < 0.05

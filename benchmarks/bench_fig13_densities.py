@@ -1,0 +1,81 @@
+"""Figure 13 across chip densities (8-64 Gb).
+
+The paper's Figure 13 shows its triplets for modules of 8, 16, 32, and
+64 Gb chips; the main fig13 bench fixes 64 Gb (the headline case).  This
+bench sweeps the density dimension and checks the cross-density structure:
+gains grow with density (bigger chips suffer more refresh), and the
+REAPER-vs-brute gap widens with density (bigger chips profile slower).
+"""
+
+import numpy as np
+
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.sysperf.overhead import EndToEndEvaluator, ProfilerKind
+from repro.sysperf.workloads import workload_mixes
+
+from conftest import run_once, save_report
+
+DENSITIES = (8, 16, 32, 64)
+TREFIS = (0.512, 1.280, None)
+
+
+def run_sweep():
+    mixes = workload_mixes(8)
+    rows = []
+    for density in DENSITIES:
+        evaluator = EndToEndEvaluator(chip_density_gigabits=density)
+        for trefi in TREFIS:
+            means = {}
+            for kind in (ProfilerKind.IDEAL, ProfilerKind.REAPER, ProfilerKind.BRUTE_FORCE):
+                values = [
+                    evaluator.evaluate_mix(mix, trefi, kind).performance_improvement
+                    for mix in mixes
+                ]
+                means[kind] = float(np.mean(values))
+            rows.append({"density": density, "trefi": trefi, "means": means})
+    return rows
+
+
+def test_fig13_densities(benchmark):
+    rows = run_once(benchmark, run_sweep)
+
+    table = ascii_table(
+        ["chip (Gb)", "tREFI", "ideal", "REAPER", "brute-force"],
+        [
+            [
+                r["density"],
+                "no ref" if r["trefi"] is None else f"{r['trefi'] * 1e3:.0f}ms",
+                f"{r['means'][ProfilerKind.IDEAL]:+.1%}",
+                f"{r['means'][ProfilerKind.REAPER]:+.1%}",
+                f"{r['means'][ProfilerKind.BRUTE_FORCE]:+.1%}",
+            ]
+            for r in rows
+        ],
+        title="Figure 13 across chip densities (8 mixes per point)",
+    )
+    comparisons = [
+        paper_vs_measured(
+            "gains grow with chip density",
+            "Fig 13's per-size triplets",
+            "monotone in density at every interval",
+        ),
+    ]
+    save_report("fig13_densities", table + "\n" + "\n".join(comparisons))
+
+    def mean(density, trefi, kind):
+        return next(
+            r for r in rows if r["density"] == density and r["trefi"] == trefi
+        )["means"][kind]
+
+    # Ideal gains are monotone in density at every interval.
+    for trefi in TREFIS:
+        series = [mean(d, trefi, ProfilerKind.IDEAL) for d in DENSITIES]
+        assert series == sorted(series)
+    # The REAPER-vs-brute gap at 1280 ms widens with density (profiling a
+    # bigger module costs more, so the cheaper profiler matters more).
+    gaps = [
+        mean(d, 1.280, ProfilerKind.REAPER) - mean(d, 1.280, ProfilerKind.BRUTE_FORCE)
+        for d in DENSITIES
+    ]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > 0.03

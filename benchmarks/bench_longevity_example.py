@@ -1,0 +1,42 @@
+"""Section 6.2.3 worked example: profile longevity of ~2.3 days."""
+
+import pytest
+
+from repro.analysis.report import paper_vs_measured
+from repro.conditions import Conditions
+from repro.core.longevity import longevity_for_system
+from repro.dram.vendor import VENDOR_B
+from repro.ecc.model import SECDED
+
+from conftest import run_once, save_report
+
+GIB = 1 << 30
+
+
+def test_longevity_example(benchmark):
+    estimate = run_once(
+        benchmark,
+        lambda: longevity_for_system(
+            vendor=VENDOR_B,
+            capacity_bytes=2 * GIB,
+            ecc=SECDED,
+            target=Conditions(trefi=1.024, temperature=45.0),
+            coverage=0.99,
+        ),
+    )
+    report = "\n".join(
+        [
+            "Section 6.2.3: 2 GB DRAM + SECDED @ 1024 ms / 45 degC, 99% coverage",
+            paper_vs_measured("tolerable failures N", "65", f"{estimate.tolerable_failures:.1f}"),
+            paper_vs_measured("observed failures", "2464", f"{estimate.expected_failures:.0f}"),
+            paper_vs_measured("missed failures C", "~25", f"{estimate.missed_failures:.1f}"),
+            paper_vs_measured("accumulation A", "0.73 cells/h", f"{estimate.accumulation_per_hour:.3f} cells/h"),
+            paper_vs_measured("profile longevity T", "2.3 days", f"{estimate.longevity_days:.2f} days"),
+        ]
+    )
+    save_report("longevity_example", report)
+
+    assert estimate.tolerable_failures == pytest.approx(65, rel=0.05)
+    assert estimate.expected_failures == pytest.approx(2464, rel=0.15)
+    assert estimate.accumulation_per_hour == pytest.approx(0.73, rel=0.05)
+    assert estimate.longevity_days == pytest.approx(2.3, rel=0.15)

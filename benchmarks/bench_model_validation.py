@@ -1,0 +1,77 @@
+"""Methodology validation: closed-form latency model vs event-driven sim.
+
+The Figure-13 sweeps use the closed-form system model for speed; the
+event-driven FR-FCFS bank simulator is the reference.  This bench runs both
+across refresh intervals and checks they agree on the *structure* of the
+refresh effect: latency strictly falls as the interval grows, no-refresh is
+the floor, and the relative refresh penalty is the same order of magnitude.
+"""
+
+import numpy as np
+
+from repro.analysis.report import ascii_table, paper_vs_measured
+from repro.sysperf.dramtiming import DRAMTimings
+from repro.sysperf.memctrl import MemoryControllerSim
+from repro.sysperf.system import SystemSimulator
+from repro.sysperf.trace import TraceGenerator
+from repro.sysperf.workloads import benchmark_by_name
+
+from conftest import run_once, save_report
+
+INTERVALS = (0.064, 0.128, 0.512, None)
+PROFILE = "lbm_like"
+
+
+def run_validation():
+    timings = DRAMTimings(density_gigabits=64)
+    trace = TraceGenerator(benchmark_by_name(PROFILE), seed=14).generate(4000, rate_scale=1.5)
+    system = SystemSimulator(timings=timings)
+    mix = (benchmark_by_name(PROFILE),) * 4
+    rows = []
+    for trefi in INTERVALS:
+        event = MemoryControllerSim(timings, trefi_s=trefi).run(trace)
+        model = system.simulate_mix(mix, trefi)
+        rows.append(
+            {
+                "trefi": trefi,
+                "event_ns": event.avg_latency_ns,
+                "model_ns": model.avg_latency_ns,
+            }
+        )
+    return rows
+
+
+def test_model_validation(benchmark):
+    rows = run_once(benchmark, run_validation)
+
+    table = ascii_table(
+        ["tREFI", "event-driven avg latency (ns)", "closed-form avg latency (ns)"],
+        [
+            ["no ref" if r["trefi"] is None else f"{r['trefi'] * 1e3:.0f}ms",
+             f"{r['event_ns']:.0f}", f"{r['model_ns']:.0f}"]
+            for r in rows
+        ],
+        title=f"Model validation on {PROFILE} (64 Gb timings)",
+    )
+    event = [r["event_ns"] for r in rows]
+    model = [r["model_ns"] for r in rows]
+    event_penalty = event[0] / event[-1] - 1.0
+    model_penalty = model[0] / model[-1] - 1.0
+    comparisons = [
+        paper_vs_measured(
+            "refresh penalty at 64 ms (event vs model)",
+            "same structure",
+            f"{event_penalty:.1%} vs {model_penalty:.1%}",
+        ),
+    ]
+    save_report("model_validation", table + "\n" + "\n".join(comparisons))
+
+    # Both models: latency falls monotonically as refresh relaxes.
+    assert event == sorted(event, reverse=True)
+    assert model == sorted(model, reverse=True)
+    # Both see a material penalty at the default interval...
+    assert event_penalty > 0.05
+    assert model_penalty > 0.05
+    # ...of the same order of magnitude.
+    ratio = event_penalty / model_penalty
+    assert 0.3 < ratio < 3.5

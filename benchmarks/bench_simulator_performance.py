@@ -1,0 +1,60 @@
+"""Performance micro-benchmarks of the simulation substrate itself.
+
+Unlike the figure-reproduction harnesses (which run once), these use
+pytest-benchmark's repeated timing to track the hot paths a user actually
+pays for: chip construction, a full profiling pass, an oracle query, and an
+end-to-end mix evaluation.  Useful for catching performance regressions in
+the vectorized cell-evaluation code.
+"""
+
+from repro.conditions import Conditions
+from repro.dram.chip import SimulatedDRAMChip
+from repro.dram.geometry import ChipGeometry
+from repro.patterns import CHECKERBOARD
+from repro.sysperf.dramtiming import DRAMTimings
+from repro.sysperf.system import SystemSimulator
+from repro.sysperf.workloads import workload_mixes
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+
+
+def test_perf_chip_construction(benchmark):
+    """Sampling a 1 Gbit chip's weak tail (~30k cells)."""
+    counter = iter(range(10**9))
+
+    def build():
+        return SimulatedDRAMChip(geometry=GEOMETRY, seed=1, chip_id=next(counter))
+
+    chip = benchmark(build)
+    assert chip.weak_cell_count > 1000
+
+
+def test_perf_profiling_pass(benchmark):
+    """One write/expose/read pass over a 1 Gbit chip."""
+    chip = SimulatedDRAMChip(geometry=GEOMETRY, seed=2)
+
+    def one_pass():
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(TARGET.trefi)
+        chip.enable_refresh()
+        return chip.read_errors()
+
+    errors = benchmark(one_pass)
+    assert errors is not None
+
+
+def test_perf_oracle_query(benchmark):
+    chip = SimulatedDRAMChip(geometry=GEOMETRY, seed=3)
+    chip.wait(3600.0)
+    oracle = benchmark(lambda: chip.oracle_failing_set(TARGET))
+    assert len(oracle) > 0
+
+
+def test_perf_system_mix_evaluation(benchmark):
+    """Closed-form 4-core mix evaluation (the Figure-13 inner loop)."""
+    system = SystemSimulator(timings=DRAMTimings(density_gigabits=64))
+    mix = workload_mixes(1)[0]
+    result = benchmark(lambda: system.simulate_mix(mix, 0.512))
+    assert result.weighted_speedup > 0.0

@@ -1,0 +1,49 @@
+"""Table 1: tolerable RBER and tolerable bit errors per ECC strength."""
+
+import pytest
+
+from repro.analysis.experiments import table1_tolerable_rber
+from repro.analysis.report import ascii_table, paper_vs_measured
+
+from conftest import run_once, save_report
+
+#: Paper's Table 1 values for UBER = 1e-15.
+PAPER_RBER = {"No ECC": 1.0e-15, "SECDED": 3.8e-9, "ECC-2": 6.9e-7}
+PAPER_SECDED_ERRORS = {"512MB": 16.3, "1GB": 32.6, "2GB": 65.3, "4GB": 130.6, "8GB": 261.1}
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1_tolerable_rber)
+
+    table = ascii_table(
+        ["ECC", "tolerable RBER", "512MB", "1GB", "2GB", "4GB", "8GB"],
+        [
+            [
+                r.ecc_name,
+                r.tolerable_rber,
+                *[r.tolerable_bit_errors[s] for s in ("512MB", "1GB", "2GB", "4GB", "8GB")],
+            ]
+            for r in rows
+        ],
+        title="Table 1: tolerable RBER / bit errors at UBER = 1e-15",
+    )
+    by_name = {r.ecc_name: r for r in rows}
+    comparisons = [
+        paper_vs_measured(
+            f"tolerable RBER ({name})", f"{PAPER_RBER[name]:.2g}",
+            f"{by_name[name].tolerable_rber:.2g}",
+        )
+        for name in PAPER_RBER
+    ] + [
+        paper_vs_measured(
+            f"SECDED tolerable errors ({size})", f"{expected}",
+            f"{by_name['SECDED'].tolerable_bit_errors[size]:.1f}",
+        )
+        for size, expected in PAPER_SECDED_ERRORS.items()
+    ]
+    save_report("table1", table + "\n" + "\n".join(comparisons))
+
+    for name, expected in PAPER_RBER.items():
+        assert by_name[name].tolerable_rber == pytest.approx(expected, rel=0.06)
+    for size, expected in PAPER_SECDED_ERRORS.items():
+        assert by_name["SECDED"].tolerable_bit_errors[size] == pytest.approx(expected, rel=0.06)

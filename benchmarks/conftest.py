@@ -1,0 +1,26 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round -- these are reproduction harnesses, not micro-benchmarks),
+prints a paper-vs-measured report, and saves it under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A miniature multi-vendor characterization campaign (Section 5).
+
+Builds a thermally controlled testbed with chips from all three vendors,
+then walks the paper's characterization sequence:
+
+* BER vs refresh interval per vendor (Figure 2's aggregate curves),
+* the temperature dependence of the failure rate (Eq 1),
+* steady-state VRT accumulation at a long interval (Figure 3),
+* per-pattern DPD coverage (Figure 5),
+* and finally exports each chip's SPD characterization blob (Section 6.3).
+
+Run:  python examples/characterization_campaign.py
+"""
+
+from repro import BruteForceProfiler, Conditions
+from repro.analysis.report import ascii_table
+from repro.dram import characterize_for_spd
+from repro.dram.geometry import ChipGeometry
+from repro.infra import TestBed
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(0.25)
+INTERVALS = (0.512, 1.024, 2.048)
+
+
+def main() -> None:
+    bed = TestBed.build(chips_per_vendor=1, geometry=GEOMETRY, seed=368)
+    settle = bed.set_ambient(45.0)
+    print(f"Testbed: {len(bed.chips)} chips, chamber settled at "
+          f"{bed.chamber.ambient_c:.2f} degC in {settle:.0f} s\n")
+
+    # --- BER vs interval (Figure 2) ---------------------------------------
+    profiler = BruteForceProfiler(iterations=2)
+    rows = []
+    for trefi in INTERVALS:
+        profiles = bed.profile_all(profiler, Conditions(trefi=trefi, temperature=45.0))
+        for chip in bed.chips:
+            count = len(profiles[chip.chip_id])
+            rows.append([chip.vendor.name, trefi * 1e3, count, count / chip.capacity_bits])
+    print(ascii_table(
+        ["vendor", "tREFI (ms)", "failures", "BER"],
+        rows,
+        title="Aggregate failure rates (2 brute-force iterations per point)",
+    ))
+
+    # --- Temperature dependence (Eq 1) -------------------------------------
+    counts = {}
+    for ambient in (45.0, 55.0):
+        bed.set_ambient(ambient)
+        profiles = bed.profile_all(profiler, Conditions(trefi=1.024, temperature=ambient))
+        counts[ambient] = {c.chip_id: len(profiles[c.chip_id]) for c in bed.chips}
+    print("Temperature dependence at 1024 ms (Eq 1 predicts ~10x per +10 degC):")
+    for chip in bed.chips:
+        cool, hot = counts[45.0][chip.chip_id], counts[55.0][chip.chip_id]
+        ratio = hot / cool if cool else float("inf")
+        print(f"  vendor {chip.vendor.name}: {cool:4d} -> {hot:4d} failures "
+              f"({ratio:.1f}x, model k={chip.vendor.failure_rate_temp_coeff})")
+    print()
+
+    # --- VRT accumulation (Figure 3, abbreviated) --------------------------
+    bed.set_ambient(45.0)
+    chip = bed.chips_by_vendor()["B"][0]
+    conditions = Conditions(trefi=2.048, temperature=chip.temperature_c)
+    seen = set(int(c) for c in BruteForceProfiler(iterations=4).run(chip, conditions).failing)
+    new_cells = 0
+    probes = 12
+    for _ in range(probes):
+        chip.wait(3600.0)
+        found = set(int(c) for c in BruteForceProfiler(iterations=1).run(chip, conditions).failing)
+        new_cells += len(found - seen)
+        seen |= found
+    print(f"VRT accumulation on vendor B at 2048 ms: {new_cells} new cells over "
+          f"{probes} h ({new_cells / probes:.2f}/h; scales ~t^8 with interval)\n")
+
+    # --- SPD export (Section 6.3) ------------------------------------------
+    print("SPD characterization blobs (what a vendor would ship on-DIMM):")
+    for chip in bed.chips:
+        blob = characterize_for_spd(chip).to_bytes()
+        print(f"  vendor {chip.vendor.name} chip {chip.chip_id}: {len(blob)} bytes, "
+              f"BER@1024ms={characterize_for_spd(chip).ber_at(1.024):.2e}")
+
+
+if __name__ == "__main__":
+    main()

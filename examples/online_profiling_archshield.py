@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""REAPER + ArchShield: reliable relaxed-refresh operation, end to end.
+
+Reproduces the paper's Section 7.1.1 deployment story on a simulated chip:
+
+1. Size the problem with the ECC/longevity analysis (Eq 7): how many
+   failures can SECDED tolerate, and how long does a profile stay valid?
+2. Run REAPER (firmware-style reach profiling) feeding an ArchShield
+   FaultMap, on the Eq-7 cadence, across several simulated days.
+3. Report the accumulated FaultMap load and the time spent paused for
+   profiling -- the overheads Figure 11 and Figure 13 quantify.
+
+Run:  python examples/online_profiling_archshield.py
+"""
+
+from repro import Conditions, SimulatedDRAMChip, longevity_for_system
+from repro.core import OnlineProfilingScheduler, REAPER
+from repro.dram.vendor import VENDOR_B
+from repro.ecc import SECDED
+from repro.mitigation import ArchShield
+
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+OPERATING_DAYS = 7.0
+
+
+def main() -> None:
+    chip = SimulatedDRAMChip(seed=7)
+
+    # --- Step 1: reliability budget (Section 6.2) ------------------------
+    estimate = longevity_for_system(
+        vendor=VENDOR_B,
+        capacity_bytes=chip.capacity_bits // 8,
+        ecc=SECDED,
+        target=TARGET,
+        coverage=0.99,
+    )
+    print(f"Target: {TARGET} on a {chip.geometry.capacity_gigabits:g} Gbit chip with SECDED")
+    print(f"  tolerable failures (N) : {estimate.tolerable_failures:8.1f}")
+    print(f"  expected failures      : {estimate.expected_failures:8.1f}")
+    print(f"  accumulation (A)       : {estimate.accumulation_per_hour:8.3f} cells/hour")
+    print(f"  profile longevity (T)  : {estimate.longevity_days:8.2f} days")
+    print()
+
+    # --- Step 2: deploy REAPER + ArchShield -------------------------------
+    shield = ArchShield(capacity_bits=chip.capacity_bits)
+    reaper = REAPER(chip, shield, TARGET, iterations=5)
+    scheduler = OnlineProfilingScheduler(reaper, estimate, safety_factor=0.5)
+
+    def narrate(round_record):
+        days = round_record.started_at / 86400.0
+        print(
+            f"  day {days:5.2f}: profiling round #{round_record.index} found "
+            f"{len(round_record.profile):4d} cells "
+            f"({round_record.cells_added_to_mitigation:3d} new) in "
+            f"{round_record.runtime_seconds:5.1f} s"
+        )
+
+    print(f"Operating for {OPERATING_DAYS:.0f} days, reprofiling every "
+          f"{scheduler.reprofile_interval_seconds / 3600.0:.1f} h:")
+    report = scheduler.run_for(OPERATING_DAYS * 86400.0, on_round=narrate)
+    print()
+
+    # --- Step 3: the bill --------------------------------------------------
+    print(f"FaultMap entries        : {shield.entry_count} "
+          f"({shield.utilization:.2%} of the reserved area)")
+    print(f"Known failing cells     : {shield.known_cell_count}")
+    print(f"Profiling pauses        : {len(report.rounds)} rounds, "
+          f"{report.profiling_seconds:.0f} s total")
+    print(f"Time spent profiling    : {report.profiling_fraction:.3%} of system time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Plan a relaxed-refresh deployment from on-DIMM SPD data (Section 6.3).
+
+The paper proposes that DRAM vendors ship per-chip retention
+characterization in the SPD so systems can choose reach conditions in the
+field.  This example plays both sides: the "vendor" characterizes a chip
+and serializes the SPD blob; the "system" deserializes it, combines it with
+its mitigation mechanism's constraints, and uses
+:class:`~repro.core.planner.RelaxedRefreshPlanner` to pick the operating
+point -- then validates the plan against the actual (simulated) chip.
+
+Run:  python examples/spd_deployment_planner.py
+"""
+
+from repro import BruteForceProfiler, Conditions, ReachProfiler, SimulatedDRAMChip, evaluate
+from repro.core import PlannerConstraints, RelaxedRefreshPlanner
+from repro.dram import SPDCharacterization, characterize_for_spd
+from repro.ecc import SECDED
+from repro.mitigation import ArchShield
+
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+
+
+def main() -> None:
+    # --- Vendor side: characterize the chip and ship the SPD blob ---------
+    chip = SimulatedDRAMChip(seed=363)
+    blob = characterize_for_spd(
+        chip, anchor_intervals_s=(0.256, 0.512, 0.768, 1.024, 1.28, 1.536, 2.048)
+    ).to_bytes()
+    print(f"Vendor ships {len(blob)} bytes of SPD characterization data\n")
+
+    # --- System side: read SPD, apply mitigation constraints --------------
+    spd = SPDCharacterization.from_bytes(blob)
+    shield = ArchShield(capacity_bits=chip.capacity_bits)
+    constraints = PlannerConstraints(
+        max_false_positive_rate=0.50,
+        min_coverage=0.99,
+        mitigation_capacity_cells=shield.max_entries,  # one cell/word worst case
+    )
+    planner = RelaxedRefreshPlanner(spd, ecc=SECDED)
+    plan = planner.plan(TARGET, constraints)
+
+    print(f"Planned deployment for target {TARGET}:")
+    print(f"  reach conditions        : {plan.reach_conditions} (delta {plan.reach})")
+    print(f"  expected failures       : {plan.expected_failures:8.1f} cells")
+    print(f"  expected profiled cells : {plan.expected_profiled_cells:8.1f} "
+          f"(est. FPR {plan.expected_false_positive_rate:.1%})")
+    print(f"  ECC budget (N)          : {plan.tolerable_failures:8.1f} cells")
+    print(f"  reprofile every         : {plan.reprofile_interval_seconds / 3600.0:8.1f} h")
+    print(f"  profiling round         : {plan.round_seconds:8.1f} s "
+          f"({plan.profiling_time_fraction:.3%} of system time)")
+    print(f"  feasible                : {plan.feasible}")
+    print()
+
+    # --- Validation: does the plan hold on the physical chip? -------------
+    truth = BruteForceProfiler(iterations=16).run(SimulatedDRAMChip(seed=363), TARGET)
+    profile = ReachProfiler(reach=plan.reach, iterations=5).run(
+        SimulatedDRAMChip(seed=363), TARGET
+    )
+    score = evaluate(profile, truth.failing)
+    print("Validation against the actual chip:")
+    print(f"  measured coverage       : {score.coverage:.2%} "
+          f"(planned floor {constraints.min_coverage:.0%})")
+    print(f"  measured FPR            : {score.false_positive_rate:.1%} "
+          f"(planned ceiling {constraints.max_false_positive_rate:.0%})")
+    print(f"  cells into FaultMap     : {shield.ingest(profile.failing)} "
+          f"({shield.utilization:.2%} of reserved area)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Explore the reach-condition tradeoff space (Figures 9 and 10).
+
+Brute-force profiles a grid of (refresh interval, temperature) points on
+statistically identical chips, treats each point as a target with every
+more-aggressive point as its reach conditions, and prints the coverage /
+false-positive / runtime surfaces.  Finishes by picking the fastest reach
+conditions that satisfy a coverage floor and a false-positive ceiling --
+the selection rule of Section 6.1.2.
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+from repro import Conditions, SimulatedDRAMChip
+from repro.core import TradeoffExplorer
+
+BASE = Conditions(trefi=1.024, temperature=45.0)
+DELTA_TREFIS = [0.0, 0.125, 0.250, 0.375, 0.500]
+DELTA_TEMPS = [0.0, 5.0, 10.0]
+
+
+def render(surface, metric: str, fmt: str) -> None:
+    print(f"  {metric:>9}:  " + "  ".join(f"+{d * 1e3:4.0f}ms" for d in surface.delta_trefis))
+    grid = surface.grid(metric)
+    for i, d_temp in enumerate(surface.delta_temperatures):
+        cells = "  ".join(format(grid[i, j], fmt) for j in range(len(surface.delta_trefis)))
+        print(f"  +{d_temp:4.1f}degC  {cells}")
+    print()
+
+
+def main() -> None:
+    def chip_factory():
+        return SimulatedDRAMChip(
+            seed=99,
+            max_trefi_s=(BASE.trefi + max(DELTA_TREFIS)) * 1.05,
+        )
+
+    explorer = TradeoffExplorer(device_factory=chip_factory, iterations=16, coverage_target=0.99)
+    print(f"Exploring reach conditions around {BASE} "
+          f"({len(DELTA_TREFIS) * len(DELTA_TEMPS)} grid points x 16 iterations)...")
+    surface = explorer.explore(BASE, DELTA_TREFIS, DELTA_TEMPS)
+    print()
+
+    render(surface, "coverage", "6.3f")
+    render(surface, "fpr", "6.3f")
+    render(surface, "runtime", "6.3f")
+
+    for max_fpr in (0.30, 0.50, 0.80):
+        best = surface.best_reach(min_coverage=0.99, max_fpr=max_fpr)
+        if best is None:
+            print(f"  FPR <= {max_fpr:.0%}: no reach conditions qualify")
+        else:
+            print(
+                f"  FPR <= {max_fpr:.0%}: best reach {best.delta} -> "
+                f"coverage {best.coverage_mean:.1%}, FPR {best.fpr_mean:.1%}, "
+                f"{1.0 / best.runtime_norm_mean:.1f}x faster than brute force"
+            )
+
+
+if __name__ == "__main__":
+    main()

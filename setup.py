@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+Enables ``pip install -e . --no-build-isolation --no-use-pep517`` on offline
+machines; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""REAPER: reach profiling for DRAM retention failures.
+
+A from-scratch reproduction of Patel, Kim & Mutlu, *"The Reach Profiler
+(REAPER): Enabling the Mitigation of DRAM Retention Failures via Profiling
+at Aggressive Conditions"* (ISCA 2017), built on a calibrated simulation of
+LPDDR4 retention behaviour in place of the paper's 368 physical chips.
+
+Quick start::
+
+    from repro import Conditions, ReachDelta, ReachProfiler, SimulatedDRAMChip
+
+    chip = SimulatedDRAMChip()
+    target = Conditions(trefi=1.024, temperature=45.0)
+    profiler = ReachProfiler(reach=ReachDelta(delta_trefi=0.250))
+    profile = profiler.run(chip, target)
+    print(len(profile), "failing cells in", profile.runtime_seconds, "s")
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: brute-force and reach profilers, REAPER,
+    metrics, the tradeoff explorer, ECC-based longevity, and scheduling.
+``repro.dram``
+    The simulated LPDDR4 substrate (retention tails, VRT, DPD, vendors,
+    chips, modules, SPD).
+``repro.patterns``
+    Test data patterns.
+``repro.ecc``
+    UBER/RBER math, a real SECDED codec, and the ECC-scrubbing baseline.
+``repro.mitigation``
+    ArchShield, RAIDR, SECRET, row map-out, Bloom filters.
+``repro.infra``
+    PID-controlled thermal chamber and multi-chip testbed.
+``repro.sysperf``
+    Bank-level memory simulation, workloads, power, and the Eq-8/9
+    end-to-end integration.
+``repro.analysis``
+    One driver per paper figure/table, plus fitting and reporting helpers.
+"""
+
+from .clock import ClockStopwatch, SimClock
+from .conditions import (
+    Conditions,
+    HEADLINE_REACH,
+    JEDEC_TREFW,
+    REFERENCE_TEMPERATURE_C,
+    ReachDelta,
+)
+from .core import (
+    BruteForceProfiler,
+    REAPER,
+    ReachProfiler,
+    RetentionProfile,
+    coverage,
+    evaluate,
+    false_positive_rate,
+    longevity_for_system,
+)
+from .dram import DRAMModule, SimulatedDRAMChip, VENDOR_A, VENDOR_B, VENDOR_C
+from .errors import (
+    CapacityError,
+    ClockError,
+    CommandSequenceError,
+    ConfigurationError,
+    EccError,
+    ProfilingError,
+    ReproError,
+)
+from .patterns import STANDARD_PATTERNS, DataPattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SimClock",
+    "ClockStopwatch",
+    "Conditions",
+    "ReachDelta",
+    "HEADLINE_REACH",
+    "JEDEC_TREFW",
+    "REFERENCE_TEMPERATURE_C",
+    "BruteForceProfiler",
+    "ReachProfiler",
+    "REAPER",
+    "RetentionProfile",
+    "coverage",
+    "false_positive_rate",
+    "evaluate",
+    "longevity_for_system",
+    "SimulatedDRAMChip",
+    "DRAMModule",
+    "VENDOR_A",
+    "VENDOR_B",
+    "VENDOR_C",
+    "DataPattern",
+    "STANDARD_PATTERNS",
+    "ReproError",
+    "ConfigurationError",
+    "CommandSequenceError",
+    "ProfilingError",
+    "EccError",
+    "CapacityError",
+    "ClockError",
+]

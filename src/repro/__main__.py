@@ -1,0 +1,175 @@
+"""Command-line interface: quick profiling runs, planning, and longevity.
+
+Examples::
+
+    python -m repro demo
+    python -m repro profile --trefi 1.024 --reach 0.25 --iterations 5
+    python -m repro plan --trefi 1.024 --max-fpr 0.5
+    python -m repro longevity --capacity-gb 2 --ecc SECDED --trefi 1.024
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .conditions import Conditions, ReachDelta
+from .core import (
+    BruteForceProfiler,
+    PlannerConstraints,
+    ReachProfiler,
+    RelaxedRefreshPlanner,
+    evaluate,
+    longevity_for_system,
+)
+from .dram import SimulatedDRAMChip, characterize_for_spd, vendor_by_name
+from .dram.geometry import ChipGeometry
+from .ecc.model import ECC_STRENGTHS
+
+
+def _build_chip(args) -> SimulatedDRAMChip:
+    return SimulatedDRAMChip(
+        vendor=vendor_by_name(args.vendor),
+        geometry=ChipGeometry.from_capacity_gigabits(args.capacity_gbit),
+        seed=args.seed,
+        max_trefi_s=max(args.trefi * 2.0, 2.6),
+    )
+
+
+def cmd_demo(args) -> int:
+    target = Conditions(trefi=args.trefi, temperature=45.0)
+    truth = BruteForceProfiler(iterations=16).run(_build_chip(args), target)
+    profile = ReachProfiler(reach=ReachDelta(delta_trefi=0.250), iterations=5).run(
+        _build_chip(args), target
+    )
+    score = evaluate(profile, truth.failing)
+    print(f"Target {target} on a {args.capacity_gbit:g} Gbit vendor-{args.vendor} chip")
+    print(f"  brute force: {len(truth)} cells in {truth.runtime_seconds:.1f} s")
+    print(f"  reach +250ms: {len(profile)} cells in {profile.runtime_seconds:.1f} s")
+    print(f"  coverage {score.coverage:.2%}, FPR {score.false_positive_rate:.1%}, "
+          f"speedup {truth.runtime_seconds / profile.runtime_seconds:.2f}x")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    target = Conditions(trefi=args.trefi, temperature=45.0)
+    chip = _build_chip(args)
+    if args.reach > 0.0:
+        profiler = ReachProfiler(reach=ReachDelta(delta_trefi=args.reach), iterations=args.iterations)
+    else:
+        profiler = BruteForceProfiler(iterations=args.iterations)
+    profile = profiler.run(chip, target)
+    oracle = chip.oracle_failing_set(target)
+    score = evaluate(profile, set(int(c) for c in oracle))
+    print(f"{profile.mechanism} profiling at {profile.profiling_conditions}: "
+          f"{len(profile)} cells, runtime {profile.runtime_seconds:.1f} s")
+    print(f"vs oracle: {score}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    chip = _build_chip(args)
+    spd = characterize_for_spd(
+        chip, anchor_intervals_s=(0.256, 0.512, 0.768, 1.024, 1.28, 1.536, 2.048)
+    )
+    planner = RelaxedRefreshPlanner(spd, ecc=ECC_STRENGTHS[args.ecc])
+    plan = planner.plan(
+        Conditions(trefi=args.trefi, temperature=45.0),
+        PlannerConstraints(max_false_positive_rate=args.max_fpr),
+    )
+    print(f"Plan for {plan.target} (vendor {args.vendor}, {args.capacity_gbit:g} Gbit):")
+    print(f"  reach           : {plan.reach} -> {plan.reach_conditions}")
+    print(f"  est. failures   : {plan.expected_failures:.1f} "
+          f"({plan.expected_profiled_cells:.1f} profiled, FPR {plan.expected_false_positive_rate:.1%})")
+    print(f"  reprofile every : {plan.reprofile_interval_seconds / 3600.0:.1f} h "
+          f"({plan.profiling_time_fraction:.3%} of time)")
+    print(f"  feasible        : {plan.feasible}"
+          + (f" ({plan.infeasibility_reason})" if not plan.feasible else ""))
+    return 0 if plan.feasible else 1
+
+
+def cmd_longevity(args) -> int:
+    estimate = longevity_for_system(
+        vendor=vendor_by_name(args.vendor),
+        capacity_bytes=int(args.capacity_gb * (1 << 30)),
+        ecc=ECC_STRENGTHS[args.ecc],
+        target=Conditions(trefi=args.trefi, temperature=args.temperature),
+        coverage=args.coverage,
+    )
+    print(f"N={estimate.tolerable_failures:.1f} failures tolerable, "
+          f"{estimate.expected_failures:.0f} expected, "
+          f"A={estimate.accumulation_per_hour:.3f}/h")
+    if estimate.feasible:
+        print(f"profile longevity: {estimate.longevity_days:.2f} days")
+        return 0
+    print("INFEASIBLE: missed failures exceed the ECC budget")
+    return 1
+
+
+def cmd_campaign(args) -> int:
+    from .analysis.campaign import CharacterizationCampaign
+
+    campaign = CharacterizationCampaign(
+        chips_per_vendor=args.chips_per_vendor,
+        geometry=ChipGeometry.from_capacity_gigabits(args.capacity_gbit),
+        seed=args.seed,
+    )
+    print(campaign.run().to_text())
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .analysis.export import export_all
+
+    written = export_all(args.outdir, n_mixes=args.mixes)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--vendor", default="B", choices=["A", "B", "C"])
+    parser.add_argument("--seed", type=int, default=0x5EED)
+    parser.add_argument("--capacity-gbit", type=float, default=1.0, dest="capacity_gbit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_demo = sub.add_parser("demo", help="run the headline comparison")
+    p_demo.add_argument("--trefi", type=float, default=1.024)
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_prof = sub.add_parser("profile", help="profile one simulated chip")
+    p_prof.add_argument("--trefi", type=float, default=1.024)
+    p_prof.add_argument("--reach", type=float, default=0.0, help="reach delta in seconds (0 = brute force)")
+    p_prof.add_argument("--iterations", type=int, default=16)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_plan = sub.add_parser("plan", help="plan a deployment from SPD data")
+    p_plan.add_argument("--trefi", type=float, default=1.024)
+    p_plan.add_argument("--max-fpr", type=float, default=0.50, dest="max_fpr")
+    p_plan.add_argument("--ecc", default="SECDED", choices=list(ECC_STRENGTHS))
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_lon = sub.add_parser("longevity", help="Eq-7 profile longevity")
+    p_lon.add_argument("--capacity-gb", type=float, default=2.0, dest="capacity_gb")
+    p_lon.add_argument("--ecc", default="SECDED", choices=list(ECC_STRENGTHS))
+    p_lon.add_argument("--trefi", type=float, default=1.024)
+    p_lon.add_argument("--temperature", type=float, default=45.0)
+    p_lon.add_argument("--coverage", type=float, default=0.99)
+    p_lon.set_defaults(func=cmd_longevity)
+
+    p_exp = sub.add_parser("export", help="export analytic figure series as CSVs")
+    p_exp.add_argument("--outdir", default="results_csv")
+    p_exp.add_argument("--mixes", type=int, default=6)
+    p_exp.set_defaults(func=cmd_export)
+
+    p_camp = sub.add_parser("campaign", help="run a multi-vendor characterization campaign")
+    p_camp.add_argument("--chips-per-vendor", type=int, default=4, dest="chips_per_vendor")
+    p_camp.set_defaults(func=cmd_campaign)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

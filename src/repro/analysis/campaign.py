@@ -1,0 +1,193 @@
+"""Population-scale characterization campaigns.
+
+The paper's credibility rests on characterizing 368 chips across three
+vendors.  :class:`CharacterizationCampaign` packages that workflow at any
+population size: build a thermally controlled testbed, sweep refresh
+intervals and temperatures, and aggregate per-vendor statistics -- the
+measured BER curves, the empirical Eq-1 temperature coefficients, and the
+spread across chips -- into a single summary report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..conditions import Conditions
+from ..core.bruteforce import BruteForceProfiler
+from ..dram.geometry import ChipGeometry
+from ..errors import ConfigurationError
+from ..infra.testbed import TestBed
+from .characterization import DEFAULT_CHAR_GEOMETRY
+from .report import ascii_table
+
+
+@dataclass(frozen=True)
+class VendorStatistics:
+    """Aggregated measurements for one vendor's chip population."""
+
+    vendor: str
+    n_chips: int
+    #: trefi_s -> (mean BER, std BER across chips)
+    ber_by_interval: Dict[float, Tuple[float, float]]
+    #: Empirical Eq-1 coefficient from the two-temperature measurement.
+    measured_temp_coefficient: Optional[float]
+    model_temp_coefficient: float
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Everything a campaign measured."""
+
+    n_chips: int
+    intervals_s: Tuple[float, ...]
+    temperatures_c: Tuple[float, ...]
+    vendors: Dict[str, VendorStatistics]
+
+    def to_text(self) -> str:
+        rows: List[List] = []
+        for stats in self.vendors.values():
+            for trefi, (mean, std) in sorted(stats.ber_by_interval.items()):
+                rows.append([stats.vendor, trefi * 1e3, mean, std])
+        table = ascii_table(
+            ["vendor", "tREFI (ms)", "BER mean", "BER std"],
+            rows,
+            title=f"Campaign over {self.n_chips} chips",
+        )
+        lines = [table, "Temperature coefficients (Eq 1):"]
+        for stats in self.vendors.values():
+            measured = (
+                f"{stats.measured_temp_coefficient:.3f}"
+                if stats.measured_temp_coefficient is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  vendor {stats.vendor}: measured k={measured} "
+                f"(model k={stats.model_temp_coefficient:.2f})"
+            )
+        return "\n".join(lines)
+
+
+class CharacterizationCampaign:
+    """Runs a multi-chip, multi-vendor characterization campaign.
+
+    Parameters
+    ----------
+    chips_per_vendor:
+        Population size per vendor (the paper used ~123 per vendor; any
+        size works, statistics tighten with more chips).
+    geometry:
+        Simulated chip capacity.
+    iterations:
+        Brute-force iterations per measurement point.
+    """
+
+    def __init__(
+        self,
+        chips_per_vendor: int = 2,
+        geometry: ChipGeometry = DEFAULT_CHAR_GEOMETRY,
+        iterations: int = 2,
+        seed: int = rng_mod.DEFAULT_SEED,
+    ) -> None:
+        if chips_per_vendor <= 0:
+            raise ConfigurationError("chips_per_vendor must be positive")
+        self.chips_per_vendor = chips_per_vendor
+        self.geometry = geometry
+        self.iterations = iterations
+        self.seed = seed
+
+    def run(
+        self,
+        intervals_s: Sequence[float] = (0.512, 1.024, 2.048),
+        temperatures_c: Sequence[float] = (45.0, 55.0),
+    ) -> CampaignSummary:
+        """Measure BER curves and temperature scaling across the population.
+
+        The first temperature hosts the interval sweep; the remaining
+        temperatures measure the failure-rate scaling at the largest
+        interval, from which the empirical Eq-1 coefficient is fitted.
+        """
+        if not intervals_s or list(intervals_s) != sorted(intervals_s):
+            raise ConfigurationError("intervals must be non-empty ascending")
+        if not temperatures_c:
+            raise ConfigurationError("need at least one temperature")
+        bed = TestBed.build(
+            chips_per_vendor=self.chips_per_vendor,
+            geometry=self.geometry,
+            seed=self.seed,
+            max_trefi_s=max(intervals_s) * 1.05,
+        )
+        profiler = BruteForceProfiler(iterations=self.iterations)
+        base_temp = temperatures_c[0]
+        bed.set_ambient(base_temp)
+
+        # Interval sweep at the base temperature.
+        counts: Dict[str, Dict[float, List[int]]] = {}
+        for trefi in intervals_s:
+            profiles = bed.profile_all(profiler, Conditions(trefi=trefi, temperature=base_temp))
+            for chip in bed.chips:
+                counts.setdefault(chip.vendor.name, {}).setdefault(trefi, []).append(
+                    len(profiles[chip.chip_id])
+                )
+
+        # Temperature scaling at the top interval.
+        top = max(intervals_s)
+        temp_counts: Dict[str, Dict[float, List[int]]] = {}
+        for vendor_name in counts:
+            temp_counts[vendor_name] = {base_temp: counts[vendor_name][top]}
+        for temperature in temperatures_c[1:]:
+            bed.set_ambient(temperature)
+            profiles = bed.profile_all(profiler, Conditions(trefi=top, temperature=temperature))
+            for chip in bed.chips:
+                temp_counts[chip.vendor.name].setdefault(temperature, []).append(
+                    len(profiles[chip.chip_id])
+                )
+
+        capacity = self.geometry.capacity_bits
+        vendors: Dict[str, VendorStatistics] = {}
+        for vendor_name, by_interval in counts.items():
+            ber = {
+                trefi: (
+                    float(np.mean(values)) / capacity,
+                    float(np.std(values)) / capacity,
+                )
+                for trefi, values in by_interval.items()
+            }
+            coefficient = self._fit_temp_coefficient(temp_counts[vendor_name])
+            model_k = next(
+                chip.vendor.failure_rate_temp_coeff
+                for chip in bed.chips
+                if chip.vendor.name == vendor_name
+            )
+            vendors[vendor_name] = VendorStatistics(
+                vendor=vendor_name,
+                n_chips=self.chips_per_vendor,
+                ber_by_interval=ber,
+                measured_temp_coefficient=coefficient,
+                model_temp_coefficient=model_k,
+            )
+        return CampaignSummary(
+            n_chips=len(bed.chips),
+            intervals_s=tuple(intervals_s),
+            temperatures_c=tuple(temperatures_c),
+            vendors=vendors,
+        )
+
+    @staticmethod
+    def _fit_temp_coefficient(by_temperature: Dict[float, List[int]]) -> Optional[float]:
+        """ln(failures) vs temperature regression -> Eq-1 coefficient."""
+        points = [
+            (temp, float(np.mean(values)))
+            for temp, values in sorted(by_temperature.items())
+            if np.mean(values) > 0
+        ]
+        if len(points) < 2:
+            return None
+        temps = np.array([p[0] for p in points])
+        lns = np.log(np.array([p[1] for p in points]))
+        slope, _ = np.polyfit(temps, lns, 1)
+        return float(slope)

@@ -1,0 +1,323 @@
+"""Section 6/7 experiments: the tradeoff space, ECC tables, longevity,
+the headline reach-profiling result, and the end-to-end sweeps
+(Figures 9-13, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..conditions import Conditions, ReachDelta
+from ..core.bruteforce import BruteForceProfiler
+from ..core.metrics import evaluate
+from ..core.reach import ReachProfiler
+from ..core.tradeoff import TradeoffExplorer, TradeoffSurface
+from ..dram.chip import SimulatedDRAMChip
+from ..dram.geometry import ChipGeometry
+from ..dram.vendor import VENDORS, VENDOR_B, VendorModel
+from ..ecc.model import CONSUMER_UBER, ECC_STRENGTHS, EccStrength, tolerable_bit_errors, tolerable_rber
+from ..errors import ConfigurationError
+from ..sysperf.overhead import (
+    EndToEndEvaluator,
+    EndToEndPoint,
+    ProfilerKind,
+    profiling_power_mw,
+    profiling_time_fraction,
+)
+from ..sysperf.workloads import Mix, workload_mixes
+from .characterization import DEFAULT_CHAR_GEOMETRY
+
+
+# ======================================================================
+# Figures 9 & 10: the reach-condition tradeoff surfaces
+# ======================================================================
+def fig9_fig10_tradeoff_surface(
+    base: Conditions = Conditions(trefi=0.512, temperature=45.0),
+    delta_trefis_s: Sequence[float] = (0.0, 0.125, 0.250, 0.375, 0.500),
+    delta_temperatures_c: Sequence[float] = (0.0, 5.0, 10.0),
+    vendor: VendorModel = VENDOR_B,
+    geometry: ChipGeometry = DEFAULT_CHAR_GEOMETRY,
+    iterations: int = 16,
+    coverage_target: float = 0.90,
+    seed: int = rng_mod.DEFAULT_SEED,
+) -> TradeoffSurface:
+    """Grid characterization behind the coverage/FPR/runtime contours.
+
+    Every grid point is brute-force profiled on a statistically identical
+    chip; each point then acts as the target for all more aggressive points
+    (the paper's Section 6.1.1 methodology).
+    """
+    max_trefi = base.trefi + max(delta_trefis_s)
+    max_temp = base.temperature + max(delta_temperatures_c)
+
+    def factory() -> SimulatedDRAMChip:
+        return SimulatedDRAMChip(
+            vendor=vendor,
+            geometry=geometry,
+            seed=seed,
+            chip_id=0,
+            max_trefi_s=max_trefi * 1.05,
+            max_temperature_c=max_temp,
+        )
+
+    explorer = TradeoffExplorer(
+        device_factory=factory,
+        iterations=iterations,
+        coverage_target=coverage_target,
+    )
+    return explorer.explore(base, list(delta_trefis_s), list(delta_temperatures_c))
+
+
+# ======================================================================
+# Table 1: tolerable RBER / bit errors
+# ======================================================================
+@dataclass(frozen=True)
+class Table1Row:
+    ecc_name: str
+    tolerable_rber: float
+    tolerable_bit_errors: Dict[str, float]  # DRAM size label -> count
+
+
+def table1_tolerable_rber(
+    target_uber: float = CONSUMER_UBER,
+    sizes_bytes: Optional[Dict[str, int]] = None,
+) -> List[Table1Row]:
+    """Regenerate Table 1 for the built-in ECC strengths."""
+    if sizes_bytes is None:
+        gib = 1 << 30
+        sizes_bytes = {
+            "512MB": gib // 2,
+            "1GB": gib,
+            "2GB": 2 * gib,
+            "4GB": 4 * gib,
+            "8GB": 8 * gib,
+        }
+    rows: List[Table1Row] = []
+    for ecc in ECC_STRENGTHS.values():
+        rber = tolerable_rber(ecc, target_uber)
+        rows.append(
+            Table1Row(
+                ecc_name=ecc.name,
+                tolerable_rber=rber,
+                tolerable_bit_errors={
+                    label: tolerable_bit_errors(ecc, size, target_uber)
+                    for label, size in sizes_bytes.items()
+                },
+            )
+        )
+    return rows
+
+
+# ======================================================================
+# Section 6.1.2 headline: +250 ms reach -> >99% coverage, <50% FPR, 2.5x
+# ======================================================================
+@dataclass(frozen=True)
+class HeadlineChipResult:
+    vendor: str
+    chip_id: int
+    coverage: float
+    false_positive_rate: float
+    speedup: float
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    per_chip: Tuple[HeadlineChipResult, ...]
+
+    @property
+    def mean_coverage(self) -> float:
+        return float(np.mean([r.coverage for r in self.per_chip]))
+
+    @property
+    def mean_false_positive_rate(self) -> float:
+        return float(np.mean([r.false_positive_rate for r in self.per_chip]))
+
+    @property
+    def mean_speedup(self) -> float:
+        return float(np.mean([r.speedup for r in self.per_chip]))
+
+
+def headline_reach_metrics(
+    target: Conditions = Conditions(trefi=1.024, temperature=45.0),
+    reach: ReachDelta = ReachDelta(delta_trefi=0.250),
+    chips_per_vendor: int = 2,
+    geometry: ChipGeometry = DEFAULT_CHAR_GEOMETRY,
+    brute_iterations: int = 16,
+    reach_iterations: int = 5,
+    seed: int = rng_mod.DEFAULT_SEED,
+) -> HeadlineResult:
+    """Measure the paper's headline claim across a chip population.
+
+    Each chip is profiled twice from identical initial state (same seed):
+    brute force at the target (16 iterations, the empirical truth set) and
+    reach profiling at target + reach.  Coverage and FPR are computed
+    against the brute-force truth; speedup is the runtime ratio.
+    """
+    results: List[HeadlineChipResult] = []
+    brute = BruteForceProfiler(iterations=brute_iterations)
+    reacher = ReachProfiler(reach=reach, iterations=reach_iterations)
+    max_trefi = (target.trefi + reach.delta_trefi) * 1.05
+    max_temp = target.temperature + reach.delta_temperature
+    for vendor in VENDORS.values():
+        for chip_index in range(chips_per_vendor):
+            def chip() -> SimulatedDRAMChip:
+                return SimulatedDRAMChip(
+                    vendor=vendor,
+                    geometry=geometry,
+                    seed=seed,
+                    chip_id=chip_index,
+                    max_trefi_s=max_trefi,
+                    max_temperature_c=max(max_temp, 45.0),
+                )
+
+            truth_profile = brute.run(chip(), target)
+            reach_profile = reacher.run(chip(), target)
+            evaluation = evaluate(reach_profile, truth_profile.failing)
+            results.append(
+                HeadlineChipResult(
+                    vendor=vendor.name,
+                    chip_id=chip_index,
+                    coverage=evaluation.coverage,
+                    false_positive_rate=evaluation.false_positive_rate,
+                    speedup=truth_profile.runtime_seconds / reach_profile.runtime_seconds,
+                )
+            )
+    return HeadlineResult(per_chip=tuple(results))
+
+
+# ======================================================================
+# Figure 11 / Figure 12: profiling time & power vs online cadence
+# ======================================================================
+@dataclass(frozen=True)
+class Fig11Row:
+    profiling_interval_hours: float
+    chip_density_gigabits: int
+    brute_fraction: float
+    reaper_fraction: float
+
+
+def fig11_profiling_time(
+    intervals_hours: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+    densities_gigabits: Sequence[int] = (8, 16, 32, 64),
+    trefi_s: float = 1.024,
+) -> List[Fig11Row]:
+    """System-time share spent profiling (Figure 11's bar heights)."""
+    rows: List[Fig11Row] = []
+    for hours in intervals_hours:
+        for density in densities_gigabits:
+            rows.append(
+                Fig11Row(
+                    profiling_interval_hours=hours,
+                    chip_density_gigabits=density,
+                    brute_fraction=profiling_time_fraction(
+                        ProfilerKind.BRUTE_FORCE, hours * 3600.0, density, trefi_s=trefi_s
+                    ),
+                    reaper_fraction=profiling_time_fraction(
+                        ProfilerKind.REAPER, hours * 3600.0, density, trefi_s=trefi_s
+                    ),
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    profiling_interval_hours: float
+    chip_density_gigabits: int
+    brute_power_mw: float
+    reaper_power_mw: float
+
+
+def fig12_profiling_power(
+    intervals_hours: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+    densities_gigabits: Sequence[int] = (8, 16, 32, 64),
+) -> List[Fig12Row]:
+    """DRAM power attributable to profiling (Figure 12's bar heights)."""
+    rows: List[Fig12Row] = []
+    for hours in intervals_hours:
+        for density in densities_gigabits:
+            rows.append(
+                Fig12Row(
+                    profiling_interval_hours=hours,
+                    chip_density_gigabits=density,
+                    brute_power_mw=profiling_power_mw(
+                        ProfilerKind.BRUTE_FORCE, hours * 3600.0, density
+                    ),
+                    reaper_power_mw=profiling_power_mw(
+                        ProfilerKind.REAPER, hours * 3600.0, density
+                    ),
+                )
+            )
+    return rows
+
+
+# ======================================================================
+# Figure 13: end-to-end performance and power
+# ======================================================================
+@dataclass(frozen=True)
+class Fig13Summary:
+    trefi_s: Optional[float]
+    profiler: ProfilerKind
+    mean_improvement: float
+    max_improvement: float
+    mean_power_reduction: float
+    max_power_reduction: float
+
+
+def fig13_end_to_end(
+    trefis_s: Sequence[Optional[float]] = (0.128, 0.256, 0.512, 1.024, 1.280, 1.536, None),
+    chip_density_gigabits: int = 64,
+    n_mixes: int = 20,
+    seed: int = rng_mod.DEFAULT_SEED,
+    evaluator: Optional[EndToEndEvaluator] = None,
+) -> List[Fig13Summary]:
+    """Summarize the Figure-13 sweep across mixes for each (interval, profiler)."""
+    ev = evaluator if evaluator is not None else EndToEndEvaluator(
+        chip_density_gigabits=chip_density_gigabits
+    )
+    mixes = workload_mixes(n_mixes, seed=seed)
+    points = ev.sweep(mixes, trefis_s)
+    summaries: List[Fig13Summary] = []
+    for trefi in trefis_s:
+        for kind in ProfilerKind:
+            subset = [p for p in points if p.trefi_s == trefi and p.profiler is kind]
+            improvements = [p.performance_improvement for p in subset]
+            reductions = [p.power_reduction for p in subset]
+            summaries.append(
+                Fig13Summary(
+                    trefi_s=trefi,
+                    profiler=kind,
+                    mean_improvement=float(np.mean(improvements)),
+                    max_improvement=float(np.max(improvements)),
+                    mean_power_reduction=float(np.mean(reductions)),
+                    max_power_reduction=float(np.max(reductions)),
+                )
+            )
+    return summaries
+
+
+def archshield_combination(
+    trefi_s: float = 1.024,
+    chip_density_gigabits: int = 64,
+    n_mixes: int = 20,
+    archshield_cost: float = 0.01,
+    seed: int = rng_mod.DEFAULT_SEED,
+) -> Dict[str, Tuple[float, float]]:
+    """Section 7.3.2: REAPER/brute/ideal each paired with ArchShield.
+
+    Returns mechanism name -> (mean improvement, max improvement).
+    """
+    ev = EndToEndEvaluator(chip_density_gigabits=chip_density_gigabits)
+    mixes = workload_mixes(n_mixes, seed=seed)
+    out: Dict[str, Tuple[float, float]] = {}
+    for kind in ProfilerKind:
+        values = [
+            ev.with_archshield(ev.evaluate_mix(mix, trefi_s, kind), archshield_cost)
+            for mix in mixes
+        ]
+        out[kind.value] = (float(np.mean(values)), float(np.max(values)))
+    return out

@@ -1,0 +1,107 @@
+"""CSV export of the reproduced figure/table series.
+
+For plotting outside Python, ``export_all`` regenerates the cheap analytic
+series (Table 1, Figures 7, 8, 11, 12, and a reduced Figure 13) and writes
+one CSV per experiment.  The measurement-heavy characterization figures
+(2-6, 9, 10) are produced by their benchmarks, which save human-readable
+reports under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from ..errors import ConfigurationError
+from ..sysperf.overhead import ProfilerKind
+from .characterization import fig7_parameter_distributions, fig8_combined_distribution
+from .experiments import (
+    fig11_profiling_time,
+    fig12_profiling_power,
+    fig13_end_to_end,
+    table1_tolerable_rber,
+)
+from .report import to_csv
+
+
+def export_all(outdir, n_mixes: int = 6) -> List[Path]:
+    """Write the analytic experiment series as CSVs; returns written paths."""
+    if n_mixes <= 0:
+        raise ConfigurationError("n_mixes must be positive")
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    def write(name: str, headers, rows) -> None:
+        path = out / f"{name}.csv"
+        path.write_text(to_csv(headers, rows))
+        written.append(path)
+
+    # Table 1 ------------------------------------------------------------
+    sizes = ("512MB", "1GB", "2GB", "4GB", "8GB")
+    write(
+        "table1",
+        ["ecc", "tolerable_rber", *sizes],
+        [
+            [r.ecc_name, r.tolerable_rber, *[r.tolerable_bit_errors[s] for s in sizes]]
+            for r in table1_tolerable_rber()
+        ],
+    )
+
+    # Figure 7 -----------------------------------------------------------
+    write(
+        "fig7",
+        ["temperature_c", "mu_median_s", "sigma_median_s", "mu_mean_s", "sigma_mean_s"],
+        [
+            [r.temperature_c, r.mu_median_s, r.sigma_median_s, r.mu_mean_s, r.sigma_mean_s]
+            for r in fig7_parameter_distributions()
+        ],
+    )
+
+    # Figure 8 -----------------------------------------------------------
+    fig8 = fig8_combined_distribution()
+    rows8 = []
+    for i, temperature in enumerate(fig8.temperatures_c):
+        for j, interval in enumerate(fig8.intervals_s):
+            rows8.append(
+                [temperature, interval, fig8.mean_probability[i, j], fig8.std_probability[i, j]]
+            )
+    write("fig8", ["temperature_c", "trefi_s", "mean_probability", "std_probability"], rows8)
+
+    # Figures 11 & 12 ------------------------------------------------------
+    write(
+        "fig11",
+        ["interval_hours", "chip_gbit", "brute_fraction", "reaper_fraction"],
+        [
+            [r.profiling_interval_hours, r.chip_density_gigabits, r.brute_fraction, r.reaper_fraction]
+            for r in fig11_profiling_time()
+        ],
+    )
+    write(
+        "fig12",
+        ["interval_hours", "chip_gbit", "brute_power_mw", "reaper_power_mw"],
+        [
+            [r.profiling_interval_hours, r.chip_density_gigabits, r.brute_power_mw, r.reaper_power_mw]
+            for r in fig12_profiling_power()
+        ],
+    )
+
+    # Figure 13 (reduced mix count for speed) ------------------------------
+    summaries = fig13_end_to_end(n_mixes=n_mixes)
+    write(
+        "fig13",
+        ["trefi_s", "profiler", "mean_improvement", "max_improvement",
+         "mean_power_reduction", "max_power_reduction"],
+        [
+            [
+                s.trefi_s if s.trefi_s is not None else "no-refresh",
+                s.profiler.value,
+                s.mean_improvement,
+                s.max_improvement,
+                s.mean_power_reduction,
+                s.max_power_reduction,
+            ]
+            for s in summaries
+        ],
+    )
+    return written

@@ -1,0 +1,129 @@
+"""Statistical fits used throughout the characterization analyses.
+
+* power-law fits ``y = a * x^b`` (Figure 4's accumulation-rate curves),
+* per-cell normal failure-CDF fits via probit regression (Figure 6a),
+* lognormal fits of positive samples (Figure 6b's sigma histogram).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import ndtri
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y = a * x^b`` fitted in log-log space."""
+
+    a: float
+    b: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.a * x**self.b
+
+    def __str__(self) -> str:
+        return f"y = {self.a:.4g} * x^{self.b:.3f} (R2={self.r_squared:.3f})"
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``y = a*x^b`` on positive data (log-log OLS)."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if len(x_arr) != len(y_arr) or len(x_arr) < 2:
+        raise ConfigurationError("need at least two (x, y) pairs of equal length")
+    if np.any(x_arr <= 0.0) or np.any(y_arr <= 0.0):
+        raise ConfigurationError("power-law fits require strictly positive data")
+    lx, ly = np.log(x_arr), np.log(y_arr)
+    b, log_a = np.polyfit(lx, ly, 1)
+    residuals = ly - (log_a + b * lx)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return PowerLawFit(a=float(np.exp(log_a)), b=float(b), r_squared=r2)
+
+
+@dataclass(frozen=True)
+class NormalCdfFit:
+    """Per-cell failure CDF: P(fail | t) = Phi((t - mu) / sigma)."""
+
+    mu: float
+    sigma: float
+
+    def probability(self, t: float) -> float:
+        from scipy.special import ndtr
+
+        return float(ndtr((t - self.mu) / self.sigma))
+
+
+def fit_normal_cdf(
+    intervals: Sequence[float],
+    failure_fractions: Sequence[float],
+    min_points: int = 2,
+) -> Optional[NormalCdfFit]:
+    """Probit-regress a cell's observed failure fractions onto intervals.
+
+    Points at exactly 0 or 1 carry no probit information and are clipped;
+    returns ``None`` when fewer than ``min_points`` informative points remain
+    (a cell that jumped straight from never-fails to always-fails between
+    samples).  Raising ``min_points`` trades fitted-cell count for fit
+    quality.
+    """
+    if min_points < 2:
+        raise ConfigurationError(f"min_points must be at least 2, got {min_points!r}")
+    t = np.asarray(intervals, dtype=float)
+    p = np.asarray(failure_fractions, dtype=float)
+    if len(t) != len(p):
+        raise ConfigurationError("intervals and fractions must have equal length")
+    informative = (p > 0.0) & (p < 1.0)
+    if informative.sum() < min_points:
+        return None
+    z = ndtri(p[informative])
+    # z = (t - mu) / sigma  ->  z = t/sigma - mu/sigma: linear in t.
+    slope, intercept = np.polyfit(t[informative], z, 1)
+    if slope <= 0.0:
+        return None
+    sigma = 1.0 / slope
+    mu = -intercept * sigma
+    return NormalCdfFit(mu=float(mu), sigma=float(sigma))
+
+
+@dataclass(frozen=True)
+class LognormalFit:
+    """Lognormal parameters of a positive sample."""
+
+    ln_mean: float
+    ln_sigma: float
+    n_samples: int
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.ln_mean)
+
+    def ks_distance(self, samples: Sequence[float]) -> float:
+        """Kolmogorov-Smirnov distance of samples against the fit."""
+        from scipy.stats import kstest
+
+        data = np.log(np.asarray(samples, dtype=float))
+        return float(kstest(data, "norm", args=(self.ln_mean, self.ln_sigma)).statistic)
+
+
+def fit_lognormal(samples: Sequence[float]) -> LognormalFit:
+    """Moment-match a lognormal to strictly positive samples."""
+    data = np.asarray(samples, dtype=float)
+    if len(data) < 2:
+        raise ConfigurationError("need at least two samples")
+    if np.any(data <= 0.0):
+        raise ConfigurationError("lognormal fits require strictly positive samples")
+    logs = np.log(data)
+    return LognormalFit(
+        ln_mean=float(logs.mean()),
+        ln_sigma=float(logs.std(ddof=1)),
+        n_samples=len(data),
+    )

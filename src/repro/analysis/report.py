@@ -1,0 +1,73 @@
+"""Plain-text reporting of experiment results.
+
+Benchmarks regenerate the paper's tables and figure series as text:
+``ascii_table`` renders aligned tables, ``paper_vs_measured`` renders the
+comparison rows EXPERIMENTS.md is built from, and ``to_csv`` dumps raw
+series for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+Cell = Union[str, float, int, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    formatted: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ConfigurationError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in formatted:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def paper_vs_measured(
+    label: str,
+    paper_value: str,
+    measured_value: str,
+    verdict: Optional[str] = None,
+) -> str:
+    """One comparison row: what the paper reports vs what we measured."""
+    row = f"  {label:<48} paper: {paper_value:<24} measured: {measured_value}"
+    if verdict:
+        row += f"  [{verdict}]"
+    return row
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Dump a result series as CSV text."""
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        out.write(",".join(_format_cell(c) for c in row) + "\n")
+    return out.getvalue()

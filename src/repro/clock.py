@@ -1,0 +1,70 @@
+"""Simulated wall-clock time.
+
+Profiling runtime is one of the paper's three key metrics, so every latency
+in the system -- retention exposures, full-chip pattern writes and readouts,
+thermal settling -- advances a shared :class:`SimClock`.  Profilers report
+runtime as the clock delta across a run, exactly the quantity Figure 10 and
+Equation 9 of the paper reason about.
+"""
+
+from __future__ import annotations
+
+from .errors import ClockError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock, in seconds.
+
+    The clock is deliberately minimal: components call :meth:`advance` with
+    the duration of whatever they just simulated, and observers read
+    :attr:`now`.  Attempting to move time backwards raises
+    :class:`~repro.errors.ClockError`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the epoch of this clock."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0.0:
+            raise ClockError(f"cannot advance clock by negative {seconds!r}s")
+        self._now += float(seconds)
+        return self._now
+
+    def elapsed_since(self, t0: float) -> float:
+        """Seconds elapsed between ``t0`` and now (``t0`` must not be in the future)."""
+        if t0 > self._now:
+            raise ClockError(f"reference time {t0!r} is in the future (now={self._now!r})")
+        return self._now - t0
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"SimClock(now={self._now:.6f}s)"
+
+
+class ClockStopwatch:
+    """Measure elapsed simulated time across a region of code.
+
+    Usage::
+
+        watch = ClockStopwatch(clock)
+        ... simulate things that advance the clock ...
+        runtime = watch.elapsed
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock.elapsed_since(self._start)
+
+    def restart(self) -> None:
+        self._start = self._clock.now

@@ -1,0 +1,106 @@
+"""Operating conditions: refresh interval and temperature.
+
+The paper frames everything in terms of *target conditions* (the refresh
+interval / temperature a deployed system runs at) and *reach conditions* (a
+longer refresh interval and/or a higher temperature used only while
+profiling).  :class:`Conditions` is the shared vocabulary; the reach
+relationship is expressed with :class:`ReachDelta`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+#: JEDEC-specified default refresh interval (seconds) below 85 degC.
+JEDEC_TREFW = 0.064
+
+#: JEDEC-specified refresh interval (seconds) above 85 degC.
+JEDEC_TREFW_HOT = 0.032
+
+#: Reference ambient temperature (degC) for most of the paper's experiments.
+REFERENCE_TEMPERATURE_C = 45.0
+
+#: The testing infrastructure holds DRAM 15 degC above ambient (Section 4).
+DRAM_SELF_HEATING_C = 15.0
+
+#: Reliable ambient range of the paper's thermal chamber (Section 4).
+CHAMBER_MIN_AMBIENT_C = 40.0
+CHAMBER_MAX_AMBIENT_C = 55.0
+
+
+@dataclass(frozen=True, order=True)
+class Conditions:
+    """A (refresh interval, ambient temperature) operating point.
+
+    Parameters
+    ----------
+    trefi:
+        Refresh interval in seconds.  The JEDEC default is 64 ms; the paper
+        explores target intervals up to several seconds.
+    temperature:
+        Ambient temperature in degrees Celsius.
+    """
+
+    trefi: float
+    temperature: float = REFERENCE_TEMPERATURE_C
+
+    def __post_init__(self) -> None:
+        if not (self.trefi > 0.0):
+            raise ConfigurationError(f"refresh interval must be positive, got {self.trefi!r}")
+        if not (-50.0 <= self.temperature <= 150.0):
+            raise ConfigurationError(
+                f"temperature {self.temperature!r} degC is outside the plausible range"
+            )
+
+    @property
+    def trefi_ms(self) -> float:
+        """Refresh interval in milliseconds."""
+        return self.trefi * 1e3
+
+    def with_reach(self, delta: "ReachDelta") -> "Conditions":
+        """Return the reach conditions obtained by applying ``delta``."""
+        return Conditions(
+            trefi=self.trefi + delta.delta_trefi,
+            temperature=self.temperature + delta.delta_temperature,
+        )
+
+    def reaches(self, other: "Conditions") -> bool:
+        """True if ``self`` is at least as aggressive as ``other`` on both axes."""
+        return self.trefi >= other.trefi and self.temperature >= other.temperature
+
+    def __str__(self) -> str:
+        return f"{self.trefi_ms:.0f}ms @ {self.temperature:.1f}degC"
+
+
+@dataclass(frozen=True)
+class ReachDelta:
+    """Offset from target conditions to reach conditions.
+
+    Reach profiling only ever moves towards *more aggressive* conditions, so
+    both components must be non-negative (Section 6: reach conditions are "a
+    combination of a longer refresh interval and a higher temperature").
+    """
+
+    delta_trefi: float = 0.0
+    delta_temperature: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta_trefi < 0.0 or self.delta_temperature < 0.0:
+            raise ConfigurationError(
+                "reach deltas must be non-negative "
+                f"(got dt={self.delta_trefi!r}, dT={self.delta_temperature!r})"
+            )
+
+    @property
+    def is_brute_force(self) -> bool:
+        """A zero delta degenerates to brute-force profiling at the target."""
+        return self.delta_trefi == 0.0 and self.delta_temperature == 0.0
+
+    def __str__(self) -> str:
+        return f"+{self.delta_trefi * 1e3:.0f}ms/+{self.delta_temperature:.1f}degC"
+
+
+#: The paper's headline reach choice: profile 250 ms above the target interval.
+HEADLINE_REACH = ReachDelta(delta_trefi=0.250)

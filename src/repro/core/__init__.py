@@ -1,0 +1,80 @@
+"""The paper's primary contribution: reach profiling and its analysis tools.
+
+* :class:`BruteForceProfiler` -- Algorithm 1, the state-of-the-art baseline.
+* :class:`ReachProfiler` / :class:`REAPER` -- profiling at aggressive
+  conditions (Section 6) and its firmware implementation (Section 7.1).
+* :mod:`metrics` -- coverage / false positive rate / runtime.
+* :mod:`tradeoff` -- the Figure 9/10 tradeoff-space exploration.
+* :mod:`longevity` -- the Eq 2-7 ECC/UBER and profile-longevity analysis.
+* :mod:`scheduler` -- online reprofiling cadence (Figure 11).
+"""
+
+from ..conditions import Conditions, HEADLINE_REACH, ReachDelta
+from .bruteforce import BruteForceProfiler
+from .device import ProfilableDevice, normalize_cells
+from .longevity import (
+    LongevityEstimate,
+    longevity_for_system,
+    minimum_required_coverage,
+    profile_longevity_seconds,
+)
+from .metrics import (
+    ProfileEvaluation,
+    coverage,
+    coverage_curve,
+    evaluate,
+    false_positive_rate,
+    iterations_to_coverage,
+)
+from .estimation import AccumulationRateEstimator, RateEstimate
+from .hybrid import HybridMaintainer, MaintenanceReport
+from .incremental import IncrementalReachProfiler, PassReport
+from .planner import DeploymentPlan, PlannerConstraints, RelaxedRefreshPlanner
+from .profile import IterationRecord, ProfileDiff, RetentionProfile
+from .reach import ReachProfiler
+from .reaper import ProfilingRound, REAPER
+from .runtime_model import ProfilingRoundModel, reach_speedup, round_runtime_seconds
+from .scheduler import OnlineProfilingScheduler, ScheduleReport
+from .tradeoff import TradeoffCell, TradeoffExplorer, TradeoffSurface
+
+__all__ = [
+    "Conditions",
+    "ReachDelta",
+    "HEADLINE_REACH",
+    "BruteForceProfiler",
+    "ReachProfiler",
+    "REAPER",
+    "ProfilingRound",
+    "ProfilableDevice",
+    "normalize_cells",
+    "RetentionProfile",
+    "IterationRecord",
+    "ProfileDiff",
+    "ProfileEvaluation",
+    "coverage",
+    "false_positive_rate",
+    "evaluate",
+    "coverage_curve",
+    "iterations_to_coverage",
+    "ProfilingRoundModel",
+    "round_runtime_seconds",
+    "reach_speedup",
+    "LongevityEstimate",
+    "longevity_for_system",
+    "minimum_required_coverage",
+    "profile_longevity_seconds",
+    "OnlineProfilingScheduler",
+    "ScheduleReport",
+    "RelaxedRefreshPlanner",
+    "PlannerConstraints",
+    "DeploymentPlan",
+    "IncrementalReachProfiler",
+    "PassReport",
+    "HybridMaintainer",
+    "MaintenanceReport",
+    "AccumulationRateEstimator",
+    "RateEstimate",
+    "TradeoffExplorer",
+    "TradeoffSurface",
+    "TradeoffCell",
+]

@@ -1,0 +1,126 @@
+"""Brute-force retention failure profiling (Algorithm 1 of the paper).
+
+The state-of-the-art baseline: for each of ``iterations`` rounds, write each
+data pattern into DRAM, disable refresh for the target refresh interval,
+re-enable refresh, and read back to collect retention failures.  The
+profiler faithfully pays all the simulated costs a real run would: pattern
+IO time per pass and the full refresh-interval wait per pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..clock import ClockStopwatch
+from ..conditions import Conditions
+from ..errors import ConfigurationError, ProfilingError
+from ..patterns import STANDARD_PATTERNS, DataPattern
+from .device import ProfilableDevice, normalize_cells
+from .profile import IterationRecord, RetentionProfile
+
+
+class BruteForceProfiler:
+    """Algorithm 1: iterate (write pattern, wait t_REFI, check errors).
+
+    Parameters
+    ----------
+    patterns:
+        Data patterns tested each iteration; defaults to the paper's six
+        base patterns plus inverses.
+    iterations:
+        Number of rounds; the paper's tradeoff analysis uses 16.
+    idle_between_iterations_s:
+        Optional idle gap inserted after each iteration, modelling test
+        infrastructure overhead between rounds (used by the six-day
+        characterization campaigns, where 800 iterations span six days).
+    stop_after_quiet_iterations:
+        Adaptive early stopping: end the run once this many consecutive
+        iterations discover no new failing cells (0 disables).  A cheap
+        runtime optimization for online profiling -- most discoveries land
+        in the first iterations, so a quiet streak signals convergence.
+    """
+
+    mechanism_name = "brute-force"
+
+    def __init__(
+        self,
+        patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+        iterations: int = 16,
+        idle_between_iterations_s: float = 0.0,
+        stop_after_quiet_iterations: int = 0,
+    ) -> None:
+        if iterations <= 0:
+            raise ConfigurationError(f"iterations must be positive, got {iterations!r}")
+        if not patterns:
+            raise ConfigurationError("at least one data pattern is required")
+        if idle_between_iterations_s < 0.0:
+            raise ConfigurationError("idle gap must be non-negative")
+        if stop_after_quiet_iterations < 0:
+            raise ConfigurationError("quiet-iteration threshold must be non-negative")
+        self.patterns = tuple(patterns)
+        self.iterations = iterations
+        self.idle_between_iterations_s = idle_between_iterations_s
+        self.stop_after_quiet_iterations = stop_after_quiet_iterations
+
+    def run(
+        self,
+        device: ProfilableDevice,
+        conditions: Conditions,
+        target_conditions: Optional[Conditions] = None,
+    ) -> RetentionProfile:
+        """Profile ``device`` at ``conditions``.
+
+        ``target_conditions`` defaults to the profiling conditions (plain
+        brute force); reach profiling passes the real target so the profile
+        records both.
+        """
+        if conditions.trefi > device.max_trefi_s:
+            raise ProfilingError(
+                f"profiling interval {conditions.trefi!r}s exceeds the device's "
+                f"supported maximum of {device.max_trefi_s!r}s"
+            )
+        target = target_conditions if target_conditions is not None else conditions
+        watch = ClockStopwatch(device.clock)
+        started_at = device.clock.now
+        discovered: set = set()
+        records = []
+        quiet_streak = 0
+        iterations_run = 0
+        for iteration in range(self.iterations):
+            new_this_iteration = 0
+            for pattern in self.patterns:
+                device.write_pattern(pattern)
+                device.disable_refresh()
+                device.wait(conditions.trefi)
+                device.enable_refresh()
+                observed = normalize_cells(device.read_errors())
+                new_cells = frozenset(observed - discovered)
+                discovered |= observed
+                new_this_iteration += len(new_cells)
+                records.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        pattern_key=pattern.key,
+                        new_cells=new_cells,
+                        observed_count=len(observed),
+                        clock_time=device.clock.now,
+                    )
+                )
+            iterations_run = iteration + 1
+            if self.idle_between_iterations_s:
+                device.wait(self.idle_between_iterations_s)
+            if self.stop_after_quiet_iterations:
+                quiet_streak = quiet_streak + 1 if new_this_iteration == 0 else 0
+                if quiet_streak >= self.stop_after_quiet_iterations:
+                    break
+        return RetentionProfile(
+            failing=frozenset(discovered),
+            profiling_conditions=conditions,
+            target_conditions=target,
+            patterns=tuple(p.key for p in self.patterns),
+            iterations=iterations_run,
+            runtime_seconds=watch.elapsed,
+            started_at=started_at,
+            records=tuple(records),
+            mechanism=self.mechanism_name,
+        )

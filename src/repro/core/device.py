@@ -1,0 +1,59 @@
+"""The device interface profilers operate against.
+
+Both :class:`~repro.dram.SimulatedDRAMChip` and
+:class:`~repro.dram.DRAMModule` satisfy this protocol; so would a binding to
+a real SoftMC-style testing infrastructure.  Profilers treat the cell
+references a device reports as opaque hashable ids (integers for a chip,
+``(chip, flat)`` tuples for a module).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Protocol, runtime_checkable
+
+from ..clock import SimClock
+from ..patterns import DataPattern
+
+
+@runtime_checkable
+class ProfilableDevice(Protocol):
+    """Command-level operations a retention profiler needs."""
+
+    clock: SimClock
+
+    @property
+    def temperature_c(self) -> float:  # pragma: no cover - protocol stub
+        ...
+
+    @property
+    def max_trefi_s(self) -> float:  # pragma: no cover - protocol stub
+        ...
+
+    def write_pattern(self, pattern: DataPattern) -> None:  # pragma: no cover
+        ...
+
+    def disable_refresh(self) -> None:  # pragma: no cover - protocol stub
+        ...
+
+    def enable_refresh(self) -> None:  # pragma: no cover - protocol stub
+        ...
+
+    def wait(self, seconds: float) -> None:  # pragma: no cover - protocol stub
+        ...
+
+    def read_errors(self) -> Iterable[Hashable]:  # pragma: no cover
+        ...
+
+    def set_temperature(self, temperature_c: float) -> None:  # pragma: no cover
+        ...
+
+
+def normalize_cells(errors: Iterable) -> frozenset:
+    """Convert a device error read-out into a frozenset of hashable refs."""
+    cells = []
+    for item in errors:
+        if isinstance(item, tuple):
+            cells.append((int(item[0]), int(item[1])))
+        else:
+            cells.append(int(item))
+    return frozenset(cells)

@@ -1,0 +1,106 @@
+"""Online estimation of the new-failure accumulation rate.
+
+Eq 7's longevity depends on the accumulation rate ``A``, which Section 6.3
+says should come from detailed chip characterization.  In deployment the
+system can do better: every profiling round and every ECC scrub *observes*
+newly failing cells, so ``A`` can be re-estimated continuously and the
+reprofiling cadence adapted to the chip actually in the machine (VRT rates
+vary chip to chip and drift with temperature).
+
+The estimator treats newcomer discoveries as a Poisson process: the rate
+estimate is total newcomers over total observed time, and the confidence
+interval follows from the Poisson count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .longevity import profile_longevity_seconds
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A Poisson rate estimate with a normal-approximation interval."""
+
+    rate_per_hour: float
+    newcomers: int
+    observed_hours: float
+    confidence_low_per_hour: float
+    confidence_high_per_hour: float
+
+    @property
+    def is_informative(self) -> bool:
+        """Whether enough newcomers were seen for the rate to mean anything."""
+        return self.newcomers >= 3
+
+
+class AccumulationRateEstimator:
+    """Accumulates (elapsed time, newcomer count) observations into a rate.
+
+    Observations typically come from successive profiling rounds (newcomers
+    = cells a round added that the previous rounds had not seen) or from
+    scrub harvesting in a :class:`~repro.core.hybrid.HybridMaintainer` loop.
+    """
+
+    def __init__(self) -> None:
+        self._observations: List[Tuple[float, int]] = []
+
+    def observe(self, elapsed_seconds: float, newcomers: int) -> None:
+        """Record one observation window."""
+        if elapsed_seconds <= 0.0:
+            raise ConfigurationError("elapsed time must be positive")
+        if newcomers < 0:
+            raise ConfigurationError("newcomer count must be non-negative")
+        self._observations.append((elapsed_seconds, newcomers))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._observations)
+
+    @property
+    def total_newcomers(self) -> int:
+        return sum(count for _, count in self._observations)
+
+    @property
+    def total_observed_seconds(self) -> float:
+        return sum(elapsed for elapsed, _ in self._observations)
+
+    def estimate(self, z: float = 1.96) -> RateEstimate:
+        """Current rate estimate with a ~95% (default) Poisson interval."""
+        if not self._observations:
+            raise ConfigurationError("no observations recorded yet")
+        hours = self.total_observed_seconds / _SECONDS_PER_HOUR
+        count = self.total_newcomers
+        rate = count / hours
+        half_width = z * math.sqrt(max(count, 1)) / hours
+        return RateEstimate(
+            rate_per_hour=rate,
+            newcomers=count,
+            observed_hours=hours,
+            confidence_low_per_hour=max(rate - half_width, 0.0),
+            confidence_high_per_hour=rate + half_width,
+        )
+
+    def longevity_seconds(
+        self,
+        tolerable_failures: float,
+        missed_failures: float,
+        conservative: bool = True,
+    ) -> float:
+        """Eq 7 with the *measured* rate.
+
+        With ``conservative=True`` the upper confidence bound of the rate is
+        used, so the cadence errs on the side of reprofiling early while the
+        estimate is still noisy.
+        """
+        estimate = self.estimate()
+        rate = (
+            estimate.confidence_high_per_hour if conservative else estimate.rate_per_hour
+        )
+        return profile_longevity_seconds(tolerable_failures, missed_failures, rate)

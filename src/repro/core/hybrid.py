@@ -1,0 +1,134 @@
+"""Hybrid profile maintenance: REAPER rounds plus ECC scrubbing in between.
+
+The paper argues that *active* profiling (REAPER) is necessary for coverage
+guarantees, and that ECC is necessary anyway to absorb the failures
+profiling inevitably misses (Section 6.2.1).  The natural composition --
+which the paper leaves on the table -- is to also *harvest* what the ECC
+corrects between profiling rounds, AVATAR-style: every scrub that corrects
+a word reveals a VRT newcomer that can be added to the mitigation mechanism
+immediately instead of waiting for the next reach round.
+
+:class:`HybridMaintainer` implements that loop.  It never weakens REAPER's
+guarantees (rounds still happen on the Eq-7 cadence); scrubbing only
+shortens the window during which a VRT newcomer is unprotected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..conditions import Conditions
+from ..ecc.scrubbing import EccScrubber
+from ..errors import ConfigurationError
+from .reaper import ProfilingRound, REAPER
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """Accounting of one maintained operating span."""
+
+    duration_seconds: float
+    reaper_rounds: int
+    scrub_passes: int
+    cells_from_reaper: int
+    cells_from_scrubbing: int
+    profiling_seconds: float
+    scrubbing_seconds: float
+
+    @property
+    def scrub_harvest_fraction(self) -> float:
+        """Share of newly protected cells contributed by scrubbing."""
+        total = self.cells_from_reaper + self.cells_from_scrubbing
+        if total == 0:
+            return 0.0
+        return self.cells_from_scrubbing / total
+
+
+class HybridMaintainer:
+    """REAPER on the reprofiling cadence + ECC scrub harvesting in between.
+
+    Parameters
+    ----------
+    reaper:
+        Configured REAPER instance (device + mitigation + target).
+    reprofile_interval_seconds:
+        Cadence of full reach-profiling rounds (from Eq 7).
+    scrub_interval_seconds:
+        Cadence of ECC scrub passes between rounds; must be shorter than the
+        reprofiling interval to be useful.
+    scrubber:
+        The passive scrubber used for harvesting (defaults to a single-pass
+        SECDED scrubber over resident data).
+    """
+
+    def __init__(
+        self,
+        reaper: REAPER,
+        reprofile_interval_seconds: float,
+        scrub_interval_seconds: float,
+        scrubber: Optional[EccScrubber] = None,
+    ) -> None:
+        if reprofile_interval_seconds <= 0.0 or scrub_interval_seconds <= 0.0:
+            raise ConfigurationError("intervals must be positive")
+        if scrub_interval_seconds >= reprofile_interval_seconds:
+            raise ConfigurationError(
+                "scrubbing must run more often than reprofiling to add value"
+            )
+        self.reaper = reaper
+        self.reprofile_interval_seconds = reprofile_interval_seconds
+        self.scrub_interval_seconds = scrub_interval_seconds
+        self.scrubber = scrubber if scrubber is not None else EccScrubber(rounds=1)
+
+    def run_for(self, duration_seconds: float) -> MaintenanceReport:
+        """Operate for ``duration_seconds`` with the hybrid loop."""
+        if duration_seconds <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        device = self.reaper.device
+        mitigation = self.reaper.mitigation
+        end_time = device.clock.now + duration_seconds
+
+        reaper_rounds = 0
+        scrub_passes = 0
+        cells_reaper = 0
+        cells_scrub = 0
+        profiling_seconds = 0.0
+        scrubbing_seconds = 0.0
+        next_reprofile = device.clock.now  # profile immediately at start
+
+        while device.clock.now < end_time:
+            if device.clock.now >= next_reprofile:
+                round_record: ProfilingRound = self.reaper.profile_and_update()
+                reaper_rounds += 1
+                cells_reaper += round_record.cells_added_to_mitigation
+                profiling_seconds += round_record.runtime_seconds
+                next_reprofile = device.clock.now + self.reprofile_interval_seconds
+                continue
+            # Run normally until the next scrub or reprofile event.
+            horizon = min(next_reprofile, end_time)
+            gap = min(self.scrub_interval_seconds, horizon - device.clock.now)
+            if gap > 0.0:
+                device.wait(gap)
+            if device.clock.now >= end_time:
+                break
+            if device.clock.now < next_reprofile:
+                t0 = device.clock.now
+                report = self.scrubber.run(
+                    device,
+                    Conditions(
+                        trefi=self.reaper.target.trefi,
+                        temperature=self.reaper.target.temperature,
+                    ),
+                )
+                scrubbing_seconds += device.clock.now - t0
+                scrub_passes += 1
+                cells_scrub += mitigation.ingest(report.failing_cells)
+        return MaintenanceReport(
+            duration_seconds=duration_seconds,
+            reaper_rounds=reaper_rounds,
+            scrub_passes=scrub_passes,
+            cells_from_reaper=cells_reaper,
+            cells_from_scrubbing=cells_scrub,
+            profiling_seconds=profiling_seconds,
+            scrubbing_seconds=scrubbing_seconds,
+        )

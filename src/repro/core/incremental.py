@@ -1,0 +1,167 @@
+"""Incremental online profiling with bounded pauses.
+
+REAPER's evaluation pessimistically assumes each profiling round is one
+long full-system pause (Section 7).  The paper notes that "how to
+efficiently profile large portions of DRAM without significant performance
+loss" is an open design-space question.  This module implements the
+simplest answer: *temporal slicing*.  A profiling round is split into its
+individual (iteration, pattern) passes; the system pauses only for one pass
+at a time and runs normally in between.  Total profiling work is unchanged
+-- Eq 9 still holds -- but the maximum pause shrinks from the full round to
+a single pass, at the cost of a slightly staler profile (VRT keeps evolving
+while the round is spread out; the longevity budget of Eq 7 already covers
+that drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..conditions import Conditions, HEADLINE_REACH, ReachDelta
+from ..errors import ConfigurationError, ProfilingError
+from ..patterns import STANDARD_PATTERNS, DataPattern
+from .device import ProfilableDevice, normalize_cells
+from .profile import IterationRecord, RetentionProfile
+
+
+@dataclass(frozen=True)
+class PassReport:
+    """One bounded pause: a single (iteration, pattern) pass."""
+
+    iteration: int
+    pattern_key: str
+    pause_seconds: float
+    new_cells: int
+
+
+class IncrementalReachProfiler:
+    """Reach profiling spread across many short pauses.
+
+    Usage::
+
+        profiler = IncrementalReachProfiler(device, target)
+        while not profiler.finished:
+            report = profiler.step()       # one short pause
+            device.wait(gap_seconds)       # system runs normally
+        profile = profiler.result()
+    """
+
+    def __init__(
+        self,
+        device: ProfilableDevice,
+        target: Conditions,
+        reach: ReachDelta = HEADLINE_REACH,
+        patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+        iterations: int = 5,
+    ) -> None:
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if not patterns:
+            raise ConfigurationError("at least one pattern is required")
+        self.device = device
+        self.target = target
+        self.reach = reach
+        self.conditions = target.with_reach(reach)
+        if self.conditions.trefi > device.max_trefi_s:
+            raise ProfilingError(
+                f"reach interval {self.conditions.trefi!r}s exceeds the device's maximum"
+            )
+        self.patterns = tuple(patterns)
+        self.iterations = iterations
+        self._cursor = 0
+        self._discovered: set = set()
+        self._records: List[IterationRecord] = []
+        self._pass_reports: List[PassReport] = []
+        self._started_at: Optional[float] = None
+        self._total_pause = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_passes(self) -> int:
+        return self.iterations * len(self.patterns)
+
+    @property
+    def passes_done(self) -> int:
+        return self._cursor
+
+    @property
+    def finished(self) -> bool:
+        return self._cursor >= self.total_passes
+
+    @property
+    def max_pause_seconds(self) -> float:
+        """Longest single pause so far."""
+        return max((r.pause_seconds for r in self._pass_reports), default=0.0)
+
+    @property
+    def total_pause_seconds(self) -> float:
+        return self._total_pause
+
+    # ------------------------------------------------------------------
+    def step(self) -> PassReport:
+        """Run exactly one (iteration, pattern) pass: one bounded pause."""
+        if self.finished:
+            raise ProfilingError("the incremental round is already complete")
+        if self._started_at is None:
+            self._started_at = self.device.clock.now
+        iteration = self._cursor // len(self.patterns)
+        pattern = self.patterns[self._cursor % len(self.patterns)]
+
+        pause_start = self.device.clock.now
+        self.device.write_pattern(pattern)
+        self.device.disable_refresh()
+        self.device.wait(self.conditions.trefi)
+        self.device.enable_refresh()
+        observed = normalize_cells(self.device.read_errors())
+        pause = self.device.clock.now - pause_start
+
+        new_cells = frozenset(observed - self._discovered)
+        self._discovered |= observed
+        self._records.append(
+            IterationRecord(
+                iteration=iteration,
+                pattern_key=pattern.key,
+                new_cells=new_cells,
+                observed_count=len(observed),
+                clock_time=self.device.clock.now,
+            )
+        )
+        report = PassReport(
+            iteration=iteration,
+            pattern_key=pattern.key,
+            pause_seconds=pause,
+            new_cells=len(new_cells),
+        )
+        self._pass_reports.append(report)
+        self._total_pause += pause
+        self._cursor += 1
+        return report
+
+    def run_with_gaps(self, gap_seconds: float) -> RetentionProfile:
+        """Drive the whole round, letting the system run between passes."""
+        if gap_seconds < 0.0:
+            raise ConfigurationError("gap must be non-negative")
+        while not self.finished:
+            self.step()
+            if not self.finished and gap_seconds > 0.0:
+                self.device.wait(gap_seconds)
+        return self.result()
+
+    def result(self) -> RetentionProfile:
+        """The assembled profile once every pass has run."""
+        if not self.finished:
+            raise ProfilingError(
+                f"round incomplete: {self.passes_done}/{self.total_passes} passes"
+            )
+        return RetentionProfile(
+            failing=frozenset(self._discovered),
+            profiling_conditions=self.conditions,
+            target_conditions=self.target,
+            patterns=tuple(p.key for p in self.patterns),
+            iterations=self.iterations,
+            runtime_seconds=self._total_pause,
+            started_at=self._started_at if self._started_at is not None else 0.0,
+            records=tuple(self._records),
+            mechanism="reach-incremental",
+        )

@@ -1,0 +1,124 @@
+"""The paper's three key profiling metrics: coverage, false positive rate,
+and runtime (Section 1 / Section 6.1).
+
+* **Coverage** -- fraction of the cells that actually fail at the target
+  conditions that the profiler discovered.
+* **False positive rate** -- fraction of the profiler's discoveries that
+  never fail at the target conditions.
+* **Runtime** -- simulated wall time the profiling run consumed.
+
+Truth sets come either from a device oracle (simulator ground truth) or,
+following the paper's own empirical methodology, from an exhaustive
+brute-force profile at the target conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Set, Union
+
+from ..errors import ConfigurationError
+from .profile import RetentionProfile
+
+CellSet = Union[FrozenSet[Hashable], Set[Hashable]]
+
+
+def _as_set(value) -> FrozenSet[Hashable]:
+    if isinstance(value, RetentionProfile):
+        return value.failing
+    if isinstance(value, (set, frozenset)):
+        return frozenset(value)
+    return frozenset(
+        tuple(int(x) for x in item) if isinstance(item, tuple) else int(item)
+        for item in value
+    )
+
+
+def coverage(found, truth) -> float:
+    """|found ∩ truth| / |truth|; defined as 1.0 for an empty truth set."""
+    found_set, truth_set = _as_set(found), _as_set(truth)
+    if not truth_set:
+        return 1.0
+    return len(found_set & truth_set) / len(truth_set)
+
+
+def false_positive_rate(found, truth) -> float:
+    """|found \\ truth| / |found|; defined as 0.0 for an empty found set."""
+    found_set, truth_set = _as_set(found), _as_set(truth)
+    if not found_set:
+        return 0.0
+    return len(found_set - truth_set) / len(found_set)
+
+
+@dataclass(frozen=True)
+class ProfileEvaluation:
+    """A profile scored against a truth set on all three key metrics."""
+
+    coverage: float
+    false_positive_rate: float
+    runtime_seconds: float
+    n_found: int
+    n_truth: int
+    n_false_positives: int
+
+    def __str__(self) -> str:
+        return (
+            f"coverage={self.coverage:.4f} fpr={self.false_positive_rate:.4f} "
+            f"runtime={self.runtime_seconds:.2f}s found={self.n_found} truth={self.n_truth}"
+        )
+
+
+def evaluate(profile, truth, runtime_seconds: Optional[float] = None) -> ProfileEvaluation:
+    """Score a profile (or raw cell set) against a truth set."""
+    found_set, truth_set = _as_set(profile), _as_set(truth)
+    if runtime_seconds is None:
+        runtime_seconds = profile.runtime_seconds if isinstance(profile, RetentionProfile) else 0.0
+    return ProfileEvaluation(
+        coverage=coverage(found_set, truth_set),
+        false_positive_rate=false_positive_rate(found_set, truth_set),
+        runtime_seconds=runtime_seconds,
+        n_found=len(found_set),
+        n_truth=len(truth_set),
+        n_false_positives=len(found_set - truth_set),
+    )
+
+
+def coverage_curve(profile: RetentionProfile, truth) -> List[float]:
+    """Coverage of ``truth`` after each recorded (iteration, pattern) pass."""
+    truth_set = _as_set(truth)
+    if not truth_set:
+        return [1.0] * len(profile.records)
+    covered: set = set()
+    curve: List[float] = []
+    for record in profile.records:
+        covered |= record.new_cells & truth_set
+        curve.append(len(covered) / len(truth_set))
+    return curve
+
+
+def iterations_to_coverage(
+    profile: RetentionProfile,
+    truth,
+    threshold: float,
+) -> Optional[int]:
+    """Smallest number of *iterations* whose passes reach the coverage threshold.
+
+    Returns ``None`` when the profile never reaches it.  An iteration counts
+    as complete once all of its patterns have been tested, matching the
+    runtime accounting of Eq 9.
+    """
+    if not (0.0 < threshold <= 1.0):
+        raise ConfigurationError(f"threshold must lie in (0, 1], got {threshold!r}")
+    truth_set = _as_set(truth)
+    if not truth_set:
+        return 1
+    covered: set = set()
+    by_iteration: dict = {}
+    for record in profile.records:
+        by_iteration.setdefault(record.iteration, []).append(record)
+    for iteration in sorted(by_iteration):
+        for record in by_iteration[iteration]:
+            covered |= record.new_cells & truth_set
+        if len(covered) / len(truth_set) >= threshold:
+            return iteration + 1
+    return None

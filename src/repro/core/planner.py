@@ -1,0 +1,234 @@
+"""Relaxed-refresh deployment planning from SPD characterization data.
+
+Section 6.3 of the paper describes what a system needs in order to pick
+good reach conditions in the field: (1) the retention failure mitigation
+mechanism in use, which bounds the tolerable false positives, and (2)
+per-chip characterization data, which the paper proposes shipping in the
+on-DIMM SPD.  This module implements that workflow end to end:
+
+* estimate the failing-cell count and the reach false-positive rate for any
+  (target, reach) pair directly from the SPD BER anchors;
+* respect the mitigation mechanism's capacity and the ECC/UBER budget
+  (Table 1 / Eq 7);
+* choose the most aggressive reach whose false positives stay within the
+  constraint -- the paper's Section 6.1.2 selection rule -- and report the
+  resulting profiling cadence and time overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..conditions import Conditions, ReachDelta
+from ..dram.spd import SPDCharacterization
+from ..ecc.model import CONSUMER_UBER, EccStrength, SECDED, tolerable_bit_errors
+from ..errors import ConfigurationError
+from .longevity import profile_longevity_seconds
+from .runtime_model import round_runtime_seconds
+
+GIBIBIT = 1 << 30
+
+
+@dataclass(frozen=True)
+class PlannerConstraints:
+    """What the mitigation mechanism and reliability target allow.
+
+    Parameters
+    ----------
+    max_false_positive_rate:
+        Largest acceptable share of false positives among profiled cells
+        (e.g. row map-out wants this small; ArchShield tolerates more).
+    min_coverage:
+        Coverage the profiling configuration must deliver.
+    mitigation_capacity_cells:
+        Optional hard cap on the number of (true + false positive) cells the
+        mechanism can carry (e.g. a SECRET spare pool or an ArchShield
+        FaultMap).  ``None`` means unconstrained.
+    target_uber:
+        System reliability target (Section 6.2.2).
+    """
+
+    max_false_positive_rate: float = 0.50
+    min_coverage: float = 0.99
+    mitigation_capacity_cells: Optional[float] = None
+    target_uber: float = CONSUMER_UBER
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.max_false_positive_rate < 1.0):
+            raise ConfigurationError("max_false_positive_rate must lie in [0, 1)")
+        if not (0.0 < self.min_coverage <= 1.0):
+            raise ConfigurationError("min_coverage must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """A concrete relaxed-refresh operating point."""
+
+    target: Conditions
+    reach: ReachDelta
+    expected_failures: float
+    expected_profiled_cells: float
+    expected_false_positive_rate: float
+    tolerable_failures: float
+    reprofile_interval_seconds: float
+    round_seconds: float
+    profiling_time_fraction: float
+    feasible: bool
+    infeasibility_reason: str = ""
+
+    @property
+    def reach_conditions(self) -> Conditions:
+        return self.target.with_reach(self.reach)
+
+
+class RelaxedRefreshPlanner:
+    """Plans reach-profiling deployments from a chip's SPD blob.
+
+    Parameters
+    ----------
+    spd:
+        Per-chip characterization summary (Section 6.3's proposal).
+    ecc:
+        ECC strength protecting the data (drives the Eq-7 budget).
+    n_patterns / reach_iterations:
+        Profiling round configuration used for runtime estimates.
+    reprofile_safety_factor:
+        Fraction of the Eq-7 longevity actually used between rounds.
+    """
+
+    def __init__(
+        self,
+        spd: SPDCharacterization,
+        ecc: EccStrength = SECDED,
+        n_patterns: int = 6,
+        reach_iterations: int = 5,
+        reprofile_safety_factor: float = 0.5,
+    ) -> None:
+        if not (0.0 < reprofile_safety_factor <= 1.0):
+            raise ConfigurationError("safety factor must lie in (0, 1]")
+        self.spd = spd
+        self.ecc = ecc
+        self.n_patterns = n_patterns
+        self.reach_iterations = reach_iterations
+        self.reprofile_safety_factor = reprofile_safety_factor
+
+    # ------------------------------------------------------------------
+    # SPD-derived estimates
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bits(self) -> int:
+        return int(self.spd.capacity_gigabits * GIBIBIT)
+
+    def expected_failures(self, conditions: Conditions) -> float:
+        """Failing-cell estimate at any conditions via the SPD anchors.
+
+        Temperature scaling applies the chip's Eq-1 coefficient to the
+        interpolated reference-temperature BER.
+        """
+        ber = self.spd.ber_at(conditions.trefi)
+        scale = math.exp(self.spd.temp_coefficient * (conditions.temperature - 45.0))
+        return ber * scale * self.capacity_bits
+
+    def estimated_false_positive_rate(self, target: Conditions, reach: ReachDelta) -> float:
+        """FPR estimate: the share of reach failures absent at the target."""
+        at_target = self.expected_failures(target)
+        at_reach = self.expected_failures(target.with_reach(reach))
+        if at_reach <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - at_target / at_reach)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        target: Conditions,
+        reach: ReachDelta,
+        constraints: PlannerConstraints,
+    ) -> DeploymentPlan:
+        """Score one (target, reach) pair against the constraints."""
+        failures = self.expected_failures(target)
+        profiled = self.expected_failures(target.with_reach(reach))
+        fpr = self.estimated_false_positive_rate(target, reach)
+        tolerable = tolerable_bit_errors(
+            self.ecc, self.capacity_bits // 8, constraints.target_uber
+        )
+        missed = (1.0 - constraints.min_coverage) * failures
+        accumulation = self.spd.accumulation_per_hour(target.trefi)
+        longevity = profile_longevity_seconds(tolerable, missed, accumulation)
+        interval = longevity * self.reprofile_safety_factor
+        round_s = round_runtime_seconds(
+            target.with_reach(reach).trefi,
+            self.capacity_bits,
+            n_patterns=self.n_patterns,
+            n_iterations=self.reach_iterations,
+        )
+        if math.isinf(interval):
+            fraction = 0.0
+        elif interval <= 0.0:
+            fraction = 1.0
+        else:
+            fraction = round_s / (round_s + interval)
+
+        feasible = True
+        reason = ""
+        if fpr > constraints.max_false_positive_rate:
+            feasible, reason = False, (
+                f"estimated FPR {fpr:.1%} exceeds the mitigation limit "
+                f"{constraints.max_false_positive_rate:.1%}"
+            )
+        elif (
+            constraints.mitigation_capacity_cells is not None
+            and profiled > constraints.mitigation_capacity_cells
+        ):
+            feasible, reason = False, (
+                f"profiled cells {profiled:.0f} exceed mitigation capacity "
+                f"{constraints.mitigation_capacity_cells:.0f}"
+            )
+        elif interval <= 0.0:
+            feasible, reason = False, (
+                "missed failures alone exhaust the ECC budget; raise coverage, "
+                "strengthen ECC, or pick a shorter target interval"
+            )
+        return DeploymentPlan(
+            target=target,
+            reach=reach,
+            expected_failures=failures,
+            expected_profiled_cells=profiled,
+            expected_false_positive_rate=fpr,
+            tolerable_failures=tolerable,
+            reprofile_interval_seconds=interval,
+            round_seconds=round_s,
+            profiling_time_fraction=fraction,
+            feasible=feasible,
+            infeasibility_reason=reason,
+        )
+
+    def plan(
+        self,
+        target: Conditions,
+        constraints: Optional[PlannerConstraints] = None,
+        candidate_deltas_s: Sequence[float] = (0.0, 0.125, 0.250, 0.375, 0.500),
+    ) -> DeploymentPlan:
+        """Pick the most aggressive feasible reach for a target.
+
+        Section 6.1.2: "the system designer can feasibly select as high a
+        refresh interval ... as possible that keeps the resulting amount of
+        false positives tractable."  Scans the candidate deltas from most to
+        least aggressive and returns the first feasible plan; if none
+        qualifies, returns the least aggressive (brute-force) plan marked
+        infeasible so callers can inspect the blocking constraint.
+        """
+        constraints = constraints if constraints is not None else PlannerConstraints()
+        if not candidate_deltas_s:
+            raise ConfigurationError("need at least one candidate reach delta")
+        plans = [
+            self.evaluate(target, ReachDelta(delta_trefi=delta), constraints)
+            for delta in sorted(candidate_deltas_s, reverse=True)
+        ]
+        for plan in plans:
+            if plan.feasible:
+                return plan
+        return plans[-1]

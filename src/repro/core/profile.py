@@ -1,0 +1,205 @@
+"""Retention failure profiles.
+
+A :class:`RetentionProfile` is the output of any profiling mechanism: the
+set of failing cells it discovered, at what conditions, with full
+provenance -- per-(iteration, pattern) discovery logs that later analyses
+(coverage curves, runtime-to-coverage, Figure 3/5 style plots) replay, plus
+JSON serialization so profiles can be stored the way a memory controller
+would persist its FaultMap source data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from ..conditions import Conditions
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Discoveries of a single (iteration, pattern) profiling pass."""
+
+    iteration: int
+    pattern_key: str
+    new_cells: FrozenSet[Hashable]
+    observed_count: int  # unique + repeat failures seen in this pass
+    clock_time: float
+
+    @property
+    def new_count(self) -> int:
+        return len(self.new_cells)
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Set difference between two profiles of the same target."""
+
+    appeared: FrozenSet[Hashable]
+    disappeared: FrozenSet[Hashable]
+    common: FrozenSet[Hashable]
+
+    @property
+    def churn(self) -> int:
+        """Cells that changed state between the two profiles."""
+        return len(self.appeared) + len(self.disappeared)
+
+    @property
+    def stability(self) -> float:
+        """Share of the union that stayed put (1.0 = identical profiles)."""
+        union = len(self.common) + self.churn
+        if union == 0:
+            return 1.0
+        return len(self.common) / union
+
+
+@dataclass(frozen=True)
+class RetentionProfile:
+    """A discovered set of failing cells plus full provenance."""
+
+    failing: FrozenSet[Hashable]
+    profiling_conditions: Conditions
+    target_conditions: Conditions
+    patterns: Tuple[str, ...]
+    iterations: int
+    runtime_seconds: float
+    started_at: float
+    records: Tuple[IterationRecord, ...] = ()
+    mechanism: str = "brute-force"
+
+    def __post_init__(self) -> None:
+        if self.runtime_seconds < 0.0:
+            raise ConfigurationError("runtime must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.failing)
+
+    def __contains__(self, cell: Hashable) -> bool:
+        return cell in self.failing
+
+    @property
+    def is_reach_profile(self) -> bool:
+        return self.profiling_conditions != self.target_conditions
+
+    # ------------------------------------------------------------------
+    # Provenance replay
+    # ------------------------------------------------------------------
+    def cumulative_counts(self) -> List[int]:
+        """Total unique failures after each recorded pass (Figure 3's orange curve)."""
+        counts: List[int] = []
+        total = 0
+        for record in self.records:
+            total += record.new_count
+            counts.append(total)
+        return counts
+
+    def cells_after_iterations(self, n_iterations: int) -> FrozenSet[Hashable]:
+        """The failing set as it stood after the first ``n_iterations``."""
+        cells: set = set()
+        for record in self.records:
+            if record.iteration < n_iterations:
+                cells |= record.new_cells
+        return frozenset(cells)
+
+    def diff(self, other: "RetentionProfile") -> "ProfileDiff":
+        """Compare against an earlier profile of the same target.
+
+        The unique/repeat/non-repeat vocabulary of Figure 2 and the VRT
+        churn of Figure 3, as a first-class operation: ``appeared`` are
+        cells in ``self`` but not ``other`` (VRT newcomers or fresh DPD
+        discoveries), ``disappeared`` the reverse, ``common`` the repeats.
+        """
+        if other.target_conditions != self.target_conditions:
+            raise ConfigurationError("cannot diff profiles with different targets")
+        return ProfileDiff(
+            appeared=frozenset(self.failing - other.failing),
+            disappeared=frozenset(other.failing - self.failing),
+            common=frozenset(self.failing & other.failing),
+        )
+
+    def merged_with(self, other: "RetentionProfile") -> "RetentionProfile":
+        """Union of two profiles targeting the same conditions."""
+        if other.target_conditions != self.target_conditions:
+            raise ConfigurationError("cannot merge profiles with different targets")
+        return RetentionProfile(
+            failing=self.failing | other.failing,
+            profiling_conditions=self.profiling_conditions,
+            target_conditions=self.target_conditions,
+            patterns=tuple(dict.fromkeys(self.patterns + other.patterns)),
+            iterations=self.iterations + other.iterations,
+            runtime_seconds=self.runtime_seconds + other.runtime_seconds,
+            started_at=min(self.started_at, other.started_at),
+            records=self.records + other.records,
+            mechanism=self.mechanism,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to JSON (cells become sorted lists; tuples round-trip).
+
+        The sort key is type-aware so a (pathological) profile mixing
+        integer and tuple cell references still serializes deterministically.
+        """
+        def encode_cell(cell):
+            return list(cell) if isinstance(cell, tuple) else cell
+
+        def sort_key(encoded):
+            if isinstance(encoded, list):
+                return (1, tuple(encoded))
+            return (0, (encoded,))
+
+        payload = {
+            "failing": sorted((encode_cell(c) for c in self.failing), key=sort_key),
+            "profiling_conditions": [self.profiling_conditions.trefi, self.profiling_conditions.temperature],
+            "target_conditions": [self.target_conditions.trefi, self.target_conditions.temperature],
+            "patterns": list(self.patterns),
+            "iterations": self.iterations,
+            "runtime_seconds": self.runtime_seconds,
+            "started_at": self.started_at,
+            "mechanism": self.mechanism,
+            "records": [
+                {
+                    "iteration": r.iteration,
+                    "pattern_key": r.pattern_key,
+                    "new_cells": sorted(
+                        (encode_cell(c) for c in r.new_cells), key=sort_key
+                    ),
+                    "observed_count": r.observed_count,
+                    "clock_time": r.clock_time,
+                }
+                for r in self.records
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RetentionProfile":
+        """Inverse of :meth:`to_json`."""
+        def decode_cell(cell):
+            return tuple(cell) if isinstance(cell, list) else cell
+
+        payload = json.loads(text)
+        return cls(
+            failing=frozenset(decode_cell(c) for c in payload["failing"]),
+            profiling_conditions=Conditions(*payload["profiling_conditions"]),
+            target_conditions=Conditions(*payload["target_conditions"]),
+            patterns=tuple(payload["patterns"]),
+            iterations=payload["iterations"],
+            runtime_seconds=payload["runtime_seconds"],
+            started_at=payload["started_at"],
+            mechanism=payload["mechanism"],
+            records=tuple(
+                IterationRecord(
+                    iteration=r["iteration"],
+                    pattern_key=r["pattern_key"],
+                    new_cells=frozenset(decode_cell(c) for c in r["new_cells"]),
+                    observed_count=r["observed_count"],
+                    clock_time=r["clock_time"],
+                )
+                for r in payload["records"]
+            ),
+        )

@@ -1,0 +1,95 @@
+"""Reach profiling -- the paper's core contribution (Section 6).
+
+The key idea: instead of profiling at the target conditions, profile at
+*reach conditions* -- a longer refresh interval and/or a higher temperature
+-- where every cell that can fail at the target is much more likely to fail,
+so far fewer iterations suffice for high coverage.  The price is false
+positives (cells that fail at the reach conditions but never at the target),
+which downstream mitigation mechanisms must carry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..conditions import Conditions, HEADLINE_REACH, ReachDelta
+from ..errors import ConfigurationError, ProfilingError
+from ..patterns import STANDARD_PATTERNS, DataPattern
+from .bruteforce import BruteForceProfiler
+from .device import ProfilableDevice
+from .profile import RetentionProfile
+
+
+class ReachProfiler:
+    """Profile at reach conditions derived from the target conditions.
+
+    Parameters
+    ----------
+    reach:
+        Offset from the target to the profiling conditions.  The paper's
+        headline configuration (+250 ms, +0 degC) is the default: it attains
+        >99% coverage at <50% false positives with a 2.5x runtime speedup.
+    patterns:
+        Data patterns per iteration.
+    iterations:
+        Rounds of Algorithm 1 run *at the reach conditions*.  Because cells
+        fail much more reliably there, far fewer rounds are needed than
+        brute force requires at the target (the source of the speedup).
+    manage_temperature:
+        When the reach includes a temperature delta, raise the device
+        temperature before profiling and restore it afterwards.  REAPER's
+        firmware implementation assumes temperature is *not* adjustable and
+        uses only the refresh-interval knob (Section 7.1); temperature-based
+        reach is available for systems that do control it.
+    """
+
+    mechanism_name = "reach"
+
+    def __init__(
+        self,
+        reach: ReachDelta = HEADLINE_REACH,
+        patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+        iterations: int = 5,
+        manage_temperature: bool = True,
+        stop_after_quiet_iterations: int = 0,
+    ) -> None:
+        if iterations <= 0:
+            raise ConfigurationError(f"iterations must be positive, got {iterations!r}")
+        self.reach = reach
+        self.patterns = tuple(patterns)
+        self.iterations = iterations
+        self.manage_temperature = manage_temperature
+        self._inner = BruteForceProfiler(
+            patterns=self.patterns,
+            iterations=iterations,
+            stop_after_quiet_iterations=stop_after_quiet_iterations,
+        )
+        self._inner.mechanism_name = self.mechanism_name
+
+    def profiling_conditions(self, target: Conditions) -> Conditions:
+        """The reach conditions used for a given target."""
+        return target.with_reach(self.reach)
+
+    def run(self, device: ProfilableDevice, target: Conditions) -> RetentionProfile:
+        """Profile ``device`` for failures at ``target`` via reach conditions."""
+        reach_conditions = self.profiling_conditions(target)
+        if reach_conditions.trefi > device.max_trefi_s:
+            raise ProfilingError(
+                f"reach interval {reach_conditions.trefi!r}s exceeds the device's "
+                f"supported maximum of {device.max_trefi_s!r}s"
+            )
+        original_temperature: Optional[float] = None
+        if self.reach.delta_temperature > 0.0:
+            if not self.manage_temperature:
+                raise ProfilingError(
+                    "reach includes a temperature delta but temperature management "
+                    "is disabled; use a refresh-interval-only ReachDelta"
+                )
+            original_temperature = device.temperature_c
+            device.set_temperature(reach_conditions.temperature)
+        try:
+            profile = self._inner.run(device, reach_conditions, target_conditions=target)
+        finally:
+            if original_temperature is not None:
+                device.set_temperature(original_temperature)
+        return profile

@@ -1,0 +1,123 @@
+"""REAPER: the paper's end-to-end implementation of reach profiling
+(Section 7.1).
+
+REAPER is modelled as memory-controller firmware: each time the set of
+retention failures must be updated it gains exclusive access to DRAM (a
+full-system pause -- the paper's deliberately pessimistic assumption), runs
+reach profiling, hands the discovered failing cells to whatever retention
+failure mitigation mechanism the system uses (ArchShield, RAIDR, SECRET,
+row map-out, ...), then releases DRAM.
+
+For simplicity REAPER manipulates only the refresh interval, not the
+temperature, exactly as the paper assumes ("we assume that temperature is
+not adjustable").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..conditions import Conditions, HEADLINE_REACH, ReachDelta
+from ..errors import ConfigurationError
+from ..patterns import STANDARD_PATTERNS, DataPattern
+from .device import ProfilableDevice
+from .profile import RetentionProfile
+from .reach import ReachProfiler
+
+
+@dataclass(frozen=True)
+class ProfilingRound:
+    """Outcome of one online profiling pause."""
+
+    index: int
+    started_at: float
+    runtime_seconds: float
+    profile: RetentionProfile
+    cells_added_to_mitigation: int
+
+
+class REAPER:
+    """Firmware-style reach profiling tied to a mitigation mechanism.
+
+    Parameters
+    ----------
+    device:
+        The DRAM the firmware controls.
+    mitigation:
+        Any object with an ``ingest(cells) -> int`` method returning how
+        many previously unknown cells it absorbed (all mechanisms in
+        :mod:`repro.mitigation` qualify).
+    target:
+        The relaxed operating conditions the system wants to run at.
+    reach:
+        Reach delta; refresh-interval-only by default (Section 7.1).
+    patterns / iterations:
+        Profiling configuration for each round.
+    save_restore_seconds:
+        Optional cost of saving DRAM contents before a round and restoring
+        them afterwards (the paper's footnote 4: a naive implementation
+        flushes to secondary storage; the paper's evaluations assume this
+        is hidden, hence the default of 0).
+    """
+
+    def __init__(
+        self,
+        device: ProfilableDevice,
+        mitigation,
+        target: Conditions,
+        reach: ReachDelta = HEADLINE_REACH,
+        patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+        iterations: int = 5,
+        save_restore_seconds: float = 0.0,
+        stop_after_quiet_iterations: int = 0,
+    ) -> None:
+        if reach.delta_temperature != 0.0:
+            raise ConfigurationError(
+                "REAPER firmware manipulates only the refresh interval; "
+                "use ReachProfiler directly for temperature-based reach"
+            )
+        if save_restore_seconds < 0.0:
+            raise ConfigurationError("save/restore cost must be non-negative")
+        self.device = device
+        self.mitigation = mitigation
+        self.target = target
+        self.save_restore_seconds = save_restore_seconds
+        self.profiler = ReachProfiler(
+            reach=reach,
+            patterns=patterns,
+            iterations=iterations,
+            manage_temperature=False,
+            stop_after_quiet_iterations=stop_after_quiet_iterations,
+        )
+        self.rounds: List[ProfilingRound] = []
+        self.total_pause_seconds = 0.0
+
+    @property
+    def reach_conditions(self) -> Conditions:
+        return self.profiler.profiling_conditions(self.target)
+
+    def profile_and_update(self) -> ProfilingRound:
+        """Run one online profiling round (a full-system pause).
+
+        Profiles at the reach conditions, pushes every discovered failing
+        cell into the mitigation mechanism, and records the pause length.
+        """
+        started_at = self.device.clock.now
+        if self.save_restore_seconds:
+            self.device.wait(self.save_restore_seconds)  # save contents
+        profile = self.profiler.run(self.device, self.target)
+        if self.save_restore_seconds:
+            self.device.wait(self.save_restore_seconds)  # restore contents
+        added = self.mitigation.ingest(profile.failing)
+        pause = self.device.clock.now - started_at
+        round_record = ProfilingRound(
+            index=len(self.rounds),
+            started_at=started_at,
+            runtime_seconds=pause,
+            profile=profile,
+            cells_added_to_mitigation=added,
+        )
+        self.rounds.append(round_record)
+        self.total_pause_seconds += pause
+        return round_record

@@ -1,0 +1,87 @@
+"""Analytic profiling-runtime model (Eq 9 of the paper).
+
+One round of profiling runs ``n_iterations`` iterations of ``n_patterns``
+passes, each of which writes the full array, waits out the profiling
+refresh interval, and reads the full array back:
+
+    T_profile = (T_REFI + T_wr + T_rd) * N_dp * N_it
+
+The IO terms come from the measured model in :mod:`repro.dram.timing`
+(0.125 s per 16 Gbit per pass, scaled linearly -- the paper's Section 7.3.1
+footnote).  The paper's two worked examples hold exactly: 32x 8Gb chips at
+1024 ms with 6 patterns and 6 iterations take ~3.01 minutes; 32x 64Gb chips
+take ~19.8 minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.timing import pattern_io_seconds
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProfilingRoundModel:
+    """Parameters of one online profiling round."""
+
+    trefi_s: float
+    capacity_bits: int
+    n_patterns: int = 6
+    n_iterations: int = 6
+
+    def __post_init__(self) -> None:
+        if self.trefi_s <= 0.0:
+            raise ConfigurationError(f"trefi must be positive, got {self.trefi_s!r}")
+        if self.n_patterns <= 0 or self.n_iterations <= 0:
+            raise ConfigurationError("pattern and iteration counts must be positive")
+
+    @property
+    def io_seconds_per_pass(self) -> float:
+        """T_wr + T_rd for one full-array pass."""
+        return 2.0 * pattern_io_seconds(self.capacity_bits)
+
+    @property
+    def seconds_per_pass(self) -> float:
+        """T_REFI + T_wr + T_rd."""
+        return self.trefi_s + self.io_seconds_per_pass
+
+    @property
+    def round_seconds(self) -> float:
+        """Eq 9: total runtime of one profiling round."""
+        return self.seconds_per_pass * self.n_patterns * self.n_iterations
+
+
+def round_runtime_seconds(
+    trefi_s: float,
+    capacity_bits: int,
+    n_patterns: int = 6,
+    n_iterations: int = 6,
+) -> float:
+    """Convenience wrapper around :class:`ProfilingRoundModel`."""
+    return ProfilingRoundModel(
+        trefi_s=trefi_s,
+        capacity_bits=capacity_bits,
+        n_patterns=n_patterns,
+        n_iterations=n_iterations,
+    ).round_seconds
+
+
+def reach_speedup(
+    target_trefi_s: float,
+    reach_trefi_s: float,
+    capacity_bits: int,
+    brute_iterations: int,
+    reach_iterations: int,
+    n_patterns: int = 6,
+) -> float:
+    """Runtime speedup of reach profiling over brute force (Eq 9 ratio).
+
+    Reach passes are individually *longer* (bigger wait per pass) but far
+    fewer iterations are needed, which is where the paper's 2.5x comes from.
+    """
+    if reach_trefi_s < target_trefi_s:
+        raise ConfigurationError("reach interval must not be below the target interval")
+    brute = round_runtime_seconds(target_trefi_s, capacity_bits, n_patterns, brute_iterations)
+    reach = round_runtime_seconds(reach_trefi_s, capacity_bits, n_patterns, reach_iterations)
+    return brute / reach

@@ -1,0 +1,105 @@
+"""Online profiling scheduling (Sections 6.2 and 7.3).
+
+VRT makes any retention profile decay (Observation 2), so profiling must
+recur.  The scheduler turns a profile-longevity estimate (Eq 7) into a
+reprofiling cadence, drives a :class:`~repro.core.reaper.REAPER` instance
+through simulated operating time, and accounts for the fraction of system
+time spent paused for profiling -- the quantity Figure 11 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError
+from .longevity import LongevityEstimate
+from .reaper import ProfilingRound, REAPER
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Accounting of one simulated operating span."""
+
+    duration_seconds: float
+    rounds: tuple
+    profiling_seconds: float
+    reprofile_interval_seconds: float
+
+    @property
+    def profiling_fraction(self) -> float:
+        """Share of total time spent paused for profiling (Figure 11's y-axis)."""
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return min(self.profiling_seconds / self.duration_seconds, 1.0)
+
+
+class OnlineProfilingScheduler:
+    """Reprofile whenever the previous profile's validity window lapses.
+
+    Parameters
+    ----------
+    reaper:
+        The profiling firmware to invoke each round.
+    longevity:
+        Either a :class:`~repro.core.longevity.LongevityEstimate` or a plain
+        number of seconds a profile remains valid.
+    safety_factor:
+        Fraction of the estimated longevity actually used between rounds
+        (reprofiling strictly *before* the ECC budget is exhausted).
+    """
+
+    def __init__(
+        self,
+        reaper: REAPER,
+        longevity,
+        safety_factor: float = 0.5,
+    ) -> None:
+        if not (0.0 < safety_factor <= 1.0):
+            raise ConfigurationError(f"safety_factor must lie in (0, 1], got {safety_factor!r}")
+        if isinstance(longevity, LongevityEstimate):
+            longevity_seconds = longevity.longevity_seconds
+        else:
+            longevity_seconds = float(longevity)
+        if longevity_seconds <= 0.0:
+            raise ConfigurationError(
+                "profile longevity is non-positive: the target conditions are "
+                "infeasible for this ECC budget no matter how often we reprofile"
+            )
+        self.reaper = reaper
+        self.reprofile_interval_seconds = longevity_seconds * safety_factor
+
+    def run_for(
+        self,
+        duration_seconds: float,
+        on_round: Optional[Callable[[ProfilingRound], None]] = None,
+    ) -> ScheduleReport:
+        """Operate for ``duration_seconds``, profiling on schedule.
+
+        The device's clock advances through both profiling pauses and the
+        normal-operation gaps between them (during which VRT keeps evolving,
+        so each round genuinely discovers new failures).
+        """
+        if duration_seconds <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        device = self.reaper.device
+        end_time = device.clock.now + duration_seconds
+        rounds: List[ProfilingRound] = []
+        profiling_seconds = 0.0
+        # Profile immediately at the start of the span, then on cadence.
+        while device.clock.now < end_time:
+            round_record = self.reaper.profile_and_update()
+            rounds.append(round_record)
+            profiling_seconds += round_record.runtime_seconds
+            if on_round is not None:
+                on_round(round_record)
+            remaining = end_time - device.clock.now
+            if remaining <= 0.0:
+                break
+            device.wait(min(self.reprofile_interval_seconds, remaining))
+        return ScheduleReport(
+            duration_seconds=duration_seconds,
+            rounds=tuple(rounds),
+            profiling_seconds=profiling_seconds,
+            reprofile_interval_seconds=self.reprofile_interval_seconds,
+        )

@@ -1,0 +1,217 @@
+"""Empirical exploration of the reach-profiling tradeoff space (Section 6.1).
+
+Reproduces the methodology behind Figures 9 and 10: brute-force profiling is
+conducted at a grid of (refresh interval, temperature) points; every grid
+point is then treated as a *target* with every more-aggressive point as its
+*reach* conditions, yielding distributions of coverage, false positive rate,
+and runtime for each (delta interval, delta temperature) combination.  The
+paper observes those distributions are tight (std < 10% of range), which
+licenses summarizing each delta by its mean -- exactly what the contour
+figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..conditions import Conditions, ReachDelta
+from ..errors import ConfigurationError
+from ..patterns import STANDARD_PATTERNS, DataPattern
+from .bruteforce import BruteForceProfiler
+from .metrics import coverage as coverage_of
+from .metrics import false_positive_rate, iterations_to_coverage
+from .profile import RetentionProfile
+
+
+@dataclass(frozen=True)
+class TradeoffCell:
+    """Aggregated metrics for one (delta interval, delta temperature)."""
+
+    delta: ReachDelta
+    coverage_mean: float
+    coverage_std: float
+    fpr_mean: float
+    fpr_std: float
+    runtime_norm_mean: float
+    iterations_mean: float
+    samples: int
+
+
+@dataclass(frozen=True)
+class TradeoffSurface:
+    """The full exploration result: one :class:`TradeoffCell` per delta."""
+
+    base_conditions: Conditions
+    delta_trefis: Tuple[float, ...]
+    delta_temperatures: Tuple[float, ...]
+    cells: Dict[Tuple[float, float], TradeoffCell]
+
+    def cell(self, delta: ReachDelta) -> TradeoffCell:
+        key = (delta.delta_trefi, delta.delta_temperature)
+        try:
+            return self.cells[key]
+        except KeyError:
+            raise ConfigurationError(f"no tradeoff data for delta {delta}") from None
+
+    def grid(self, metric: str) -> np.ndarray:
+        """2-D array of one metric, indexed [temperature][interval].
+
+        ``metric`` is one of ``coverage``, ``fpr``, ``runtime``.
+        """
+        attr = {
+            "coverage": "coverage_mean",
+            "fpr": "fpr_mean",
+            "runtime": "runtime_norm_mean",
+        }.get(metric)
+        if attr is None:
+            raise ConfigurationError(f"unknown metric {metric!r}")
+        out = np.full((len(self.delta_temperatures), len(self.delta_trefis)), np.nan)
+        for j, d_temp in enumerate(self.delta_temperatures):
+            for i, d_trefi in enumerate(self.delta_trefis):
+                cell = self.cells.get((d_trefi, d_temp))
+                if cell is not None:
+                    out[j, i] = getattr(cell, attr)
+        return out
+
+    def best_reach(
+        self,
+        min_coverage: float = 0.99,
+        max_fpr: float = 0.50,
+    ) -> Optional[TradeoffCell]:
+        """Fastest delta meeting the coverage and false-positive constraints.
+
+        This is the selection rule of Section 6.1.2: push the reach as far
+        as the mitigation mechanism's false-positive tolerance allows.
+        """
+        feasible = [
+            cell
+            for cell in self.cells.values()
+            if cell.coverage_mean >= min_coverage and cell.fpr_mean <= max_fpr
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda c: c.runtime_norm_mean)
+
+
+class TradeoffExplorer:
+    """Runs the grid characterization behind Figures 9 and 10.
+
+    Parameters
+    ----------
+    device_factory:
+        Zero-argument callable returning a fresh device.  Using the same
+        seed for every device keeps the static weak-cell population
+        identical across grid points, mirroring re-testing one physical chip.
+    patterns / iterations:
+        Brute-force configuration at each grid point (the paper uses 16
+        iterations of 6 patterns and their inverses).
+    coverage_target:
+        Coverage level that defines "profiling is done" for the runtime
+        metric (Figure 10 uses 90%).
+    """
+
+    def __init__(
+        self,
+        device_factory: Callable[[], object],
+        patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+        iterations: int = 16,
+        coverage_target: float = 0.90,
+    ) -> None:
+        if not (0.0 < coverage_target <= 1.0):
+            raise ConfigurationError(f"coverage_target must lie in (0, 1], got {coverage_target!r}")
+        self.device_factory = device_factory
+        self.patterns = tuple(patterns)
+        self.iterations = iterations
+        self.coverage_target = coverage_target
+
+    # ------------------------------------------------------------------
+    def _profile_grid(
+        self,
+        base: Conditions,
+        delta_trefis: Sequence[float],
+        delta_temperatures: Sequence[float],
+    ) -> Dict[Tuple[int, int], RetentionProfile]:
+        profiler = BruteForceProfiler(patterns=self.patterns, iterations=self.iterations)
+        profiles: Dict[Tuple[int, int], RetentionProfile] = {}
+        for j, d_temp in enumerate(delta_temperatures):
+            for i, d_trefi in enumerate(delta_trefis):
+                device = self.device_factory()
+                conditions = Conditions(
+                    trefi=base.trefi + d_trefi,
+                    temperature=base.temperature + d_temp,
+                )
+                device.set_temperature(conditions.temperature)
+                profiles[(i, j)] = profiler.run(device, conditions)
+        return profiles
+
+    def explore(
+        self,
+        base: Conditions,
+        delta_trefis: Sequence[float],
+        delta_temperatures: Sequence[float] = (0.0,),
+    ) -> TradeoffSurface:
+        """Characterize every delta reachable within the given grids.
+
+        Both grids must start at 0 and be sorted ascending with uniform
+        spacing so that pairwise differences land back on the grid.
+        """
+        for grid in (delta_trefis, delta_temperatures):
+            if not grid or grid[0] != 0.0 or list(grid) != sorted(grid):
+                raise ConfigurationError("delta grids must start at 0 and be ascending")
+        profiles = self._profile_grid(base, delta_trefis, delta_temperatures)
+
+        samples: Dict[Tuple[float, float], Dict[str, List[float]]] = {}
+        for (ti, tj), target_profile in profiles.items():
+            truth = target_profile.failing
+            target_iters = iterations_to_coverage(target_profile, truth, self.coverage_target)
+            if target_iters is None:
+                target_iters = self.iterations
+            # Scale the measured run time (which includes IO per Eq 9) down
+            # to the iterations actually needed for the coverage target.
+            target_runtime = target_profile.runtime_seconds * target_iters / self.iterations
+            for (ri, rj), reach_profile in profiles.items():
+                if ri < ti or rj < tj:
+                    continue
+                d_trefi = delta_trefis[ri] - delta_trefis[ti]
+                d_temp = delta_temperatures[rj] - delta_temperatures[tj]
+                # Snap to grid values to avoid float drift in dict keys.
+                d_trefi = min(delta_trefis, key=lambda v: abs(v - d_trefi))
+                d_temp = min(delta_temperatures, key=lambda v: abs(v - d_temp))
+                if (ri, rj) == (ti, tj):
+                    cov, fpr, n_iters = 1.0, 0.0, target_iters
+                else:
+                    cov = coverage_of(reach_profile.failing, truth)
+                    fpr = false_positive_rate(reach_profile.failing, truth)
+                    reached = iterations_to_coverage(reach_profile, truth, self.coverage_target)
+                    n_iters = reached if reached is not None else self.iterations
+                reach_runtime = reach_profile.runtime_seconds * n_iters / self.iterations
+                bucket = samples.setdefault(
+                    (d_trefi, d_temp),
+                    {"coverage": [], "fpr": [], "runtime_norm": [], "iterations": []},
+                )
+                bucket["coverage"].append(cov)
+                bucket["fpr"].append(fpr)
+                bucket["runtime_norm"].append(reach_runtime / target_runtime)
+                bucket["iterations"].append(float(n_iters))
+
+        cells: Dict[Tuple[float, float], TradeoffCell] = {}
+        for (d_trefi, d_temp), bucket in samples.items():
+            cells[(d_trefi, d_temp)] = TradeoffCell(
+                delta=ReachDelta(delta_trefi=d_trefi, delta_temperature=d_temp),
+                coverage_mean=float(np.mean(bucket["coverage"])),
+                coverage_std=float(np.std(bucket["coverage"])),
+                fpr_mean=float(np.mean(bucket["fpr"])),
+                fpr_std=float(np.std(bucket["fpr"])),
+                runtime_norm_mean=float(np.mean(bucket["runtime_norm"])),
+                iterations_mean=float(np.mean(bucket["iterations"])),
+                samples=len(bucket["coverage"]),
+            )
+        return TradeoffSurface(
+            base_conditions=base,
+            delta_trefis=tuple(delta_trefis),
+            delta_temperatures=tuple(delta_temperatures),
+            cells=cells,
+        )

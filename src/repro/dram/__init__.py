@@ -1,0 +1,50 @@
+"""Simulated LPDDR4 DRAM substrate.
+
+Stands in for the paper's 368 real chips: cell-level retention behaviour
+(lognormal weak tail, per-cell normal failure CDFs), variable retention time
+(VRT), data pattern dependence (DPD), vendor-specific temperature scaling,
+and a command-level interface with simulated IO latencies.
+"""
+
+from .cell import WeakCellPopulation
+from .chip import DEFAULT_GEOMETRY, SimulatedDRAMChip
+from .commands import Command, CommandRecord, CommandTrace, ProtocolViolation
+from .dpd import DPDModel
+from .geometry import GIBIBIT, CellAddress, ChipGeometry
+from .module import DRAMModule, ModuleCellRef
+from .retention import RetentionSampler, WeakCellSample
+from .spd import SPDCharacterization, characterize_for_spd
+from .timing import IO_SECONDS_PER_GIGABIT, RefreshTimings, pattern_io_seconds, refresh_timings
+from .vendor import VENDOR_A, VENDOR_B, VENDOR_C, VENDORS, VendorModel, vendor_by_name
+from .vrt import VRTProcess
+
+__all__ = [
+    "CellAddress",
+    "ChipGeometry",
+    "GIBIBIT",
+    "Command",
+    "CommandRecord",
+    "CommandTrace",
+    "ProtocolViolation",
+    "DPDModel",
+    "DRAMModule",
+    "ModuleCellRef",
+    "DEFAULT_GEOMETRY",
+    "SimulatedDRAMChip",
+    "RetentionSampler",
+    "WeakCellSample",
+    "WeakCellPopulation",
+    "SPDCharacterization",
+    "characterize_for_spd",
+    "IO_SECONDS_PER_GIGABIT",
+    "RefreshTimings",
+    "pattern_io_seconds",
+    "refresh_timings",
+    "VendorModel",
+    "VENDOR_A",
+    "VENDOR_B",
+    "VENDOR_C",
+    "VENDORS",
+    "vendor_by_name",
+    "VRTProcess",
+]

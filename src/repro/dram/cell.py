@@ -1,0 +1,135 @@
+"""Vectorized evaluation of weak-cell failure probabilities.
+
+Section 5.5 of the paper establishes that each cell's probability of
+retention failure is a normal CDF in the refresh interval:
+
+    P(fail | t) = Phi((t - mu) / sigma)
+
+with per-cell means ``mu`` (lognormally distributed across cells) and
+per-cell standard deviations ``sigma`` (also lognormal, Figure 6b).  Raising
+the temperature multiplies both ``mu`` and ``sigma`` by the vendor's
+retention scale factor -- shifting and narrowing the distribution exactly as
+Figure 7 shows.
+
+:class:`WeakCellPopulation` evaluates those probabilities for an entire
+chip's weak tail in one vectorized pass, both for *observed* failures under a
+concrete data pattern (with its DPD alignment) and for *oracle* failures
+under the worst-case pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.special import ndtr
+
+from ..conditions import Conditions
+from ..errors import ConfigurationError
+from .dpd import DPDModel
+from .retention import WeakCellSample
+from .vendor import VendorModel
+
+
+class WeakCellPopulation:
+    """The instantiated weak tail of one chip, with its failure model."""
+
+    def __init__(self, sample: WeakCellSample, vendor: VendorModel, dpd: DPDModel) -> None:
+        if dpd.n_cells != len(sample):
+            raise ConfigurationError("DPD model size does not match weak-cell sample")
+        self._sample = sample
+        self._vendor = vendor
+        self._dpd = dpd
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the characterization analyses)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._sample.indices
+
+    @property
+    def mu_wc_s(self) -> np.ndarray:
+        """Worst-case-pattern failure-CDF means at the reference temperature."""
+        return self._sample.mu_wc_s
+
+    @property
+    def sigma_s(self) -> np.ndarray:
+        """Failure-CDF standard deviations at the reference temperature."""
+        return self._sample.sigma_s
+
+    @property
+    def vrt_flag(self) -> np.ndarray:
+        return self._sample.vrt_flag
+
+    @property
+    def dpd(self) -> DPDModel:
+        return self._dpd
+
+    def scaled_parameters(self, temperature_c: float) -> tuple:
+        """(mu, sigma) arrays at the given ambient temperature (Figure 7)."""
+        scale = self._vendor.retention_scale(temperature_c)
+        return self._sample.mu_wc_s * scale, self._sample.sigma_s * scale
+
+    # ------------------------------------------------------------------
+    # Failure evaluation
+    # ------------------------------------------------------------------
+    def failure_probabilities(
+        self,
+        exposure_s: float,
+        temperature_c: float,
+        alignment: np.ndarray,
+        stressed: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-cell failure probability for one retention exposure.
+
+        ``alignment`` is the DPD alignment vector of the written pattern;
+        ``stressed`` masks out cells currently storing their discharged
+        value, which cannot lose charge and therefore cannot fail.
+        """
+        if exposure_s < 0.0:
+            raise ConfigurationError(f"exposure must be non-negative, got {exposure_s!r}")
+        if exposure_s == 0.0:
+            return np.zeros(len(self._sample))
+        scale = self._vendor.retention_scale(temperature_c)
+        mu_eff = self._dpd.effective_retention(self._sample.mu_wc_s, alignment) * scale
+        sigma_eff = self._sample.sigma_s * scale
+        p = ndtr((exposure_s - mu_eff) / sigma_eff)
+        if stressed is not None:
+            p = p * stressed
+        return p
+
+    def worst_case_probabilities(self, exposure_s: float, temperature_c: float) -> np.ndarray:
+        """Failure probabilities under the worst-case data pattern."""
+        ones = np.ones(len(self._sample))
+        return self.failure_probabilities(exposure_s, temperature_c, ones)
+
+    def sample_failures(
+        self,
+        exposure_s: float,
+        temperature_c: float,
+        alignment: np.ndarray,
+        rng: np.random.Generator,
+        stressed: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Bernoulli-sample one read-out: flat indices of cells that failed."""
+        p = self.failure_probabilities(exposure_s, temperature_c, alignment, stressed)
+        failed = rng.random(len(p)) < p
+        return self._sample.indices[failed]
+
+    def oracle_failing(self, conditions: Conditions, p_min: float = 0.05) -> np.ndarray:
+        """Ground-truth failing set at ``conditions``.
+
+        A cell belongs to the set if its worst-case-pattern failure
+        probability at the target conditions is at least ``p_min`` -- i.e. it
+        has a non-negligible chance of failing during actual operation, which
+        is exactly the population coverage and false-positive accounting must
+        be measured against.
+        """
+        if not (0.0 < p_min <= 1.0):
+            raise ConfigurationError(f"p_min must lie in (0, 1], got {p_min!r}")
+        p = self.worst_case_probabilities(conditions.trefi, conditions.temperature)
+        return self._sample.indices[p >= p_min]

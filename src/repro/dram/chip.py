@@ -1,0 +1,324 @@
+"""Command-level simulated LPDDR4 DRAM chip.
+
+:class:`SimulatedDRAMChip` is the stand-in for one of the paper's 368 real
+chips.  Profilers interact with it exactly the way the paper's SoftMC-style
+infrastructure interacts with hardware -- through DRAM commands:
+
+    chip.write_pattern(pattern)     # fill the array with a test pattern
+    chip.disable_refresh()
+    chip.wait(target_trefi)         # accumulate a retention exposure
+    chip.enable_refresh()
+    errors = chip.read_errors()     # flat indices of failing cells
+
+Everything costs simulated time (full-array IO latencies from
+:mod:`repro.dram.timing`), every command is recorded on a
+:class:`~repro.dram.commands.CommandTrace`, and the chip additionally exposes
+a ground-truth *oracle* of its failing cells -- something only a simulator
+can offer, used to score profiling coverage and false positive rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..clock import SimClock
+from ..conditions import REFERENCE_TEMPERATURE_C, Conditions
+from ..errors import CommandSequenceError, ConfigurationError
+from ..patterns import DataPattern
+from .cell import WeakCellPopulation
+from .commands import Command, CommandTrace
+from .dpd import DPDModel
+from .geometry import ChipGeometry
+from .retention import RetentionSampler
+from .timing import pattern_io_seconds
+from .vendor import VENDOR_B, VendorModel
+from .vrt import VRTProcess
+
+#: Default simulated chip capacity: 1 Gbit keeps the weak tail ~1e4 cells.
+DEFAULT_GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
+
+#: Hard upper bound on chip operating temperature.  The weak-cell population
+#: is always instantiated with retention headroom out to this temperature so
+#: that two chips sharing (vendor, geometry, seed, chip_id, max_trefi_s) have
+#: identical populations regardless of their per-instance temperature limits.
+MAX_SUPPORTED_TEMPERATURE_C = 60.0
+
+
+class SimulatedDRAMChip:
+    """One simulated DRAM chip with retention, VRT, and DPD behaviour.
+
+    Parameters
+    ----------
+    vendor:
+        Statistical behaviour model (defaults to the paper's representative
+        vendor B).
+    geometry:
+        Physical organization; defaults to a 1 Gbit chip.
+    seed / chip_id:
+        Together determine every random draw the chip will ever make, so two
+        chips with the same (seed, chip_id) are statistically identical runs.
+    clock:
+        Shared simulated clock; a private one is created if omitted.
+    max_trefi_s:
+        Largest retention exposure the chip will be asked to sustain.  The
+        weak tail and the VRT process are instantiated out to this horizon
+        (adjusted for ``max_temperature_c``); longer exposures raise
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        under-reporting failures.
+    max_temperature_c:
+        Highest ambient temperature the chip will be operated at.
+    temperature_c:
+        Initial ambient temperature.
+    """
+
+    def __init__(
+        self,
+        vendor: VendorModel = VENDOR_B,
+        geometry: ChipGeometry = DEFAULT_GEOMETRY,
+        seed: int = rng_mod.DEFAULT_SEED,
+        chip_id: int = 0,
+        clock: Optional[SimClock] = None,
+        max_trefi_s: float = 2.6,
+        max_temperature_c: float = MAX_SUPPORTED_TEMPERATURE_C,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+    ) -> None:
+        if max_trefi_s <= 0.0:
+            raise ConfigurationError(f"max_trefi_s must be positive, got {max_trefi_s!r}")
+        if max_temperature_c > MAX_SUPPORTED_TEMPERATURE_C:
+            raise ConfigurationError(
+                f"max_temperature_c {max_temperature_c!r} exceeds the supported "
+                f"maximum of {MAX_SUPPORTED_TEMPERATURE_C} degC"
+            )
+        if temperature_c > max_temperature_c:
+            raise ConfigurationError(
+                f"initial temperature {temperature_c!r} exceeds max_temperature_c"
+            )
+        # Chip-to-chip process variation: each physical chip gets its own
+        # retention-tail median, deterministically derived from (seed,
+        # chip_id, vendor) so same-configuration chips stay reproducible.
+        if vendor.chip_to_chip_ln_sigma > 0.0:
+            jitter = float(
+                rng_mod.derive(seed, "chip-variation", chip_id, vendor.name).normal(
+                    0.0, vendor.chip_to_chip_ln_sigma
+                )
+            )
+            vendor = dataclasses.replace(vendor, retention_ln_median=vendor.retention_ln_median + jitter)
+        self.vendor = vendor
+        self.geometry = geometry
+        self.chip_id = int(chip_id)
+        self.seed = int(seed)
+        self.clock = clock if clock is not None else SimClock()
+        self.trace = CommandTrace()
+        self._max_trefi_s = float(max_trefi_s)
+        self._max_temperature_c = float(max_temperature_c)
+        self._temperature_c = float(temperature_c)
+
+        # Weak-tail horizon in reference-temperature space: hotter operation
+        # shrinks retention times, pulling more of the tail below max_trefi.
+        # The headroom always extends to the hard temperature cap (not the
+        # per-instance limit) so the population depends only on
+        # (vendor, geometry, seed, chip_id, max_trefi_s).
+        headroom = math.exp(
+            vendor.retention_temp_coeff
+            * (MAX_SUPPORTED_TEMPERATURE_C - REFERENCE_TEMPERATURE_C)
+        )
+        self._weak_horizon_s = max_trefi_s * headroom
+
+        sampler = RetentionSampler(vendor, rng_mod.derive(seed, "retention", chip_id))
+        sample = sampler.sample(geometry.capacity_bits, self._weak_horizon_s)
+        dpd = DPDModel(
+            susceptibility=sample.susceptibility,
+            rng=rng_mod.derive(seed, "dpd", chip_id),
+            random_alignment_cap=vendor.random_alignment_cap,
+            rows=sample.indices // geometry.bits_per_row,
+            cols=sample.indices % geometry.bits_per_row,
+            orientation=sample.orientation,
+            bits_per_row=geometry.bits_per_row,
+        )
+        self.population = WeakCellPopulation(sample, vendor, dpd)
+        self.vrt = VRTProcess(
+            vendor=vendor,
+            capacity_bits=geometry.capacity_bits,
+            horizon_s=max_trefi_s,
+            rng=rng_mod.derive(seed, "vrt", chip_id),
+            start_time_s=self.clock.now,
+        )
+        self._read_rng = rng_mod.derive(seed, "read", chip_id)
+
+        self._pattern: Optional[DataPattern] = None
+        self._alignment: Optional[np.ndarray] = None
+        self._stressed: Optional[np.ndarray] = None
+        self._refresh_enabled = True
+        self._disable_time: Optional[float] = None
+        self._frozen_exposure = 0.0
+        self._io_seconds = pattern_io_seconds(geometry.capacity_bits)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bits(self) -> int:
+        return self.geometry.capacity_bits
+
+    @property
+    def max_trefi_s(self) -> float:
+        return self._max_trefi_s
+
+    @property
+    def temperature_c(self) -> float:
+        return self._temperature_c
+
+    @property
+    def refresh_enabled(self) -> bool:
+        return self._refresh_enabled
+
+    @property
+    def weak_cell_count(self) -> int:
+        return len(self.population)
+
+    @property
+    def pattern_io_seconds(self) -> float:
+        """Simulated time of one full-array pattern write or read pass."""
+        return self._io_seconds
+
+    def expected_ber(self, conditions: Conditions) -> float:
+        """Analytic worst-case-pattern bit error rate at ``conditions``."""
+        return self.vendor.ber(conditions)
+
+    # ------------------------------------------------------------------
+    # Command interface
+    # ------------------------------------------------------------------
+    def set_temperature(self, temperature_c: float) -> None:
+        """Change the ambient temperature the chip operates at."""
+        if temperature_c > self._max_temperature_c:
+            raise ConfigurationError(
+                f"temperature {temperature_c!r} exceeds the chip's configured maximum "
+                f"{self._max_temperature_c!r}; reconstruct with a larger max_temperature_c"
+            )
+        self._sync_vrt()
+        self._temperature_c = float(temperature_c)
+        self.trace.append(self.clock.now, Command.SET_TEMPERATURE, f"{temperature_c:.2f}degC")
+
+    def write_pattern(self, pattern: DataPattern) -> None:
+        """Fill the whole array with ``pattern`` (one full-array write pass).
+
+        Writing restores every cell, so any in-progress retention exposure
+        restarts from the end of the write.
+        """
+        self.clock.advance(self._io_seconds)
+        self._sync_vrt()
+        self._pattern = pattern
+        self._alignment, self._stressed = self.population.dpd.excite(pattern)
+        if not self._refresh_enabled:
+            self._disable_time = self.clock.now
+        self._frozen_exposure = 0.0
+        self.trace.append(self.clock.now, Command.WRITE_PATTERN, pattern.key)
+
+    def disable_refresh(self) -> None:
+        if not self._refresh_enabled:
+            raise CommandSequenceError("refresh is already disabled")
+        self._refresh_enabled = False
+        self._disable_time = self.clock.now
+        self.trace.append(self.clock.now, Command.REFRESH_DISABLE)
+
+    def enable_refresh(self) -> None:
+        if self._refresh_enabled:
+            raise CommandSequenceError("refresh is already enabled")
+        assert self._disable_time is not None
+        self._frozen_exposure = self.clock.now - self._disable_time
+        self._refresh_enabled = True
+        self._disable_time = None
+        self.trace.append(self.clock.now, Command.REFRESH_ENABLE)
+
+    def wait(self, seconds: float) -> None:
+        """Let simulated time pass (the retention exposure of Algorithm 1)."""
+        self.clock.advance(seconds)
+        self._sync_vrt()
+        self.trace.append(self.clock.now, Command.WAIT, f"{seconds:.6f}s")
+
+    def sync(self) -> None:
+        """Catch internal processes up to the shared clock.
+
+        Needed when an external component (e.g. a multi-chip module or a
+        thermal chamber) advances the shared clock directly.
+        """
+        self._sync_vrt()
+
+    def current_exposure(self) -> float:
+        """Retention exposure the next read-out would test against."""
+        if not self._refresh_enabled and self._disable_time is not None:
+            return self.clock.now - self._disable_time
+        return self._frozen_exposure
+
+    def read_errors(self) -> np.ndarray:
+        """Read the array back and compare against the written pattern.
+
+        Returns the sorted flat indices of cells that lost their data during
+        the current retention exposure.  Reading restores cell contents, so
+        the exposure restarts afterwards.
+        """
+        if self._pattern is None or self._alignment is None:
+            raise CommandSequenceError("no data pattern has been written")
+        self.clock.advance(self._io_seconds)
+        self._sync_vrt()
+        exposure = self.current_exposure()
+        # Tolerate float accumulation error at the exact boundary.
+        if exposure > self._max_trefi_s * (1.0 + 1e-9):
+            raise ConfigurationError(
+                f"exposure {exposure:.3f}s exceeds max_trefi_s={self._max_trefi_s!r}; "
+                "construct the chip with a larger max_trefi_s"
+            )
+        self.trace.append(self.clock.now, Command.READ_COMPARE, f"exposure={exposure:.6f}s")
+        static = self.population.sample_failures(
+            exposure,
+            self._temperature_c,
+            self._alignment,
+            self._read_rng,
+            stressed=self._stressed,
+        )
+        vrt = self.vrt.failing_cells(self.clock.now, exposure)
+        failures = np.union1d(static, vrt)
+        # Reading through the sense amplifiers restores the cells.
+        if not self._refresh_enabled:
+            self._disable_time = self.clock.now
+        self._frozen_exposure = 0.0
+        return failures
+
+    # ------------------------------------------------------------------
+    # Ground truth (simulator-only)
+    # ------------------------------------------------------------------
+    def oracle_failing_set(
+        self,
+        conditions: Conditions,
+        p_min: float = 0.05,
+        window: Optional[Tuple[float, float]] = None,
+    ) -> np.ndarray:
+        """All cells that can fail at ``conditions`` -- the profiling target.
+
+        ``window`` bounds the VRT episodes considered (defaults to everything
+        from time zero to now); static weak cells are included when their
+        worst-case failure probability is at least ``p_min``.
+        """
+        if conditions.trefi > self._max_trefi_s:
+            raise ConfigurationError(
+                f"oracle interval {conditions.trefi!r}s exceeds max_trefi_s"
+            )
+        static = self.population.oracle_failing(conditions, p_min=p_min)
+        if window is None:
+            window = (0.0, self.clock.now)
+        vrt = self.vrt.episodes_overlapping(window[0], window[1], conditions.trefi)
+        return np.union1d(static, vrt)
+
+    def _sync_vrt(self) -> None:
+        self.vrt.advance_to(self.clock.now, self._temperature_c)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"SimulatedDRAMChip(vendor={self.vendor.name}, "
+            f"capacity={self.geometry.capacity_gigabits:g}Gb, chip_id={self.chip_id})"
+        )

@@ -1,0 +1,105 @@
+"""Command-level interface records for the simulated testing infrastructure.
+
+The paper's infrastructure "provides precise control over DRAM commands,
+which we verified via a logic analyzer by probing the DRAM command bus"
+(Section 4).  Our equivalent: every operation a profiler performs on a
+simulated chip is recorded as a :class:`CommandRecord` in a
+:class:`CommandTrace`, and :meth:`CommandTrace.verify_protocol` plays the
+logic analyzer's role -- asserting that the observed command sequence is a
+legal retention-test sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+class Command(enum.Enum):
+    """Operations visible on the simulated command bus."""
+
+    WRITE_PATTERN = "write_pattern"
+    READ_COMPARE = "read_compare"
+    REFRESH_DISABLE = "refresh_disable"
+    REFRESH_ENABLE = "refresh_enable"
+    WAIT = "wait"
+    SET_TEMPERATURE = "set_temperature"
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """One timestamped command observed on the bus."""
+
+    time: float
+    command: Command
+    detail: str = ""
+
+
+class ProtocolViolation(Exception):
+    """Raised by :meth:`CommandTrace.verify_protocol` on an illegal sequence."""
+
+
+@dataclass
+class CommandTrace:
+    """An append-only log of commands issued to a chip."""
+
+    records: List[CommandRecord] = field(default_factory=list)
+
+    def append(self, time: float, command: Command, detail: str = "") -> None:
+        self.records.append(CommandRecord(time=time, command=command, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CommandRecord]:
+        return iter(self.records)
+
+    def of_type(self, command: Command) -> List[CommandRecord]:
+        """All records of one command type, in order."""
+        return [r for r in self.records if r.command is command]
+
+    def exposures(self) -> List[Tuple[float, float]]:
+        """(start, end) pairs of refresh-disabled windows, as a logic analyzer
+        would reconstruct them from the bus."""
+        windows: List[Tuple[float, float]] = []
+        start: Optional[float] = None
+        for record in self.records:
+            if record.command is Command.REFRESH_DISABLE:
+                start = record.time
+            elif record.command is Command.REFRESH_ENABLE and start is not None:
+                windows.append((start, record.time))
+                start = None
+        return windows
+
+    def verify_protocol(self) -> None:
+        """Assert the trace is a legal retention-testing sequence.
+
+        Rules enforced (mirroring what the real command bus allows):
+
+        * timestamps are non-decreasing;
+        * REFRESH_DISABLE / REFRESH_ENABLE strictly alternate;
+        * every READ_COMPARE is preceded by a WRITE_PATTERN.
+        """
+        last_time = float("-inf")
+        refresh_disabled = False
+        pattern_written = False
+        for i, record in enumerate(self.records):
+            if record.time < last_time:
+                raise ProtocolViolation(
+                    f"record {i}: time {record.time} precedes previous {last_time}"
+                )
+            last_time = record.time
+            if record.command is Command.REFRESH_DISABLE:
+                if refresh_disabled:
+                    raise ProtocolViolation(f"record {i}: refresh disabled twice in a row")
+                refresh_disabled = True
+            elif record.command is Command.REFRESH_ENABLE:
+                if not refresh_disabled:
+                    raise ProtocolViolation(f"record {i}: refresh enabled while already enabled")
+                refresh_disabled = False
+            elif record.command is Command.WRITE_PATTERN:
+                pattern_written = True
+            elif record.command is Command.READ_COMPARE:
+                if not pattern_written:
+                    raise ProtocolViolation(f"record {i}: read-compare before any pattern write")

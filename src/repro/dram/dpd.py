@@ -1,0 +1,140 @@
+"""Data pattern dependence (DPD) model.
+
+A cell's effective retention time depends on the data stored in it and in
+its neighbours (Section 2.3.2).  We model this with two quantities:
+
+* a per-cell *susceptibility* ``s`` in [0, dpd_susceptibility_max): how much
+  the worst aggressor arrangement can degrade the cell relative to the most
+  benign one; and
+* a per-(cell, pattern) *alignment* ``a`` in [0, 1]: how closely a concrete
+  test pattern approaches that cell's worst case.
+
+The effective retention time under a pattern is::
+
+    mu_eff = mu_wc * (1 - s*a) / (1 - s)
+
+so alignment 1 recovers the worst-case retention ``mu_wc`` and alignment 0
+yields the benign-case retention ``mu_wc / (1 - s)``.
+
+Deterministic patterns get a fixed alignment per cell (drawn once from the
+pattern family's Beta distribution and cached); the random pattern redraws
+alignments on every write, capped below 1 -- which is exactly why random data
+discovers the most failures over many iterations without ever guaranteeing
+full coverage (Observation 3 / Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..patterns import DataPattern
+
+
+class DPDModel:
+    """Per-cell data-pattern-dependence state for one chip.
+
+    When constructed with cell positions and orientations (the normal path
+    from a chip), the model also computes per-pattern *stress masks*: a cell
+    leaks towards failure only while storing its charged logic value, so a
+    pattern that writes the discharged value into a cell cannot make it fail
+    at all -- the physical reason every pattern is tested together with its
+    inverse (Section 3.2).
+    """
+
+    def __init__(
+        self,
+        susceptibility: np.ndarray,
+        rng: np.random.Generator,
+        random_alignment_cap: float,
+        rows: Optional[np.ndarray] = None,
+        cols: Optional[np.ndarray] = None,
+        orientation: Optional[np.ndarray] = None,
+        bits_per_row: int = 16384,
+    ) -> None:
+        if not (0.0 < random_alignment_cap < 1.0):
+            raise ConfigurationError("random_alignment_cap must lie strictly in (0, 1)")
+        if np.any(susceptibility < 0.0) or np.any(susceptibility >= 1.0):
+            raise ConfigurationError("susceptibilities must lie in [0, 1)")
+        self._susceptibility = np.asarray(susceptibility, dtype=np.float64)
+        self._rng = rng
+        self._random_cap = float(random_alignment_cap)
+        self._cached: Dict[str, np.ndarray] = {}
+        self._stress_cached: Dict[str, np.ndarray] = {}
+        self._rows = None if rows is None else np.asarray(rows)
+        self._cols = None if cols is None else np.asarray(cols)
+        self._orientation = None if orientation is None else np.asarray(orientation)
+        self._bits_per_row = bits_per_row
+        if (self._rows is None) != (self._orientation is None) or (
+            (self._cols is None) != (self._orientation is None)
+        ):
+            raise ConfigurationError(
+                "rows, cols and orientation must be provided together or not at all"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._susceptibility)
+
+    @property
+    def susceptibility(self) -> np.ndarray:
+        return self._susceptibility
+
+    @property
+    def models_orientation(self) -> bool:
+        return self._orientation is not None
+
+    def alignment(self, pattern: DataPattern, fresh: bool = False) -> np.ndarray:
+        """Alignment vector of ``pattern`` across all cells.
+
+        For stochastic (random-data) patterns a new vector is drawn on every
+        call with ``fresh=True`` (i.e. on every write); repeated calls with
+        ``fresh=False`` return the draw from the most recent write.
+        """
+        a, b = pattern.alignment_beta
+        if pattern.stochastic:
+            if fresh or pattern.key not in self._cached:
+                draw = self._rng.beta(a, b, size=self.n_cells) * self._random_cap
+                self._cached[pattern.key] = draw
+            return self._cached[pattern.key]
+        if pattern.key not in self._cached:
+            self._cached[pattern.key] = self._rng.beta(a, b, size=self.n_cells)
+        return self._cached[pattern.key]
+
+    def stress_mask(self, pattern: DataPattern, fresh: bool = False) -> np.ndarray:
+        """Per-cell mask: 1 where ``pattern`` stores the cell's charged value.
+
+        Without orientation information (standalone DPD models in tests)
+        every cell counts as stressed.  For the random pattern the stored
+        bits -- and hence the mask -- are redrawn on every write.
+        """
+        if self._orientation is None:
+            return np.ones(self.n_cells)
+        if pattern.stochastic:
+            if fresh or pattern.key not in self._stress_cached:
+                bits = pattern.bits_at(self._rows, self._cols, self._bits_per_row, self._rng)
+                self._stress_cached[pattern.key] = (bits == self._orientation).astype(float)
+            return self._stress_cached[pattern.key]
+        if pattern.key not in self._stress_cached:
+            bits = pattern.bits_at(self._rows, self._cols, self._bits_per_row)
+            self._stress_cached[pattern.key] = (bits == self._orientation).astype(float)
+        return self._stress_cached[pattern.key]
+
+    def excite(self, pattern: DataPattern) -> "tuple[np.ndarray, np.ndarray]":
+        """One write's DPD state: (alignment, stress mask), fresh draws for
+        stochastic patterns."""
+        return (
+            self.alignment(pattern, fresh=True),
+            self.stress_mask(pattern, fresh=True),
+        )
+
+    def effective_retention(self, mu_wc_s: np.ndarray, alignment: np.ndarray) -> np.ndarray:
+        """Per-cell effective retention times under the given alignment."""
+        s = self._susceptibility
+        return mu_wc_s * (1.0 - s * alignment) / (1.0 - s)
+
+    def worst_case_retention(self, mu_wc_s: np.ndarray) -> np.ndarray:
+        """Alias for the worst-case (alignment = 1) retention times."""
+        return np.asarray(mu_wc_s, dtype=np.float64)

@@ -1,0 +1,126 @@
+"""DRAM chip geometry and cell addressing.
+
+A chip is a hierarchy of banks, each a 2-D array of rows and columns
+(Section 2.1).  Cells are identified either by a structured
+:class:`CellAddress` or by a flat integer index; the mapping between the two
+is a bijection used throughout the simulator (failure sets are stored as flat
+indices for compactness, mitigation mechanisms reason in rows and banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..errors import ConfigurationError
+
+GIBIBIT = 1 << 30
+
+
+class CellAddress(NamedTuple):
+    """Structured address of a single DRAM cell."""
+
+    bank: int
+    row: int
+    col: int
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Physical organization of a DRAM chip.
+
+    Defaults mirror the paper's evaluated configuration (Table 2): 8 banks,
+    2 KB row buffer (16384 bits per row), and a power-of-two row count that
+    sets the chip capacity.
+    """
+
+    banks: int = 8
+    rows_per_bank: int = 65536
+    bits_per_row: int = 16384
+
+    def __post_init__(self) -> None:
+        for field_name in ("banks", "rows_per_bank", "bits_per_row"):
+            value = getattr(self, field_name)
+            if not _is_power_of_two(value):
+                raise ConfigurationError(
+                    f"{field_name} must be a positive power of two, got {value!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_bank(self) -> int:
+        return self.rows_per_bank * self.bits_per_row
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.banks * self.bits_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_bits // 8
+
+    @property
+    def capacity_gigabits(self) -> float:
+        return self.capacity_bits / GIBIBIT
+
+    @property
+    def total_rows(self) -> int:
+        return self.banks * self.rows_per_bank
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def flatten(self, address: CellAddress) -> int:
+        """Map a structured address to its flat index."""
+        bank, row, col = address
+        if not (0 <= bank < self.banks):
+            raise ConfigurationError(f"bank {bank} out of range [0, {self.banks})")
+        if not (0 <= row < self.rows_per_bank):
+            raise ConfigurationError(f"row {row} out of range [0, {self.rows_per_bank})")
+        if not (0 <= col < self.bits_per_row):
+            raise ConfigurationError(f"col {col} out of range [0, {self.bits_per_row})")
+        return (bank * self.rows_per_bank + row) * self.bits_per_row + col
+
+    def decompose(self, flat: int) -> CellAddress:
+        """Map a flat index back to its structured address."""
+        if not (0 <= flat < self.capacity_bits):
+            raise ConfigurationError(f"flat index {flat} out of range [0, {self.capacity_bits})")
+        col = flat % self.bits_per_row
+        row_global = flat // self.bits_per_row
+        row = row_global % self.rows_per_bank
+        bank = row_global // self.rows_per_bank
+        return CellAddress(bank=bank, row=row, col=col)
+
+    def row_of(self, flat: int) -> int:
+        """Global row index (bank-major) containing the flat cell index."""
+        if not (0 <= flat < self.capacity_bits):
+            raise ConfigurationError(f"flat index {flat} out of range [0, {self.capacity_bits})")
+        return flat // self.bits_per_row
+
+    @classmethod
+    def from_capacity_gigabits(
+        cls,
+        gigabits: float,
+        banks: int = 8,
+        bits_per_row: int = 16384,
+    ) -> "ChipGeometry":
+        """Construct the geometry of a chip with the given capacity.
+
+        The paper evaluates chips from 8 Gb to 64 Gb; small fractional
+        capacities (e.g. 1/16 Gb) are handy for fast unit tests.
+        """
+        total_bits = gigabits * GIBIBIT
+        rows = total_bits / (banks * bits_per_row)
+        rows_int = int(round(rows))
+        if rows_int <= 0 or abs(rows - rows_int) > 1e-9 or not _is_power_of_two(rows_int):
+            raise ConfigurationError(
+                f"capacity {gigabits!r} Gb does not yield a power-of-two row count "
+                f"with {banks} banks x {bits_per_row} bits/row (got {rows!r} rows)"
+            )
+        return cls(banks=banks, rows_per_bank=rows_int, bits_per_row=bits_per_row)

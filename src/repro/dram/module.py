@@ -1,0 +1,142 @@
+"""Multi-chip DRAM modules.
+
+The paper's end-to-end evaluation uses modules of 32 chips (Figures 11-13).
+A :class:`DRAMModule` presents the same command-level interface as a single
+chip, broadcasting operations across its chips; per-pass IO time accumulates
+linearly with total module capacity, matching the paper's measured scaling
+(Section 7.3.1).  Cells are identified module-wide as ``(chip_index,
+flat_index)`` tuples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .. import rng as rng_mod
+from ..clock import SimClock
+from ..conditions import REFERENCE_TEMPERATURE_C, Conditions
+from ..errors import ConfigurationError
+from ..patterns import DataPattern
+from .chip import DEFAULT_GEOMETRY, SimulatedDRAMChip
+from .geometry import ChipGeometry
+from .vendor import VENDOR_B, VendorModel
+
+ModuleCellRef = Tuple[int, int]
+
+
+class DRAMModule:
+    """A module of identically configured chips sharing one clock."""
+
+    def __init__(self, chips: Sequence[SimulatedDRAMChip]) -> None:
+        if not chips:
+            raise ConfigurationError("a module needs at least one chip")
+        clock = chips[0].clock
+        for chip in chips[1:]:
+            if chip.clock is not clock:
+                raise ConfigurationError("all chips in a module must share one clock")
+        self.chips: List[SimulatedDRAMChip] = list(chips)
+        self.clock = clock
+
+    @classmethod
+    def build(
+        cls,
+        n_chips: int = 32,
+        vendor: VendorModel = VENDOR_B,
+        geometry: ChipGeometry = DEFAULT_GEOMETRY,
+        seed: int = rng_mod.DEFAULT_SEED,
+        clock: Optional[SimClock] = None,
+        max_trefi_s: float = 2.6,
+        max_temperature_c: float = 55.0,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+    ) -> "DRAMModule":
+        """Construct a module of ``n_chips`` identically configured chips."""
+        if n_chips <= 0:
+            raise ConfigurationError(f"n_chips must be positive, got {n_chips!r}")
+        clock = clock if clock is not None else SimClock()
+        chips = [
+            SimulatedDRAMChip(
+                vendor=vendor,
+                geometry=geometry,
+                seed=seed,
+                chip_id=i,
+                clock=clock,
+                max_trefi_s=max_trefi_s,
+                max_temperature_c=max_temperature_c,
+                temperature_c=temperature_c,
+            )
+            for i in range(n_chips)
+        ]
+        return cls(chips)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bits(self) -> int:
+        return sum(chip.capacity_bits for chip in self.chips)
+
+    @property
+    def temperature_c(self) -> float:
+        return self.chips[0].temperature_c
+
+    @property
+    def max_trefi_s(self) -> float:
+        return min(chip.max_trefi_s for chip in self.chips)
+
+    @property
+    def pattern_io_seconds(self) -> float:
+        """One full-module pattern pass: chip IO accumulates linearly."""
+        return sum(chip.pattern_io_seconds for chip in self.chips)
+
+    def expected_ber(self, conditions: Conditions) -> float:
+        """Capacity-weighted average of the chips' analytic BER."""
+        total = sum(chip.expected_ber(conditions) * chip.capacity_bits for chip in self.chips)
+        return total / self.capacity_bits
+
+    # ------------------------------------------------------------------
+    # Command interface (same shape as a single chip)
+    # ------------------------------------------------------------------
+    def set_temperature(self, temperature_c: float) -> None:
+        for chip in self.chips:
+            chip.set_temperature(temperature_c)
+
+    def write_pattern(self, pattern: DataPattern) -> None:
+        for chip in self.chips:
+            chip.write_pattern(pattern)
+
+    def disable_refresh(self) -> None:
+        for chip in self.chips:
+            chip.disable_refresh()
+
+    def enable_refresh(self) -> None:
+        for chip in self.chips:
+            chip.enable_refresh()
+
+    def wait(self, seconds: float) -> None:
+        self.clock.advance(seconds)
+        for chip in self.chips:
+            chip.sync()
+
+    def read_errors(self) -> Set[ModuleCellRef]:
+        """Module-wide failing cells as ``(chip_index, flat_index)`` refs."""
+        failures: Set[ModuleCellRef] = set()
+        for chip_index, chip in enumerate(self.chips):
+            for flat in chip.read_errors():
+                failures.add((chip_index, int(flat)))
+        return failures
+
+    def oracle_failing_set(
+        self,
+        conditions: Conditions,
+        p_min: float = 0.05,
+        window: Optional[Tuple[float, float]] = None,
+    ) -> Set[ModuleCellRef]:
+        failures: Set[ModuleCellRef] = set()
+        for chip_index, chip in enumerate(self.chips):
+            for flat in chip.oracle_failing_set(conditions, p_min=p_min, window=window):
+                failures.add((chip_index, int(flat)))
+        return failures
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        gb = self.capacity_bits / (1 << 30)
+        return f"DRAMModule(chips={len(self.chips)}, capacity={gb:g}Gb)"

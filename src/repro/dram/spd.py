@@ -1,0 +1,137 @@
+"""Serial-presence-detect (SPD) characterization summaries.
+
+Section 6.3 of the paper argues that reliable relaxed-refresh operation
+needs detailed per-chip characterization data, and that "it would be
+reasonable for vendors to provide this data in the on-DIMM serial presence
+detect (SPD)".  This module implements that proposal: a compact, checksummed
+binary blob carrying exactly the summary statistics a reach-profiling system
+needs to pick its operating point -- BER anchors, the temperature
+coefficient, the VRT accumulation power law, and the failure-CDF spread.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+from ..conditions import Conditions
+from ..errors import ConfigurationError
+
+_MAGIC = b"RSPD"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SPDCharacterization:
+    """Per-chip retention characterization summary stored in SPD.
+
+    Attributes
+    ----------
+    vendor:
+        Vendor label.
+    capacity_gigabits:
+        Chip capacity.
+    temp_coefficient:
+        ``k`` of the Eq-1 failure-rate law ``R ~ e^{k dT}``.
+    ber_anchors:
+        ``((trefi_s, ber), ...)`` sample points of the BER curve at the
+        reference temperature -- "a few sample points around the tradeoff
+        space" (Section 6.3).
+    vrt_scale_per_hour / vrt_exponent:
+        The chip-level accumulation power law ``A(t) = scale * t^exponent``
+        in cells/hour.
+    sigma_median_s:
+        Median per-cell failure-CDF standard deviation (Figure 6b).
+    """
+
+    vendor: str
+    capacity_gigabits: float
+    temp_coefficient: float
+    ber_anchors: Tuple[Tuple[float, float], ...]
+    vrt_scale_per_hour: float
+    vrt_exponent: float
+    sigma_median_s: float
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Encode as a checksummed binary SPD blob."""
+        payload = json.dumps(asdict(self), sort_keys=True).encode("utf-8")
+        header = _MAGIC + struct.pack("<HI", _VERSION, len(payload))
+        crc = struct.pack("<I", zlib.crc32(header + payload) & 0xFFFFFFFF)
+        return header + payload + crc
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SPDCharacterization":
+        """Decode and verify a blob produced by :meth:`to_bytes`."""
+        if len(blob) < 14 or blob[:4] != _MAGIC:
+            raise ConfigurationError("not an SPD characterization blob")
+        version, length = struct.unpack("<HI", blob[4:10])
+        if version != _VERSION:
+            raise ConfigurationError(f"unsupported SPD version {version!r}")
+        if len(blob) != 10 + length + 4:
+            raise ConfigurationError("SPD blob length mismatch")
+        payload = blob[10 : 10 + length]
+        (crc,) = struct.unpack("<I", blob[10 + length :])
+        if crc != (zlib.crc32(blob[: 10 + length]) & 0xFFFFFFFF):
+            raise ConfigurationError("SPD blob checksum mismatch")
+        data = json.loads(payload.decode("utf-8"))
+        data["ber_anchors"] = tuple(tuple(a) for a in data["ber_anchors"])
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+    # Interpolation helpers
+    # ------------------------------------------------------------------
+    def ber_at(self, trefi_s: float) -> float:
+        """Log-log interpolate the BER anchors at a refresh interval."""
+        import math
+
+        anchors = sorted(self.ber_anchors)
+        if not anchors:
+            raise ConfigurationError("SPD blob carries no BER anchors")
+        if trefi_s <= anchors[0][0]:
+            return anchors[0][1]
+        if trefi_s >= anchors[-1][0]:
+            return anchors[-1][1]
+        for (t0, b0), (t1, b1) in zip(anchors, anchors[1:]):
+            if t0 <= trefi_s <= t1:
+                if b0 <= 0.0 or b1 <= 0.0:
+                    frac = (trefi_s - t0) / (t1 - t0)
+                    return b0 + frac * (b1 - b0)
+                frac = (math.log(trefi_s) - math.log(t0)) / (math.log(t1) - math.log(t0))
+                return math.exp(math.log(b0) + frac * (math.log(b1) - math.log(b0)))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def accumulation_per_hour(self, trefi_s: float) -> float:
+        """Chip-level VRT accumulation rate at a refresh interval."""
+        return self.vrt_scale_per_hour * trefi_s**self.vrt_exponent
+
+
+def characterize_for_spd(chip, anchor_intervals_s: Tuple[float, ...] = (0.128, 0.256, 0.512, 1.024, 2.048)) -> SPDCharacterization:
+    """Build the SPD summary a vendor would ship for ``chip``.
+
+    Uses the chip's analytic model (a vendor characterizing its own silicon
+    has the luxury of exhaustive testing); anchor intervals are clipped to
+    the chip's configured exposure range.
+    """
+    usable = tuple(t for t in anchor_intervals_s if t <= chip.max_trefi_s)
+    if not usable:
+        raise ConfigurationError("no anchor interval fits within the chip's max_trefi_s")
+    anchors = tuple(
+        (t, chip.expected_ber(Conditions(trefi=t, temperature=45.0))) for t in usable
+    )
+    vendor = chip.vendor
+    capacity_gbit = chip.capacity_bits / (1 << 30)
+    return SPDCharacterization(
+        vendor=vendor.name,
+        capacity_gigabits=capacity_gbit,
+        temp_coefficient=vendor.failure_rate_temp_coeff,
+        ber_anchors=anchors,
+        vrt_scale_per_hour=vendor.vrt_arrival_scale_per_gbit_hour * capacity_gbit,
+        vrt_exponent=vendor.vrt_arrival_exponent,
+        sigma_median_s=vendor.cell_sigma_ln_median_s,
+    )

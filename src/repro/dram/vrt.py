@@ -1,0 +1,205 @@
+"""Variable retention time (VRT) as an episodic stochastic process.
+
+VRT cells alternate between retention states according to a memoryless
+random process (Section 2.3.1).  What a profiler observes is the paper's
+*steady-state new-failure accumulation*: no matter how long you profile,
+previously unseen cells keep failing at a rate ``A(t) = a * t^b`` cells/hour
+(Figure 4), while the size of the per-iteration failing set stays roughly
+constant because cells also *leave* the failing set at about the same rate
+(Figure 3).
+
+We model this directly as a marked Poisson process of *episodes*.  Each
+episode places one cell into a low-retention state:
+
+* arrival intensity for episodes with low-state retention below ``h`` is the
+  vendor's ``A(h, temperature)``;
+* the low-state retention ``mu_low`` of an arrival is distributed with CDF
+  ``(mu/h)^b`` on (0, h] (the density implied by the power law);
+* the episode persists for an exponentially distributed dwell time, after
+  which the cell returns to its strong state.
+
+Episodes are generated lazily up to a fixed horizon; exposures beyond the
+horizon are rejected loudly rather than silently under-counting failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..conditions import REFERENCE_TEMPERATURE_C
+from ..errors import ConfigurationError
+from .geometry import GIBIBIT
+from .vendor import VendorModel
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass
+class _EpisodeBlock:
+    """A batch of episodes generated during one advance."""
+
+    cell_index: np.ndarray
+    mu_low_s: np.ndarray
+    start_s: np.ndarray
+    end_s: np.ndarray
+
+
+def _empty_block() -> _EpisodeBlock:
+    return _EpisodeBlock(
+        cell_index=np.empty(0, dtype=np.int64),
+        mu_low_s=np.empty(0, dtype=np.float64),
+        start_s=np.empty(0, dtype=np.float64),
+        end_s=np.empty(0, dtype=np.float64),
+    )
+
+
+class VRTProcess:
+    """Lazy generator of VRT low-retention episodes for one chip.
+
+    Parameters
+    ----------
+    vendor:
+        Vendor model providing the arrival power law and dwell time.
+    capacity_bits:
+        Chip capacity (arrival intensity scales linearly with it).
+    horizon_s:
+        Largest low-state retention time episodes are generated for.  Must
+        cover the largest *effective* exposure the chip will experience.
+    rng:
+        Source of randomness.
+    start_time_s:
+        Simulated time at which the process begins.
+    """
+
+    def __init__(
+        self,
+        vendor: VendorModel,
+        capacity_bits: int,
+        horizon_s: float,
+        rng: np.random.Generator,
+        start_time_s: float = 0.0,
+    ) -> None:
+        if horizon_s <= 0.0:
+            raise ConfigurationError(f"VRT horizon must be positive, got {horizon_s!r}")
+        self._vendor = vendor
+        self._capacity_bits = int(capacity_bits)
+        self._capacity_gbit = capacity_bits / GIBIBIT
+        self._horizon_s = float(horizon_s)
+        self._rng = rng
+        self._time_s = float(start_time_s)
+        self._blocks: List[_EpisodeBlock] = []
+        self._compacted: _EpisodeBlock = _empty_block()
+
+    # ------------------------------------------------------------------
+    # Time evolution
+    # ------------------------------------------------------------------
+    @property
+    def horizon_s(self) -> float:
+        return self._horizon_s
+
+    @property
+    def time_s(self) -> float:
+        return self._time_s
+
+    def advance_to(self, time_s: float, temperature_c: float = REFERENCE_TEMPERATURE_C) -> None:
+        """Generate episode arrivals in ``(self.time_s, time_s]``.
+
+        The arrival intensity is evaluated at ``temperature_c``; callers that
+        sweep temperature should advance in segments of constant temperature.
+        """
+        if time_s < self._time_s:
+            raise ConfigurationError(
+                f"cannot advance VRT process backwards ({time_s} < {self._time_s})"
+            )
+        dt_s = time_s - self._time_s
+        if dt_s == 0.0:
+            return
+        rate_per_hour = self._vendor.vrt_arrival_rate_per_hour(
+            self._horizon_s, self._capacity_gbit, temperature_c
+        )
+        expected = rate_per_hour * dt_s / _SECONDS_PER_HOUR
+        count = int(self._rng.poisson(expected))
+        if count > 0:
+            b = self._vendor.vrt_arrival_exponent
+            u = self._rng.random(count)
+            mu_low = self._horizon_s * u ** (1.0 / b)
+            starts = self._time_s + self._rng.random(count) * dt_s
+            dwell = self._rng.exponential(self._vendor.vrt_dwell_mean_s, size=count)
+            cells = self._rng.integers(0, self._capacity_bits, size=count, dtype=np.int64)
+            self._blocks.append(
+                _EpisodeBlock(cell_index=cells, mu_low_s=mu_low, start_s=starts, end_s=starts + dwell)
+            )
+        self._time_s = time_s
+
+    def _all_episodes(self) -> _EpisodeBlock:
+        if self._blocks:
+            merged = _EpisodeBlock(
+                cell_index=np.concatenate(
+                    [self._compacted.cell_index] + [b.cell_index for b in self._blocks]
+                ),
+                mu_low_s=np.concatenate(
+                    [self._compacted.mu_low_s] + [b.mu_low_s for b in self._blocks]
+                ),
+                start_s=np.concatenate(
+                    [self._compacted.start_s] + [b.start_s for b in self._blocks]
+                ),
+                end_s=np.concatenate([self._compacted.end_s] + [b.end_s for b in self._blocks]),
+            )
+            self._compacted = merged
+            self._blocks = []
+        return self._compacted
+
+    @property
+    def episode_count(self) -> int:
+        return len(self._all_episodes().cell_index)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _check_exposure(self, exposure_s: float) -> None:
+        # Tolerate float accumulation error at the exact boundary.
+        if exposure_s > self._horizon_s * (1.0 + 1e-9):
+            raise ConfigurationError(
+                f"exposure {exposure_s!r}s exceeds the VRT generation horizon "
+                f"{self._horizon_s!r}s; construct the chip with a larger max_trefi_s"
+            )
+
+    def failing_cells(self, now_s: float, exposure_s: float) -> np.ndarray:
+        """Cells whose episode is active at ``now_s`` and fails the exposure.
+
+        An episode fails the exposure when its low-state retention is below
+        the exposure duration.  VRT low states are modelled as absolute
+        retention values (the arrival intensity already carries the
+        temperature dependence), so no further temperature scaling applies.
+        """
+        self._check_exposure(exposure_s)
+        episodes = self._all_episodes()
+        mask = (
+            (episodes.start_s <= now_s)
+            & (episodes.end_s > now_s)
+            & (episodes.mu_low_s < exposure_s)
+        )
+        return np.unique(episodes.cell_index[mask])
+
+    def episodes_overlapping(
+        self, window_start_s: float, window_end_s: float, exposure_s: float
+    ) -> np.ndarray:
+        """Cells with a failing episode at any point inside the window.
+
+        This is the ground-truth query: "which cells would fail a retention
+        exposure of ``exposure_s`` at some point during the window?" -- used
+        to build oracle failing sets for coverage accounting.
+        """
+        if window_end_s < window_start_s:
+            raise ConfigurationError("window end precedes window start")
+        self._check_exposure(exposure_s)
+        episodes = self._all_episodes()
+        mask = (
+            (episodes.start_s < window_end_s)
+            & (episodes.end_s > window_start_s)
+            & (episodes.mu_low_s < exposure_s)
+        )
+        return np.unique(episodes.cell_index[mask])

@@ -1,0 +1,43 @@
+"""Error-correcting-code substrate.
+
+Provides the binomial UBER/RBER analysis of Section 6.2.2 (:mod:`model`),
+a real SECDED Hamming codec (:mod:`hamming`), and the AVATAR-style
+ECC-scrubbing profiler baseline of Section 3.2 (:mod:`scrubbing`).
+"""
+
+from .bch import BCHDEC, BCHDecodeResult
+from .hamming import DecodeStatus, DecodeResult, HammingSECDED
+from .memory import EccProtectedMemory, ScrubOutcome
+from .model import (
+    ECC2,
+    ECC_STRENGTHS,
+    EccStrength,
+    NO_ECC,
+    SECDED,
+    tolerable_bit_errors,
+    tolerable_rber,
+    uber,
+    uncorrectable_word_probability,
+)
+from .scrubbing import EccScrubber, ScrubReport
+
+__all__ = [
+    "DecodeStatus",
+    "DecodeResult",
+    "HammingSECDED",
+    "BCHDEC",
+    "BCHDecodeResult",
+    "EccStrength",
+    "NO_ECC",
+    "SECDED",
+    "ECC2",
+    "ECC_STRENGTHS",
+    "uber",
+    "uncorrectable_word_probability",
+    "tolerable_rber",
+    "tolerable_bit_errors",
+    "EccScrubber",
+    "ScrubReport",
+    "EccProtectedMemory",
+    "ScrubOutcome",
+]

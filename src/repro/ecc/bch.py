@@ -1,0 +1,237 @@
+"""A double-error-correcting BCH codec (the "ECC-2" of Table 1, concretely).
+
+Binary BCH code over GF(2^7) with designed distance 5: corrects any two bit
+errors and detects many heavier patterns.  The code is shortened to the
+configured data width (64 bits by default), giving a (78, 64) codeword --
+14 parity bits, i.e. roughly the "ECC-2" overhead class the paper's Table 1
+reasons about.
+
+Implementation notes
+--------------------
+* GF(2^7) arithmetic uses exp/log tables over the primitive polynomial
+  x^7 + x^3 + 1.
+* The generator polynomial is lcm(m1, m3), the minimal polynomials of
+  alpha and alpha^3 (degree 14 for this field).
+* Decoding computes syndromes S1 = r(alpha), S3 = r(alpha^3):
+  - S1 = S3 = 0: clean;
+  - S3 == S1^3 (S1 != 0): single error at position log(S1);
+  - otherwise: two errors located by solving the quadratic error locator
+    via Chien search; no (or repeated) roots means an uncorrectable
+    pattern is *detected*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import EccError
+from .hamming import DecodeResult, DecodeStatus
+
+_M = 7
+_FIELD = 1 << _M               # 128
+_N_FULL = _FIELD - 1           # 127: full code length
+_PRIMITIVE_POLY = 0b10001001   # x^7 + x^3 + 1
+
+
+def _build_tables() -> Tuple[List[int], List[int]]:
+    exp = [0] * (2 * _N_FULL)
+    log = [0] * _FIELD
+    value = 1
+    for power in range(_N_FULL):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & _FIELD:
+            value ^= _PRIMITIVE_POLY
+    for power in range(_N_FULL, 2 * _N_FULL):
+        exp[power] = exp[power - _N_FULL]
+    return exp, log
+
+_EXP, _LOG = _build_tables()
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise EccError("zero has no inverse in GF(2^7)")
+    return _EXP[_N_FULL - _LOG[a]]
+
+
+def _gf_pow(a: int, n: int) -> int:
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] * n) % _N_FULL]
+
+
+def _minimal_polynomial(alpha_power: int) -> int:
+    """Minimal polynomial (as a bitmask) of alpha^alpha_power over GF(2)."""
+    # Collect the conjugacy class {a, 2a, 4a, ...} mod (2^m - 1).
+    conjugates = set()
+    power = alpha_power % _N_FULL
+    while power not in conjugates:
+        conjugates.add(power)
+        power = (power * 2) % _N_FULL
+    # poly(x) = product of (x - alpha^c): coefficients live in GF(2^7) but
+    # collapse to GF(2) for a minimal polynomial.
+    poly = [1]
+    for c in conjugates:
+        root = _EXP[c]
+        # Multiply poly by (x + root).
+        next_poly = [0] * (len(poly) + 1)
+        for i, coefficient in enumerate(poly):
+            next_poly[i] ^= _gf_mul(coefficient, root)
+            next_poly[i + 1] ^= coefficient
+        poly = next_poly
+    mask = 0
+    for i, coefficient in enumerate(poly):
+        if coefficient not in (0, 1):
+            raise EccError("minimal polynomial coefficients must collapse to GF(2)")
+        if coefficient:
+            mask |= 1 << i
+    return mask
+
+
+def _poly_mul_gf2(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def _poly_mod_gf2(value: int, divisor: int) -> int:
+    divisor_degree = divisor.bit_length() - 1
+    while value.bit_length() - 1 >= divisor_degree and value:
+        shift = (value.bit_length() - 1) - divisor_degree
+        value ^= divisor << shift
+    return value
+
+
+#: Generator polynomial g(x) = m1(x) * m3(x) (the classes are disjoint).
+_GENERATOR = _poly_mul_gf2(_minimal_polynomial(1), _minimal_polynomial(3))
+_PARITY_BITS = _GENERATOR.bit_length() - 1  # 14
+
+
+@dataclass(frozen=True)
+class BCHDecodeResult(DecodeResult):
+    """Decode result carrying up to two corrected codeword positions."""
+
+    corrected_bits_pair: Optional[Tuple[int, ...]] = None
+
+
+class BCHDEC:
+    """Shortened double-error-correcting BCH codec.
+
+    >>> codec = BCHDEC(64)
+    >>> codec.codeword_bits
+    78
+    >>> word = codec.encode(0x0123456789ABCDEF)
+    >>> codec.decode(word).data == 0x0123456789ABCDEF
+    True
+    """
+
+    correctable = 2
+
+    def __init__(self, data_bits: int = 64) -> None:
+        if data_bits <= 0:
+            raise EccError(f"data_bits must be positive, got {data_bits!r}")
+        if data_bits + _PARITY_BITS > _N_FULL:
+            raise EccError(
+                f"data_bits {data_bits!r} too wide for a length-{_N_FULL} BCH code"
+            )
+        self.data_bits = data_bits
+        self.parity_bits = _PARITY_BITS
+
+    @property
+    def codeword_bits(self) -> int:
+        return self.data_bits + self.parity_bits
+
+    # ------------------------------------------------------------------
+    # Encoding (systematic: codeword = data * x^parity + remainder)
+    # ------------------------------------------------------------------
+    def encode(self, data: int) -> int:
+        if not (0 <= data < (1 << self.data_bits)):
+            raise EccError(f"data does not fit in {self.data_bits} bits")
+        shifted = data << self.parity_bits
+        remainder = _poly_mod_gf2(shifted, _GENERATOR)
+        return shifted | remainder
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _syndromes(self, word: int) -> Tuple[int, int]:
+        s1 = 0
+        s3 = 0
+        for position in range(self.codeword_bits):
+            if (word >> position) & 1:
+                s1 ^= _EXP[position % _N_FULL]
+                s3 ^= _EXP[(3 * position) % _N_FULL]
+        return s1, s3
+
+    def _extract(self, word: int) -> int:
+        return word >> self.parity_bits
+
+    def decode(self, word: int) -> BCHDecodeResult:
+        """Decode, correcting up to two flipped bits."""
+        if not (0 <= word < (1 << self.codeword_bits)):
+            raise EccError(f"codeword does not fit in {self.codeword_bits} bits")
+        s1, s3 = self._syndromes(word)
+        if s1 == 0 and s3 == 0:
+            return BCHDecodeResult(data=self._extract(word), status=DecodeStatus.OK)
+        if s1 != 0 and s3 == _gf_pow(s1, 3):
+            # Single error at position log(S1).
+            position = _LOG[s1]
+            if position >= self.codeword_bits:
+                return BCHDecodeResult(
+                    data=self._extract(word), status=DecodeStatus.DETECTED
+                )
+            corrected = word ^ (1 << position)
+            return BCHDecodeResult(
+                data=self._extract(corrected),
+                status=DecodeStatus.CORRECTED,
+                corrected_bit=position,
+                corrected_bits_pair=(position,),
+            )
+        if s1 == 0:
+            # S1 = 0 with S3 != 0 cannot come from <= 2 errors.
+            return BCHDecodeResult(data=self._extract(word), status=DecodeStatus.DETECTED)
+        # Two errors: locator x^2 + S1*x + (S3/S1 + S1^2) with roots at the
+        # error locations' field elements.  Chien search over the shortened
+        # length only.
+        constant = _gf_mul(s3, _gf_inv(s1)) ^ _gf_pow(s1, 2)
+        roots = []
+        for position in range(self.codeword_bits):
+            x = _EXP[position]
+            value = _gf_pow(x, 2) ^ _gf_mul(s1, x) ^ constant
+            if value == 0:
+                roots.append(position)
+                if len(roots) == 2:
+                    break
+        if len(roots) != 2:
+            return BCHDecodeResult(data=self._extract(word), status=DecodeStatus.DETECTED)
+        corrected = word ^ (1 << roots[0]) ^ (1 << roots[1])
+        # Sanity: the corrected word must be a true codeword.
+        check1, check3 = self._syndromes(corrected)
+        if check1 != 0 or check3 != 0:
+            return BCHDecodeResult(data=self._extract(word), status=DecodeStatus.DETECTED)
+        return BCHDecodeResult(
+            data=self._extract(corrected),
+            status=DecodeStatus.CORRECTED,
+            corrected_bit=roots[0],
+            corrected_bits_pair=tuple(sorted(roots)),
+        )
+
+    # ------------------------------------------------------------------
+    def flip(self, word: int, bit: int) -> int:
+        """Return ``word`` with codeword bit ``bit`` flipped (test helper)."""
+        if not (0 <= bit < self.codeword_bits):
+            raise EccError(f"bit {bit!r} outside codeword of {self.codeword_bits} bits")
+        return word ^ (1 << bit)

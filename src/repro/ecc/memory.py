@@ -1,0 +1,161 @@
+"""An ECC-protected memory array built on the real SECDED codec.
+
+Bridges the analytic UBER model (Section 6.2.2) and the concrete
+:class:`~repro.ecc.hamming.HammingSECDED` codec: store data words, inject
+retention failures (by profile or at a raw bit error rate), scrub, and
+count corrected vs uncorrectable words.  The test suite uses it to verify
+empirically that the binomial Eq-6 model predicts what the codec actually
+experiences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..errors import ConfigurationError, EccError
+from .hamming import DecodeStatus, HammingSECDED
+
+
+@dataclass(frozen=True)
+class ScrubOutcome:
+    """Result of one full scrub pass."""
+
+    words_scanned: int
+    words_clean: int
+    words_corrected: int
+    words_uncorrectable: int
+
+    @property
+    def uncorrectable_fraction(self) -> float:
+        if self.words_scanned == 0:
+            return 0.0
+        return self.words_uncorrectable / self.words_scanned
+
+
+class EccProtectedMemory:
+    """A codec-protected word array with bit-level fault injection.
+
+    Defaults to SECDED; any codec with ``encode``/``decode``/``flip`` and
+    ``codeword_bits``/``data_bits`` works (e.g. the double-error-correcting
+    :class:`~repro.ecc.bch.BCHDEC`).
+    """
+
+    def __init__(
+        self,
+        n_words: int,
+        data_bits: int = 64,
+        seed: int = rng_mod.DEFAULT_SEED,
+        codec=None,
+    ) -> None:
+        if n_words <= 0:
+            raise ConfigurationError("n_words must be positive")
+        self.codec = codec if codec is not None else HammingSECDED(data_bits)
+        if self.codec.data_bits != data_bits:
+            raise ConfigurationError(
+                f"codec data width {self.codec.data_bits} does not match data_bits {data_bits}"
+            )
+        self.n_words = n_words
+        self.data_bits = data_bits
+        self._rng = rng_mod.derive(seed, "ecc-memory")
+        self._stored: List[int] = [0] * n_words
+        self._golden: List[int] = [0] * n_words
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write(self, index: int, data: int) -> None:
+        self._check_index(index)
+        word = self.codec.encode(data)
+        self._stored[index] = word
+        self._golden[index] = data
+
+    def fill_random(self) -> None:
+        """Write random data into every word."""
+        for index in range(self.n_words):
+            data = int(self._rng.integers(0, 1 << min(self.data_bits, 62), dtype=np.int64))
+            self.write(index, data)
+
+    def read(self, index: int):
+        """Decode one word; returns the :class:`DecodeResult`."""
+        self._check_index(index)
+        return self.codec.decode(self._stored[index])
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_cell_failures(self, cells: Iterable[int]) -> int:
+        """Flip specific codeword bits, addressed as flat bit indices.
+
+        Bit ``i`` lives in word ``i // codeword_bits`` at position
+        ``i % codeword_bits`` -- the layout a retention profile over an
+        ECC-protected array maps to.  Returns the number of flips applied.
+        """
+        flips = 0
+        width = self.codec.codeword_bits
+        for cell in cells:
+            index = int(cell) // width
+            bit = int(cell) % width
+            if index >= self.n_words:
+                raise ConfigurationError(f"cell {cell} beyond the array")
+            self._stored[index] = self.codec.flip(self._stored[index], bit)
+            flips += 1
+        return flips
+
+    def inject_random_failures(self, rber: float) -> int:
+        """Flip each codeword bit independently with probability ``rber``."""
+        if not (0.0 <= rber <= 1.0):
+            raise ConfigurationError("rber must lie in [0, 1]")
+        width = self.codec.codeword_bits
+        total_bits = self.n_words * width
+        n_flips = int(self._rng.binomial(total_bits, rber))
+        positions = self._rng.choice(total_bits, size=n_flips, replace=False)
+        self.inject_cell_failures(int(p) for p in positions)
+        return n_flips
+
+    # ------------------------------------------------------------------
+    # Scrubbing
+    # ------------------------------------------------------------------
+    def scrub(self, repair: bool = True) -> ScrubOutcome:
+        """Decode every word; optionally rewrite corrected/clean words.
+
+        Uncorrectable words are left untouched (the system would raise a
+        machine check); corrected words are re-encoded from the recovered
+        data, clearing the single-bit error.
+        """
+        clean = corrected = uncorrectable = 0
+        for index in range(self.n_words):
+            result = self.codec.decode(self._stored[index])
+            if result.status is DecodeStatus.OK:
+                clean += 1
+            elif result.status is DecodeStatus.CORRECTED:
+                corrected += 1
+                if repair:
+                    self._stored[index] = self.codec.encode(result.data)
+            else:
+                uncorrectable += 1
+        return ScrubOutcome(
+            words_scanned=self.n_words,
+            words_clean=clean,
+            words_corrected=corrected,
+            words_uncorrectable=uncorrectable,
+        )
+
+    def verify_against_golden(self) -> int:
+        """Count words whose decoded data no longer matches what was written.
+
+        Silent data corruption: an uncorrectable (or miscorrected) word
+        whose decode differs from the original data.
+        """
+        mismatches = 0
+        for index in range(self.n_words):
+            if self.codec.decode(self._stored[index]).data != self._golden[index]:
+                mismatches += 1
+        return mismatches
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.n_words):
+            raise ConfigurationError(f"word index {index} out of range [0, {self.n_words})")

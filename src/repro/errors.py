@@ -1,0 +1,43 @@
+"""Exception hierarchy for the REAPER reproduction library.
+
+Every exception raised by this package derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from protocol
+violations at the simulated DRAM command interface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model, geometry, or experiment was configured with invalid values."""
+
+
+class CommandSequenceError(ReproError, RuntimeError):
+    """A DRAM command was issued in an invalid order.
+
+    The simulated chips enforce the same protocol a SoftMC-style testing
+    infrastructure would: data must be written before errors can be read,
+    refresh must be disabled before a retention exposure can accumulate,
+    and so on.
+    """
+
+
+class ProfilingError(ReproError, RuntimeError):
+    """A profiling run could not be completed as requested."""
+
+
+class EccError(ReproError, RuntimeError):
+    """An ECC codec was asked to do something it cannot (e.g. bad word size)."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A mitigation mechanism ran out of spare capacity for failing cells."""
+
+
+class ClockError(ReproError, RuntimeError):
+    """Simulated time was manipulated in a non-monotonic way."""

@@ -1,0 +1,112 @@
+"""Thermally controlled test chamber (Section 4 of the paper).
+
+A first-order thermal plant (heater input versus loss to the room) closed
+under a PID loop.  The chamber holds ambient temperature to within 0.25 degC
+over a reliable range of 40-55 degC; DRAM device temperature sits 15 degC
+above ambient, maintained by a separate local heating source.  The residual
+control noise is deliberately retained -- it is the source of the "not
+perfectly smooth" contours the paper notes under Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..clock import SimClock
+from ..conditions import (
+    CHAMBER_MAX_AMBIENT_C,
+    CHAMBER_MIN_AMBIENT_C,
+    DRAM_SELF_HEATING_C,
+)
+from ..errors import ConfigurationError
+from .pid import PIDController
+
+#: Guaranteed control accuracy (degC) once settled.
+CHAMBER_ACCURACY_C = 0.25
+
+
+class ThermalChamber:
+    """PID-stabilized ambient-temperature chamber."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        room_temperature_c: float = 22.0,
+        initial_ambient_c: float = 40.0,
+        seed: int = rng_mod.DEFAULT_SEED,
+        control_period_s: float = 1.0,
+    ) -> None:
+        if control_period_s <= 0.0:
+            raise ConfigurationError("control period must be positive")
+        self.clock = clock if clock is not None else SimClock()
+        self.room_temperature_c = room_temperature_c
+        self.control_period_s = control_period_s
+        self._ambient_c = float(initial_ambient_c)
+        self._rng = rng_mod.derive(seed, "chamber")
+        # Plant constants: heater ~0.5 degC/s at full power, loss time
+        # constant of a few minutes -- a small bench chamber.
+        self._heater_gain_c_per_s = 0.5
+        self._loss_per_s = 0.002
+        self._noise_c = 0.05
+        self._pid = PIDController(kp=0.8, ki=0.01, kd=2.0, setpoint=initial_ambient_c)
+
+    # ------------------------------------------------------------------
+    @property
+    def ambient_c(self) -> float:
+        return self._ambient_c
+
+    @property
+    def dram_temperature_c(self) -> float:
+        """Device temperature: ambient plus the local-heater offset."""
+        return self._ambient_c + DRAM_SELF_HEATING_C
+
+    @property
+    def setpoint_c(self) -> float:
+        return self._pid.setpoint
+
+    # ------------------------------------------------------------------
+    def set_target(self, ambient_c: float) -> None:
+        """Retarget the chamber within its reliable range."""
+        if not (CHAMBER_MIN_AMBIENT_C <= ambient_c <= CHAMBER_MAX_AMBIENT_C):
+            raise ConfigurationError(
+                f"target {ambient_c!r} degC outside the chamber's reliable range "
+                f"[{CHAMBER_MIN_AMBIENT_C}, {CHAMBER_MAX_AMBIENT_C}]"
+            )
+        self._pid.reset(setpoint=ambient_c)
+
+    def step(self, dt_s: Optional[float] = None) -> float:
+        """Advance the plant and controller one period; returns ambient."""
+        dt = dt_s if dt_s is not None else self.control_period_s
+        power = self._pid.step(self._ambient_c, dt)
+        heating = self._heater_gain_c_per_s * power
+        loss = self._loss_per_s * (self._ambient_c - self.room_temperature_c)
+        noise = self._rng.normal(0.0, self._noise_c) * np.sqrt(dt)
+        self._ambient_c += (heating - loss) * dt + noise
+        self.clock.advance(dt)
+        return self._ambient_c
+
+    def settle(self, tolerance_c: float = CHAMBER_ACCURACY_C, max_seconds: float = 3600.0) -> float:
+        """Run the loop until ambient holds within tolerance of the setpoint.
+
+        Requires the error to stay inside the tolerance band for 30
+        consecutive control periods; returns the seconds spent settling.
+        Raises :class:`~repro.errors.ConfigurationError` when the chamber
+        cannot settle within ``max_seconds`` (e.g. unreachable setpoint).
+        """
+        start = self.clock.now
+        consecutive = 0
+        required = 30
+        while self.clock.now - start < max_seconds:
+            self.step()
+            if abs(self._ambient_c - self._pid.setpoint) <= tolerance_c:
+                consecutive += 1
+                if consecutive >= required:
+                    return self.clock.now - start
+            else:
+                consecutive = 0
+        raise ConfigurationError(
+            f"chamber failed to settle at {self._pid.setpoint} degC within {max_seconds}s"
+        )

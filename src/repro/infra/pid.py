@@ -1,0 +1,67 @@
+"""A discrete PID controller.
+
+The paper's testing infrastructure maintains ambient temperature "using
+heaters and fans controlled via a microcontroller-based PID loop to within
+an accuracy of 0.25 degC" (Section 4).  This is that loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class PIDController:
+    """Proportional-integral-derivative controller with output clamping.
+
+    Parameters
+    ----------
+    kp, ki, kd:
+        Controller gains.
+    setpoint:
+        Target process value.
+    output_limits:
+        (low, high) clamp on the control output; the integral term uses
+        conditional integration (no wind-up past the clamp).
+    """
+
+    kp: float
+    ki: float
+    kd: float
+    setpoint: float
+    output_limits: Tuple[float, float] = (0.0, 1.0)
+    _integral: float = field(default=0.0, repr=False)
+    _last_error: float = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        low, high = self.output_limits
+        if low >= high:
+            raise ConfigurationError(f"output limits must satisfy low < high, got {self.output_limits!r}")
+
+    def reset(self, setpoint: float = None) -> None:  # type: ignore[assignment]
+        """Clear controller state (and optionally retarget)."""
+        self._integral = 0.0
+        self._last_error = None
+        if setpoint is not None:
+            self.setpoint = setpoint
+
+    def step(self, measurement: float, dt: float) -> float:
+        """Advance the controller one sample period; returns the control output."""
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt!r}")
+        error = self.setpoint - measurement
+        derivative = 0.0 if self._last_error is None else (error - self._last_error) / dt
+        self._last_error = error
+
+        candidate_integral = self._integral + error * dt
+        low, high = self.output_limits
+        unclamped = self.kp * error + self.ki * candidate_integral + self.kd * derivative
+        if low <= unclamped <= high:
+            # Only integrate while inside the actuator's range (anti-windup).
+            self._integral = candidate_integral
+            return unclamped
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        return min(max(output, low), high)

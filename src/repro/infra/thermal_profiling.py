@@ -1,0 +1,104 @@
+"""Temperature-based reach profiling through the thermal chamber.
+
+REAPER's firmware implementation only manipulates the refresh interval
+(Section 7.1), but the paper's characterization shows temperature is an
+equivalent reach knob (~10 degC per ~1 s near 45 degC, Figure 8).  For
+systems that *do* control temperature -- a burn-in chamber, a maintenance
+window with fan control -- this module runs the full operational loop:
+raise the chamber setpoint, wait for the PID loop to settle, profile every
+chip at the elevated temperature, then restore the original ambient.
+
+All the costs are real simulated time: chamber settling is typically
+minutes, which is exactly why the paper's firmware prefers the
+refresh-interval knob for frequent online rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..conditions import Conditions
+from ..core.bruteforce import BruteForceProfiler
+from ..core.profile import RetentionProfile
+from ..errors import ConfigurationError
+from ..patterns import STANDARD_PATTERNS, DataPattern
+from .testbed import TestBed
+
+
+@dataclass(frozen=True)
+class ThermalReachReport:
+    """Outcome of one thermal-reach profiling session."""
+
+    profiles: Dict[int, RetentionProfile]
+    target: Conditions
+    profiling_ambient_c: float
+    heat_up_seconds: float
+    cool_down_seconds: float
+    profiling_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.heat_up_seconds + self.profiling_seconds + self.cool_down_seconds
+
+    @property
+    def thermal_overhead_fraction(self) -> float:
+        """Share of the session spent waiting on the chamber, not profiling."""
+        if self.total_seconds == 0.0:
+            return 0.0
+        return (self.heat_up_seconds + self.cool_down_seconds) / self.total_seconds
+
+
+def profile_with_thermal_reach(
+    bed: TestBed,
+    target: Conditions,
+    delta_temperature_c: float,
+    iterations: int = 5,
+    patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+) -> ThermalReachReport:
+    """Profile every chip in the testbed at target + delta temperature.
+
+    The profiling *interval* stays at the target interval -- the reach comes
+    entirely from temperature, exercising the other axis of Figures 9/10.
+    The chamber settling times on both edges are accounted against the
+    session, and the original ambient is restored even if profiling fails.
+    """
+    if delta_temperature_c <= 0.0:
+        raise ConfigurationError("thermal reach needs a positive temperature delta")
+    if not bed.chips:
+        raise ConfigurationError("the testbed has no chips to profile")
+    original_ambient = bed.chamber.setpoint_c
+    hot_ambient = target.temperature + delta_temperature_c
+
+    heat_up = bed.set_ambient(hot_ambient)
+    try:
+        t0 = bed.clock.now
+        profiler = BruteForceProfiler(patterns=patterns, iterations=iterations)
+        profiles: Dict[int, RetentionProfile] = {}
+        for chip in bed.chips:
+            raw = profiler.run(
+                chip, Conditions(trefi=target.trefi, temperature=chip.temperature_c)
+            )
+            # Re-label: the profile targets the original conditions.
+            profiles[chip.chip_id] = RetentionProfile(
+                failing=raw.failing,
+                profiling_conditions=raw.profiling_conditions,
+                target_conditions=target,
+                patterns=raw.patterns,
+                iterations=raw.iterations,
+                runtime_seconds=raw.runtime_seconds,
+                started_at=raw.started_at,
+                records=raw.records,
+                mechanism="reach-thermal",
+            )
+        profiling_seconds = bed.clock.now - t0
+    finally:
+        cool_down = bed.set_ambient(original_ambient)
+    return ThermalReachReport(
+        profiles=profiles,
+        target=target,
+        profiling_ambient_c=hot_ambient,
+        heat_up_seconds=heat_up,
+        cool_down_seconds=cool_down,
+        profiling_seconds=profiling_seconds,
+    )

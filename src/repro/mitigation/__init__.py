@@ -1,0 +1,27 @@
+"""Retention failure mitigation mechanisms (Section 3.1 / Section 7.1).
+
+All mechanisms share the :class:`~repro.mitigation.base.MitigationMechanism`
+interface so REAPER can feed any of them the failing cells it discovers.
+"""
+
+from .archshield import ArchShield, word_key
+from .base import MitigationMechanism, row_key
+from .binning import update_raidr_bins
+from .bloom import BloomFilter
+from .raidr import RAIDR
+from .rapid import RAPID
+from .rowmapout import RowMapOut
+from .secret import SECRET
+
+__all__ = [
+    "MitigationMechanism",
+    "row_key",
+    "word_key",
+    "BloomFilter",
+    "ArchShield",
+    "RAIDR",
+    "RAPID",
+    "SECRET",
+    "RowMapOut",
+    "update_raidr_bins",
+]

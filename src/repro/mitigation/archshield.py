@@ -1,0 +1,121 @@
+"""ArchShield-style architectural fault tolerance (Nair et al., ISCA 2013;
+paper Section 7.1.1).
+
+ArchShield reserves a slice of DRAM (4% in the paper) for a *FaultMap* plus
+replicas of faulty words.  The memory controller checks each access against
+the FaultMap; accesses to words with known-faulty cells are additionally
+served from the replica area.  REAPER feeds ArchShield by writing all
+discovered failing cells into the FaultMap after each profiling round.
+
+The model here tracks word-granularity entries, enforces the reserved-area
+capacity, and exposes the two quantities the end-to-end evaluation needs:
+DRAM capacity overhead and the expected slowdown from replica accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+from ..errors import CapacityError, ConfigurationError
+from .base import MitigationMechanism
+
+
+def word_key(cell: Hashable, bits_per_word: int) -> Hashable:
+    """Map a cell reference to its data-word reference.
+
+    Integer cell ids map to integer word ids; ``(chip, flat)`` module refs
+    map to ``(chip, word)``.
+    """
+    if isinstance(cell, tuple):
+        chip, flat = cell
+        return (chip, int(flat) // bits_per_word)
+    return int(cell) // bits_per_word
+
+
+class ArchShield(MitigationMechanism):
+    """Word-replication fault map held in reserved DRAM.
+
+    Parameters
+    ----------
+    capacity_bits:
+        Total DRAM capacity being protected.
+    reserve_fraction:
+        Fraction of DRAM set aside for the FaultMap and replicas (paper: 4%).
+    bits_per_word:
+        Data word granularity of FaultMap entries (64-bit words).
+    entry_overhead_bits:
+        Reserved-area cost of one faulty word: its replica plus FaultMap
+        bookkeeping.
+    replica_access_penalty:
+        Relative cost of an access that must also touch the replica area
+        (an extra DRAM access, i.e. ~2x on that access).
+    """
+
+    name = "ArchShield"
+
+    def __init__(
+        self,
+        capacity_bits: int,
+        reserve_fraction: float = 0.04,
+        bits_per_word: int = 64,
+        entry_overhead_bits: int = 128,
+        replica_access_penalty: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if capacity_bits <= 0:
+            raise ConfigurationError("capacity_bits must be positive")
+        if not (0.0 < reserve_fraction < 1.0):
+            raise ConfigurationError("reserve_fraction must lie in (0, 1)")
+        self.capacity_bits = capacity_bits
+        self.reserve_fraction = reserve_fraction
+        self.bits_per_word = bits_per_word
+        self.entry_overhead_bits = entry_overhead_bits
+        self.replica_access_penalty = replica_access_penalty
+        self._entries: Dict[Hashable, int] = {}  # word -> faulty-cell count
+
+    # ------------------------------------------------------------------
+    @property
+    def max_entries(self) -> int:
+        """Faulty words the reserved area can hold."""
+        return int(self.capacity_bits * self.reserve_fraction) // self.entry_overhead_bits
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the reserved area in use."""
+        return self.entry_count / self.max_entries if self.max_entries else 1.0
+
+    @property
+    def capacity_overhead_fraction(self) -> float:
+        """DRAM given up for the mechanism (fixed by the reservation)."""
+        return self.reserve_fraction
+
+    def _absorb(self, new_cells: Iterable[Hashable]) -> None:
+        for cell in new_cells:
+            word = word_key(cell, self.bits_per_word)
+            if word not in self._entries:
+                if len(self._entries) >= self.max_entries:
+                    raise CapacityError(
+                        f"ArchShield FaultMap full ({self.max_entries} entries); "
+                        "the reach conditions produce more (true + false positive) "
+                        "failures than the reserved area can replicate"
+                    )
+                self._entries[word] = 0
+            self._entries[word] += 1
+
+    def word_is_faulty(self, word: Hashable) -> bool:
+        return word in self._entries
+
+    def expected_slowdown(self, faulty_access_fraction: float) -> float:
+        """Average access-cost multiplier given a faulty-word access rate.
+
+        The paper reports ~1% overall performance cost at a 1024 ms refresh
+        interval; this corresponds to a small ``faulty_access_fraction``
+        because faulty words are rare and caching filters most accesses.
+        """
+        if not (0.0 <= faulty_access_fraction <= 1.0):
+            raise ConfigurationError("faulty_access_fraction must lie in [0, 1]")
+        return 1.0 + faulty_access_fraction * self.replica_access_penalty

@@ -1,0 +1,68 @@
+"""Common interface of retention failure mitigation mechanisms (Section 3.1).
+
+Reach profiling produces a set of failing cells; a *mitigation mechanism*
+is whatever the system uses to operate correctly despite them -- remapping,
+multi-rate refresh, spare cells, or discarding addresses.  Every mechanism
+here implements the same small interface so REAPER can drive any of them:
+
+* :meth:`MitigationMechanism.ingest` absorbs newly discovered failing cells
+  and returns how many were previously unknown;
+* :meth:`MitigationMechanism.covers` answers whether a cell is protected;
+* :attr:`MitigationMechanism.known_cell_count` sizes the mechanism's load,
+  which is what false positives inflate.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Hashable, Iterable, Set
+
+
+def row_key(cell: Hashable, bits_per_row: int) -> Hashable:
+    """Map a cell reference to its row reference.
+
+    Integer cell ids map to integer (bank-major global) row ids;
+    ``(chip, flat)`` module refs map to ``(chip, row)``.
+    """
+    if isinstance(cell, tuple):
+        chip, flat = cell
+        return (chip, int(flat) // bits_per_row)
+    return int(cell) // bits_per_row
+
+
+class MitigationMechanism(abc.ABC):
+    """Base class for all retention failure mitigation mechanisms."""
+
+    #: Human-readable mechanism name.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._known: Set[Hashable] = set()
+
+    @property
+    def known_cell_count(self) -> int:
+        """Number of distinct failing cells the mechanism is carrying."""
+        return len(self._known)
+
+    @property
+    def known_cells(self) -> FrozenSet[Hashable]:
+        return frozenset(self._known)
+
+    def ingest(self, cells: Iterable[Hashable]) -> int:
+        """Absorb failing cells; returns the count of previously unknown ones."""
+        new_cells = [c for c in cells if c not in self._known]
+        if new_cells:
+            self._absorb(new_cells)
+            self._known.update(new_cells)
+        return len(new_cells)
+
+    def covers(self, cell: Hashable) -> bool:
+        """Whether accesses touching ``cell`` are protected by the mechanism."""
+        return cell in self._known
+
+    @abc.abstractmethod
+    def _absorb(self, new_cells: Iterable[Hashable]) -> None:
+        """Mechanism-specific handling of newly discovered failing cells."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"{type(self).__name__}(known_cells={self.known_cell_count})"

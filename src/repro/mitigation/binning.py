@@ -1,0 +1,61 @@
+"""Multi-interval row binning for RAIDR (Section 7.1.2).
+
+REAPER's single-target profiles tell RAIDR only "this row cannot sustain
+the relaxed interval".  Profiling at a *ladder* of intervals recovers
+per-row retention classes: a row whose weakest cell fails an exposure of
+``bin_intervals[i+1]`` must be refreshed at ``bin_intervals[i]`` or faster.
+This module runs that ladder (optionally with reach profiling at each rung)
+and populates a :class:`~repro.mitigation.raidr.RAIDR` instance's bins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence
+
+from ..conditions import Conditions, ReachDelta
+from ..core.bruteforce import BruteForceProfiler
+from ..core.reach import ReachProfiler
+from ..errors import ConfigurationError
+from .base import row_key
+from .raidr import RAIDR
+
+
+def update_raidr_bins(
+    device,
+    raidr: RAIDR,
+    temperature_c: float = 45.0,
+    iterations: int = 2,
+    reach: Optional[ReachDelta] = None,
+) -> Dict[Hashable, int]:
+    """Profile a ladder of intervals and place rows into RAIDR bins.
+
+    For bins at intervals ``[b0, b1, ..., bk]`` with relaxed interval ``R``,
+    the ladder tests exposures ``[b1, ..., bk, R]``: a row first failing at
+    the exposure ``b_{i+1}`` lands in bin ``i`` (refreshed at ``b_i``), and
+    rows failing only at ``R`` land in the last bin.  Rows never failing
+    stay at the relaxed interval.
+
+    Returns the mapping of rows to their assigned bin index.
+    """
+    exposures = list(raidr.bin_intervals_s[1:]) + [raidr.relaxed_interval_s]
+    headroom = reach.delta_trefi if reach is not None else 0.0
+    if any(e + headroom > device.max_trefi_s for e in exposures):
+        raise ConfigurationError(
+            "the bin ladder tests exposures beyond the device's max_trefi_s"
+        )
+    if reach is not None:
+        profiler = ReachProfiler(reach=reach, iterations=iterations)
+        run = lambda conditions: profiler.run(device, conditions)  # noqa: E731
+    else:
+        brute = BruteForceProfiler(iterations=iterations)
+        run = lambda conditions: brute.run(device, conditions)  # noqa: E731
+
+    assigned: Dict[Hashable, int] = {}
+    for bin_index, exposure in enumerate(exposures):
+        profile = run(Conditions(trefi=exposure, temperature=temperature_c))
+        for cell in profile.failing:
+            row = row_key(cell, raidr.bits_per_row)
+            if row not in assigned:
+                assigned[row] = bin_index
+                raidr.assign_row(row, bin_index)
+    return assigned

@@ -1,0 +1,87 @@
+"""A classic Bloom filter.
+
+RAIDR stores its retention-time bins in Bloom filters so the memory
+controller can test row membership in constant space.  The filter never
+produces false negatives (a row recorded as weak is always treated as
+weak -- the safety-critical direction); false positives merely cause some
+strong rows to be refreshed more often than necessary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable
+
+from ..errors import ConfigurationError
+
+
+def _item_bytes(item: Hashable) -> bytes:
+    if isinstance(item, bytes):
+        return b"b:" + item
+    if isinstance(item, str):
+        return b"s:" + item.encode("utf-8")
+    if isinstance(item, int):
+        return b"i:" + str(item).encode("ascii")
+    if isinstance(item, tuple):
+        return b"t:" + b"|".join(_item_bytes(part) for part in item)
+    raise ConfigurationError(f"unsupported Bloom filter item type {type(item).__name__}")
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter with ``k`` independent hash functions."""
+
+    def __init__(self, size_bits: int, n_hashes: int) -> None:
+        if size_bits <= 0:
+            raise ConfigurationError(f"size_bits must be positive, got {size_bits!r}")
+        if n_hashes <= 0:
+            raise ConfigurationError(f"n_hashes must be positive, got {n_hashes!r}")
+        self.size_bits = size_bits
+        self.n_hashes = n_hashes
+        self._bits = bytearray((size_bits + 7) // 8)
+        self._count = 0
+
+    @classmethod
+    def for_capacity(cls, expected_items: int, target_fp_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for an expected load and false-positive budget."""
+        if expected_items <= 0:
+            raise ConfigurationError("expected_items must be positive")
+        if not (0.0 < target_fp_rate < 1.0):
+            raise ConfigurationError("target_fp_rate must lie in (0, 1)")
+        size = max(8, int(math.ceil(-expected_items * math.log(target_fp_rate) / (math.log(2) ** 2))))
+        hashes = max(1, int(round(size / expected_items * math.log(2))))
+        return cls(size_bits=size, n_hashes=hashes)
+
+    # ------------------------------------------------------------------
+    def _positions(self, item: Hashable):
+        payload = _item_bytes(item)
+        for i in range(self.n_hashes):
+            digest = hashlib.blake2b(payload, digest_size=8, salt=str(i).encode()[:16]).digest()
+            yield int.from_bytes(digest, "big") % self.size_bits
+
+    def add(self, item: Hashable) -> None:
+        for pos in self._positions(item):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self._count += 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return all(self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item))
+
+    # ------------------------------------------------------------------
+    @property
+    def items_added(self) -> int:
+        """Number of adds performed (duplicates counted)."""
+        return self._count
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of filter bits set."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.size_bits
+
+    def expected_fp_rate(self) -> float:
+        """Analytic false-positive probability at the current load."""
+        if self._count == 0:
+            return 0.0
+        exponent = -self.n_hashes * self._count / self.size_bits
+        return (1.0 - math.exp(exponent)) ** self.n_hashes

@@ -1,0 +1,142 @@
+"""RAIDR-style multi-rate refresh (Liu et al., ISCA 2012; Section 7.1.2).
+
+RAIDR bins DRAM rows by the retention time of their weakest cell and
+refreshes each bin at its own rate: rows containing cells that fail at the
+relaxed target interval stay at a conservative rate, everything else is
+refreshed at the (much longer) target interval.  Bin membership lives in
+Bloom filters -- false positives only ever move rows to *more* conservative
+bins, preserving correctness.
+
+REAPER integration: after each profiling round, every row containing a
+discovered failing cell is inserted into the conservative bin
+(:meth:`RAIDR.ingest` via the base-class interface).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .base import MitigationMechanism, row_key
+from .bloom import BloomFilter
+
+
+class RAIDR(MitigationMechanism):
+    """Multi-rate refresh with Bloom-filter row bins.
+
+    Parameters
+    ----------
+    total_rows:
+        Number of refreshable rows in the protected DRAM.
+    bits_per_row:
+        Row size, for mapping failing cells to rows.
+    bin_intervals_s:
+        Refresh interval of each conservative bin, ascending (e.g. the
+        classic RAIDR uses 64 ms and 128 ms bins).  Rows not in any bin are
+        refreshed at ``relaxed_interval_s``.
+    relaxed_interval_s:
+        The target refresh interval for strong rows.
+    expected_weak_rows / bloom_fp_target:
+        Sizing of each bin's Bloom filter.
+    """
+
+    name = "RAIDR"
+
+    def __init__(
+        self,
+        total_rows: int,
+        bits_per_row: int,
+        relaxed_interval_s: float,
+        bin_intervals_s: Sequence[float] = (0.064,),
+        expected_weak_rows: int = 4096,
+        bloom_fp_target: float = 0.01,
+    ) -> None:
+        super().__init__()
+        if total_rows <= 0 or bits_per_row <= 0:
+            raise ConfigurationError("row geometry must be positive")
+        if not bin_intervals_s or list(bin_intervals_s) != sorted(bin_intervals_s):
+            raise ConfigurationError("bin intervals must be non-empty and ascending")
+        if relaxed_interval_s <= bin_intervals_s[-1]:
+            raise ConfigurationError(
+                "the relaxed interval must exceed every conservative bin interval"
+            )
+        self.total_rows = total_rows
+        self.bits_per_row = bits_per_row
+        self.relaxed_interval_s = relaxed_interval_s
+        self.bin_intervals_s = tuple(bin_intervals_s)
+        self._bins: List[BloomFilter] = [
+            BloomFilter.for_capacity(expected_weak_rows, bloom_fp_target)
+            for _ in bin_intervals_s
+        ]
+        self._bin_rows: List[set] = [set() for _ in bin_intervals_s]
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _absorb(self, new_cells: Iterable[Hashable]) -> None:
+        # Cells discovered at the target interval go into the *most
+        # conservative* bin: all we know is that they cannot sustain the
+        # relaxed interval.
+        for cell in new_cells:
+            self.assign_row(row_key(cell, self.bits_per_row), bin_index=0)
+
+    def assign_row(self, row: Hashable, bin_index: int) -> None:
+        """Place a row into a specific conservative bin.
+
+        Systems with per-row retention estimates (e.g. from multi-interval
+        profiling) can spread rows across bins; REAPER's single-target
+        profiles use bin 0.
+        """
+        if not (0 <= bin_index < len(self._bins)):
+            raise ConfigurationError(f"bin index {bin_index!r} out of range")
+        if row not in self._bin_rows[bin_index]:
+            self._bin_rows[bin_index].add(row)
+            self._bins[bin_index].add(row)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def refresh_interval_for_row(self, row: Hashable) -> float:
+        """The rate the memory controller applies to one row.
+
+        Checks bins from most to least conservative; Bloom false positives
+        therefore only shorten a row's interval (safe direction).
+        """
+        for interval, bloom in zip(self.bin_intervals_s, self._bins):
+            if row in bloom:
+                return interval
+        return self.relaxed_interval_s
+
+    def bin_row_count(self, bin_index: int) -> int:
+        """Rows actually recorded in a bin (excluding Bloom false positives)."""
+        return len(self._bin_rows[bin_index])
+
+    def refreshes_per_second(self, include_bloom_fp: bool = True) -> float:
+        """Aggregate row-refresh rate of the binned schedule.
+
+        With ``include_bloom_fp`` the strong-row population is inflated by
+        each filter's expected false-positive rate, charging the true cost
+        of the Bloom representation.
+        """
+        rate = 0.0
+        binned = 0
+        strong_rows = self.total_rows - sum(len(rows) for rows in self._bin_rows)
+        for interval, bloom, rows in zip(self.bin_intervals_s, self._bins, self._bin_rows):
+            count = float(len(rows))
+            if include_bloom_fp:
+                count += strong_rows * bloom.expected_fp_rate()
+            rate += count / interval
+            binned += len(rows)
+        remaining = self.total_rows - binned
+        if include_bloom_fp:
+            fp_total = sum(
+                strong_rows * bloom.expected_fp_rate() for bloom in self._bins
+            )
+            remaining = max(remaining - fp_total, 0.0)
+        rate += remaining / self.relaxed_interval_s
+        return rate
+
+    def refresh_savings_fraction(self, baseline_interval_s: float = 0.064) -> float:
+        """Refresh operations avoided versus refreshing every row at baseline."""
+        baseline = self.total_rows / baseline_interval_s
+        return 1.0 - self.refreshes_per_second() / baseline

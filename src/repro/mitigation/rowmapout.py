@@ -1,0 +1,67 @@
+"""Address-space row map-out (the introductory example of Section 1).
+
+The simplest mitigation the paper sketches: the memory controller removes
+addresses containing failing cells from the system address space entirely.
+Capacity cost is paid in whole rows, so this mechanism is the most sensitive
+of all to profiling false positives -- each false positive can discard an
+entire healthy row.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Set
+
+from ..errors import CapacityError, ConfigurationError
+from .base import MitigationMechanism, row_key
+
+
+class RowMapOut(MitigationMechanism):
+    """Map rows with failing cells out of the system address space."""
+
+    name = "RowMapOut"
+
+    def __init__(
+        self,
+        total_rows: int,
+        bits_per_row: int,
+        max_mapped_fraction: float = 0.05,
+    ) -> None:
+        super().__init__()
+        if total_rows <= 0 or bits_per_row <= 0:
+            raise ConfigurationError("row geometry must be positive")
+        if not (0.0 < max_mapped_fraction <= 1.0):
+            raise ConfigurationError("max_mapped_fraction must lie in (0, 1]")
+        self.total_rows = total_rows
+        self.bits_per_row = bits_per_row
+        self.max_mapped_fraction = max_mapped_fraction
+        self._mapped_rows: Set[Hashable] = set()
+
+    @property
+    def mapped_row_count(self) -> int:
+        return len(self._mapped_rows)
+
+    @property
+    def capacity_loss_fraction(self) -> float:
+        """Fraction of DRAM removed from the address space."""
+        return len(self._mapped_rows) / self.total_rows
+
+    def _absorb(self, new_cells: Iterable[Hashable]) -> None:
+        budget_rows = int(self.total_rows * self.max_mapped_fraction)
+        for cell in new_cells:
+            row = row_key(cell, self.bits_per_row)
+            if row not in self._mapped_rows:
+                if len(self._mapped_rows) >= budget_rows:
+                    raise CapacityError(
+                        f"row map-out budget exhausted ({budget_rows} rows, "
+                        f"{self.max_mapped_fraction:.0%} of capacity); false "
+                        "positives are costing whole rows -- use gentler reach "
+                        "conditions or a cell-granularity mechanism"
+                    )
+                self._mapped_rows.add(row)
+
+    def row_is_mapped_out(self, row: Hashable) -> bool:
+        return row in self._mapped_rows
+
+    def address_is_usable(self, cell: Hashable) -> bool:
+        """Whether an address remains part of the system address space."""
+        return row_key(cell, self.bits_per_row) not in self._mapped_rows

@@ -1,0 +1,60 @@
+"""SECRET-style cell remapping (Lin et al., ICCD 2012; Section 3.1).
+
+SECRET identifies the set of failing cells at a longer refresh interval and
+remaps each to a known-good spare cell.  The model here maintains the remap
+table against a finite spare pool; running out of spares raises
+:class:`~repro.errors.CapacityError` -- the failure mode that makes SECRET
+sensitive to profiling false positives (every false positive permanently
+consumes a spare).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+from ..errors import CapacityError, ConfigurationError
+from .base import MitigationMechanism
+
+
+class SECRET(MitigationMechanism):
+    """Per-cell remap table backed by a finite pool of spare cells."""
+
+    name = "SECRET"
+
+    def __init__(self, spare_cells: int) -> None:
+        super().__init__()
+        if spare_cells <= 0:
+            raise ConfigurationError(f"spare_cells must be positive, got {spare_cells!r}")
+        self.spare_cells = spare_cells
+        self._remap: Dict[Hashable, int] = {}
+        self._next_spare = 0
+
+    @property
+    def spares_used(self) -> int:
+        return self._next_spare
+
+    @property
+    def spares_remaining(self) -> int:
+        return self.spare_cells - self._next_spare
+
+    @property
+    def utilization(self) -> float:
+        return self._next_spare / self.spare_cells
+
+    def _absorb(self, new_cells: Iterable[Hashable]) -> None:
+        for cell in new_cells:
+            if self._next_spare >= self.spare_cells:
+                raise CapacityError(
+                    f"SECRET spare pool exhausted ({self.spare_cells} spares); "
+                    "profiling false positives consume spares permanently -- "
+                    "choose gentler reach conditions or a larger pool"
+                )
+            self._remap[cell] = self._next_spare
+            self._next_spare += 1
+
+    def remap_target(self, cell: Hashable) -> int:
+        """The spare-cell index serving a remapped cell."""
+        try:
+            return self._remap[cell]
+        except KeyError:
+            raise ConfigurationError(f"cell {cell!r} is not remapped") from None

@@ -1,0 +1,32 @@
+"""Profiling data patterns (Section 3.2 of the paper).
+
+Retention failures are data-pattern dependent (DPD), so effective profiling
+writes many different patterns: solid 0s/1s, checkerboards, row/column
+stripes, walking 1s/0s, random data, and their inverses.
+"""
+
+from .datapatterns import (
+    CHECKERBOARD,
+    COLUMN_STRIPE,
+    RANDOM,
+    ROW_STRIPE,
+    SOLID_ZERO,
+    STANDARD_PATTERNS,
+    BASE_PATTERNS,
+    WALKING_ONE,
+    DataPattern,
+    pattern_by_key,
+)
+
+__all__ = [
+    "DataPattern",
+    "SOLID_ZERO",
+    "CHECKERBOARD",
+    "ROW_STRIPE",
+    "COLUMN_STRIPE",
+    "WALKING_ONE",
+    "RANDOM",
+    "BASE_PATTERNS",
+    "STANDARD_PATTERNS",
+    "pattern_by_key",
+]

@@ -1,0 +1,58 @@
+"""System-performance substrate: the Ramulator + DRAMPower stand-in.
+
+Bank-level memory-controller simulation, interval-analysis core models,
+synthetic SPEC-like workloads, a DRAM power model, and the Eq-8/Eq-9
+end-to-end integration behind Figures 11-13.
+"""
+
+from .cpu import CoreModel
+from .dramtiming import DRAMTimings
+from .memctrl import MemoryControllerSim, SimStats
+from .overhead import (
+    EndToEndEvaluator,
+    EndToEndPoint,
+    ONLINE_ITERATIONS,
+    ONLINE_PATTERNS,
+    ProfilerKind,
+    REAPER_SPEEDUP,
+    profiling_power_mw,
+    profiling_time_fraction,
+)
+from .power import PowerModel
+from .system import MixResult, SystemConfig, SystemSimulator
+from .trace import MemRequest, TraceGenerator
+from .workloads import (
+    BenchmarkProfile,
+    Mix,
+    SPEC_LIKE_BENCHMARKS,
+    benchmark_by_name,
+    random_mix,
+    workload_mixes,
+)
+
+__all__ = [
+    "CoreModel",
+    "DRAMTimings",
+    "MemoryControllerSim",
+    "SimStats",
+    "MemRequest",
+    "TraceGenerator",
+    "BenchmarkProfile",
+    "Mix",
+    "SPEC_LIKE_BENCHMARKS",
+    "benchmark_by_name",
+    "random_mix",
+    "workload_mixes",
+    "SystemConfig",
+    "SystemSimulator",
+    "MixResult",
+    "PowerModel",
+    "EndToEndEvaluator",
+    "EndToEndPoint",
+    "ProfilerKind",
+    "REAPER_SPEEDUP",
+    "ONLINE_PATTERNS",
+    "ONLINE_ITERATIONS",
+    "profiling_time_fraction",
+    "profiling_power_mw",
+]

@@ -1,0 +1,49 @@
+"""Interval-analysis core performance model.
+
+Each core is summarized by its benchmark profile: compute-bound progress at
+``base_ipc`` punctuated by LLC misses that stall the core for the memory
+latency, overlapped up to the profile's memory-level parallelism (bounded by
+the 8 MSHRs per core of Table 2).  This is the standard first-order model
+behind interval simulation: time per kilo-instruction is compute time plus
+(misses x latency / MLP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .workloads import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """One core running one benchmark profile."""
+
+    profile: BenchmarkProfile
+    clock_ghz: float = 4.0
+    mshrs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0.0:
+            raise ConfigurationError("clock must be positive")
+        if self.mshrs <= 0:
+            raise ConfigurationError("MSHR count must be positive")
+
+    @property
+    def effective_mlp(self) -> float:
+        """Achievable miss overlap, bounded by the MSHRs."""
+        return min(self.profile.mlp, float(self.mshrs))
+
+    def ipc(self, avg_memory_latency_ns: float) -> float:
+        """Instructions per cycle at a given average memory latency."""
+        if avg_memory_latency_ns < 0.0:
+            raise ConfigurationError("latency must be non-negative")
+        latency_cycles = avg_memory_latency_ns * self.clock_ghz
+        compute_cycles_per_ki = 1000.0 / self.profile.base_ipc
+        stall_cycles_per_ki = self.profile.mpki * latency_cycles / self.effective_mlp
+        return 1000.0 / (compute_cycles_per_ki + stall_cycles_per_ki)
+
+    def request_rate_per_ns(self, avg_memory_latency_ns: float) -> float:
+        """DRAM request rate the core generates at its achieved IPC."""
+        return self.ipc(avg_memory_latency_ns) * self.clock_ghz * self.profile.mpki / 1000.0

@@ -1,0 +1,120 @@
+"""LPDDR4-3200 device timings for the system-performance model (Table 2).
+
+Latency constants are expressed in nanoseconds.  Refresh parameters (tRFC by
+density, 8192 all-bank refresh commands per tREFW window) come from
+:mod:`repro.dram.timing`; everything here is the access-path side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.timing import refresh_timings
+from ..errors import ConfigurationError
+
+
+#: Per-bank refresh blocks one bank for a fraction of the all-bank tRFC
+#: (LPDDR4's REFpb commands restore 1/8 of the rows per command but avoid
+#: stalling the whole rank; the cycle time shrinks sub-linearly).
+PER_BANK_TRFC_RATIO = 0.45
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Access-path timing of one LPDDR4-3200 configuration.
+
+    ``per_bank_refresh`` selects LPDDR4's REFpb mode: refresh commands
+    block a single bank for a shorter ``tRFCpb`` instead of stalling the
+    whole rank for ``tRFCab``.  Refresh-reduction mechanisms of this kind
+    compose with REAPER (Section 8 of the paper).
+    """
+
+    density_gigabits: int = 8
+    trcd_ns: float = 18.0     # row activate to column command
+    trp_ns: float = 18.0      # precharge
+    cl_ns: float = 17.5       # CAS latency (read)
+    tburst_ns: float = 5.0    # BL16 data burst at 3200 MT/s
+    tras_ns: float = 42.0     # minimum row-open time
+    per_bank_refresh: bool = False
+    n_banks: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("trcd_ns", "trp_ns", "cl_ns", "tburst_ns", "tras_ns"):
+            if getattr(self, name) <= 0.0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.n_banks <= 0:
+            raise ConfigurationError("n_banks must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def trfc_ab_ns(self) -> float:
+        """All-bank refresh cycle time for this density."""
+        return refresh_timings(self.density_gigabits).trfc_ns
+
+    @property
+    def trfc_pb_ns(self) -> float:
+        """Per-bank refresh cycle time (REFpb)."""
+        return self.trfc_ab_ns * PER_BANK_TRFC_RATIO
+
+    @property
+    def trfc_ns(self) -> float:
+        """Cycle time of the configured refresh command."""
+        return self.trfc_pb_ns if self.per_bank_refresh else self.trfc_ab_ns
+
+    @property
+    def row_hit_latency_ns(self) -> float:
+        """Column access into an already-open row."""
+        return self.cl_ns + self.tburst_ns
+
+    @property
+    def row_miss_latency_ns(self) -> float:
+        """Precharge + activate + column access (closed-row miss)."""
+        return self.trp_ns + self.trcd_ns + self.cl_ns + self.tburst_ns
+
+    def access_latency_ns(self, row_hit_fraction: float) -> float:
+        """Mean unloaded access latency for a given row-buffer hit rate."""
+        if not (0.0 <= row_hit_fraction <= 1.0):
+            raise ConfigurationError("row_hit_fraction must lie in [0, 1]")
+        return (
+            row_hit_fraction * self.row_hit_latency_ns
+            + (1.0 - row_hit_fraction) * self.row_miss_latency_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Refresh interference
+    # ------------------------------------------------------------------
+    def refresh_command_period_ns(self, trefi_s: float) -> float:
+        """Spacing between refresh commands *per bank* at a refresh window.
+
+        JEDEC distributes 8192 refresh commands across each tREFW window
+        (all-bank mode refreshes every bank per command; per-bank mode
+        issues 8192 commands to each bank, interleaved), so every bank is
+        refreshed once per ``trefi / 8192`` either way.
+        """
+        if trefi_s <= 0.0:
+            raise ConfigurationError("trefi must be positive")
+        commands = refresh_timings(self.density_gigabits).refresh_commands_per_window
+        return trefi_s * 1e9 / commands
+
+    def refresh_busy_fraction(self, trefi_s: float) -> float:
+        """Fraction of time a bank is blocked executing refresh.
+
+        All-bank mode: the whole rank stalls for tRFCab out of every command
+        period (~8% for a 64 Gb device at the 64 ms default).  Per-bank
+        mode: each bank individually stalls for the shorter tRFCpb, so the
+        busy fraction shrinks by ``PER_BANK_TRFC_RATIO`` and the stalls no
+        longer hit every bank at once.
+        """
+        fraction = self.trfc_ns / self.refresh_command_period_ns(trefi_s)
+        return min(fraction, 1.0)
+
+    def refresh_blocking_latency_ns(self, trefi_s: float) -> float:
+        """Expected extra latency per request from refresh collisions.
+
+        A request arriving uniformly at random overlaps an in-progress
+        refresh of *its* bank with probability equal to the busy fraction
+        and then waits half a refresh cycle on average.  Per-bank refresh
+        wins twice here: the collision probability and the residual wait
+        both shrink with tRFCpb.
+        """
+        return self.refresh_busy_fraction(trefi_s) * self.trfc_ns / 2.0

@@ -1,0 +1,189 @@
+"""Event-driven bank-level memory-controller simulator.
+
+A compact Ramulator-class model of one channel: per-bank row-buffer state,
+FR-CFS scheduling (row hits first, then oldest -- the FR-FCFS policy of
+Table 2), and rank-wide all-bank refresh that blocks every bank for tRFC at
+JEDEC's 8192-commands-per-window cadence.
+
+This simulator is the ground truth the closed-form latency model in
+:mod:`repro.sysperf.system` is validated against in the test suite; the
+large Figure-13 sweeps use the closed form for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .dramtiming import DRAMTimings
+from .trace import MemRequest
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Aggregate results of one channel simulation."""
+
+    served: int
+    avg_latency_ns: float
+    max_latency_ns: float
+    avg_queue_depth: float
+    refresh_busy_fraction: float
+    row_hit_rate: float
+    duration_ns: float
+
+    @property
+    def bandwidth_requests_per_ns(self) -> float:
+        if self.duration_ns <= 0.0:
+            return 0.0
+        return self.served / self.duration_ns
+
+
+class MemoryControllerSim:
+    """One-channel FR-FCFS memory controller with refresh blocking.
+
+    ``row_policy`` selects between keeping rows open after an access
+    ("open", exploits locality -- Table 2's single-core setting) and
+    precharging immediately ("closed", avoids conflict penalties under
+    interleaved multi-core streams).
+    """
+
+    def __init__(
+        self,
+        timings: DRAMTimings,
+        trefi_s: Optional[float] = 0.064,
+        n_banks: int = 8,
+        queue_depth: int = 64,
+        row_policy: str = "open",
+    ) -> None:
+        if n_banks <= 0 or queue_depth <= 0:
+            raise ConfigurationError("bank count and queue depth must be positive")
+        if row_policy not in ("open", "closed"):
+            raise ConfigurationError(f"unknown row policy {row_policy!r}")
+        self.timings = timings
+        self.trefi_s = trefi_s
+        self.n_banks = n_banks
+        self.queue_depth = queue_depth
+        self.row_policy = row_policy
+
+    # ------------------------------------------------------------------
+    def _refresh_delay(self, time_ns: float, bank: int) -> float:
+        """If ``time_ns`` falls inside a refresh affecting ``bank``, return
+        the end of that refresh; otherwise return ``time_ns`` unchanged.
+
+        All-bank refresh blocks every bank simultaneously; per-bank refresh
+        staggers the banks across the command period so only the targeted
+        bank stalls.
+        """
+        if self.trefi_s is None:
+            return time_ns
+        period = self.timings.refresh_command_period_ns(self.trefi_s)
+        trfc = self.timings.trfc_ns
+        if self.timings.per_bank_refresh:
+            phase = (bank % self.n_banks) * period / self.n_banks
+            offset = (time_ns - phase) % period
+        else:
+            offset = time_ns % period
+        if offset < trfc:
+            return time_ns + (trfc - offset)
+        return time_ns
+
+    def run(self, requests: Sequence[MemRequest]) -> SimStats:
+        """Serve a request trace to completion and report statistics."""
+        if not requests:
+            raise ConfigurationError("empty request trace")
+        timings = self.timings
+        open_rows: List[Optional[int]] = [None] * self.n_banks
+        bank_free_ns = [0.0] * self.n_banks
+        pending: List[MemRequest] = []
+        upcoming = sorted(requests, key=lambda r: r.arrival_ns)
+        next_idx = 0
+        now = 0.0
+        total_latency = 0.0
+        max_latency = 0.0
+        hits = 0
+        served = 0
+        queue_area = 0.0
+        last_time = 0.0
+
+        while served < len(requests):
+            # Admit arrivals up to the current time (bounded by queue depth).
+            while (
+                next_idx < len(upcoming)
+                and upcoming[next_idx].arrival_ns <= now
+                and len(pending) < self.queue_depth
+            ):
+                pending.append(upcoming[next_idx])
+                next_idx += 1
+            if not pending:
+                # Jump to the next arrival.
+                now = max(now, upcoming[next_idx].arrival_ns)
+                continue
+
+            # FR-FCFS with bank-readiness: prefer the oldest row hit on a
+            # bank that can issue immediately (not busy, not refreshing),
+            # then the oldest request on a ready bank, then the oldest
+            # overall.  Without the readiness check, staggered per-bank
+            # refresh would cause artificial head-of-line blocking.
+            def ready(request: MemRequest) -> bool:
+                if bank_free_ns[request.bank] > now:
+                    return False
+                return self._refresh_delay(now, request.bank) == now
+
+            chosen = None
+            for request in pending:
+                if ready(request) and open_rows[request.bank] == request.row:
+                    chosen = request
+                    break
+            if chosen is None:
+                for request in pending:
+                    if ready(request):
+                        chosen = request
+                        break
+            if chosen is None:
+                chosen = pending[0]
+            pending.remove(chosen)
+
+            start = max(now, chosen.arrival_ns, bank_free_ns[chosen.bank])
+            start = self._refresh_delay(start, chosen.bank)
+            if open_rows[chosen.bank] == chosen.row:
+                service = timings.row_hit_latency_ns
+                hits += 1
+            elif self.row_policy == "closed" or open_rows[chosen.bank] is None:
+                # The bank is precharged: activate + column access, no
+                # precharge on the critical path.
+                service = timings.trcd_ns + timings.cl_ns + timings.tburst_ns
+                open_rows[chosen.bank] = chosen.row
+            else:
+                service = timings.row_miss_latency_ns
+                open_rows[chosen.bank] = chosen.row
+            if self.row_policy == "closed":
+                # Auto-precharge: the next access can never row-hit, but the
+                # precharge happens off the critical path.
+                open_rows[chosen.bank] = None
+            finish = start + service
+            bank_free_ns[chosen.bank] = finish
+            # The channel issues commands serially; approximate command-bus
+            # occupancy with the burst time.
+            now = start + timings.tburst_ns
+
+            latency = finish - chosen.arrival_ns
+            total_latency += latency
+            max_latency = max(max_latency, latency)
+            served += 1
+            queue_area += len(pending) * (now - last_time)
+            last_time = now
+
+        duration = max(bank_free_ns)
+        busy = 0.0
+        if self.trefi_s is not None:
+            busy = timings.refresh_busy_fraction(self.trefi_s)
+        return SimStats(
+            served=served,
+            avg_latency_ns=total_latency / served,
+            max_latency_ns=max_latency,
+            avg_queue_depth=queue_area / duration if duration > 0 else 0.0,
+            refresh_busy_fraction=busy,
+            row_hit_rate=hits / served,
+            duration_ns=duration,
+        )

@@ -1,0 +1,274 @@
+"""End-to-end profiling-overhead integration (Eq 8, Figures 11-13).
+
+Ties everything together: the Eq-9 runtime of an online profiling round, the
+Eq-7 profile longevity that dictates how often rounds recur, the system
+performance model (weighted speedup at relaxed refresh intervals), and the
+power model.  Performance with online profiling follows the paper's Eq 8:
+
+    IPC_real = IPC_ideal * (1 - profiling_overhead)
+
+pessimistically assuming zero forward progress while profiling.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..conditions import Conditions
+from ..core.longevity import longevity_for_system
+from ..core.runtime_model import round_runtime_seconds
+from ..dram.geometry import GIBIBIT
+from ..dram.vendor import VENDOR_B, VendorModel
+from ..ecc.model import CONSUMER_UBER, SECDED, EccStrength
+from ..errors import ConfigurationError
+from .power import PowerModel
+from .system import SystemConfig, SystemSimulator
+from .workloads import Mix
+from .dramtiming import DRAMTimings
+
+#: Online-round configuration of Figure 11: 16 iterations of the 6 base
+#: data patterns (inverses folded into the per-pattern pass).
+ONLINE_PATTERNS = 6
+ONLINE_ITERATIONS = 16
+
+#: The experimentally determined reach-profiling speedup (Section 6.1.2).
+REAPER_SPEEDUP = 2.5
+
+
+class ProfilerKind(enum.Enum):
+    """The three profiling mechanisms Figure 13 compares."""
+
+    BRUTE_FORCE = "brute-force"
+    REAPER = "reaper"
+    IDEAL = "ideal"
+
+
+@dataclass(frozen=True)
+class EndToEndPoint:
+    """One bar of Figure 13: a (mix, interval, profiler) evaluation."""
+
+    mix_index: int
+    trefi_s: Optional[float]  # None = refresh disabled
+    profiler: ProfilerKind
+    performance_improvement: float
+    power_reduction: float
+    profiling_overhead: float
+
+
+class EndToEndEvaluator:
+    """Reproduces the Figure 11/12/13 sweeps for a module configuration.
+
+    Parameters
+    ----------
+    chip_density_gigabits / n_chips:
+        Module composition (the paper sweeps 8-64 Gb chips, 32 per module).
+    vendor / ecc / target_uber / temperature_c:
+        Inputs to the longevity model that sets the online profiling
+        frequency.
+    reprofile_safety_factor:
+        Fraction of the estimated profile longevity actually used between
+        rounds (reprofiling strictly before the ECC budget runs out).
+    reaper_speedup:
+        Runtime advantage of reach profiling over brute force.
+    """
+
+    def __init__(
+        self,
+        chip_density_gigabits: int = 64,
+        n_chips: int = 32,
+        vendor: VendorModel = VENDOR_B,
+        ecc: EccStrength = SECDED,
+        target_uber: float = CONSUMER_UBER,
+        temperature_c: float = 45.0,
+        reprofile_safety_factor: float = 0.5,
+        reaper_speedup: float = REAPER_SPEEDUP,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        if n_chips <= 0:
+            raise ConfigurationError("n_chips must be positive")
+        if not (0.0 < reprofile_safety_factor <= 1.0):
+            raise ConfigurationError("safety factor must lie in (0, 1]")
+        if reaper_speedup < 1.0:
+            raise ConfigurationError("reach profiling cannot be slower than brute force")
+        self.chip_density_gigabits = chip_density_gigabits
+        self.n_chips = n_chips
+        self.vendor = vendor
+        self.ecc = ecc
+        self.target_uber = target_uber
+        self.temperature_c = temperature_c
+        self.reprofile_safety_factor = reprofile_safety_factor
+        self.reaper_speedup = reaper_speedup
+        self.system = SystemSimulator(
+            timings=DRAMTimings(density_gigabits=chip_density_gigabits),
+            config=config,
+        )
+        self.power_model = PowerModel(density_gigabits=chip_density_gigabits)
+
+    # ------------------------------------------------------------------
+    @property
+    def module_bits(self) -> int:
+        return int(self.chip_density_gigabits * GIBIBIT) * self.n_chips
+
+    def round_seconds(self, kind: ProfilerKind, trefi_s: float) -> float:
+        """Runtime of one online profiling round (Eq 9)."""
+        if kind is ProfilerKind.IDEAL:
+            return 0.0
+        brute = round_runtime_seconds(
+            trefi_s, self.module_bits, n_patterns=ONLINE_PATTERNS, n_iterations=ONLINE_ITERATIONS
+        )
+        if kind is ProfilerKind.BRUTE_FORCE:
+            return brute
+        return brute / self.reaper_speedup
+
+    def reprofile_interval_seconds(self, trefi_s: float) -> float:
+        """Online profiling cadence derived from profile longevity.
+
+        Matches Figure 13's best-case assumption of full coverage each round
+        (C = 0), scaled by the safety factor.
+        """
+        estimate = longevity_for_system(
+            vendor=self.vendor,
+            capacity_bytes=self.module_bits // 8,
+            ecc=self.ecc,
+            target=Conditions(trefi=trefi_s, temperature=self.temperature_c),
+            coverage=1.0,
+            target_uber=self.target_uber,
+        )
+        return estimate.longevity_seconds * self.reprofile_safety_factor
+
+    def profiling_overhead(self, kind: ProfilerKind, trefi_s: Optional[float]) -> float:
+        """Fraction of system time spent paused for profiling (Figure 11)."""
+        if kind is ProfilerKind.IDEAL or trefi_s is None:
+            return 0.0
+        interval = self.reprofile_interval_seconds(trefi_s)
+        if math.isinf(interval):
+            return 0.0
+        round_s = self.round_seconds(kind, trefi_s)
+        return min(round_s / (round_s + interval), 1.0)
+
+    # ------------------------------------------------------------------
+    # Figure 13
+    # ------------------------------------------------------------------
+    def evaluate_mix(
+        self,
+        mix: Mix,
+        trefi_s: Optional[float],
+        kind: ProfilerKind,
+        mix_index: int = 0,
+    ) -> EndToEndPoint:
+        """Performance and power of one mix under one profiler (Eq 8)."""
+        improvement = self.system.speedup_over_default(mix, trefi_s)
+        overhead = self.profiling_overhead(kind, trefi_s)
+        real_improvement = (1.0 + improvement) * (1.0 - overhead) - 1.0
+
+        shared = self.system.simulate_mix(mix, trefi_s)
+        baseline = self.system.simulate_mix(mix, 0.064)
+        power_relaxed = self._module_power_mw(trefi_s, shared.request_rate_per_ns)
+        if kind is not ProfilerKind.IDEAL and trefi_s is not None:
+            interval = self.reprofile_interval_seconds(trefi_s)
+            if math.isfinite(interval) and interval > 0.0:
+                power_relaxed += self.power_model.profiling_power_mw(
+                    self.module_bits,
+                    interval,
+                    n_patterns=ONLINE_PATTERNS,
+                    n_iterations=(
+                        ONLINE_ITERATIONS
+                        if kind is ProfilerKind.BRUTE_FORCE
+                        else max(1, round(ONLINE_ITERATIONS / self.reaper_speedup))
+                    ),
+                )
+        power_baseline = self._module_power_mw(0.064, baseline.request_rate_per_ns)
+        return EndToEndPoint(
+            mix_index=mix_index,
+            trefi_s=trefi_s,
+            profiler=kind,
+            performance_improvement=real_improvement,
+            power_reduction=1.0 - power_relaxed / power_baseline,
+            profiling_overhead=overhead,
+        )
+
+    def _module_power_mw(self, trefi_s: Optional[float], requests_per_ns: float) -> float:
+        per_chip = self.power_model.background_mw + self.power_model.refresh_power_mw(trefi_s)
+        return per_chip * self.n_chips + self.power_model.access_power_mw(requests_per_ns)
+
+    def sweep(
+        self,
+        mixes: Sequence[Mix],
+        trefis_s: Sequence[Optional[float]],
+        kinds: Sequence[ProfilerKind] = tuple(ProfilerKind),
+    ) -> List[EndToEndPoint]:
+        """The full Figure-13 grid."""
+        points: List[EndToEndPoint] = []
+        for trefi in trefis_s:
+            for kind in kinds:
+                for index, mix in enumerate(mixes):
+                    points.append(self.evaluate_mix(mix, trefi, kind, mix_index=index))
+        return points
+
+    # ------------------------------------------------------------------
+    # ArchShield combination (Section 7.3.2)
+    # ------------------------------------------------------------------
+    def with_archshield(
+        self,
+        point: EndToEndPoint,
+        archshield_cost: float = 0.01,
+    ) -> float:
+        """Overall improvement when paired with ArchShield's ~1% cost."""
+        if not (0.0 <= archshield_cost < 1.0):
+            raise ConfigurationError("archshield_cost must lie in [0, 1)")
+        return (1.0 + point.performance_improvement) * (1.0 - archshield_cost) - 1.0
+
+
+# ----------------------------------------------------------------------
+# Figure 11 / Figure 12: sweeps over externally imposed profiling intervals
+# ----------------------------------------------------------------------
+def profiling_time_fraction(
+    kind: ProfilerKind,
+    profiling_interval_s: float,
+    chip_density_gigabits: int,
+    n_chips: int = 32,
+    trefi_s: float = 1.024,
+    reaper_speedup: float = REAPER_SPEEDUP,
+) -> float:
+    """Share of system time spent profiling at a fixed online cadence.
+
+    This is Figure 11's bar height: one brute-force (or REAPER) round at the
+    given refresh interval, repeated every ``profiling_interval_s``.
+    """
+    if profiling_interval_s <= 0.0:
+        raise ConfigurationError("profiling interval must be positive")
+    if kind is ProfilerKind.IDEAL:
+        return 0.0
+    module_bits = int(chip_density_gigabits * GIBIBIT) * n_chips
+    round_s = round_runtime_seconds(
+        trefi_s, module_bits, n_patterns=ONLINE_PATTERNS, n_iterations=ONLINE_ITERATIONS
+    )
+    if kind is ProfilerKind.REAPER:
+        round_s /= reaper_speedup
+    return min(round_s / profiling_interval_s, 1.0)
+
+
+def profiling_power_mw(
+    kind: ProfilerKind,
+    profiling_interval_s: float,
+    chip_density_gigabits: int,
+    n_chips: int = 32,
+    reaper_speedup: float = REAPER_SPEEDUP,
+) -> float:
+    """Figure 12: DRAM power attributable to profiling itself."""
+    if kind is ProfilerKind.IDEAL:
+        return 0.0
+    model = PowerModel(density_gigabits=chip_density_gigabits)
+    module_bits = int(chip_density_gigabits * GIBIBIT) * n_chips
+    iterations = ONLINE_ITERATIONS
+    if kind is ProfilerKind.REAPER:
+        iterations = max(1, round(ONLINE_ITERATIONS / reaper_speedup))
+    return model.profiling_power_mw(
+        module_bits,
+        profiling_interval_s,
+        n_patterns=ONLINE_PATTERNS,
+        n_iterations=iterations,
+    )

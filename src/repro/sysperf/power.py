@@ -1,0 +1,142 @@
+"""DRAMPower-style energy model.
+
+Per-command energy accounting for LPDDR4-class devices: row
+activate/precharge energy, per-bit read/write energy, all-bank refresh
+energy (scaling with the rows refreshed per command, hence with density),
+and background power.  Used for three of the paper's results:
+
+* the refresh share of DRAM power at the default interval (up to ~50% for
+  large devices -- the paper's motivating fact),
+* the DRAM power consumed by profiling itself (Figure 12),
+* the total-power reduction from longer refresh intervals (Figure 13,
+  bottom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dram.timing import refresh_timings
+from ..errors import ConfigurationError
+
+_NJ_TO_MW_PER_NS = 1e6  # 1 nJ / 1 ns = 1e6 mW; used via explicit conversions
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Energy constants for one chip density.
+
+    Parameters
+    ----------
+    density_gigabits:
+        Chip density (8-64 Gb); sets rows-per-refresh-command and tRFC.
+    background_mw:
+        Standby/peripheral power per chip.
+    row_refresh_energy_nj:
+        Energy to refresh one row (activate + restore + precharge).
+    access_energy_pj_per_bit:
+        Read/write data-path energy.
+    activate_energy_nj:
+        Row activation energy for demand accesses.
+    """
+
+    density_gigabits: int = 8
+    background_mw: float = 40.0
+    row_refresh_energy_nj: float = 0.65
+    access_energy_pj_per_bit: float = 5.0
+    activate_energy_nj: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "background_mw",
+            "row_refresh_energy_nj",
+            "access_energy_pj_per_bit",
+            "activate_energy_nj",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    @property
+    def rows_per_refresh_command(self) -> int:
+        """Rows restored by one all-bank REF (total rows / 8192 commands)."""
+        info = refresh_timings(self.density_gigabits)
+        total_rows = info.rows_per_bank * 8
+        return total_rows // info.refresh_commands_per_window
+
+    def refresh_energy_per_command_nj(self) -> float:
+        return self.rows_per_refresh_command * self.row_refresh_energy_nj
+
+    def refresh_power_mw(self, trefi_s: Optional[float]) -> float:
+        """Average refresh power at a refresh window (0 when disabled)."""
+        if trefi_s is None:
+            return 0.0
+        if trefi_s <= 0.0:
+            raise ConfigurationError("trefi must be positive")
+        commands_per_second = 8192.0 / trefi_s
+        return self.refresh_energy_per_command_nj() * commands_per_second * 1e-6
+
+    # ------------------------------------------------------------------
+    # Demand accesses
+    # ------------------------------------------------------------------
+    def access_power_mw(self, requests_per_ns: float, bits_per_request: int = 512) -> float:
+        """Power of a demand-access stream (64-byte requests by default)."""
+        if requests_per_ns < 0.0:
+            raise ConfigurationError("request rate must be non-negative")
+        energy_per_request_nj = (
+            self.activate_energy_nj * 0.5  # ~half of requests open a new row
+            + bits_per_request * self.access_energy_pj_per_bit * 1e-3
+        )
+        return requests_per_ns * energy_per_request_nj * 1e9 * 1e-6
+
+    def total_power_mw(self, trefi_s: Optional[float], requests_per_ns: float = 0.0) -> float:
+        return (
+            self.background_mw
+            + self.refresh_power_mw(trefi_s)
+            + self.access_power_mw(requests_per_ns)
+        )
+
+    def refresh_share(self, trefi_s: float, requests_per_ns: float = 0.0) -> float:
+        """Fraction of total DRAM power spent on refresh."""
+        return self.refresh_power_mw(trefi_s) / self.total_power_mw(trefi_s, requests_per_ns)
+
+    # ------------------------------------------------------------------
+    # Profiling energy (Figure 12)
+    # ------------------------------------------------------------------
+    def profiling_round_energy_j(
+        self,
+        capacity_bits: int,
+        n_patterns: int = 12,
+        n_iterations: int = 16,
+    ) -> float:
+        """Energy of the *extra* DRAM commands in one profiling round.
+
+        One pass writes and reads the whole array; the retention wait itself
+        costs no extra commands (refresh is disabled), which is why the
+        paper finds profiling power negligible.
+        """
+        if capacity_bits <= 0:
+            raise ConfigurationError("capacity must be positive")
+        bits_moved = 2.0 * capacity_bits  # one write + one read pass
+        rows_touched = 2.0 * capacity_bits / 16384.0
+        energy_nj = (
+            bits_moved * self.access_energy_pj_per_bit * 1e-3
+            + rows_touched * self.activate_energy_nj
+        )
+        return energy_nj * n_patterns * n_iterations * 1e-9
+
+    def profiling_power_mw(
+        self,
+        capacity_bits: int,
+        profiling_interval_s: float,
+        n_patterns: int = 12,
+        n_iterations: int = 16,
+    ) -> float:
+        """Round energy amortized over the online profiling interval."""
+        if profiling_interval_s <= 0.0:
+            raise ConfigurationError("profiling interval must be positive")
+        energy = self.profiling_round_energy_j(capacity_bits, n_patterns, n_iterations)
+        return energy / profiling_interval_s * 1e3

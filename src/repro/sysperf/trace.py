@@ -1,0 +1,100 @@
+"""Memory-request trace generation for the bank-level simulator.
+
+Converts a :class:`~repro.sysperf.workloads.BenchmarkProfile` into a stream
+of timed DRAM requests with the profile's row-buffer locality and read/write
+balance.  Traces drive :class:`~repro.sysperf.memctrl.MemoryControllerSim`,
+the event-driven model used to validate the closed-form latency model in
+:mod:`repro.sysperf.system`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..errors import ConfigurationError
+from .workloads import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One DRAM request as seen by a memory-controller channel."""
+
+    arrival_ns: float
+    bank: int
+    row: int
+    is_read: bool
+
+
+class TraceGenerator:
+    """Generates per-channel request streams from a benchmark profile."""
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        n_banks: int = 8,
+        n_rows: int = 65536,
+        clock_ghz: float = 4.0,
+        channels: int = 4,
+        seed: int = rng_mod.DEFAULT_SEED,
+    ) -> None:
+        if n_banks <= 0 or n_rows <= 0:
+            raise ConfigurationError("bank/row counts must be positive")
+        if clock_ghz <= 0.0 or channels <= 0:
+            raise ConfigurationError("clock and channel count must be positive")
+        self.profile = profile
+        self.n_banks = n_banks
+        self.n_rows = n_rows
+        self.clock_ghz = clock_ghz
+        self.channels = channels
+        self._rng = rng_mod.derive(seed, "trace", profile.name)
+
+    @property
+    def request_rate_per_ns(self) -> float:
+        """Per-channel request arrival rate implied by the profile.
+
+        The core retires ``base_ipc * clock`` instructions/ns and misses
+        ``mpki`` per thousand; misses spread across channels.
+        """
+        per_core = self.profile.mpki / 1000.0 * self.profile.base_ipc * self.clock_ghz
+        return per_core / self.channels
+
+    def generate(self, n_requests: int, rate_scale: float = 1.0) -> List[MemRequest]:
+        """Generate ``n_requests`` with Poisson arrivals and row locality.
+
+        ``rate_scale`` scales the arrival intensity (e.g. to emulate several
+        cores sharing the channel).
+        """
+        if n_requests <= 0:
+            raise ConfigurationError("n_requests must be positive")
+        if rate_scale <= 0.0:
+            raise ConfigurationError("rate_scale must be positive")
+        rate = self.request_rate_per_ns * rate_scale
+        if rate <= 0.0:
+            raise ConfigurationError(
+                f"profile {self.profile.name!r} generates no memory traffic"
+            )
+        rng = self._rng
+        gaps = rng.exponential(1.0 / rate, size=n_requests)
+        arrivals = np.cumsum(gaps)
+        open_rows = [int(rng.integers(0, self.n_rows)) for _ in range(self.n_banks)]
+        requests: List[MemRequest] = []
+        for arrival in arrivals:
+            bank = int(rng.integers(0, self.n_banks))
+            if rng.random() < self.profile.row_hit_fraction:
+                row = open_rows[bank]
+            else:
+                row = int(rng.integers(0, self.n_rows))
+                open_rows[bank] = row
+            requests.append(
+                MemRequest(
+                    arrival_ns=float(arrival),
+                    bank=bank,
+                    row=row,
+                    is_read=bool(rng.random() < self.profile.read_fraction),
+                )
+            )
+        return requests

@@ -1,0 +1,100 @@
+"""Synthetic SPEC-CPU2006-like workload profiles.
+
+The paper's end-to-end evaluation simulates "20 multiprogrammed
+heterogeneous workload mixes, each of which is constructed by randomly
+selecting 4 benchmarks from the SPEC CPU2006 benchmark suite" (Section 7.2).
+SPEC itself is proprietary, so each benchmark is summarized by the handful
+of parameters that determine its memory behaviour in a bank-level model:
+LLC misses per kilo-instruction, row-buffer locality of the miss stream,
+read/write balance, achievable memory-level parallelism, and the IPC it
+would attain with a perfect memory system.  Parameter values follow the
+well-known memory-intensity spectrum of the suite (mcf/lbm-like streaming
+monsters down to povray-like compute-bound codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .. import rng as rng_mod
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Memory-behaviour summary of one benchmark."""
+
+    name: str
+    mpki: float               # LLC misses per kilo-instruction
+    row_hit_fraction: float   # row-buffer hit rate of the miss stream
+    read_fraction: float      # fraction of misses that are reads
+    mlp: float                # average outstanding misses (<= MSHRs)
+    base_ipc: float           # IPC with a perfect (zero-latency) memory
+
+    def __post_init__(self) -> None:
+        if self.mpki < 0.0:
+            raise ConfigurationError(f"mpki must be non-negative, got {self.mpki!r}")
+        for field_name in ("row_hit_fraction", "read_fraction"):
+            value = getattr(self, field_name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{field_name} must lie in [0, 1], got {value!r}")
+        if self.mlp < 1.0:
+            raise ConfigurationError(f"mlp must be >= 1, got {self.mlp!r}")
+        if self.base_ipc <= 0.0:
+            raise ConfigurationError(f"base_ipc must be positive, got {self.base_ipc!r}")
+
+
+#: SPEC-like profiles spanning the suite's memory-intensity range.
+SPEC_LIKE_BENCHMARKS: Tuple[BenchmarkProfile, ...] = (
+    BenchmarkProfile("mcf_like", mpki=36.0, row_hit_fraction=0.25, read_fraction=0.75, mlp=6.0, base_ipc=1.2),
+    BenchmarkProfile("lbm_like", mpki=30.0, row_hit_fraction=0.70, read_fraction=0.55, mlp=7.5, base_ipc=1.5),
+    BenchmarkProfile("milc_like", mpki=25.0, row_hit_fraction=0.55, read_fraction=0.70, mlp=5.5, base_ipc=1.4),
+    BenchmarkProfile("soplex_like", mpki=21.0, row_hit_fraction=0.45, read_fraction=0.80, mlp=4.5, base_ipc=1.3),
+    BenchmarkProfile("libquantum_like", mpki=25.0, row_hit_fraction=0.90, read_fraction=0.85, mlp=8.0, base_ipc=1.6),
+    BenchmarkProfile("omnetpp_like", mpki=17.0, row_hit_fraction=0.30, read_fraction=0.75, mlp=3.5, base_ipc=1.3),
+    BenchmarkProfile("gcc_like", mpki=12.0, row_hit_fraction=0.50, read_fraction=0.70, mlp=3.0, base_ipc=1.6),
+    BenchmarkProfile("sphinx_like", mpki=11.0, row_hit_fraction=0.60, read_fraction=0.90, mlp=3.5, base_ipc=1.7),
+    BenchmarkProfile("bwaves_like", mpki=15.0, row_hit_fraction=0.75, read_fraction=0.60, mlp=6.0, base_ipc=1.5),
+    BenchmarkProfile("cactus_like", mpki=9.0, row_hit_fraction=0.55, read_fraction=0.65, mlp=3.0, base_ipc=1.5),
+    BenchmarkProfile("astar_like", mpki=6.0, row_hit_fraction=0.35, read_fraction=0.80, mlp=2.0, base_ipc=1.6),
+    BenchmarkProfile("xalanc_like", mpki=5.0, row_hit_fraction=0.45, read_fraction=0.75, mlp=2.5, base_ipc=1.8),
+    BenchmarkProfile("bzip2_like", mpki=4.0, row_hit_fraction=0.50, read_fraction=0.70, mlp=2.0, base_ipc=1.9),
+    BenchmarkProfile("gobmk_like", mpki=2.0, row_hit_fraction=0.40, read_fraction=0.75, mlp=1.6, base_ipc=2.0),
+    BenchmarkProfile("hmmer_like", mpki=1.2, row_hit_fraction=0.60, read_fraction=0.80, mlp=1.4, base_ipc=2.3),
+    BenchmarkProfile("sjeng_like", mpki=1.0, row_hit_fraction=0.35, read_fraction=0.75, mlp=1.3, base_ipc=2.1),
+    BenchmarkProfile("namd_like", mpki=0.8, row_hit_fraction=0.55, read_fraction=0.70, mlp=1.3, base_ipc=2.4),
+    BenchmarkProfile("calculix_like", mpki=0.5, row_hit_fraction=0.60, read_fraction=0.65, mlp=1.2, base_ipc=2.5),
+    BenchmarkProfile("gamess_like", mpki=0.3, row_hit_fraction=0.50, read_fraction=0.70, mlp=1.1, base_ipc=2.6),
+    BenchmarkProfile("povray_like", mpki=0.1, row_hit_fraction=0.45, read_fraction=0.75, mlp=1.0, base_ipc=2.7),
+)
+
+Mix = Tuple[BenchmarkProfile, ...]
+
+
+def benchmark_by_name(name: str) -> BenchmarkProfile:
+    """Look up a built-in benchmark profile by its name."""
+    for profile in SPEC_LIKE_BENCHMARKS:
+        if profile.name == name:
+            return profile
+    raise ConfigurationError(f"unknown benchmark {name!r}")
+
+
+def random_mix(rng, size: int = 4) -> Mix:
+    """One multiprogrammed mix of ``size`` randomly chosen benchmarks."""
+    if size <= 0:
+        raise ConfigurationError(f"mix size must be positive, got {size!r}")
+    picks = rng.choice(len(SPEC_LIKE_BENCHMARKS), size=size, replace=True)
+    return tuple(SPEC_LIKE_BENCHMARKS[int(i)] for i in picks)
+
+
+def workload_mixes(
+    n_mixes: int = 20,
+    mix_size: int = 4,
+    seed: int = rng_mod.DEFAULT_SEED,
+) -> List[Mix]:
+    """The paper's 20 random heterogeneous 4-benchmark mixes."""
+    if n_mixes <= 0:
+        raise ConfigurationError(f"n_mixes must be positive, got {n_mixes!r}")
+    rng = rng_mod.derive(seed, "workload-mixes")
+    return [random_mix(rng, mix_size) for _ in range(n_mixes)]

@@ -1,0 +1,54 @@
+"""Tests for adaptive early stopping in the profilers."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.bruteforce import BruteForceProfiler
+from repro.core.metrics import coverage
+from repro.core.reach import ReachProfiler
+from repro.errors import ConfigurationError
+
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+
+
+class TestAdaptiveStop:
+    def test_early_stop_shortens_runtime(self, chip_factory):
+        full = BruteForceProfiler(iterations=16).run(chip_factory(), TARGET)
+        adaptive = BruteForceProfiler(
+            iterations=16, stop_after_quiet_iterations=2
+        ).run(chip_factory(), TARGET)
+        assert adaptive.runtime_seconds <= full.runtime_seconds
+        assert adaptive.iterations <= full.iterations
+
+    def test_early_stop_preserves_coverage(self, chip_factory):
+        full = BruteForceProfiler(iterations=16).run(chip_factory(), TARGET)
+        adaptive = BruteForceProfiler(
+            iterations=16, stop_after_quiet_iterations=3
+        ).run(chip_factory(), TARGET)
+        # Tiny-chip populations (tens of cells) make this a coarse check.
+        assert coverage(adaptive.failing, full.failing) > 0.90
+
+    def test_iterations_reflect_actual_run(self, chip_factory):
+        adaptive = BruteForceProfiler(
+            iterations=16, stop_after_quiet_iterations=1
+        ).run(chip_factory(), TARGET)
+        run_iterations = {r.iteration for r in adaptive.records}
+        assert adaptive.iterations == len(run_iterations)
+
+    def test_disabled_by_default(self, chip_factory):
+        profile = BruteForceProfiler(iterations=4).run(chip_factory(), TARGET)
+        assert profile.iterations == 4
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BruteForceProfiler(stop_after_quiet_iterations=-1)
+
+    def test_reach_profiler_supports_early_stop(self, chip_factory):
+        profiler = ReachProfiler(
+            reach=ReachDelta(delta_trefi=0.25),
+            iterations=8,
+            stop_after_quiet_iterations=1,
+        )
+        profile = profiler.run(chip_factory(), TARGET)
+        # Reach converges fast, so the quiet rule should fire early.
+        assert profile.iterations < 8

@@ -1,0 +1,96 @@
+"""Unit tests for the ArchShield mitigation mechanism."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.mitigation.archshield import ArchShield, word_key
+
+GBIT = 1 << 30
+
+
+def make_shield(**kwargs):
+    kwargs.setdefault("capacity_bits", GBIT)
+    return ArchShield(**kwargs)
+
+
+class TestWordKey:
+    def test_int_cells_share_word(self):
+        assert word_key(0, 64) == word_key(63, 64)
+        assert word_key(64, 64) != word_key(63, 64)
+
+    def test_tuple_cells(self):
+        assert word_key((1, 129), 64) == (1, 2)
+
+
+class TestIngest:
+    def test_ingest_counts_new_cells(self):
+        shield = make_shield()
+        assert shield.ingest({1, 2, 100}) == 3
+        assert shield.ingest({1, 2, 200}) == 1
+        assert shield.known_cell_count == 4
+
+    def test_cells_in_same_word_share_entry(self):
+        shield = make_shield()
+        shield.ingest({0, 1, 2})  # same 64-bit word
+        assert shield.entry_count == 1
+
+    def test_cells_in_different_words_multiple_entries(self):
+        shield = make_shield()
+        shield.ingest({0, 64, 128})
+        assert shield.entry_count == 3
+
+    def test_covers_after_ingest(self):
+        shield = make_shield()
+        shield.ingest({42})
+        assert shield.covers(42)
+        assert not shield.covers(43)
+
+    def test_word_is_faulty(self):
+        shield = make_shield()
+        shield.ingest({70})
+        assert shield.word_is_faulty(word_key(70, 64))
+        assert not shield.word_is_faulty(word_key(0, 64))
+
+
+class TestCapacity:
+    def test_max_entries_from_reserve(self):
+        shield = make_shield(reserve_fraction=0.04, entry_overhead_bits=128)
+        assert shield.max_entries == int(GBIT * 0.04) // 128
+
+    def test_capacity_error_when_full(self):
+        shield = ArchShield(capacity_bits=1 << 16, reserve_fraction=0.04, entry_overhead_bits=128)
+        budget = shield.max_entries
+        with pytest.raises(CapacityError):
+            shield.ingest({i * 64 for i in range(budget + 1)})
+
+    def test_utilization(self):
+        shield = make_shield()
+        shield.ingest({0, 64})
+        assert shield.utilization == pytest.approx(2 / shield.max_entries)
+
+    def test_capacity_overhead_is_reservation(self):
+        assert make_shield(reserve_fraction=0.04).capacity_overhead_fraction == 0.04
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchShield(capacity_bits=0)
+        with pytest.raises(ConfigurationError):
+            ArchShield(capacity_bits=GBIT, reserve_fraction=0.0)
+
+
+class TestSlowdown:
+    def test_no_faulty_accesses_no_slowdown(self):
+        assert make_shield().expected_slowdown(0.0) == 1.0
+
+    def test_slowdown_grows_with_faulty_rate(self):
+        shield = make_shield()
+        assert shield.expected_slowdown(0.01) < shield.expected_slowdown(0.1)
+
+    def test_paper_scale_one_percent(self):
+        """~1% slowdown at a 1% replica access rate (the paper's ArchShield
+        cost at 1024 ms)."""
+        assert make_shield().expected_slowdown(0.01) == pytest.approx(1.01)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_shield().expected_slowdown(1.5)

@@ -1,0 +1,123 @@
+"""Unit and property tests for the double-error-correcting BCH codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.bch import BCHDEC
+from repro.ecc.hamming import DecodeStatus
+from repro.ecc.memory import EccProtectedMemory
+from repro.ecc.model import EccStrength, uncorrectable_word_probability
+from repro.errors import EccError
+
+CODEC = BCHDEC(64)
+
+
+class TestStructure:
+    def test_64_bit_code_is_78_bits(self):
+        assert CODEC.codeword_bits == 78
+        assert CODEC.parity_bits == 14
+        assert CODEC.correctable == 2
+
+    def test_narrow_code(self):
+        codec = BCHDEC(16)
+        assert codec.codeword_bits == 30
+
+    def test_width_limits(self):
+        with pytest.raises(EccError):
+            BCHDEC(0)
+        with pytest.raises(EccError):
+            BCHDEC(120)  # 120 + 14 > 127
+
+    def test_codeword_bounds_checked(self):
+        with pytest.raises(EccError):
+            CODEC.encode(1 << 64)
+        with pytest.raises(EccError):
+            CODEC.decode(1 << 78)
+        with pytest.raises(EccError):
+            CODEC.flip(0, 78)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("data", [0, 1, (1 << 64) - 1, 0xDEADBEEFCAFEF00D])
+    def test_clean_roundtrip(self, data):
+        result = CODEC.decode(CODEC.encode(data))
+        assert result.status is DecodeStatus.OK
+        assert result.data == data
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, data):
+        result = CODEC.decode(CODEC.encode(data))
+        assert result.status is DecodeStatus.OK
+        assert result.data == data
+
+
+class TestCorrection:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=77),
+    )
+    @settings(max_examples=80)
+    def test_any_single_flip_corrected(self, data, bit):
+        result = CODEC.decode(CODEC.flip(CODEC.encode(data), bit))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+        assert result.corrected_bits_pair == (bit,)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=77),
+        st.integers(min_value=0, max_value=77),
+    )
+    @settings(max_examples=80)
+    def test_any_double_flip_corrected(self, data, bit1, bit2):
+        if bit1 == bit2:
+            return
+        word = CODEC.flip(CODEC.flip(CODEC.encode(data), bit1), bit2)
+        result = CODEC.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+        assert result.corrected_bits_pair == tuple(sorted((bit1, bit2)))
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.sets(st.integers(min_value=0, max_value=77), min_size=3, max_size=3),
+    )
+    @settings(max_examples=60)
+    def test_triple_flip_never_silently_passes(self, data, bits):
+        """Three errors exceed the correction radius: the decoder must not
+        report a clean word (it may detect or miscorrect -- distance 5)."""
+        word = CODEC.encode(data)
+        for bit in bits:
+            word = CODEC.flip(word, bit)
+        result = CODEC.decode(word)
+        assert result.status is not DecodeStatus.OK
+
+
+class TestWithMemory:
+    def test_bch_protected_memory_double_errors(self):
+        memory = EccProtectedMemory(n_words=64, codec=BCHDEC(64), seed=6)
+        memory.fill_random()
+        width = memory.codec.codeword_bits
+        # Two errors in one word: SECDED would only detect; BCH corrects.
+        memory.inject_cell_failures([width * 5 + 3, width * 5 + 40])
+        outcome = memory.scrub()
+        assert outcome.words_corrected == 1
+        assert outcome.words_uncorrectable == 0
+        assert memory.verify_against_golden() == 0
+
+    def test_uncorrectable_fraction_matches_binomial(self):
+        rber = 0.02
+        memory = EccProtectedMemory(n_words=3000, codec=BCHDEC(64), seed=8)
+        memory.fill_random()
+        memory.inject_random_failures(rber)
+        outcome = memory.scrub(repair=False)
+        strength = EccStrength(name="bch78", word_bits=78, correctable=2)
+        predicted = uncorrectable_word_probability(strength, rber)
+        assert outcome.uncorrectable_fraction == pytest.approx(predicted, rel=0.35)
+
+    def test_mismatched_codec_width_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            EccProtectedMemory(n_words=4, data_bits=32, codec=BCHDEC(64))

@@ -1,0 +1,73 @@
+"""Unit tests for multi-interval RAIDR bin updating."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.errors import ConfigurationError
+from repro.mitigation.binning import update_raidr_bins
+from repro.mitigation.raidr import RAIDR
+
+
+def make_raidr(chip, bins=(0.256, 0.512), relaxed=1.024):
+    return RAIDR(
+        total_rows=chip.geometry.total_rows,
+        bits_per_row=chip.geometry.bits_per_row,
+        relaxed_interval_s=relaxed,
+        bin_intervals_s=bins,
+    )
+
+
+class TestLadder:
+    def test_rows_distributed_across_bins(self, chip):
+        raidr = make_raidr(chip)
+        assigned = update_raidr_bins(chip, raidr, iterations=2)
+        assert assigned, "expected some weak rows"
+        assert set(assigned.values()) <= {0, 1}
+        for row, bin_index in assigned.items():
+            assert raidr.refresh_interval_for_row(row) <= raidr.bin_intervals_s[bin_index]
+
+    def test_first_failure_wins(self, chip):
+        """A row failing at the first ladder rung stays in the strictest bin."""
+        raidr = make_raidr(chip)
+        assigned = update_raidr_bins(chip, raidr, iterations=2)
+        strict_rows = {row for row, b in assigned.items() if b == 0}
+        for row in strict_rows:
+            assert raidr.refresh_interval_for_row(row) == pytest.approx(0.256)
+
+    def test_binned_intervals_respect_oracle(self, chip_factory):
+        """No row may be refreshed slower than its weakest oracle cell allows."""
+        chip = chip_factory()
+        raidr = make_raidr(chip)
+        update_raidr_bins(chip, raidr, iterations=5)
+        oracle = chip.oracle_failing_set(Conditions(trefi=1.024), p_min=0.5)
+        bits = chip.geometry.bits_per_row
+        missed = [
+            int(cell) for cell in oracle
+            if raidr.refresh_interval_for_row(int(cell) // bits) >= 1.024
+        ]
+        # High-probability failing cells should essentially all be protected
+        # (tiny-chip oracle sets are a couple dozen cells, so allow a couple
+        # of stochastic escapes).
+        assert len(missed) <= max(2, len(oracle) // 8)
+
+    def test_reach_ladder_assigns_more_rows(self, chip_factory):
+        """Reach profiling at each rung widens coverage (more rows binned)."""
+        plain_chip, reach_chip = chip_factory(), chip_factory(max_trefi_s=2.6)
+        plain = update_raidr_bins(plain_chip, make_raidr(plain_chip), iterations=1)
+        reached = update_raidr_bins(
+            reach_chip,
+            make_raidr(reach_chip),
+            iterations=1,
+            reach=ReachDelta(delta_trefi=0.25),
+        )
+        assert len(reached) >= len(plain)
+
+    def test_ladder_beyond_device_rejected(self, chip):
+        raidr = make_raidr(chip, relaxed=10.0)
+        with pytest.raises(ConfigurationError):
+            update_raidr_bins(chip, raidr)
+
+    def test_refresh_savings_remain_large(self, chip):
+        raidr = make_raidr(chip)
+        update_raidr_bins(chip, raidr, iterations=2)
+        assert raidr.refresh_savings_fraction() > 0.8

@@ -1,0 +1,87 @@
+"""Unit and property tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mitigation.bloom import BloomFilter
+
+
+class TestBasics:
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(size_bits=1024, n_hashes=3)
+        assert 42 not in bloom
+        assert bloom.fill_ratio == 0.0
+        assert bloom.expected_fp_rate() == 0.0
+
+    def test_added_items_found(self):
+        bloom = BloomFilter(size_bits=1024, n_hashes=3)
+        for item in (1, 99, (2, 7), "row-5"):
+            bloom.add(item)
+            assert item in bloom
+
+    def test_items_added_counter(self):
+        bloom = BloomFilter(size_bits=1024, n_hashes=3)
+        bloom.add(1)
+        bloom.add(1)
+        assert bloom.items_added == 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(size_bits=0, n_hashes=3)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(size_bits=8, n_hashes=0)
+
+    def test_unsupported_item_type_rejected(self):
+        bloom = BloomFilter(size_bits=64, n_hashes=2)
+        with pytest.raises(ConfigurationError):
+            bloom.add(3.14)
+
+
+class TestSizing:
+    def test_for_capacity_hits_fp_target(self):
+        bloom = BloomFilter.for_capacity(1000, target_fp_rate=0.01)
+        for i in range(1000):
+            bloom.add(i)
+        false_positives = sum(1 for i in range(1000, 11000) if i in bloom)
+        assert false_positives / 10000 < 0.03
+
+    def test_expected_fp_rate_tracks_load(self):
+        bloom = BloomFilter.for_capacity(100, target_fp_rate=0.01)
+        rates = []
+        for i in range(200):
+            bloom.add(i)
+            rates.append(bloom.expected_fp_rate())
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[50]
+
+    def test_bad_capacity_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ConfigurationError):
+            BloomFilter.for_capacity(10, target_fp_rate=1.0)
+
+
+class TestNoFalseNegatives:
+    """The safety-critical Bloom property: members are never missed."""
+
+    @given(st.sets(st.integers(min_value=0, max_value=10**9), max_size=200))
+    @settings(max_examples=50)
+    def test_every_member_found_ints(self, items):
+        bloom = BloomFilter(size_bits=512, n_hashes=4)
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 31), st.integers(0, 10**6)),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_every_member_found_tuples(self, items):
+        bloom = BloomFilter(size_bits=512, n_hashes=4)
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)

@@ -1,0 +1,115 @@
+"""Boundary and edge-condition tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core import BruteForceProfiler, ReachProfiler
+from repro.dram.chip import MAX_SUPPORTED_TEMPERATURE_C, SimulatedDRAMChip
+from repro.dram.geometry import ChipGeometry
+from repro.errors import CapacityError, ConfigurationError, ProfilingError
+from repro.mitigation import ArchShield, BloomFilter
+from repro.patterns import CHECKERBOARD
+
+from conftest import TINY_GEOMETRY, TEST_SEED
+
+
+class TestExposureBoundaries:
+    def test_profiling_exactly_at_max_trefi(self, chip):
+        """The boundary itself is legal; one epsilon beyond is not."""
+        profile = BruteForceProfiler(iterations=1).run(
+            chip, Conditions(trefi=chip.max_trefi_s, temperature=45.0)
+        )
+        assert profile.runtime_seconds > 0.0
+
+    def test_reach_crossing_max_trefi_rejected(self, chip):
+        profiler = ReachProfiler(reach=ReachDelta(delta_trefi=0.001), iterations=1)
+        with pytest.raises(ProfilingError):
+            profiler.run(chip, Conditions(trefi=chip.max_trefi_s, temperature=45.0))
+
+    def test_temperature_exactly_at_cap(self):
+        chip = SimulatedDRAMChip(
+            geometry=TINY_GEOMETRY, seed=TEST_SEED,
+            max_temperature_c=MAX_SUPPORTED_TEMPERATURE_C,
+        )
+        chip.set_temperature(MAX_SUPPORTED_TEMPERATURE_C)
+        assert chip.temperature_c == MAX_SUPPORTED_TEMPERATURE_C
+
+    def test_temperature_cap_enforced_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedDRAMChip(
+                geometry=TINY_GEOMETRY,
+                max_temperature_c=MAX_SUPPORTED_TEMPERATURE_C + 1.0,
+            )
+
+    def test_zero_length_exposure_reads_clean(self, chip):
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.enable_refresh()
+        assert len(chip.read_errors()) == 0
+
+
+class TestSmallestGeometries:
+    def test_single_bank_chip(self):
+        geometry = ChipGeometry(banks=1, rows_per_bank=64, bits_per_row=64)
+        chip = SimulatedDRAMChip(geometry=geometry, seed=1)
+        # A 4 Kbit array essentially never has weak cells; everything still works.
+        profile = BruteForceProfiler(iterations=1).run(
+            chip, Conditions(trefi=1.0, temperature=45.0)
+        )
+        assert profile.failing == frozenset()
+        assert profile.runtime_seconds > 0.0
+
+    def test_empty_oracle_on_tiny_chip(self):
+        geometry = ChipGeometry(banks=1, rows_per_bank=64, bits_per_row=64)
+        chip = SimulatedDRAMChip(geometry=geometry, seed=1)
+        assert len(chip.oracle_failing_set(Conditions(trefi=1.0))) == 0
+
+    def test_coverage_of_empty_truth_is_perfect(self):
+        from repro.core import evaluate
+
+        result = evaluate(set(), set())
+        assert result.coverage == 1.0
+        assert result.false_positive_rate == 0.0
+
+
+class TestMitigationAtCapacity:
+    def test_archshield_exactly_full(self):
+        shield = ArchShield(capacity_bits=1 << 16, entry_overhead_bits=128)
+        budget = shield.max_entries
+        shield.ingest({i * 64 for i in range(budget)})
+        assert shield.utilization == 1.0
+        # Re-ingesting known cells is fine at full capacity.
+        assert shield.ingest({0}) == 0
+        # One more *new* word overflows.
+        with pytest.raises(CapacityError):
+            shield.ingest({budget * 64})
+
+    def test_bloom_filter_saturation_degrades_gracefully(self):
+        bloom = BloomFilter(size_bits=64, n_hashes=2)
+        for i in range(500):
+            bloom.add(i)
+        # Saturated: everything matches (fp rate -> 1) but no false negatives.
+        assert bloom.fill_ratio > 0.95
+        assert all(i in bloom for i in range(500))
+        assert bloom.expected_fp_rate() > 0.9
+
+
+class TestConditionExtremes:
+    def test_very_long_interval_conditions_valid(self):
+        conditions = Conditions(trefi=600.0)  # ten minutes: paper's "minutes" tail
+        assert conditions.trefi_ms == 600000.0
+
+    def test_profiling_beyond_device_max_is_loud(self, chip):
+        with pytest.raises(ProfilingError):
+            BruteForceProfiler(iterations=1).run(chip, Conditions(trefi=600.0))
+
+    def test_vrt_exposure_check_is_loud_not_silent(self, chip):
+        """Waiting past the horizon with refresh off fails at read time with
+        actionable advice, never by silently under-reporting."""
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(chip.max_trefi_s * 2)
+        chip.enable_refresh()
+        with pytest.raises(ConfigurationError, match="max_trefi_s"):
+            chip.read_errors()

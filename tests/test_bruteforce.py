@@ -1,0 +1,99 @@
+"""Unit tests for Algorithm 1 (brute-force profiling)."""
+
+import pytest
+
+from repro.conditions import Conditions
+from repro.core.bruteforce import BruteForceProfiler
+from repro.core.metrics import evaluate
+from repro.dram.commands import Command
+from repro.errors import ConfigurationError, ProfilingError
+from repro.patterns import CHECKERBOARD, SOLID_ZERO, STANDARD_PATTERNS
+
+
+class TestConfiguration:
+    def test_default_patterns_are_standard(self):
+        assert BruteForceProfiler().patterns == STANDARD_PATTERNS
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BruteForceProfiler(iterations=0)
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BruteForceProfiler(patterns=())
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BruteForceProfiler(idle_between_iterations_s=-1.0)
+
+
+class TestAlgorithm1:
+    def test_profile_records_all_passes(self, chip, target_conditions):
+        profiler = BruteForceProfiler(iterations=2)
+        profile = profiler.run(chip, target_conditions)
+        assert len(profile.records) == 2 * len(STANDARD_PATTERNS)
+        assert profile.iterations == 2
+        assert profile.patterns == tuple(p.key for p in STANDARD_PATTERNS)
+
+    def test_command_sequence_matches_algorithm_1(self, chip, target_conditions):
+        """write -> disable -> wait -> enable -> read, per pattern per iteration."""
+        BruteForceProfiler(patterns=(CHECKERBOARD,), iterations=2).run(chip, target_conditions)
+        kinds = [r.command for r in chip.trace]
+        expected_pass = [
+            Command.WRITE_PATTERN,
+            Command.REFRESH_DISABLE,
+            Command.WAIT,
+            Command.REFRESH_ENABLE,
+            Command.READ_COMPARE,
+        ]
+        assert kinds == expected_pass * 2
+        chip.trace.verify_protocol()
+
+    def test_runtime_matches_eq9_structure(self, chip, target_conditions):
+        """Runtime = (t_REFI + T_wr + T_rd) * N_dp * N_it (Eq 9)."""
+        profiler = BruteForceProfiler(patterns=(CHECKERBOARD, SOLID_ZERO), iterations=3)
+        profile = profiler.run(chip, target_conditions)
+        per_pass = target_conditions.trefi + 2 * chip.pattern_io_seconds
+        assert profile.runtime_seconds == pytest.approx(per_pass * 2 * 3)
+
+    def test_idle_gap_extends_runtime(self, chip_factory, target_conditions):
+        fast = BruteForceProfiler(patterns=(CHECKERBOARD,), iterations=2)
+        slow = BruteForceProfiler(
+            patterns=(CHECKERBOARD,), iterations=2, idle_between_iterations_s=100.0
+        )
+        t_fast = fast.run(chip_factory(), target_conditions).runtime_seconds
+        t_slow = slow.run(chip_factory(), target_conditions).runtime_seconds
+        assert t_slow == pytest.approx(t_fast + 200.0)
+
+    def test_profile_target_defaults_to_profiling_conditions(self, chip, target_conditions):
+        profile = BruteForceProfiler(iterations=1).run(chip, target_conditions)
+        assert profile.target_conditions == target_conditions
+        assert not profile.is_reach_profile
+
+    def test_interval_beyond_device_rejected(self, chip):
+        with pytest.raises(ProfilingError):
+            BruteForceProfiler(iterations=1).run(chip, Conditions(trefi=50.0))
+
+    def test_more_iterations_discover_more(self, chip_factory, target_conditions):
+        few = BruteForceProfiler(iterations=1).run(chip_factory(), target_conditions)
+        many = BruteForceProfiler(iterations=8).run(chip_factory(), target_conditions)
+        assert len(many) >= len(few)
+
+    def test_coverage_improves_with_iterations(self, chip_factory, target_conditions):
+        """Observation: brute force needs many iterations for high coverage."""
+        chip = chip_factory()
+        oracle = set(chip.oracle_failing_set(target_conditions).tolist())
+        profile = BruteForceProfiler(iterations=8).run(chip, target_conditions)
+        after_1 = evaluate(profile.cells_after_iterations(1), oracle)
+        after_8 = evaluate(profile.cells_after_iterations(8), oracle)
+        assert after_8.coverage >= after_1.coverage
+        assert after_8.coverage > 0.8
+
+    def test_records_observed_counts_include_repeats(self, chip, target_conditions):
+        profile = BruteForceProfiler(iterations=3).run(chip, target_conditions)
+        for rec in profile.records:
+            assert rec.observed_count >= rec.new_count
+
+    def test_mechanism_label(self, chip, target_conditions):
+        profile = BruteForceProfiler(iterations=1).run(chip, target_conditions)
+        assert profile.mechanism == "brute-force"

@@ -1,0 +1,202 @@
+"""Tests for the Section-5 characterization drivers (Figures 2-8).
+
+These run scaled-down versions of the paper's experiments on tiny chips and
+assert the qualitative structure (Observations 1-4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import (
+    fig2_retention_failure_rates,
+    fig3_discovery_timeline,
+    fig4_accumulation_rates,
+    fig5_dpd_coverage,
+    fig6_cell_failure_cdfs,
+    fig7_parameter_distributions,
+    fig8_combined_distribution,
+)
+from repro.dram.geometry import ChipGeometry
+from repro.errors import ConfigurationError
+
+from conftest import TINY_GEOMETRY
+
+SMALL = ChipGeometry.from_capacity_gigabits(0.25)
+
+
+class TestFig2:
+    def test_rows_cover_all_vendors_and_intervals(self):
+        intervals = (0.512, 1.024, 2.048)
+        rows = fig2_retention_failure_rates(intervals_s=intervals, geometry=TINY_GEOMETRY)
+        assert len(rows) == 3 * len(intervals)
+        assert {r.vendor for r in rows} == {"A", "B", "C"}
+
+    def test_ber_monotone_in_interval(self):
+        rows = fig2_retention_failure_rates(
+            intervals_s=(0.512, 1.024, 2.048), geometry=SMALL
+        )
+        for vendor in "ABC":
+            series = [r.ber_total for r in rows if r.vendor == vendor]
+            assert series == sorted(series)
+
+    def test_observation_1_repeat_dominates_at_higher_intervals(self):
+        """Observation 1: cells failing at an interval mostly fail again at
+        higher intervals -- i.e. the non-repeat share stays small."""
+        rows = fig2_retention_failure_rates(
+            intervals_s=(0.512, 1.024, 2.048), geometry=SMALL, iterations=2
+        )
+        top = [r for r in rows if r.trefi_s == 2.048]
+        for row in top:
+            if row.ber_total > 0:
+                assert row.ber_nonrepeat <= 0.3 * (row.ber_repeat + row.ber_nonrepeat + 1e-18)
+
+    def test_unsorted_intervals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fig2_retention_failure_rates(intervals_s=(1.024, 0.512), geometry=TINY_GEOMETRY)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_discovery_timeline(
+            trefi_s=2.048, iterations=80, span_days=1.0, geometry=SMALL
+        )
+
+    def test_cumulative_monotone(self, result):
+        counts = [p.cumulative for p in result.points]
+        assert counts == sorted(counts)
+
+    def test_observation_2_new_failures_keep_arriving(self, result):
+        """Observation 2: the failing population keeps changing (VRT)."""
+        second_half = [p.unique_new for p in result.points[len(result.points) // 2 :]]
+        assert sum(second_half) > 0
+
+    def test_steady_state_rate_positive(self, result):
+        assert result.steady_state_rate_per_hour > 0.0
+
+    def test_timeline_spans_requested_days(self, result):
+        assert result.points[-1].time_days == pytest.approx(1.0, rel=0.1)
+
+    def test_per_iteration_set_size_roughly_stable(self, result):
+        """Figure 3: unique+repeat per iteration stays roughly constant."""
+        sizes = [p.unique_new + p.repeat for p in result.points[10:]]
+        assert np.std(sizes) < np.mean(sizes)
+
+    def test_too_few_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fig3_discovery_timeline(iterations=2, geometry=TINY_GEOMETRY)
+
+
+class TestFig4:
+    def test_rates_grow_with_interval(self):
+        result = fig4_accumulation_rates(
+            intervals_s=(1.536, 2.048, 2.4),
+            hours_per_interval=6.0,
+            geometry=SMALL,
+        )
+        for vendor in "ABC":
+            series = [r.analytic_rate_per_hour for r in result.rows if r.vendor == vendor]
+            assert series == sorted(series)
+
+    def test_measured_tracks_analytic(self):
+        # A deep base profile is needed to exhaust the static set before the
+        # VRT-driven steady state becomes measurable (the paper's ~10 hours).
+        result = fig4_accumulation_rates(
+            intervals_s=(2.048, 2.4),
+            hours_per_interval=12.0,
+            geometry=SMALL,
+            base_iterations=16,
+        )
+        for row in result.rows:
+            if row.analytic_rate_per_hour > 1.0:
+                assert row.measured_rate_per_hour == pytest.approx(
+                    row.analytic_rate_per_hour, rel=0.7
+                )
+
+    def test_power_law_fit_exponent(self):
+        result = fig4_accumulation_rates(
+            intervals_s=(1.536, 2.048, 2.4), hours_per_interval=12.0, geometry=SMALL
+        )
+        fit = result.fits.get("B")
+        if fit is not None:
+            assert 4.0 < fit.b < 12.0
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_dpd_coverage(trefi_s=2.048, iterations=24, geometry=SMALL)
+
+    def test_coverage_fractions_bounded(self, result):
+        for series in result.coverage_by_pattern.values():
+            assert all(0.0 <= value <= 1.0 for value in series)
+            assert list(series) == sorted(series)
+
+    def test_observation_3_random_wins_but_incomplete(self, result):
+        """Observation 3: random discovers the most failures but not all."""
+        best = result.best_pattern()
+        assert best.startswith("random")
+        assert result.final_coverage(best) < 1.0
+
+    def test_no_single_pattern_reaches_total(self, result):
+        assert all(result.final_coverage(k) < 1.0 for k in result.pattern_keys)
+
+    def test_total_failures_positive(self, result):
+        assert result.total_failures > 0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A dense linear grid so small-sigma cells accumulate the three
+        # informative probit points the fit-quality filter requires.
+        return fig6_cell_failure_cdfs(
+            geometry=SMALL, reads_per_interval=12,
+            intervals_s=tuple(np.linspace(0.2, 2.4, 34)),
+        )
+
+    def test_cells_fitted(self, result):
+        assert result.cells_fitted > 10
+
+    def test_sigma_lognormal_fit_exists(self, result):
+        assert result.sigma_fit is not None
+        assert result.sigma_fit.median > 0.0
+
+    def test_majority_sigma_below_200ms(self, result):
+        """Figure 6b at 40 degC: most cells have sigma < 200 ms."""
+        assert result.fraction_sigma_below_200ms > 0.5
+
+    def test_fitted_mus_in_tested_range(self, result):
+        assert np.all(result.mus_s > 0.0)
+        assert np.all(result.mus_s < 3.5)
+
+
+class TestFig7:
+    def test_distributions_shift_left_with_temperature(self):
+        rows = fig7_parameter_distributions(geometry=SMALL)
+        mu_medians = [r.mu_median_s for r in rows]
+        sigma_medians = [r.sigma_median_s for r in rows]
+        assert mu_medians == sorted(mu_medians, reverse=True)
+        assert sigma_medians == sorted(sigma_medians, reverse=True)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_combined_distribution(geometry=SMALL)
+
+    def test_probability_monotone_in_interval(self, result):
+        for i in range(len(result.temperatures_c)):
+            series = result.mean_probability[i]
+            assert np.all(np.diff(series) >= -1e-9)
+
+    def test_probability_monotone_in_temperature(self, result):
+        mid = len(result.intervals_s) // 2
+        column = result.mean_probability[:, mid]
+        assert np.all(np.diff(column) >= -1e-9)
+
+    def test_temperature_interval_equivalence(self, result):
+        """Figure 8: at ~45 degC, ~1 s of interval ~ ~10 degC of temperature."""
+        t45 = result.interval_for_probability(45.0, 0.5)
+        t55 = result.interval_for_probability(55.0, 0.5)
+        assert 0.4 < (t45 - t55) < 1.6

@@ -1,0 +1,208 @@
+"""Unit tests for the simulated DRAM chip's command-level behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.conditions import Conditions
+from repro.dram.chip import SimulatedDRAMChip
+from repro.dram.commands import Command
+from repro.errors import CommandSequenceError, ConfigurationError
+from repro.patterns import CHECKERBOARD, RANDOM, SOLID_ZERO
+
+from conftest import TINY_GEOMETRY, TEST_SEED
+
+
+def run_exposure(chip, pattern, trefi):
+    chip.write_pattern(pattern)
+    chip.disable_refresh()
+    chip.wait(trefi)
+    chip.enable_refresh()
+    return chip.read_errors()
+
+
+class TestProtocol:
+    def test_read_without_write_rejected(self, chip):
+        with pytest.raises(CommandSequenceError):
+            chip.read_errors()
+
+    def test_double_disable_rejected(self, chip):
+        chip.disable_refresh()
+        with pytest.raises(CommandSequenceError):
+            chip.disable_refresh()
+
+    def test_double_enable_rejected(self, chip):
+        with pytest.raises(CommandSequenceError):
+            chip.enable_refresh()
+
+    def test_trace_records_commands(self, chip):
+        run_exposure(chip, CHECKERBOARD, 0.5)
+        kinds = [r.command for r in chip.trace]
+        assert kinds == [
+            Command.WRITE_PATTERN,
+            Command.REFRESH_DISABLE,
+            Command.WAIT,
+            Command.REFRESH_ENABLE,
+            Command.READ_COMPARE,
+        ]
+
+    def test_trace_passes_logic_analyzer(self, chip):
+        for _ in range(3):
+            run_exposure(chip, CHECKERBOARD, 0.3)
+        chip.trace.verify_protocol()
+
+    def test_exposure_window_reconstruction(self, chip):
+        run_exposure(chip, CHECKERBOARD, 0.75)
+        windows = chip.trace.exposures()
+        assert len(windows) == 1
+        start, end = windows[0]
+        assert end - start == pytest.approx(0.75)
+
+
+class TestTimeAccounting:
+    def test_write_costs_io_time(self, chip):
+        t0 = chip.clock.now
+        chip.write_pattern(CHECKERBOARD)
+        assert chip.clock.now - t0 == pytest.approx(chip.pattern_io_seconds)
+
+    def test_full_pass_time(self, chip):
+        t0 = chip.clock.now
+        run_exposure(chip, CHECKERBOARD, 1.0)
+        expected = 2 * chip.pattern_io_seconds + 1.0
+        assert chip.clock.now - t0 == pytest.approx(expected)
+
+    def test_exposure_tracks_refresh_window(self, chip):
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(0.4)
+        assert chip.current_exposure() == pytest.approx(0.4)
+        chip.enable_refresh()
+        assert chip.current_exposure() == pytest.approx(0.4)
+
+    def test_no_exposure_with_refresh_enabled(self, chip):
+        chip.write_pattern(CHECKERBOARD)
+        chip.wait(2.0)
+        assert chip.current_exposure() == 0.0
+        assert len(chip.read_errors()) == 0
+
+    def test_write_restarts_exposure(self, chip):
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(1.0)
+        chip.write_pattern(CHECKERBOARD)  # restores cells
+        chip.wait(0.2)
+        assert chip.current_exposure() == pytest.approx(0.2)
+
+    def test_read_restores_cells(self, chip):
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(1.0)
+        chip.read_errors()
+        # Exposure restarted by the read-out.
+        assert chip.current_exposure() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFailureBehaviour:
+    def test_no_failures_at_tiny_exposure(self, chip):
+        errors = run_exposure(chip, CHECKERBOARD, 0.001)
+        assert len(errors) == 0
+
+    def test_failures_grow_with_exposure(self, chip_factory):
+        lo = len(run_exposure(chip_factory(), CHECKERBOARD, 0.512))
+        hi = len(run_exposure(chip_factory(), CHECKERBOARD, 2.048))
+        assert hi > lo
+
+    def test_failures_grow_with_temperature(self, chip_factory):
+        cool = chip_factory()
+        hot = chip_factory()
+        hot.set_temperature(55.0)
+        n_cool = len(run_exposure(cool, CHECKERBOARD, 1.024))
+        n_hot = len(run_exposure(hot, CHECKERBOARD, 1.024))
+        assert n_hot > n_cool
+
+    def test_failure_count_near_expected_ber(self, chip):
+        conditions = Conditions(trefi=2.048, temperature=45.0)
+        observed = len(run_exposure(chip, CHECKERBOARD, 2.048))
+        expected = chip.expected_ber(conditions) * chip.capacity_bits
+        # One pattern sees a DPD-weakened subset of the worst-case tail.
+        assert 0.1 * expected < observed < 2.5 * expected
+
+    def test_errors_sorted_unique_in_range(self, chip):
+        errors = run_exposure(chip, CHECKERBOARD, 2.0)
+        assert np.all(np.diff(errors) > 0)
+        assert errors.min() >= 0 and errors.max() < chip.capacity_bits
+
+    def test_exposure_beyond_max_trefi_rejected(self, chip):
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(chip.max_trefi_s + 1.0)
+        chip.enable_refresh()
+        with pytest.raises(ConfigurationError):
+            chip.read_errors()
+
+    def test_reads_are_stochastic_for_marginal_cells(self, chip):
+        """Repeated identical exposures do not observe identical sets."""
+        sets = []
+        for _ in range(6):
+            sets.append(frozenset(run_exposure(chip, CHECKERBOARD, 1.024).tolist()))
+        assert len(set(sets)) > 1
+
+
+class TestOracle:
+    def test_oracle_monotone_in_interval(self, chip):
+        small = chip.oracle_failing_set(Conditions(trefi=0.512))
+        large = chip.oracle_failing_set(Conditions(trefi=2.0))
+        assert set(small.tolist()) <= set(large.tolist())
+        assert len(large) > len(small)
+
+    def test_oracle_beyond_horizon_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            chip.oracle_failing_set(Conditions(trefi=chip.max_trefi_s + 0.5))
+
+    def test_observed_failures_mostly_in_oracle(self, chip):
+        observed = set(run_exposure(chip, CHECKERBOARD, 1.024).tolist())
+        oracle = set(chip.oracle_failing_set(Conditions(trefi=1.024), p_min=0.01).tolist())
+        assert len(observed - oracle) <= max(1, len(observed) // 20)
+
+
+class TestConstruction:
+    def test_same_seed_same_population(self):
+        a = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        b = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        assert np.array_equal(a.population.indices, b.population.indices)
+
+    def test_different_chip_id_different_population(self):
+        a = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=0)
+        b = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=1)
+        assert not np.array_equal(a.population.indices, b.population.indices)
+
+    def test_shared_clock(self):
+        clock = SimClock()
+        a = SimulatedDRAMChip(geometry=TINY_GEOMETRY, clock=clock)
+        a.write_pattern(CHECKERBOARD)
+        assert clock.now > 0.0
+
+    def test_temperature_above_max_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            chip.set_temperature(90.0)
+
+    def test_initial_temperature_above_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedDRAMChip(geometry=TINY_GEOMETRY, temperature_c=80.0, max_temperature_c=55.0)
+
+    def test_weak_cell_count_scales_with_capacity(self):
+        small = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=1)
+        assert small.weak_cell_count > 0
+        assert small.weak_cell_count < small.capacity_bits
+
+
+class TestRandomPattern:
+    def test_random_pattern_explores_alignments(self, chip):
+        """Random data discovers cells a fixed pattern misses (Observation 3)."""
+        fixed_cells = set()
+        random_cells = set()
+        for _ in range(8):
+            fixed_cells.update(run_exposure(chip, CHECKERBOARD, 1.5).tolist())
+        for _ in range(8):
+            random_cells.update(run_exposure(chip, RANDOM, 1.5).tolist())
+        assert len(random_cells - fixed_cells) > 0

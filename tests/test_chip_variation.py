@@ -1,0 +1,64 @@
+"""Tests for chip-to-chip process variation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.conditions import Conditions
+from repro.dram.chip import SimulatedDRAMChip
+from repro.dram.vendor import VENDOR_B
+
+from conftest import TINY_GEOMETRY, TEST_SEED
+
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+
+
+class TestProcessVariation:
+    def test_different_chips_different_tails(self):
+        a = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=0)
+        b = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=1)
+        assert a.expected_ber(TARGET) != b.expected_ber(TARGET)
+
+    def test_same_identity_same_jitter(self):
+        a = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=3)
+        b = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=3)
+        assert a.expected_ber(TARGET) == b.expected_ber(TARGET)
+        assert np.array_equal(a.population.indices, b.population.indices)
+
+    def test_variation_matches_configured_sigma(self):
+        """Across many chips, the ln-median spread follows the vendor's
+        chip_to_chip_ln_sigma."""
+        medians = [
+            SimulatedDRAMChip(
+                geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=i
+            ).vendor.retention_ln_median
+            for i in range(60)
+        ]
+        spread = np.std(medians)
+        assert spread == pytest.approx(VENDOR_B.chip_to_chip_ln_sigma, rel=0.35)
+        assert np.mean(medians) == pytest.approx(VENDOR_B.retention_ln_median, abs=0.05)
+
+    def test_variation_can_be_disabled(self):
+        vendor = dataclasses.replace(VENDOR_B, chip_to_chip_ln_sigma=0.0)
+        a = SimulatedDRAMChip(vendor=vendor, geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=0)
+        b = SimulatedDRAMChip(vendor=vendor, geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=1)
+        assert a.expected_ber(TARGET) == b.expected_ber(TARGET)
+        assert a.vendor.retention_ln_median == VENDOR_B.retention_ln_median
+
+    def test_failure_counts_track_the_jittered_model(self):
+        """A chip's sampled weak tail follows its own (jittered) BER, not
+        the vendor nominal."""
+        chip = SimulatedDRAMChip(seed=TEST_SEED, chip_id=7)  # 1 Gbit for counts
+        expected = chip.expected_ber(Conditions(trefi=2.0)) * chip.capacity_bits
+        oracle = chip.oracle_failing_set(Conditions(trefi=2.0), p_min=0.5)
+        assert len(oracle) == pytest.approx(expected, rel=0.25)
+
+    def test_spd_reports_the_actual_chip(self):
+        """SPD characterization reflects the jittered chip, so the planner
+        sees the silicon it will actually drive."""
+        from repro.dram.spd import characterize_for_spd
+
+        chip = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, chip_id=9)
+        spd = characterize_for_spd(chip)
+        assert spd.ber_at(1.024) == pytest.approx(chip.expected_ber(TARGET), rel=1e-6)

@@ -1,0 +1,44 @@
+"""Tests for the weak/strong classification-band analysis (Observation 4)."""
+
+import pytest
+
+from repro.analysis.characterization import classification_band, marginal_band_conversion
+from repro.conditions import Conditions
+from repro.errors import ConfigurationError
+
+
+class TestClassificationBand:
+    def test_counts_partition_the_tail(self, chip):
+        band = classification_band(chip, Conditions(trefi=1.024, temperature=45.0))
+        total = band.reliable_weak + band.marginal + band.reliable_strong
+        assert total == chip.weak_cell_count
+
+    def test_marginal_band_nonempty(self, chip):
+        band = classification_band(chip, Conditions(trefi=1.024, temperature=45.0))
+        assert band.marginal > 0
+        assert 0.0 < band.marginal_fraction_of_failing < 1.0
+
+    def test_weak_count_grows_with_interval(self, chip):
+        short = classification_band(chip, Conditions(trefi=0.512, temperature=45.0))
+        long = classification_band(chip, Conditions(trefi=2.0, temperature=45.0))
+        assert long.reliable_weak > short.reliable_weak
+
+    def test_bad_thresholds_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            classification_band(chip, Conditions(trefi=1.0), p_lo=0.9, p_hi=0.1)
+
+    def test_conversion_monotone_in_reach(self, chip):
+        target = Conditions(trefi=1.024, temperature=45.0)
+        small = marginal_band_conversion(chip, target, reach_delta_trefi_s=0.05)
+        large = marginal_band_conversion(chip, target, reach_delta_trefi_s=0.40)
+        assert large >= small
+
+    def test_discoverable_threshold_easier_than_reliable(self, chip):
+        target = Conditions(trefi=1.024, temperature=45.0)
+        discoverable = marginal_band_conversion(chip, target, converted_at=0.5)
+        reliable = marginal_band_conversion(chip, target, converted_at=0.95)
+        assert discoverable >= reliable
+
+    def test_bad_converted_at_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            marginal_band_conversion(chip, Conditions(trefi=1.0), converted_at=0.0)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+TINY_ARGS = ["--capacity-gbit", "0.0625", "--seed", "7"]
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(TINY_ARGS + ["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "brute force" in out
+        assert "speedup" in out
+
+    def test_profile_brute(self, capsys):
+        assert main(TINY_ARGS + ["profile", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "brute-force profiling" in out
+        assert "vs oracle" in out
+
+    def test_profile_reach(self, capsys):
+        assert main(TINY_ARGS + ["profile", "--reach", "0.25", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reach profiling" in out
+
+    def test_plan_feasible(self, capsys):
+        assert main(TINY_ARGS + ["plan", "--trefi", "1.024"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible        : True" in out
+
+    def test_plan_infeasible_exit_code(self, capsys):
+        # An FPR ceiling of ~0 rejects every non-zero reach and the zero
+        # reach still plans fine, so force infeasibility with a huge target.
+        code = main(TINY_ARGS + ["plan", "--trefi", "1.9", "--max-fpr", "0.0001", "--ecc", "No ECC"])
+        assert code == 1
+
+    def test_longevity(self, capsys):
+        assert main(["longevity", "--capacity-gb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "profile longevity" in out
+
+    def test_longevity_infeasible(self, capsys):
+        code = main(["longevity", "--capacity-gb", "2", "--ecc", "No ECC"])
+        assert code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_vendor_selection(self, capsys):
+        assert main(["--vendor", "C"] + TINY_ARGS[0:2] + ["longevity"]) == 0
+
+    def test_campaign(self, capsys):
+        assert main(TINY_ARGS + ["campaign", "--chips-per-vendor", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign over 3 chips" in out
+        assert "Temperature coefficients" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

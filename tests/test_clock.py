@@ -1,0 +1,68 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.clock import ClockStopwatch, SimClock
+from repro.errors import ClockError
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock(1.0)
+        assert clock.advance(2.0) == pytest.approx(3.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        t0 = clock.now
+        clock.advance(7.0)
+        assert clock.elapsed_since(t0) == pytest.approx(7.0)
+
+    def test_elapsed_since_future_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.elapsed_since(1.0)
+
+
+class TestClockStopwatch:
+    def test_measures_elapsed(self):
+        clock = SimClock()
+        watch = ClockStopwatch(clock)
+        clock.advance(3.0)
+        assert watch.elapsed == pytest.approx(3.0)
+
+    def test_restart_resets_origin(self):
+        clock = SimClock()
+        watch = ClockStopwatch(clock)
+        clock.advance(3.0)
+        watch.restart()
+        clock.advance(1.0)
+        assert watch.elapsed == pytest.approx(1.0)
+
+    def test_zero_elapsed_initially(self):
+        assert ClockStopwatch(SimClock()).elapsed == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for the command trace / logic-analyzer verification."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandTrace, ProtocolViolation
+
+
+def trace_of(*steps):
+    trace = CommandTrace()
+    for time, command in steps:
+        trace.append(time, command)
+    return trace
+
+
+class TestVerification:
+    def test_empty_trace_valid(self):
+        trace_of().verify_protocol()
+
+    def test_legal_sequence_passes(self):
+        trace_of(
+            (0.0, Command.WRITE_PATTERN),
+            (0.1, Command.REFRESH_DISABLE),
+            (1.1, Command.WAIT),
+            (1.1, Command.REFRESH_ENABLE),
+            (1.2, Command.READ_COMPARE),
+        ).verify_protocol()
+
+    def test_time_regression_detected(self):
+        with pytest.raises(ProtocolViolation):
+            trace_of((1.0, Command.WAIT), (0.5, Command.WAIT)).verify_protocol()
+
+    def test_double_disable_detected(self):
+        with pytest.raises(ProtocolViolation):
+            trace_of(
+                (0.0, Command.REFRESH_DISABLE),
+                (1.0, Command.REFRESH_DISABLE),
+            ).verify_protocol()
+
+    def test_enable_without_disable_detected(self):
+        with pytest.raises(ProtocolViolation):
+            trace_of((0.0, Command.REFRESH_ENABLE)).verify_protocol()
+
+    def test_read_before_write_detected(self):
+        with pytest.raises(ProtocolViolation):
+            trace_of((0.0, Command.READ_COMPARE)).verify_protocol()
+
+
+class TestQueries:
+    def test_of_type_filters(self):
+        trace = trace_of(
+            (0.0, Command.WRITE_PATTERN),
+            (0.5, Command.WAIT),
+            (1.0, Command.WRITE_PATTERN),
+        )
+        assert len(trace.of_type(Command.WRITE_PATTERN)) == 2
+        assert len(trace.of_type(Command.READ_COMPARE)) == 0
+
+    def test_exposures_reconstructed(self):
+        trace = trace_of(
+            (0.0, Command.REFRESH_DISABLE),
+            (2.0, Command.REFRESH_ENABLE),
+            (3.0, Command.REFRESH_DISABLE),
+            (3.5, Command.REFRESH_ENABLE),
+        )
+        assert trace.exposures() == [(0.0, 2.0), (3.0, 3.5)]
+
+    def test_unclosed_exposure_ignored(self):
+        trace = trace_of((0.0, Command.REFRESH_DISABLE))
+        assert trace.exposures() == []
+
+    def test_len_and_iter(self):
+        trace = trace_of((0.0, Command.WAIT), (1.0, Command.WAIT))
+        assert len(trace) == 2
+        assert [r.time for r in trace] == [0.0, 1.0]

@@ -1,0 +1,79 @@
+"""Unit tests for operating conditions and reach deltas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.conditions import Conditions, HEADLINE_REACH, JEDEC_TREFW, ReachDelta
+from repro.errors import ConfigurationError
+
+
+class TestConditions:
+    def test_defaults_to_reference_temperature(self):
+        assert Conditions(trefi=0.064).temperature == 45.0
+
+    def test_trefi_ms(self):
+        assert Conditions(trefi=1.024).trefi_ms == pytest.approx(1024.0)
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Conditions(trefi=0.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Conditions(trefi=-0.1)
+
+    def test_implausible_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Conditions(trefi=0.064, temperature=500.0)
+
+    def test_jedec_default_constant(self):
+        assert JEDEC_TREFW == pytest.approx(0.064)
+
+    def test_equality_and_hash(self):
+        assert Conditions(1.0, 45.0) == Conditions(1.0, 45.0)
+        assert hash(Conditions(1.0, 45.0)) == hash(Conditions(1.0, 45.0))
+
+    def test_with_reach_adds_both_axes(self):
+        target = Conditions(trefi=1.0, temperature=45.0)
+        reach = target.with_reach(ReachDelta(delta_trefi=0.25, delta_temperature=5.0))
+        assert reach.trefi == pytest.approx(1.25)
+        assert reach.temperature == pytest.approx(50.0)
+
+    def test_reaches_componentwise(self):
+        base = Conditions(1.0, 45.0)
+        assert Conditions(1.25, 45.0).reaches(base)
+        assert Conditions(1.0, 50.0).reaches(base)
+        assert not Conditions(0.5, 50.0).reaches(base)
+
+    def test_str_rendering(self):
+        assert "1024ms" in str(Conditions(1.024, 45.0))
+
+    @given(
+        st.floats(min_value=1e-3, max_value=10.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=20.0),
+    )
+    def test_reach_always_reaches_target(self, trefi, d_trefi, d_temp):
+        target = Conditions(trefi=trefi, temperature=45.0)
+        delta = ReachDelta(delta_trefi=d_trefi, delta_temperature=d_temp)
+        assert target.with_reach(delta).reaches(target)
+
+
+class TestReachDelta:
+    def test_negative_interval_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReachDelta(delta_trefi=-0.1)
+
+    def test_negative_temperature_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReachDelta(delta_temperature=-1.0)
+
+    def test_zero_delta_is_brute_force(self):
+        assert ReachDelta().is_brute_force
+
+    def test_nonzero_delta_is_not_brute_force(self):
+        assert not ReachDelta(delta_trefi=0.25).is_brute_force
+
+    def test_headline_reach_is_250ms(self):
+        assert HEADLINE_REACH.delta_trefi == pytest.approx(0.250)
+        assert HEADLINE_REACH.delta_temperature == 0.0

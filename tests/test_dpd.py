@@ -1,0 +1,95 @@
+"""Unit tests for the data-pattern-dependence model."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.dram.dpd import DPDModel
+from repro.errors import ConfigurationError
+from repro.patterns import CHECKERBOARD, RANDOM, SOLID_ZERO
+
+
+def make_model(n_cells=500, cap=0.97, seed=3):
+    rng = rng_mod.derive(seed, "dpd-test")
+    susceptibility = rng.uniform(0.0, 0.3, size=n_cells)
+    return DPDModel(susceptibility, rng_mod.derive(seed, "dpd-align"), cap)
+
+
+class TestAlignment:
+    def test_alignment_in_unit_interval(self):
+        model = make_model()
+        a = model.alignment(CHECKERBOARD)
+        assert np.all(a >= 0.0) and np.all(a <= 1.0)
+
+    def test_deterministic_pattern_alignment_cached(self):
+        model = make_model()
+        a1 = model.alignment(CHECKERBOARD)
+        a2 = model.alignment(CHECKERBOARD)
+        assert np.array_equal(a1, a2)
+
+    def test_inverse_pattern_has_own_alignment(self):
+        model = make_model()
+        a = model.alignment(CHECKERBOARD)
+        inv = model.alignment(CHECKERBOARD.inverse)
+        assert not np.array_equal(a, inv)
+
+    def test_random_pattern_redraws_on_fresh(self):
+        model = make_model()
+        a1 = model.alignment(RANDOM, fresh=True).copy()
+        a2 = model.alignment(RANDOM, fresh=True)
+        assert not np.array_equal(a1, a2)
+
+    def test_random_pattern_stable_without_fresh(self):
+        model = make_model()
+        a1 = model.alignment(RANDOM, fresh=True)
+        a2 = model.alignment(RANDOM, fresh=False)
+        assert np.array_equal(a1, a2)
+
+    def test_random_alignment_capped(self):
+        model = make_model(cap=0.8)
+        for _ in range(5):
+            a = model.alignment(RANDOM, fresh=True)
+            assert np.all(a <= 0.8)
+
+    def test_deterministic_patterns_can_exceed_random_cap(self):
+        model = make_model(n_cells=20000, cap=0.5)
+        a = model.alignment(SOLID_ZERO)
+        assert np.any(a > 0.5)
+
+
+class TestEffectiveRetention:
+    def test_full_alignment_recovers_worst_case(self):
+        model = make_model()
+        mu = np.full(500, 2.0)
+        out = model.effective_retention(mu, np.ones(500))
+        assert np.allclose(out, mu)
+
+    def test_zero_alignment_gives_benign_case(self):
+        model = make_model()
+        mu = np.full(500, 2.0)
+        out = model.effective_retention(mu, np.zeros(500))
+        expected = mu / (1.0 - model.susceptibility)
+        assert np.allclose(out, expected)
+        assert np.all(out >= mu)
+
+    def test_monotone_in_alignment(self):
+        """Higher alignment (more adversarial data) means shorter retention."""
+        model = make_model()
+        mu = np.full(500, 2.0)
+        weak = model.effective_retention(mu, np.full(500, 0.9))
+        mild = model.effective_retention(mu, np.full(500, 0.1))
+        assert np.all(weak <= mild)
+
+
+class TestValidation:
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_model(cap=1.5)
+
+    def test_bad_susceptibility_rejected(self):
+        rng = rng_mod.derive(1, "x")
+        with pytest.raises(ConfigurationError):
+            DPDModel(np.array([1.0]), rng, 0.9)
+
+    def test_n_cells(self):
+        assert make_model(n_cells=42).n_cells == 42

@@ -1,0 +1,107 @@
+"""Tests for the ECC-protected memory model, including the empirical
+validation of the binomial UBER math against the real codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.hamming import DecodeStatus
+from repro.ecc.memory import EccProtectedMemory
+from repro.ecc.model import EccStrength, uncorrectable_word_probability
+from repro.errors import ConfigurationError
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self):
+        memory = EccProtectedMemory(n_words=8)
+        memory.write(3, 0xDEADBEEF)
+        result = memory.read(3)
+        assert result.status is DecodeStatus.OK
+        assert result.data == 0xDEADBEEF
+
+    def test_fill_random_then_all_clean(self):
+        memory = EccProtectedMemory(n_words=32)
+        memory.fill_random()
+        outcome = memory.scrub()
+        assert outcome.words_clean == 32
+        assert outcome.words_corrected == 0
+
+    def test_index_bounds(self):
+        memory = EccProtectedMemory(n_words=4)
+        with pytest.raises(ConfigurationError):
+            memory.write(4, 0)
+        with pytest.raises(ConfigurationError):
+            memory.read(-1)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EccProtectedMemory(n_words=0)
+
+
+class TestFaultInjection:
+    def test_single_flip_corrected_by_scrub(self):
+        memory = EccProtectedMemory(n_words=4)
+        memory.fill_random()
+        memory.inject_cell_failures([72 * 2 + 5])  # word 2, bit 5
+        outcome = memory.scrub()
+        assert outcome.words_corrected == 1
+        assert memory.verify_against_golden() == 0
+        # Repair cleared the error: a second scrub sees everything clean.
+        assert memory.scrub().words_clean == 4
+
+    def test_double_flip_uncorrectable(self):
+        memory = EccProtectedMemory(n_words=4)
+        memory.fill_random()
+        memory.inject_cell_failures([72 * 1 + 3, 72 * 1 + 40])
+        outcome = memory.scrub()
+        assert outcome.words_uncorrectable == 1
+        assert memory.verify_against_golden() >= 1
+
+    def test_flip_beyond_array_rejected(self):
+        memory = EccProtectedMemory(n_words=2)
+        with pytest.raises(ConfigurationError):
+            memory.inject_cell_failures([72 * 5])
+
+    def test_random_injection_count(self):
+        memory = EccProtectedMemory(n_words=256, seed=3)
+        memory.fill_random()
+        flips = memory.inject_random_failures(0.01)
+        expected = 256 * 72 * 0.01
+        assert flips == pytest.approx(expected, rel=0.4)
+
+    def test_invalid_rber_rejected(self):
+        memory = EccProtectedMemory(n_words=4)
+        with pytest.raises(ConfigurationError):
+            memory.inject_random_failures(1.5)
+
+
+class TestModelValidation:
+    """The Eq-6 binomial model must predict the real codec's behaviour."""
+
+    def test_uncorrectable_fraction_matches_binomial(self):
+        rber = 0.01
+        memory = EccProtectedMemory(n_words=4000, seed=11)
+        memory.fill_random()
+        memory.inject_random_failures(rber)
+        outcome = memory.scrub(repair=False)
+        strength = EccStrength(name="secded72", word_bits=72, correctable=1)
+        predicted = uncorrectable_word_probability(strength, rber)
+        assert outcome.uncorrectable_fraction == pytest.approx(predicted, rel=0.25)
+
+    def test_low_rber_mostly_correctable(self):
+        # At RBER 2e-4 the binomial model predicts ~0.2 double-hit words in
+        # 2000, so scrubbing should recover (essentially) everything.
+        memory = EccProtectedMemory(n_words=2000, seed=13)
+        memory.fill_random()
+        memory.inject_random_failures(2e-4)
+        outcome = memory.scrub()
+        assert outcome.words_uncorrectable <= 2
+        assert memory.verify_against_golden() <= 2
+
+    @given(st.integers(min_value=0, max_value=71), st.integers(min_value=0, max_value=31))
+    @settings(max_examples=25)
+    def test_any_single_fault_is_harmless(self, bit, word):
+        memory = EccProtectedMemory(n_words=32, seed=17)
+        memory.fill_random()
+        memory.inject_cell_failures([72 * word + bit])
+        memory.scrub()
+        assert memory.verify_against_golden() == 0

@@ -1,0 +1,100 @@
+"""Tests for the online accumulation-rate estimator."""
+
+import math
+
+import pytest
+
+from repro.conditions import Conditions
+from repro.core.bruteforce import BruteForceProfiler
+from repro.core.estimation import AccumulationRateEstimator
+from repro.errors import ConfigurationError
+
+
+class TestEstimator:
+    def test_simple_rate(self):
+        estimator = AccumulationRateEstimator()
+        estimator.observe(3600.0, 5)
+        estimator.observe(7200.0, 10)
+        estimate = estimator.estimate()
+        assert estimate.rate_per_hour == pytest.approx(5.0)
+        assert estimate.newcomers == 15
+        assert estimate.observed_hours == pytest.approx(3.0)
+
+    def test_confidence_interval_brackets_rate(self):
+        estimator = AccumulationRateEstimator()
+        estimator.observe(3600.0, 9)
+        estimate = estimator.estimate()
+        assert estimate.confidence_low_per_hour < estimate.rate_per_hour
+        assert estimate.confidence_high_per_hour > estimate.rate_per_hour
+        assert estimate.confidence_low_per_hour >= 0.0
+
+    def test_interval_tightens_with_observation(self):
+        sparse = AccumulationRateEstimator()
+        sparse.observe(3600.0, 4)
+        dense = AccumulationRateEstimator()
+        for _ in range(16):
+            dense.observe(3600.0, 4)
+        sparse_width = (
+            sparse.estimate().confidence_high_per_hour
+            - sparse.estimate().confidence_low_per_hour
+        )
+        dense_width = (
+            dense.estimate().confidence_high_per_hour
+            - dense.estimate().confidence_low_per_hour
+        )
+        assert dense_width < sparse_width
+
+    def test_informative_flag(self):
+        estimator = AccumulationRateEstimator()
+        estimator.observe(3600.0, 1)
+        assert not estimator.estimate().is_informative
+        estimator.observe(3600.0, 5)
+        assert estimator.estimate().is_informative
+
+    def test_zero_newcomers_allowed(self):
+        estimator = AccumulationRateEstimator()
+        estimator.observe(3600.0, 0)
+        estimate = estimator.estimate()
+        assert estimate.rate_per_hour == 0.0
+        assert estimate.confidence_high_per_hour > 0.0  # still uncertain
+
+    def test_validation(self):
+        estimator = AccumulationRateEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.observe(0.0, 1)
+        with pytest.raises(ConfigurationError):
+            estimator.observe(1.0, -1)
+        with pytest.raises(ConfigurationError):
+            estimator.estimate()
+
+    def test_longevity_conservative_is_shorter(self):
+        estimator = AccumulationRateEstimator()
+        estimator.observe(3600.0, 10)
+        safe = estimator.longevity_seconds(100.0, 0.0, conservative=True)
+        nominal = estimator.longevity_seconds(100.0, 0.0, conservative=False)
+        assert safe < nominal
+
+
+class TestAgainstSimulatedChip:
+    def test_recovers_the_chip_accumulation_rate(self, chip_factory):
+        """Feeding the estimator real discovery windows recovers the
+        vendor-model VRT rate within the Poisson interval."""
+        chip = chip_factory(max_trefi_s=2.6)
+        conditions = Conditions(trefi=2.048, temperature=45.0)
+        probe = BruteForceProfiler(iterations=1)
+        base = BruteForceProfiler(iterations=10)
+        seen = set(base.run(chip, conditions).failing)
+
+        estimator = AccumulationRateEstimator()
+        for _ in range(30):
+            t0 = chip.clock.now
+            chip.wait(2 * 3600.0)
+            found = set(probe.run(chip, conditions).failing)
+            estimator.observe(chip.clock.now - t0, len(found - seen))
+            seen |= found
+
+        capacity_gbit = chip.capacity_bits / (1 << 30)
+        expected = chip.vendor.vrt_arrival_rate_per_hour(2.048, capacity_gbit, 45.0)
+        estimate = estimator.estimate()
+        assert estimate.confidence_low_per_hour <= expected * 1.6
+        assert estimate.confidence_high_per_hour >= expected * 0.4

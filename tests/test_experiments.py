@@ -1,0 +1,116 @@
+"""Tests for the Section 6/7 experiment drivers (Figs 9-13, Table 1,
+headline result)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    archshield_combination,
+    fig9_fig10_tradeoff_surface,
+    fig11_profiling_time,
+    fig12_profiling_power,
+    fig13_end_to_end,
+    headline_reach_metrics,
+    table1_tolerable_rber,
+)
+from repro.conditions import Conditions, ReachDelta
+from repro.sysperf.overhead import ProfilerKind
+
+from conftest import TINY_GEOMETRY
+
+
+class TestTable1:
+    def test_three_ecc_rows(self):
+        rows = table1_tolerable_rber()
+        assert [r.ecc_name for r in rows] == ["No ECC", "SECDED", "ECC-2"]
+
+    def test_paper_values(self):
+        rows = {r.ecc_name: r for r in table1_tolerable_rber()}
+        assert rows["SECDED"].tolerable_rber == pytest.approx(3.8e-9, rel=0.05)
+        assert rows["SECDED"].tolerable_bit_errors["2GB"] == pytest.approx(65.3, rel=0.05)
+        assert rows["ECC-2"].tolerable_bit_errors["8GB"] == pytest.approx(4.7e4, rel=0.05)
+        assert rows["No ECC"].tolerable_bit_errors["512MB"] == pytest.approx(4.3e-6, rel=0.05)
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return headline_reach_metrics(geometry=TINY_GEOMETRY, chips_per_vendor=1)
+
+    def test_one_result_per_chip(self, result):
+        assert len(result.per_chip) == 3
+
+    def test_coverage_above_99_percent(self, result):
+        """Section 6.1.2: >99% coverage at +250 ms."""
+        assert result.mean_coverage > 0.99
+
+    def test_fpr_below_50_percent_ish(self, result):
+        """Section 6.1.2: <50% false positive rate (small-population noise
+        allowed a modest margin)."""
+        assert result.mean_false_positive_rate < 0.60
+
+    def test_speedup_around_2_5x(self, result):
+        """Section 6.1.2: ~2.5x runtime speedup."""
+        assert result.mean_speedup == pytest.approx(2.5, rel=0.15)
+
+
+class TestFig9Fig10:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return fig9_fig10_tradeoff_surface(
+            base=Conditions(trefi=0.768, temperature=45.0),
+            delta_trefis_s=(0.0, 0.25),
+            delta_temperatures_c=(0.0, 5.0),
+            geometry=TINY_GEOMETRY,
+            iterations=8,
+        )
+
+    def test_surface_covers_grid(self, surface):
+        assert len(surface.cells) == 4
+
+    def test_reach_improves_coverage_speed(self, surface):
+        reach = surface.cell(ReachDelta(delta_trefi=0.25))
+        assert reach.coverage_mean > 0.95
+        assert reach.runtime_norm_mean < 1.0
+
+
+class TestFig11Fig12:
+    def test_fig11_rows(self):
+        rows = fig11_profiling_time(intervals_hours=(1.0, 4.0), densities_gigabits=(8, 64))
+        assert len(rows) == 4
+        for row in rows:
+            assert row.reaper_fraction < row.brute_fraction
+
+    def test_fig12_rows(self):
+        rows = fig12_profiling_power(intervals_hours=(1.0, 4.0), densities_gigabits=(8, 64))
+        assert len(rows) == 4
+        for row in rows:
+            assert row.reaper_power_mw < row.brute_power_mw
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        return fig13_end_to_end(trefis_s=(0.512, 1.280, None), n_mixes=5)
+
+    def test_grid_complete(self, summaries):
+        assert len(summaries) == 3 * 3
+
+    def test_reaper_beats_brute_at_long_interval(self, summaries):
+        at_1280 = {s.profiler: s for s in summaries if s.trefi_s == 1.280}
+        assert (
+            at_1280[ProfilerKind.IDEAL].mean_improvement
+            > at_1280[ProfilerKind.REAPER].mean_improvement
+            > at_1280[ProfilerKind.BRUTE_FORCE].mean_improvement
+        )
+
+    def test_power_reduction_positive(self, summaries):
+        for summary in summaries:
+            assert summary.mean_power_reduction > 0.1
+
+
+class TestArchShield:
+    def test_reaper_between_brute_and_ideal(self):
+        result = archshield_combination(trefi_s=1.280, n_mixes=5)
+        assert (
+            result["ideal"][0] > result["reaper"][0] > result["brute-force"][0]
+        )

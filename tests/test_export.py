@@ -1,0 +1,54 @@
+"""Tests for the CSV export of analytic experiment series."""
+
+import pytest
+
+from repro.analysis.export import export_all
+from repro.errors import ConfigurationError
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def written(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("csv")
+        return outdir, export_all(outdir, n_mixes=2)
+
+    def test_all_expected_files(self, written):
+        outdir, paths = written
+        names = {p.name for p in paths}
+        assert names == {"table1.csv", "fig7.csv", "fig8.csv", "fig11.csv", "fig12.csv", "fig13.csv"}
+        for path in paths:
+            assert path.exists()
+
+    def test_table1_contents(self, written):
+        outdir, _ = written
+        lines = (outdir / "table1.csv").read_text().splitlines()
+        assert lines[0].startswith("ecc,tolerable_rber")
+        assert len(lines) == 4  # header + 3 ECC strengths
+        assert any("SECDED" in line for line in lines)
+
+    def test_fig13_has_all_profilers(self, written):
+        outdir, _ = written
+        text = (outdir / "fig13.csv").read_text()
+        for profiler in ("brute-force", "reaper", "ideal"):
+            assert profiler in text
+        assert "no-refresh" in text
+
+    def test_csvs_parse_as_floats(self, written):
+        outdir, _ = written
+        lines = (outdir / "fig11.csv").read_text().splitlines()
+        for line in lines[1:]:
+            cells = line.split(",")
+            assert len(cells) == 4
+            float(cells[2])
+            float(cells[3])
+
+    def test_invalid_mix_count_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_all(tmp_path, n_mixes=0)
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["export", "--outdir", str(tmp_path / "out"), "--mixes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote ") == 6

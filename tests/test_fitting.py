@@ -1,0 +1,152 @@
+"""Unit and property tests for the statistical fitting helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import rng as rng_mod
+from repro.analysis.fitting import (
+    fit_lognormal,
+    fit_normal_cdf,
+    fit_power_law,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        x = np.array([0.5, 1.0, 2.0, 4.0])
+        fit = fit_power_law(x, 3.0 * x**2.5)
+        assert fit.a == pytest.approx(3.0, rel=1e-6)
+        assert fit.b == pytest.approx(2.5, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        x = np.array([1.0, 2.0, 4.0])
+        fit = fit_power_law(x, 2.0 * x**3)
+        assert fit.predict(8.0) == pytest.approx(2.0 * 512.0, rel=1e-6)
+
+    def test_noise_tolerated(self):
+        rng = rng_mod.derive(1, "fit")
+        x = np.geomspace(0.5, 8.0, 20)
+        y = 1.7 * x**4.2 * np.exp(rng.normal(0, 0.05, 20))
+        fit = fit_power_law(x, y)
+        assert fit.b == pytest.approx(4.2, abs=0.3)
+        assert fit.r_squared > 0.95
+
+    def test_nonpositive_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0], [1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([0.0, 2.0], [1.0, 1.0])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0], [1.0])
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=30)
+    def test_recovery_property(self, a, b):
+        x = np.geomspace(0.25, 4.0, 8)
+        fit = fit_power_law(x, a * x**b)
+        assert fit.a == pytest.approx(a, rel=1e-4)
+        assert fit.b == pytest.approx(b, rel=1e-4)
+
+
+class TestNormalCdf:
+    def test_exact_recovery(self):
+        from scipy.special import ndtr
+
+        intervals = np.linspace(0.5, 1.5, 15)
+        fractions = ndtr((intervals - 1.0) / 0.1)
+        fit = fit_normal_cdf(intervals, fractions)
+        assert fit is not None
+        assert fit.mu == pytest.approx(1.0, abs=0.01)
+        assert fit.sigma == pytest.approx(0.1, abs=0.01)
+
+    def test_degenerate_step_returns_none(self):
+        """A cell observed only at 0% and 100% cannot be fitted."""
+        intervals = [0.5, 1.0, 1.5]
+        fractions = [0.0, 0.0, 1.0]
+        assert fit_normal_cdf(intervals, fractions) is None
+
+    def test_decreasing_fractions_return_none(self):
+        intervals = [0.5, 1.0, 1.5]
+        fractions = [0.9, 0.5, 0.1]
+        assert fit_normal_cdf(intervals, fractions) is None
+
+    def test_probability_roundtrip(self):
+        from scipy.special import ndtr
+
+        intervals = np.linspace(0.8, 1.2, 9)
+        fractions = ndtr((intervals - 1.0) / 0.05)
+        fit = fit_normal_cdf(intervals, fractions)
+        assert fit.probability(1.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_normal_cdf([1.0, 2.0], [0.5])
+
+
+class TestLognormal:
+    def test_recovery(self):
+        rng = rng_mod.derive(2, "lognormal")
+        samples = rng.lognormal(mean=np.log(0.06), sigma=0.6, size=5000)
+        fit = fit_lognormal(samples)
+        assert fit.median == pytest.approx(0.06, rel=0.05)
+        assert fit.ln_sigma == pytest.approx(0.6, rel=0.05)
+        assert fit.n_samples == 5000
+
+    def test_ks_distance_small_for_lognormal_data(self):
+        rng = rng_mod.derive(3, "lognormal")
+        samples = rng.lognormal(mean=0.0, sigma=1.0, size=2000)
+        fit = fit_lognormal(samples)
+        assert fit.ks_distance(samples) < 0.05
+
+    def test_ks_distance_large_for_uniform_data(self):
+        rng = rng_mod.derive(4, "lognormal")
+        samples = rng.uniform(0.5, 1.5, size=2000)
+        fit = fit_lognormal(samples)
+        assert fit.ks_distance(samples) > 0.05
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_lognormal([1.0, 0.0])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_lognormal([1.0])
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        from repro.analysis.report import ascii_table
+
+        text = ascii_table(["a", "long_header"], [[1, 2.5], ["x", None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_ascii_table_row_mismatch_rejected(self):
+        from repro.analysis.report import ascii_table
+
+        with pytest.raises(ConfigurationError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_paper_vs_measured_format(self):
+        from repro.analysis.report import paper_vs_measured
+
+        row = paper_vs_measured("coverage", ">99%", "99.4%", verdict="OK")
+        assert "paper" in row and "measured" in row and "[OK]" in row
+
+    def test_to_csv(self):
+        from repro.analysis.report import to_csv
+
+        text = to_csv(["a", "b"], [[1, 2], [3.5, None]])
+        assert text.splitlines()[0] == "a,b"
+        assert "3.5,-" in text

@@ -1,0 +1,89 @@
+"""Unit tests for DRAM chip geometry and addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.geometry import GIBIBIT, CellAddress, ChipGeometry
+from repro.errors import ConfigurationError
+
+SMALL = ChipGeometry(banks=4, rows_per_bank=64, bits_per_row=128)
+
+
+class TestCapacity:
+    def test_default_is_8gbit(self):
+        assert ChipGeometry().capacity_gigabits == pytest.approx(8.0)
+
+    def test_capacity_bits(self):
+        assert SMALL.capacity_bits == 4 * 64 * 128
+
+    def test_capacity_bytes(self):
+        assert SMALL.capacity_bytes == SMALL.capacity_bits // 8
+
+    def test_total_rows(self):
+        assert SMALL.total_rows == 4 * 64
+
+    def test_from_capacity_gigabits(self):
+        geometry = ChipGeometry.from_capacity_gigabits(1.0)
+        assert geometry.capacity_bits == GIBIBIT
+
+    def test_from_capacity_fractional(self):
+        geometry = ChipGeometry.from_capacity_gigabits(1.0 / 16.0)
+        assert geometry.capacity_bits == GIBIBIT // 16
+
+    def test_from_capacity_rejects_non_power_of_two_rows(self):
+        with pytest.raises(ConfigurationError):
+            ChipGeometry.from_capacity_gigabits(0.3)
+
+    @pytest.mark.parametrize("field", ["banks", "rows_per_bank", "bits_per_row"])
+    def test_non_power_of_two_rejected(self, field):
+        kwargs = {"banks": 8, "rows_per_bank": 64, "bits_per_row": 128}
+        kwargs[field] = 3
+        with pytest.raises(ConfigurationError):
+            ChipGeometry(**kwargs)
+
+
+class TestAddressing:
+    def test_flatten_decompose_examples(self):
+        address = CellAddress(bank=2, row=10, col=5)
+        flat = SMALL.flatten(address)
+        assert SMALL.decompose(flat) == address
+
+    def test_flat_zero_is_origin(self):
+        assert SMALL.decompose(0) == CellAddress(0, 0, 0)
+
+    def test_last_flat_index(self):
+        last = SMALL.capacity_bits - 1
+        assert SMALL.decompose(last) == CellAddress(3, 63, 127)
+
+    def test_out_of_range_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SMALL.flatten(CellAddress(bank=4, row=0, col=0))
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SMALL.flatten(CellAddress(bank=0, row=64, col=0))
+
+    def test_out_of_range_col_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SMALL.flatten(CellAddress(bank=0, row=0, col=128))
+
+    def test_out_of_range_flat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SMALL.decompose(SMALL.capacity_bits)
+
+    def test_row_of_consistent_with_decompose(self):
+        flat = SMALL.flatten(CellAddress(bank=1, row=3, col=7))
+        assert SMALL.row_of(flat) == 1 * 64 + 3
+
+    @given(st.integers(min_value=0, max_value=SMALL.capacity_bits - 1))
+    def test_roundtrip_bijection(self, flat):
+        assert SMALL.flatten(SMALL.decompose(flat)) == flat
+
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_roundtrip_from_address(self, bank, row, col):
+        address = CellAddress(bank, row, col)
+        assert SMALL.decompose(SMALL.flatten(address)) == address

@@ -1,0 +1,114 @@
+"""Unit and property tests for the SECDED Hamming codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.hamming import DecodeStatus, HammingSECDED
+from repro.errors import EccError
+
+CODEC64 = HammingSECDED(64)
+
+
+class TestStructure:
+    def test_64_bit_code_is_72_bits(self):
+        """The classic (72, 64) SECDED layout."""
+        assert CODEC64.codeword_bits == 72
+        assert CODEC64.hamming_check_bits == 7
+
+    def test_8_bit_code_is_13_bits(self):
+        codec = HammingSECDED(8)
+        assert codec.codeword_bits == 13  # 8 data + 4 hamming + 1 overall
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(EccError):
+            HammingSECDED(0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data", [0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEF00D, 0x5555555555555555]
+    )
+    def test_encode_decode_identity(self, data):
+        result = CODEC64.decode(CODEC64.encode(data))
+        assert result.status is DecodeStatus.OK
+        assert result.data == data
+
+    def test_data_too_wide_rejected(self):
+        with pytest.raises(EccError):
+            CODEC64.encode(1 << 64)
+
+    def test_codeword_too_wide_rejected(self):
+        with pytest.raises(EccError):
+            CODEC64.decode(1 << 72)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_property(self, data):
+        result = CODEC64.decode(CODEC64.encode(data))
+        assert result.status is DecodeStatus.OK
+        assert result.data == data
+
+
+class TestSingleErrorCorrection:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=71),
+    )
+    def test_any_single_flip_corrected(self, data, bit):
+        word = CODEC64.flip(CODEC64.encode(data), bit)
+        result = CODEC64.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_corrected_bit_reported(self):
+        word = CODEC64.encode(0x1234)
+        flipped = CODEC64.flip(word, 9)
+        result = CODEC64.decode(flipped)
+        assert result.corrected_bit == 9
+
+    def test_overall_parity_bit_flip_corrected(self):
+        word = CODEC64.flip(CODEC64.encode(42), 0)
+        result = CODEC64.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.corrected_bit == 0
+        assert result.data == 42
+
+
+class TestDoubleErrorDetection:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=71),
+        st.integers(min_value=0, max_value=71),
+    )
+    def test_any_double_flip_detected(self, data, bit1, bit2):
+        if bit1 == bit2:
+            return
+        word = CODEC64.flip(CODEC64.flip(CODEC64.encode(data), bit1), bit2)
+        result = CODEC64.decode(word)
+        assert result.status is DecodeStatus.DETECTED
+
+    def test_flip_out_of_range_rejected(self):
+        with pytest.raises(EccError):
+            CODEC64.flip(0, 72)
+
+
+class TestSmallCodec:
+    """Exhaustive checks are feasible on a narrow codec."""
+
+    CODEC = HammingSECDED(4)
+
+    def test_exhaustive_single_correction(self):
+        for data in range(16):
+            word = self.CODEC.encode(data)
+            for bit in range(self.CODEC.codeword_bits):
+                result = self.CODEC.decode(self.CODEC.flip(word, bit))
+                assert result.status is DecodeStatus.CORRECTED
+                assert result.data == data
+
+    def test_exhaustive_double_detection(self):
+        for data in (0, 5, 10, 15):
+            word = self.CODEC.encode(data)
+            n = self.CODEC.codeword_bits
+            for bit1 in range(n):
+                for bit2 in range(bit1 + 1, n):
+                    flipped = self.CODEC.flip(self.CODEC.flip(word, bit1), bit2)
+                    assert self.CODEC.decode(flipped).status is DecodeStatus.DETECTED

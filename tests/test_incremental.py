@@ -1,0 +1,84 @@
+"""Tests for incremental (bounded-pause) reach profiling."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.incremental import IncrementalReachProfiler
+from repro.core.metrics import coverage
+from repro.core.reach import ReachProfiler
+from repro.errors import ConfigurationError, ProfilingError
+
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+
+
+class TestStepping:
+    def test_pass_count(self, chip):
+        profiler = IncrementalReachProfiler(chip, TARGET, iterations=2)
+        assert profiler.total_passes == 2 * 12
+        assert not profiler.finished
+
+    def test_step_advances_cursor(self, chip):
+        profiler = IncrementalReachProfiler(chip, TARGET, iterations=1)
+        report = profiler.step()
+        assert profiler.passes_done == 1
+        assert report.iteration == 0
+        assert report.pause_seconds > 0.0
+
+    def test_step_after_finish_rejected(self, chip):
+        profiler = IncrementalReachProfiler(chip, TARGET, iterations=1)
+        while not profiler.finished:
+            profiler.step()
+        with pytest.raises(ProfilingError):
+            profiler.step()
+
+    def test_result_before_finish_rejected(self, chip):
+        profiler = IncrementalReachProfiler(chip, TARGET, iterations=1)
+        profiler.step()
+        with pytest.raises(ProfilingError):
+            profiler.result()
+
+    def test_invalid_configuration_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            IncrementalReachProfiler(chip, TARGET, iterations=0)
+        with pytest.raises(ProfilingError):
+            IncrementalReachProfiler(
+                chip, TARGET, reach=ReachDelta(delta_trefi=50.0)
+            )
+
+
+class TestBoundedPauses:
+    def test_max_pause_is_one_pass(self, chip):
+        profiler = IncrementalReachProfiler(chip, TARGET, iterations=2)
+        profile = profiler.run_with_gaps(gap_seconds=60.0)
+        one_pass = TARGET.trefi + 0.250 + 2 * chip.pattern_io_seconds
+        assert profiler.max_pause_seconds == pytest.approx(one_pass, rel=0.01)
+        # The monolithic round would pause for the whole Eq-9 runtime.
+        assert profiler.max_pause_seconds < profile.runtime_seconds / 10
+
+    def test_total_pause_matches_eq9_work(self, chip_factory):
+        """Slicing spreads the work but does not add to it."""
+        monolithic = ReachProfiler(iterations=3).run(chip_factory(), TARGET)
+        incremental_chip = chip_factory()
+        profiler = IncrementalReachProfiler(incremental_chip, TARGET, iterations=3)
+        profile = profiler.run_with_gaps(gap_seconds=30.0)
+        assert profile.runtime_seconds == pytest.approx(
+            monolithic.runtime_seconds, rel=0.01
+        )
+
+    def test_coverage_matches_monolithic(self, chip_factory):
+        truth_chip = chip_factory()
+        truth = ReachProfiler(iterations=5).run(truth_chip, TARGET)
+        profiler = IncrementalReachProfiler(chip_factory(), TARGET, iterations=5)
+        profile = profiler.run_with_gaps(gap_seconds=120.0)
+        assert coverage(profile.failing, truth.failing) > 0.97
+
+    def test_negative_gap_rejected(self, chip):
+        profiler = IncrementalReachProfiler(chip, TARGET, iterations=1)
+        with pytest.raises(ConfigurationError):
+            profiler.run_with_gaps(gap_seconds=-1.0)
+
+    def test_profile_mechanism_label(self, chip):
+        profiler = IncrementalReachProfiler(chip, TARGET, iterations=1)
+        profile = profiler.run_with_gaps(gap_seconds=0.0)
+        assert profile.mechanism == "reach-incremental"
+        assert profile.is_reach_profile

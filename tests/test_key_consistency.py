@@ -1,0 +1,49 @@
+"""Consistency between geometry addressing and mitigation key helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.geometry import ChipGeometry
+from repro.ecc.scrubbing import word_of
+from repro.mitigation.archshield import word_key
+from repro.mitigation.base import row_key
+
+GEOMETRY = ChipGeometry(banks=4, rows_per_bank=256, bits_per_row=512)
+
+
+class TestKeyConsistency:
+    @given(st.integers(min_value=0, max_value=GEOMETRY.capacity_bits - 1))
+    def test_row_key_matches_geometry(self, flat):
+        """Mitigation row keys agree with the geometry's global row index."""
+        assert row_key(flat, GEOMETRY.bits_per_row) == GEOMETRY.row_of(flat)
+
+    @given(st.integers(min_value=0, max_value=GEOMETRY.capacity_bits - 1))
+    def test_cells_in_one_row_share_key(self, flat):
+        row_start = (flat // GEOMETRY.bits_per_row) * GEOMETRY.bits_per_row
+        assert row_key(flat, GEOMETRY.bits_per_row) == row_key(
+            row_start, GEOMETRY.bits_per_row
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_module_refs_keep_chip_namespace(self, chip, flat):
+        key = row_key((chip, flat), 512)
+        assert key == (chip, flat // 512)
+        word = word_key((chip, flat), 64)
+        assert word == (chip, flat // 64)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_word_key_and_scrubber_word_agree(self, flat):
+        """ArchShield's word grouping and the scrubber's must coincide, or
+        the hybrid loop would double-count entries."""
+        assert word_key(flat, 64) == word_of(flat, 64)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_word_keys_nest_inside_row_keys(self, flat):
+        """All cells of one 64-bit word live in one row (512-bit rows)."""
+        word = word_key(flat, 64)
+        first_cell = word * 64
+        last_cell = word * 64 + 63
+        assert row_key(first_cell, 512) == row_key(last_cell, 512)

@@ -1,0 +1,129 @@
+"""Unit tests for the Eq-7 longevity model, pinned to the paper's example."""
+
+import math
+
+import pytest
+
+from repro.conditions import Conditions
+from repro.core.longevity import (
+    longevity_for_system,
+    minimum_required_coverage,
+    profile_longevity_seconds,
+)
+from repro.dram.vendor import VENDOR_B
+from repro.ecc.model import ECC2, NO_ECC, SECDED
+from repro.errors import ConfigurationError
+
+GIB = 1 << 30
+
+
+class TestEq7:
+    def test_basic_formula(self):
+        """T = (N - C) / A in hours."""
+        seconds = profile_longevity_seconds(65.0, 25.0, 0.73)
+        assert seconds / 3600.0 == pytest.approx(40.0 / 0.73)
+
+    def test_zero_accumulation_is_forever(self):
+        assert math.isinf(profile_longevity_seconds(65.0, 0.0, 0.0))
+
+    def test_budget_already_exhausted_is_zero(self):
+        assert profile_longevity_seconds(65.0, 70.0, 0.73) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_longevity_seconds(-1.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            profile_longevity_seconds(1.0, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            profile_longevity_seconds(1.0, 0.0, -1.0)
+
+
+class TestPaperExample:
+    """Section 6.2.3: 2 GB + SECDED @ 1024 ms / 45 degC, 99% coverage."""
+
+    def test_longevity_is_about_2_3_days(self):
+        estimate = longevity_for_system(
+            vendor=VENDOR_B,
+            capacity_bytes=2 * GIB,
+            ecc=SECDED,
+            target=Conditions(trefi=1.024, temperature=45.0),
+            coverage=0.99,
+        )
+        assert estimate.longevity_days == pytest.approx(2.3, rel=0.15)
+
+    def test_tolerable_failures_about_65(self):
+        estimate = longevity_for_system(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=1.024, temperature=45.0)
+        )
+        assert estimate.tolerable_failures == pytest.approx(65.0, rel=0.05)
+
+    def test_expected_failures_about_2464(self):
+        estimate = longevity_for_system(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=1.024, temperature=45.0)
+        )
+        assert estimate.expected_failures == pytest.approx(2464, rel=0.15)
+
+    def test_accumulation_about_0_73_per_hour(self):
+        estimate = longevity_for_system(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=1.024, temperature=45.0)
+        )
+        assert estimate.accumulation_per_hour == pytest.approx(0.73, rel=0.05)
+
+
+class TestSystemSensitivity:
+    def test_stronger_ecc_longer_longevity(self):
+        target = Conditions(trefi=1.024, temperature=45.0)
+        weak = longevity_for_system(VENDOR_B, 2 * GIB, SECDED, target)
+        strong = longevity_for_system(VENDOR_B, 2 * GIB, ECC2, target)
+        assert strong.longevity_seconds > weak.longevity_seconds
+
+    def test_longer_interval_shorter_longevity(self):
+        short = longevity_for_system(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=1.024, temperature=45.0)
+        )
+        long = longevity_for_system(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=2.048, temperature=45.0)
+        )
+        assert long.longevity_seconds < short.longevity_seconds
+
+    def test_better_coverage_longer_longevity(self):
+        target = Conditions(trefi=1.024, temperature=45.0)
+        poor = longevity_for_system(VENDOR_B, 2 * GIB, SECDED, target, coverage=0.97)
+        good = longevity_for_system(VENDOR_B, 2 * GIB, SECDED, target, coverage=0.999)
+        assert good.longevity_seconds > poor.longevity_seconds
+
+    def test_no_ecc_is_infeasible_at_aggressive_target(self):
+        estimate = longevity_for_system(
+            VENDOR_B, 2 * GIB, NO_ECC, Conditions(trefi=1.024, temperature=45.0),
+            coverage=0.99,
+        )
+        assert not estimate.feasible
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            longevity_for_system(
+                VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=1.024), coverage=1.5
+            )
+
+
+class TestMinimumCoverage:
+    def test_aggressive_target_needs_high_coverage(self):
+        required = minimum_required_coverage(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=1.024, temperature=45.0)
+        )
+        assert 0.95 < required < 1.0
+
+    def test_mild_target_needs_no_coverage(self):
+        required = minimum_required_coverage(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=0.128, temperature=45.0)
+        )
+        assert required == 0.0
+
+    def test_required_coverage_monotone_in_interval(self):
+        mild = minimum_required_coverage(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=0.512, temperature=45.0)
+        )
+        harsh = minimum_required_coverage(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=2.048, temperature=45.0)
+        )
+        assert harsh >= mild

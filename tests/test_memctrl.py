@@ -1,0 +1,109 @@
+"""Unit tests for the event-driven memory-controller simulator, including
+cross-validation of the closed-form latency model's refresh sensitivity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sysperf.dramtiming import DRAMTimings
+from repro.sysperf.memctrl import MemoryControllerSim
+from repro.sysperf.trace import MemRequest, TraceGenerator
+from repro.sysperf.workloads import benchmark_by_name
+
+
+def make_trace(name="gcc_like", n=800, seed=42, rate_scale=1.0):
+    return TraceGenerator(benchmark_by_name(name), seed=seed).generate(n, rate_scale)
+
+
+class TestTraceGenerator:
+    def test_arrivals_monotone(self):
+        trace = make_trace()
+        times = [r.arrival_ns for r in trace]
+        assert times == sorted(times)
+
+    def test_row_locality_respected(self):
+        profile = benchmark_by_name("libquantum_like")  # 0.9 locality
+        trace = TraceGenerator(profile, seed=1).generate(2000)
+        last_row = {}
+        hits = 0
+        for request in trace:
+            if last_row.get(request.bank) == request.row:
+                hits += 1
+            last_row[request.bank] = request.row
+        assert hits / len(trace) > 0.7
+
+    def test_read_fraction_respected(self):
+        trace = make_trace("sphinx_like", n=2000)  # 0.9 reads
+        reads = sum(r.is_read for r in trace)
+        assert reads / len(trace) == pytest.approx(0.9, abs=0.05)
+
+    def test_rate_scale_compresses_arrivals(self):
+        slow = make_trace(n=500, rate_scale=1.0)
+        fast = make_trace(n=500, rate_scale=2.0)
+        assert fast[-1].arrival_ns < slow[-1].arrival_ns
+
+    def test_zero_requests_rejected(self):
+        generator = TraceGenerator(benchmark_by_name("gcc_like"))
+        with pytest.raises(ConfigurationError):
+            generator.generate(0)
+
+
+class TestSimulator:
+    def test_empty_trace_rejected(self):
+        sim = MemoryControllerSim(DRAMTimings())
+        with pytest.raises(ConfigurationError):
+            sim.run([])
+
+    def test_all_requests_served(self):
+        trace = make_trace()
+        stats = MemoryControllerSim(DRAMTimings()).run(trace)
+        assert stats.served == len(trace)
+
+    def test_latency_at_least_unloaded(self):
+        trace = make_trace()
+        timings = DRAMTimings()
+        stats = MemoryControllerSim(timings).run(trace)
+        assert stats.avg_latency_ns >= timings.row_hit_latency_ns
+
+    def test_refresh_inflates_latency(self):
+        """Disabling refresh must strictly help -- the end-to-end premise."""
+        trace = make_trace("mcf_like", n=1500, rate_scale=2.0)
+        timings = DRAMTimings(density_gigabits=64)
+        with_refresh = MemoryControllerSim(timings, trefi_s=0.064).run(trace)
+        without = MemoryControllerSim(timings, trefi_s=None).run(trace)
+        assert with_refresh.avg_latency_ns > without.avg_latency_ns
+
+    def test_longer_refresh_interval_lower_latency(self):
+        trace = make_trace("mcf_like", n=1500, rate_scale=2.0)
+        timings = DRAMTimings(density_gigabits=64)
+        short = MemoryControllerSim(timings, trefi_s=0.064).run(trace)
+        long = MemoryControllerSim(timings, trefi_s=0.512).run(trace)
+        assert long.avg_latency_ns < short.avg_latency_ns
+
+    def test_row_hit_rate_tracks_profile(self):
+        trace = make_trace("libquantum_like", n=1500)
+        stats = MemoryControllerSim(DRAMTimings()).run(trace)
+        assert stats.row_hit_rate > 0.6
+
+    def test_heavier_load_longer_latency(self):
+        light = MemoryControllerSim(DRAMTimings()).run(make_trace("mcf_like", n=800, rate_scale=0.5))
+        heavy = MemoryControllerSim(DRAMTimings()).run(make_trace("mcf_like", n=800, rate_scale=3.0))
+        assert heavy.avg_latency_ns > light.avg_latency_ns
+
+    def test_closed_form_direction_matches_event_sim(self):
+        """The analytic model and the event-driven simulator must agree on
+        the *direction and rough scale* of the refresh effect."""
+        from repro.sysperf.system import SystemSimulator
+
+        timings = DRAMTimings(density_gigabits=64)
+        trace = make_trace("lbm_like", n=2000, rate_scale=1.0)
+        sim_64 = MemoryControllerSim(timings, trefi_s=0.064).run(trace)
+        sim_off = MemoryControllerSim(timings, trefi_s=None).run(trace)
+        event_gain = sim_64.avg_latency_ns / sim_off.avg_latency_ns
+
+        system = SystemSimulator(timings=timings)
+        mix = (benchmark_by_name("lbm_like"),)
+        model_64 = system.simulate_mix(mix, 0.064).avg_latency_ns
+        model_off = system.simulate_mix(mix, None).avg_latency_ns
+        model_gain = model_64 / model_off
+        assert event_gain > 1.0
+        assert model_gain > 1.0

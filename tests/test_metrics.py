@@ -1,0 +1,156 @@
+"""Unit tests for the three key profiling metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.conditions import Conditions
+from repro.core.metrics import (
+    coverage,
+    coverage_curve,
+    evaluate,
+    false_positive_rate,
+    iterations_to_coverage,
+)
+from repro.core.profile import IterationRecord, RetentionProfile
+from repro.errors import ConfigurationError
+
+
+def profile_with_records(records, cells=None):
+    all_cells = set()
+    for r in records:
+        all_cells |= r.new_cells
+    return RetentionProfile(
+        failing=frozenset(cells if cells is not None else all_cells),
+        profiling_conditions=Conditions(trefi=1.0),
+        target_conditions=Conditions(trefi=1.0),
+        patterns=("solid",),
+        iterations=max((r.iteration for r in records), default=0) + 1,
+        runtime_seconds=1.0,
+        started_at=0.0,
+        records=tuple(records),
+    )
+
+
+def record(iteration, cells):
+    return IterationRecord(
+        iteration=iteration,
+        pattern_key="solid",
+        new_cells=frozenset(cells),
+        observed_count=len(cells),
+        clock_time=float(iteration),
+    )
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert coverage({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_partial_coverage(self):
+        assert coverage({1, 2}, {1, 2, 3, 4}) == 0.5
+
+    def test_extra_found_does_not_boost_coverage(self):
+        assert coverage({1, 2, 99}, {1, 2, 3, 4}) == 0.5
+
+    def test_empty_truth_is_full_coverage(self):
+        assert coverage({1}, set()) == 1.0
+
+    def test_empty_found_zero_coverage(self):
+        assert coverage(set(), {1}) == 0.0
+
+
+class TestFalsePositiveRate:
+    def test_no_false_positives(self):
+        assert false_positive_rate({1, 2}, {1, 2, 3}) == 0.0
+
+    def test_all_false_positives(self):
+        assert false_positive_rate({4, 5}, {1, 2}) == 1.0
+
+    def test_half_false_positives(self):
+        assert false_positive_rate({1, 4}, {1}) == 0.5
+
+    def test_empty_found_is_zero(self):
+        assert false_positive_rate(set(), {1}) == 0.0
+
+
+class TestEvaluate:
+    def test_counts(self):
+        result = evaluate({1, 2, 9}, {1, 2, 3}, runtime_seconds=5.0)
+        assert result.n_found == 3
+        assert result.n_truth == 3
+        assert result.n_false_positives == 1
+        assert result.runtime_seconds == 5.0
+
+    def test_profile_runtime_used(self):
+        profile = profile_with_records([record(0, {1})])
+        assert evaluate(profile, {1}).runtime_seconds == 1.0
+
+    def test_str_is_informative(self):
+        text = str(evaluate({1}, {1, 2}))
+        assert "coverage" in text and "fpr" in text
+
+    @given(
+        st.frozensets(st.integers(0, 50), max_size=30),
+        st.frozensets(st.integers(0, 50), max_size=30),
+    )
+    def test_metric_bounds(self, found, truth):
+        result = evaluate(found, truth, runtime_seconds=0.0)
+        assert 0.0 <= result.coverage <= 1.0
+        assert 0.0 <= result.false_positive_rate <= 1.0
+
+    @given(
+        st.frozensets(st.integers(0, 50), max_size=30),
+        st.frozensets(st.integers(0, 50), max_size=30),
+    )
+    def test_identity_consistency(self, found, truth):
+        """Found == truth implies perfect metrics."""
+        result = evaluate(found, found)
+        assert result.coverage == 1.0
+        assert result.false_positive_rate == 0.0
+
+
+class TestCoverageCurve:
+    def test_curve_monotone(self):
+        profile = profile_with_records(
+            [record(0, {1}), record(1, {2}), record(2, set())]
+        )
+        curve = coverage_curve(profile, {1, 2, 3})
+        assert curve == pytest.approx([1 / 3, 2 / 3, 2 / 3])
+        assert curve == sorted(curve)
+
+    def test_empty_truth_curve(self):
+        profile = profile_with_records([record(0, {1})])
+        assert coverage_curve(profile, set()) == [1.0]
+
+
+class TestIterationsToCoverage:
+    def test_reached_in_first_iteration(self):
+        profile = profile_with_records([record(0, {1, 2, 3})])
+        assert iterations_to_coverage(profile, {1, 2, 3}, 0.9) == 1
+
+    def test_reached_later(self):
+        profile = profile_with_records(
+            [record(0, {1}), record(1, {2}), record(2, {3})]
+        )
+        assert iterations_to_coverage(profile, {1, 2, 3}, 0.9) == 3
+
+    def test_never_reached(self):
+        profile = profile_with_records([record(0, {1})])
+        assert iterations_to_coverage(profile, {1, 2, 3, 4}, 0.9) is None
+
+    def test_empty_truth_is_immediate(self):
+        profile = profile_with_records([record(0, set())])
+        assert iterations_to_coverage(profile, set(), 0.9) == 1
+
+    def test_bad_threshold_rejected(self):
+        profile = profile_with_records([record(0, {1})])
+        with pytest.raises(ConfigurationError):
+            iterations_to_coverage(profile, {1}, 0.0)
+
+    def test_counts_whole_iterations(self):
+        """Coverage reached mid-iteration still charges the full iteration."""
+        records = [
+            IterationRecord(0, "a", frozenset({1}), 1, 0.0),
+            IterationRecord(0, "b", frozenset({2}), 1, 0.5),
+        ]
+        profile = profile_with_records(records)
+        assert iterations_to_coverage(profile, {1, 2}, 1.0) == 1

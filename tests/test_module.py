@@ -1,0 +1,102 @@
+"""Unit tests for multi-chip DRAM modules."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.conditions import Conditions
+from repro.dram.chip import SimulatedDRAMChip
+from repro.dram.module import DRAMModule
+from repro.errors import ConfigurationError
+from repro.patterns import CHECKERBOARD
+
+from conftest import TINY_GEOMETRY, TEST_SEED
+
+
+def make_module(n_chips=2):
+    return DRAMModule.build(n_chips=n_chips, geometry=TINY_GEOMETRY, seed=TEST_SEED)
+
+
+class TestConstruction:
+    def test_build_counts(self):
+        module = make_module(3)
+        assert len(module.chips) == 3
+        assert module.capacity_bits == 3 * TINY_GEOMETRY.capacity_bits
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMModule([])
+
+    def test_zero_chips_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMModule.build(n_chips=0, geometry=TINY_GEOMETRY)
+
+    def test_mismatched_clocks_rejected(self):
+        a = SimulatedDRAMChip(geometry=TINY_GEOMETRY, clock=SimClock())
+        b = SimulatedDRAMChip(geometry=TINY_GEOMETRY, clock=SimClock())
+        with pytest.raises(ConfigurationError):
+            DRAMModule([a, b])
+
+    def test_io_time_accumulates_linearly(self):
+        one = make_module(1)
+        four = make_module(4)
+        assert four.pattern_io_seconds == pytest.approx(4 * one.pattern_io_seconds)
+
+
+class TestOperation:
+    def test_cell_refs_are_namespaced(self):
+        module = make_module(2)
+        module.write_pattern(CHECKERBOARD)
+        module.disable_refresh()
+        module.wait(2.0)
+        module.enable_refresh()
+        errors = module.read_errors()
+        assert errors, "expected some failures at a 2s exposure"
+        chips_seen = {chip for chip, _ in errors}
+        assert chips_seen <= {0, 1}
+        for chip_index, flat in errors:
+            assert 0 <= flat < TINY_GEOMETRY.capacity_bits
+
+    def test_wait_advances_clock_once(self):
+        module = make_module(2)
+        t0 = module.clock.now
+        module.wait(5.0)
+        assert module.clock.now - t0 == pytest.approx(5.0)
+
+    def test_write_accumulates_chip_io(self):
+        module = make_module(2)
+        t0 = module.clock.now
+        module.write_pattern(CHECKERBOARD)
+        expected = sum(c.pattern_io_seconds for c in module.chips)
+        assert module.clock.now - t0 == pytest.approx(expected)
+
+    def test_oracle_union_across_chips(self):
+        module = make_module(2)
+        module.wait(1.0)
+        oracle = module.oracle_failing_set(Conditions(trefi=2.0))
+        chips_seen = {chip for chip, _ in oracle}
+        assert chips_seen == {0, 1}
+
+    def test_set_temperature_broadcasts(self):
+        module = make_module(2)
+        module.set_temperature(50.0)
+        assert all(c.temperature_c == 50.0 for c in module.chips)
+
+    def test_expected_ber_weighted(self):
+        module = make_module(2)
+        conditions = Conditions(trefi=1.024)
+        # Chips carry per-chip process variation, so the module BER is the
+        # capacity-weighted mean of the individual (jittered) chip BERs.
+        expected = sum(c.expected_ber(conditions) for c in module.chips) / 2
+        assert module.expected_ber(conditions) == pytest.approx(expected)
+        assert module.chips[0].expected_ber(conditions) != module.chips[1].expected_ber(
+            conditions
+        )
+
+    def test_profiler_compatible(self):
+        """A module satisfies the same device interface as a chip."""
+        from repro.core import BruteForceProfiler
+
+        module = make_module(2)
+        profile = BruteForceProfiler(iterations=1).run(module, Conditions(trefi=1.024))
+        for cell in profile.failing:
+            assert isinstance(cell, tuple) and len(cell) == 2

@@ -1,0 +1,161 @@
+"""Unit tests for the Eq-8 end-to-end overhead integration (Figs 11-13)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sysperf.overhead import (
+    EndToEndEvaluator,
+    ProfilerKind,
+    profiling_power_mw,
+    profiling_time_fraction,
+)
+from repro.sysperf.workloads import benchmark_by_name, workload_mixes
+
+
+def heavy_mix():
+    return tuple(
+        benchmark_by_name(n) for n in ("mcf_like", "lbm_like", "milc_like", "soplex_like")
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return EndToEndEvaluator(chip_density_gigabits=64)
+
+
+class TestFig11ProfilingTimeFraction:
+    def test_paper_anchor_4h_64gb(self):
+        """Section 7.3.1: 4-hour cadence, 64 Gb chips -> ~22.7% brute-force,
+        ~9.1% REAPER."""
+        brute = profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 4 * 3600.0, 64)
+        reaper = profiling_time_fraction(ProfilerKind.REAPER, 4 * 3600.0, 64)
+        assert brute == pytest.approx(0.227, rel=0.1)
+        assert reaper == pytest.approx(0.091, rel=0.1)
+
+    def test_reaper_is_2_5x_cheaper(self):
+        brute = profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 4 * 3600.0, 32)
+        reaper = profiling_time_fraction(ProfilerKind.REAPER, 4 * 3600.0, 32)
+        assert brute / reaper == pytest.approx(2.5)
+
+    def test_fraction_shrinks_with_cadence(self):
+        fast = profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 1 * 3600.0, 64)
+        slow = profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 64 * 3600.0, 64)
+        assert slow < fast
+
+    def test_fraction_grows_with_density(self):
+        small = profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 4 * 3600.0, 8)
+        large = profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 4 * 3600.0, 64)
+        assert large > small
+
+    def test_ideal_profiler_is_free(self):
+        assert profiling_time_fraction(ProfilerKind.IDEAL, 3600.0, 64) == 0.0
+
+    def test_fraction_capped_at_one(self):
+        assert profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 1.0, 64) == 1.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 0.0, 64)
+
+
+class TestFig12ProfilingPower:
+    def test_power_shrinks_with_cadence(self):
+        fast = profiling_power_mw(ProfilerKind.BRUTE_FORCE, 3600.0, 64)
+        slow = profiling_power_mw(ProfilerKind.BRUTE_FORCE, 16 * 3600.0, 64)
+        assert slow < fast
+
+    def test_power_grows_with_density(self):
+        assert profiling_power_mw(ProfilerKind.BRUTE_FORCE, 3600.0, 64) > profiling_power_mw(
+            ProfilerKind.BRUTE_FORCE, 3600.0, 8
+        )
+
+    def test_reaper_cheaper_than_brute(self):
+        brute = profiling_power_mw(ProfilerKind.BRUTE_FORCE, 3600.0, 64)
+        reaper = profiling_power_mw(ProfilerKind.REAPER, 3600.0, 64)
+        assert reaper < brute
+
+    def test_ideal_is_free(self):
+        assert profiling_power_mw(ProfilerKind.IDEAL, 3600.0, 64) == 0.0
+
+
+class TestLongevityDrivenCadence:
+    def test_interval_shrinks_with_trefi(self, evaluator):
+        assert evaluator.reprofile_interval_seconds(1.536) < evaluator.reprofile_interval_seconds(
+            1.024
+        )
+
+    def test_overhead_negligible_at_short_trefi(self, evaluator):
+        assert evaluator.profiling_overhead(ProfilerKind.BRUTE_FORCE, 0.256) < 0.005
+
+    def test_overhead_substantial_at_long_trefi(self, evaluator):
+        assert evaluator.profiling_overhead(ProfilerKind.BRUTE_FORCE, 1.536) > 0.2
+
+    def test_reaper_overhead_below_brute(self, evaluator):
+        brute = evaluator.profiling_overhead(ProfilerKind.BRUTE_FORCE, 1.280)
+        reaper = evaluator.profiling_overhead(ProfilerKind.REAPER, 1.280)
+        assert reaper < brute
+
+    def test_no_refresh_has_no_profiling(self, evaluator):
+        assert evaluator.profiling_overhead(ProfilerKind.BRUTE_FORCE, None) == 0.0
+
+
+class TestFig13Evaluation:
+    def test_eq8_applies_overhead(self, evaluator):
+        ideal = evaluator.evaluate_mix(heavy_mix(), 1.280, ProfilerKind.IDEAL)
+        brute = evaluator.evaluate_mix(heavy_mix(), 1.280, ProfilerKind.BRUTE_FORCE)
+        expected = (1.0 + ideal.performance_improvement) * (1.0 - brute.profiling_overhead) - 1.0
+        assert brute.performance_improvement == pytest.approx(expected)
+
+    def test_ordering_ideal_reaper_brute(self, evaluator):
+        """At long intervals: ideal > REAPER > brute force (Figure 13)."""
+        mix = heavy_mix()
+        values = {
+            kind: evaluator.evaluate_mix(mix, 1.280, kind).performance_improvement
+            for kind in ProfilerKind
+        }
+        assert values[ProfilerKind.IDEAL] > values[ProfilerKind.REAPER]
+        assert values[ProfilerKind.REAPER] > values[ProfilerKind.BRUTE_FORCE]
+
+    def test_brute_force_degrades_at_very_long_interval(self, evaluator):
+        """Brute-force profiling turns refresh relaxation into a net loss at
+        very long intervals while REAPER holds up far better -- the paper's
+        'previously unreasonable' regime."""
+        mix = heavy_mix()
+        brute = evaluator.evaluate_mix(mix, 1.536, ProfilerKind.BRUTE_FORCE)
+        reaper = evaluator.evaluate_mix(mix, 1.536, ProfilerKind.REAPER)
+        assert brute.performance_improvement < 0.0
+        assert reaper.performance_improvement > brute.performance_improvement + 0.1
+
+    def test_all_profilers_equal_below_512ms(self, evaluator):
+        mix = heavy_mix()
+        values = [
+            evaluator.evaluate_mix(mix, 0.256, kind).performance_improvement
+            for kind in ProfilerKind
+        ]
+        assert max(values) - min(values) < 0.005
+
+    def test_power_reduction_positive_and_bounded(self, evaluator):
+        point = evaluator.evaluate_mix(heavy_mix(), 0.512, ProfilerKind.REAPER)
+        assert 0.1 < point.power_reduction < 0.7
+
+    def test_sweep_covers_grid(self, evaluator):
+        mixes = workload_mixes(3)
+        points = evaluator.sweep(mixes, [0.512, None])
+        assert len(points) == 2 * 3 * 3  # intervals x kinds x mixes
+
+    def test_archshield_combination_costs_one_percent(self, evaluator):
+        point = evaluator.evaluate_mix(heavy_mix(), 1.024, ProfilerKind.REAPER)
+        combined = evaluator.with_archshield(point, archshield_cost=0.01)
+        assert combined == pytest.approx(
+            (1.0 + point.performance_improvement) * 0.99 - 1.0
+        )
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EndToEndEvaluator(n_chips=0)
+        with pytest.raises(ConfigurationError):
+            EndToEndEvaluator(reprofile_safety_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            EndToEndEvaluator(reaper_speedup=0.5)

@@ -1,0 +1,77 @@
+"""Every quantitative anchor pinned from the paper, in one place.
+
+These tests are the contract between the simulator calibration and the
+published results; EXPERIMENTS.md cross-references them.
+"""
+
+import pytest
+
+from repro.conditions import Conditions
+from repro.core.longevity import longevity_for_system
+from repro.core.runtime_model import round_runtime_seconds
+from repro.dram.geometry import GIBIBIT
+from repro.dram.timing import pattern_io_seconds
+from repro.dram.vendor import VENDOR_A, VENDOR_B, VENDOR_C
+from repro.ecc.model import CONSUMER_UBER, SECDED, tolerable_rber
+from repro.sysperf.overhead import ProfilerKind, profiling_time_fraction
+
+GIB = 1 << 30
+
+
+class TestSection5Anchors:
+    def test_eq1_temperature_coefficients(self):
+        """Eq 1: R_A ~ e^{0.22dT}, R_B ~ e^{0.20dT}, R_C ~ e^{0.26dT}."""
+        assert (VENDOR_A.failure_rate_temp_coeff,
+                VENDOR_B.failure_rate_temp_coeff,
+                VENDOR_C.failure_rate_temp_coeff) == (0.22, 0.20, 0.26)
+
+    def test_fig3_one_cell_per_20s_at_2048ms(self):
+        rate = VENDOR_B.vrt_arrival_rate_per_hour(2.048, 16.0, 45.0)
+        assert 3600.0 / rate == pytest.approx(20.0, rel=0.1)
+
+    def test_sec623_accumulation_0_73_per_hour(self):
+        rate = VENDOR_B.vrt_arrival_rate_per_hour(1.024, 16.0, 45.0)
+        assert rate == pytest.approx(0.73, rel=0.05)
+
+    def test_sec623_2464_failures_at_1024ms_2gb(self):
+        count = VENDOR_B.expected_failures(Conditions(trefi=1.024, temperature=45.0), 16 * GIBIBIT)
+        assert count == pytest.approx(2464, rel=0.15)
+
+
+class TestSection6Anchors:
+    def test_table1_secded_rber(self):
+        assert tolerable_rber(SECDED, CONSUMER_UBER) == pytest.approx(3.8e-9, rel=0.05)
+
+    def test_sec623_longevity_2_3_days(self):
+        estimate = longevity_for_system(
+            VENDOR_B, 2 * GIB, SECDED, Conditions(trefi=1.024, temperature=45.0),
+            coverage=0.99,
+        )
+        assert estimate.longevity_days == pytest.approx(2.3, rel=0.15)
+
+    def test_sec612_fpr_under_50pct_at_plus_250ms(self):
+        """Model-level headline: BER(target+250ms) < 2x BER(target)."""
+        base = VENDOR_B.ber(Conditions(trefi=1.024, temperature=45.0))
+        reach = VENDOR_B.ber(Conditions(trefi=1.274, temperature=45.0))
+        assert (reach - base) / reach < 0.50
+
+
+class TestSection7Anchors:
+    def test_io_anchor_125ms_per_2gb_pass(self):
+        assert pattern_io_seconds(16 * GIBIBIT) == pytest.approx(0.125)
+
+    def test_eq9_example_3_minutes(self):
+        seconds = round_runtime_seconds(1.024, 32 * 8 * GIBIBIT, 6, 6)
+        assert seconds == pytest.approx(3.01 * 60, rel=0.02)
+
+    def test_eq9_example_19_8_minutes(self):
+        seconds = round_runtime_seconds(1.024, 32 * 64 * GIBIBIT, 6, 6)
+        assert seconds == pytest.approx(19.8 * 60, rel=0.02)
+
+    def test_fig11_anchor_22_7pct_and_9_1pct(self):
+        """4-hour profiling interval, 64 Gb chips: 22.7% of system time for
+        brute force, 9.1% for REAPER."""
+        brute = profiling_time_fraction(ProfilerKind.BRUTE_FORCE, 4 * 3600.0, 64)
+        reaper = profiling_time_fraction(ProfilerKind.REAPER, 4 * 3600.0, 64)
+        assert brute == pytest.approx(0.227, rel=0.08)
+        assert reaper == pytest.approx(0.091, rel=0.08)

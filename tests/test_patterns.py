@@ -1,0 +1,130 @@
+"""Unit tests for test data patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.patterns import (
+    BASE_PATTERNS,
+    CHECKERBOARD,
+    COLUMN_STRIPE,
+    RANDOM,
+    ROW_STRIPE,
+    SOLID_ZERO,
+    STANDARD_PATTERNS,
+    WALKING_ONE,
+    DataPattern,
+    pattern_by_key,
+)
+
+
+class TestStandardSet:
+    def test_six_base_patterns(self):
+        assert len(BASE_PATTERNS) == 6
+
+    def test_standard_set_includes_inverses(self):
+        """Section 3.2: six data patterns and their inverses."""
+        assert len(STANDARD_PATTERNS) == 12
+        keys = {p.key for p in STANDARD_PATTERNS}
+        for base in BASE_PATTERNS:
+            assert base.key in keys
+            assert base.inverse.key in keys
+
+    def test_keys_unique(self):
+        keys = [p.key for p in STANDARD_PATTERNS]
+        assert len(keys) == len(set(keys))
+
+    def test_pattern_by_key_roundtrip(self):
+        for pattern in STANDARD_PATTERNS:
+            assert pattern_by_key(pattern.key) == pattern
+
+    def test_pattern_by_key_unknown(self):
+        with pytest.raises(ConfigurationError):
+            pattern_by_key("nonsense")
+
+    def test_double_inverse_is_identity(self):
+        assert CHECKERBOARD.inverse.inverse == CHECKERBOARD
+
+    def test_only_random_is_stochastic(self):
+        stochastic = [p for p in STANDARD_PATTERNS if p.stochastic]
+        assert {p.name for p in stochastic} == {"random"}
+
+
+class TestDataGeneration:
+    BITS = 64
+
+    def test_solid_is_all_zero(self):
+        assert not SOLID_ZERO.fill_row(0, self.BITS).any()
+
+    def test_solid_inverse_is_all_one(self):
+        assert SOLID_ZERO.inverse.fill_row(0, self.BITS).all()
+
+    def test_checkerboard_alternates_in_row(self):
+        row = CHECKERBOARD.fill_row(0, self.BITS)
+        assert np.array_equal(row[:4], [0, 1, 0, 1])
+
+    def test_checkerboard_alternates_between_rows(self):
+        r0 = CHECKERBOARD.fill_row(0, self.BITS)
+        r1 = CHECKERBOARD.fill_row(1, self.BITS)
+        assert np.array_equal(r0, 1 - r1)
+
+    def test_row_stripe_constant_within_row(self):
+        r0 = ROW_STRIPE.fill_row(0, self.BITS)
+        r1 = ROW_STRIPE.fill_row(1, self.BITS)
+        assert len(np.unique(r0)) == 1
+        assert len(np.unique(r1)) == 1
+        assert r0[0] != r1[0]
+
+    def test_column_stripe_same_every_row(self):
+        r0 = COLUMN_STRIPE.fill_row(0, self.BITS)
+        r5 = COLUMN_STRIPE.fill_row(5, self.BITS)
+        assert np.array_equal(r0, r5)
+        assert np.array_equal(r0[:4], [0, 1, 0, 1])
+
+    def test_walking_one_single_bit_set(self):
+        for row in range(8):
+            data = WALKING_ONE.fill_row(row, self.BITS)
+            assert data.sum() == 1
+            assert data[row % self.BITS] == 1
+
+    def test_walking_one_inverse_single_zero(self):
+        data = WALKING_ONE.inverse.fill_row(3, self.BITS)
+        assert data.sum() == self.BITS - 1
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            RANDOM.fill_row(0, self.BITS)
+
+    def test_random_with_rng_is_binary(self):
+        rng = rng_mod.derive(1, "pattern-test")
+        data = RANDOM.fill_row(0, 4096, rng)
+        assert set(np.unique(data)) <= {0, 1}
+        assert 0.4 < data.mean() < 0.6
+
+    def test_inverse_flips_every_bit(self):
+        for pattern in (SOLID_ZERO, CHECKERBOARD, ROW_STRIPE, COLUMN_STRIPE, WALKING_ONE):
+            row = pattern.fill_row(2, self.BITS)
+            inv = pattern.inverse.fill_row(2, self.BITS)
+            assert np.array_equal(row, 1 - inv)
+
+    def test_fill_matrix_shape(self):
+        matrix = CHECKERBOARD.fill(4, 16)
+        assert matrix.shape == (4, 16)
+
+    def test_unknown_pattern_name_rejected(self):
+        bad = DataPattern("bogus")
+        with pytest.raises(ConfigurationError):
+            bad.fill_row(0, 8)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataPattern("solid", alignment_beta=(0.0, 1.0))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_deterministic_patterns_are_pure(self, row):
+        for pattern in (SOLID_ZERO, CHECKERBOARD, ROW_STRIPE, COLUMN_STRIPE, WALKING_ONE):
+            a = pattern.fill_row(row, 32)
+            b = pattern.fill_row(row, 32)
+            assert np.array_equal(a, b)

@@ -1,0 +1,86 @@
+"""Unit tests for the per-bank refresh (REFpb) extension."""
+
+import pytest
+
+from repro.sysperf.dramtiming import DRAMTimings, PER_BANK_TRFC_RATIO
+from repro.sysperf.memctrl import MemoryControllerSim
+from repro.sysperf.system import SystemSimulator
+from repro.sysperf.trace import TraceGenerator
+from repro.sysperf.workloads import benchmark_by_name
+
+
+class TestTimings:
+    def test_per_bank_trfc_is_shorter(self):
+        ab = DRAMTimings(density_gigabits=64)
+        pb = DRAMTimings(density_gigabits=64, per_bank_refresh=True)
+        assert pb.trfc_ns == pytest.approx(ab.trfc_ns * PER_BANK_TRFC_RATIO)
+        assert pb.trfc_ab_ns == ab.trfc_ab_ns
+
+    def test_per_bank_busy_fraction_smaller(self):
+        ab = DRAMTimings(density_gigabits=64)
+        pb = DRAMTimings(density_gigabits=64, per_bank_refresh=True)
+        assert pb.refresh_busy_fraction(0.064) == pytest.approx(
+            ab.refresh_busy_fraction(0.064) * PER_BANK_TRFC_RATIO
+        )
+
+    def test_per_bank_blocking_quadratically_smaller(self):
+        ab = DRAMTimings(density_gigabits=64)
+        pb = DRAMTimings(density_gigabits=64, per_bank_refresh=True)
+        ratio = pb.refresh_blocking_latency_ns(0.064) / ab.refresh_blocking_latency_ns(0.064)
+        assert ratio == pytest.approx(PER_BANK_TRFC_RATIO**2)
+
+
+class TestEventDriven:
+    def make_trace(self):
+        return TraceGenerator(benchmark_by_name("mcf_like"), seed=9).generate(
+            1500, rate_scale=2.0
+        )
+
+    def test_per_bank_lowers_latency(self):
+        trace = self.make_trace()
+        ab = MemoryControllerSim(DRAMTimings(density_gigabits=64), trefi_s=0.064).run(trace)
+        pb = MemoryControllerSim(
+            DRAMTimings(density_gigabits=64, per_bank_refresh=True), trefi_s=0.064
+        ).run(trace)
+        assert pb.avg_latency_ns < ab.avg_latency_ns
+
+    def test_per_bank_still_slower_than_no_refresh(self):
+        trace = self.make_trace()
+        pb = MemoryControllerSim(
+            DRAMTimings(density_gigabits=64, per_bank_refresh=True), trefi_s=0.064
+        ).run(trace)
+        off = MemoryControllerSim(
+            DRAMTimings(density_gigabits=64, per_bank_refresh=True), trefi_s=None
+        ).run(trace)
+        assert off.avg_latency_ns < pb.avg_latency_ns
+
+    def test_staggering_spreads_stalls(self):
+        """Per-bank refresh delays are bank-dependent (staggered phases)."""
+        timings = DRAMTimings(density_gigabits=64, per_bank_refresh=True)
+        sim = MemoryControllerSim(timings, trefi_s=0.064)
+        # Bank 0 refreshes at phase 0: a request at t=0 is delayed.
+        assert sim._refresh_delay(0.0, bank=0) > 0.0
+        # A bank in the opposite phase is free at t=0.
+        assert sim._refresh_delay(0.0, bank=4) == 0.0
+
+
+class TestSystemModel:
+    def test_per_bank_recovers_part_of_refresh_penalty(self):
+        mix = (benchmark_by_name("mcf_like"), benchmark_by_name("lbm_like"))
+        ab = SystemSimulator(timings=DRAMTimings(density_gigabits=64))
+        pb = SystemSimulator(
+            timings=DRAMTimings(density_gigabits=64, per_bank_refresh=True)
+        )
+        ab_tp = sum(ab.simulate_mix(mix, 0.064).ipcs)
+        pb_tp = sum(pb.simulate_mix(mix, 0.064).ipcs)
+        off_tp = sum(ab.simulate_mix(mix, None).ipcs)
+        assert ab_tp < pb_tp < off_tp
+
+    def test_composition_with_relaxation(self):
+        mix = (benchmark_by_name("mcf_like"), benchmark_by_name("milc_like"))
+        pb = SystemSimulator(
+            timings=DRAMTimings(density_gigabits=64, per_bank_refresh=True)
+        )
+        default = sum(pb.simulate_mix(mix, 0.064).ipcs)
+        relaxed = sum(pb.simulate_mix(mix, 0.512).ipcs)
+        assert relaxed > default

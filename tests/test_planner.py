@@ -1,0 +1,131 @@
+"""Unit tests for the SPD-driven relaxed-refresh deployment planner."""
+
+import math
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.planner import DeploymentPlan, PlannerConstraints, RelaxedRefreshPlanner
+from repro.dram.spd import characterize_for_spd
+from repro.ecc.model import ECC2, SECDED
+from repro.errors import ConfigurationError
+
+from conftest import TINY_GEOMETRY
+
+TARGET = Conditions(trefi=1.024, temperature=45.0)
+
+
+@pytest.fixture(scope="module")
+def planner():
+    from repro.dram.chip import SimulatedDRAMChip
+
+    chip = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=1)
+    spd = characterize_for_spd(
+        chip, anchor_intervals_s=(0.256, 0.512, 0.768, 1.024, 1.28, 1.536, 2.048)
+    )
+    return RelaxedRefreshPlanner(spd)
+
+
+class TestEstimates:
+    def test_expected_failures_scale_with_interval(self, planner):
+        low = planner.expected_failures(Conditions(trefi=0.512))
+        high = planner.expected_failures(Conditions(trefi=1.536))
+        assert high > low > 0.0
+
+    def test_expected_failures_scale_with_temperature(self, planner):
+        cool = planner.expected_failures(Conditions(trefi=1.024, temperature=45.0))
+        hot = planner.expected_failures(Conditions(trefi=1.024, temperature=55.0))
+        assert hot / cool == pytest.approx(math.exp(planner.spd.temp_coefficient * 10), rel=0.01)
+
+    def test_fpr_grows_with_reach(self, planner):
+        mild = planner.estimated_false_positive_rate(TARGET, ReachDelta(delta_trefi=0.125))
+        harsh = planner.estimated_false_positive_rate(TARGET, ReachDelta(delta_trefi=0.5))
+        assert 0.0 < mild < harsh < 1.0
+
+    def test_zero_reach_zero_fpr(self, planner):
+        assert planner.estimated_false_positive_rate(TARGET, ReachDelta()) == 0.0
+
+    def test_headline_fpr_under_50pct(self, planner):
+        fpr = planner.estimated_false_positive_rate(TARGET, ReachDelta(delta_trefi=0.250))
+        assert fpr < 0.50
+
+
+class TestEvaluate:
+    def test_feasible_plan_structure(self, planner):
+        plan = planner.evaluate(TARGET, ReachDelta(delta_trefi=0.250), PlannerConstraints())
+        assert plan.feasible
+        assert plan.expected_profiled_cells >= plan.expected_failures
+        assert plan.round_seconds > 0.0
+        assert 0.0 <= plan.profiling_time_fraction < 1.0
+        assert plan.reach_conditions.trefi == pytest.approx(1.274)
+
+    def test_fpr_constraint_blocks(self, planner):
+        constraints = PlannerConstraints(max_false_positive_rate=0.05)
+        plan = planner.evaluate(TARGET, ReachDelta(delta_trefi=0.5), constraints)
+        assert not plan.feasible
+        assert "FPR" in plan.infeasibility_reason
+
+    def test_capacity_constraint_blocks(self, planner):
+        constraints = PlannerConstraints(mitigation_capacity_cells=1.0)
+        plan = planner.evaluate(TARGET, ReachDelta(delta_trefi=0.250), constraints)
+        assert not plan.feasible
+        assert "capacity" in plan.infeasibility_reason
+
+    def test_stronger_ecc_longer_interval(self, planner):
+        weak = planner.evaluate(TARGET, ReachDelta(), PlannerConstraints())
+        strong = RelaxedRefreshPlanner(planner.spd, ecc=ECC2).evaluate(
+            TARGET, ReachDelta(), PlannerConstraints()
+        )
+        assert strong.reprofile_interval_seconds > weak.reprofile_interval_seconds
+
+
+class TestPlan:
+    def test_picks_most_aggressive_feasible(self, planner):
+        plan = planner.plan(TARGET, PlannerConstraints(max_false_positive_rate=0.50))
+        assert plan.feasible
+        # A tighter FPR budget must never yield a more aggressive reach.
+        tight = planner.plan(TARGET, PlannerConstraints(max_false_positive_rate=0.20))
+        assert tight.reach.delta_trefi <= plan.reach.delta_trefi
+
+    def test_impossible_constraints_flagged(self, planner):
+        constraints = PlannerConstraints(
+            max_false_positive_rate=0.0, mitigation_capacity_cells=0.0
+        )
+        plan = planner.plan(TARGET, constraints, candidate_deltas_s=(0.125, 0.25))
+        assert not plan.feasible
+        assert plan.infeasibility_reason
+
+    def test_empty_candidates_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan(TARGET, candidate_deltas_s=())
+
+    def test_constraint_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlannerConstraints(max_false_positive_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            PlannerConstraints(min_coverage=0.0)
+
+    def test_bad_safety_factor_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            RelaxedRefreshPlanner(planner.spd, reprofile_safety_factor=0.0)
+
+    def test_planned_fpr_matches_measurement(self, planner):
+        """The SPD-based FPR estimate should predict the measured FPR."""
+        from repro.core import BruteForceProfiler, ReachProfiler, evaluate
+        from repro.dram.chip import SimulatedDRAMChip
+
+        plan = planner.plan(TARGET, PlannerConstraints(max_false_positive_rate=0.50))
+        truth = BruteForceProfiler(iterations=16).run(
+            SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=1), TARGET
+        )
+        measured = evaluate(
+            ReachProfiler(reach=plan.reach, iterations=5).run(
+                SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=1), TARGET
+            ),
+            truth.failing,
+        )
+        # The SPD estimate is conservative: the brute-force truth also
+        # captures marginal cells beyond the analytic target count, so the
+        # measured FPR sits at or below the estimate.
+        assert measured.false_positive_rate <= plan.expected_false_positive_rate + 0.10
+        assert measured.false_positive_rate > 0.0

@@ -1,0 +1,142 @@
+"""Unit tests for retention profiles and their serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.conditions import Conditions
+from repro.core.profile import IterationRecord, RetentionProfile
+from repro.errors import ConfigurationError
+
+
+def make_profile(cells=(1, 2, 3), records=(), mechanism="brute-force"):
+    return RetentionProfile(
+        failing=frozenset(cells),
+        profiling_conditions=Conditions(trefi=1.274),
+        target_conditions=Conditions(trefi=1.024),
+        patterns=("solid", "solid~"),
+        iterations=2,
+        runtime_seconds=10.0,
+        started_at=0.0,
+        records=tuple(records),
+        mechanism=mechanism,
+    )
+
+
+def record(iteration, pattern, cells, observed=None, time=0.0):
+    return IterationRecord(
+        iteration=iteration,
+        pattern_key=pattern,
+        new_cells=frozenset(cells),
+        observed_count=observed if observed is not None else len(cells),
+        clock_time=time,
+    )
+
+
+class TestBasics:
+    def test_len_and_contains(self):
+        profile = make_profile(cells=(5, 9))
+        assert len(profile) == 2
+        assert 5 in profile
+        assert 6 not in profile
+
+    def test_is_reach_profile(self):
+        assert make_profile().is_reach_profile
+
+    def test_brute_profile_is_not_reach(self):
+        profile = RetentionProfile(
+            failing=frozenset(),
+            profiling_conditions=Conditions(trefi=1.024),
+            target_conditions=Conditions(trefi=1.024),
+            patterns=(),
+            iterations=1,
+            runtime_seconds=0.0,
+            started_at=0.0,
+        )
+        assert not profile.is_reach_profile
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetentionProfile(
+                failing=frozenset(),
+                profiling_conditions=Conditions(trefi=1.0),
+                target_conditions=Conditions(trefi=1.0),
+                patterns=(),
+                iterations=1,
+                runtime_seconds=-1.0,
+                started_at=0.0,
+            )
+
+
+class TestProvenance:
+    def test_cumulative_counts(self):
+        profile = make_profile(
+            cells=(1, 2, 3),
+            records=[
+                record(0, "solid", {1, 2}),
+                record(0, "solid~", {3}),
+                record(1, "solid", set()),
+            ],
+        )
+        assert profile.cumulative_counts() == [2, 3, 3]
+
+    def test_cells_after_iterations(self):
+        profile = make_profile(
+            cells=(1, 2, 3),
+            records=[
+                record(0, "solid", {1}),
+                record(1, "solid", {2}),
+                record(2, "solid", {3}),
+            ],
+        )
+        assert profile.cells_after_iterations(1) == frozenset({1})
+        assert profile.cells_after_iterations(2) == frozenset({1, 2})
+        assert profile.cells_after_iterations(10) == frozenset({1, 2, 3})
+
+    def test_merge_unions_cells(self):
+        a = make_profile(cells=(1, 2))
+        b = make_profile(cells=(2, 3))
+        merged = a.merged_with(b)
+        assert merged.failing == frozenset({1, 2, 3})
+        assert merged.runtime_seconds == pytest.approx(20.0)
+        assert merged.iterations == 4
+
+    def test_merge_different_targets_rejected(self):
+        a = make_profile()
+        b = RetentionProfile(
+            failing=frozenset(),
+            profiling_conditions=Conditions(trefi=2.0),
+            target_conditions=Conditions(trefi=2.0),
+            patterns=(),
+            iterations=1,
+            runtime_seconds=0.0,
+            started_at=0.0,
+        )
+        with pytest.raises(ConfigurationError):
+            a.merged_with(b)
+
+
+class TestSerialization:
+    def test_roundtrip_int_cells(self):
+        profile = make_profile(
+            cells=(1, 2, 3),
+            records=[record(0, "solid", {1, 2}, observed=5, time=3.5)],
+        )
+        assert RetentionProfile.from_json(profile.to_json()) == profile
+
+    def test_roundtrip_tuple_cells(self):
+        profile = RetentionProfile(
+            failing=frozenset({(0, 17), (1, 99)}),
+            profiling_conditions=Conditions(trefi=1.274),
+            target_conditions=Conditions(trefi=1.024),
+            patterns=("random",),
+            iterations=1,
+            runtime_seconds=1.0,
+            started_at=0.0,
+            records=(record(0, "random", {(0, 17)}),),
+        )
+        assert RetentionProfile.from_json(profile.to_json()) == profile
+
+    @given(st.frozensets(st.integers(min_value=0, max_value=10**9), max_size=30))
+    def test_roundtrip_arbitrary_cells(self, cells):
+        profile = make_profile(cells=cells)
+        assert RetentionProfile.from_json(profile.to_json()).failing == cells

@@ -1,0 +1,119 @@
+"""Tests for profile diffing (the Figure 2/3 churn vocabulary) and the
+steady-state onset detector."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.profile import IterationRecord, ProfileDiff, RetentionProfile
+from repro.core.reach import ReachProfiler
+from repro.core.reaper import REAPER
+from repro.errors import ConfigurationError
+from repro.mitigation import ArchShield
+
+TARGET = Conditions(trefi=2.048, temperature=45.0)
+
+
+def profile_of(cells, target=TARGET):
+    return RetentionProfile(
+        failing=frozenset(cells),
+        profiling_conditions=target,
+        target_conditions=target,
+        patterns=("solid",),
+        iterations=1,
+        runtime_seconds=1.0,
+        started_at=0.0,
+    )
+
+
+class TestProfileDiff:
+    def test_partition(self):
+        diff = profile_of({1, 2, 3}).diff(profile_of({2, 3, 4}))
+        assert diff.appeared == frozenset({1})
+        assert diff.disappeared == frozenset({4})
+        assert diff.common == frozenset({2, 3})
+        assert diff.churn == 2
+        assert diff.stability == pytest.approx(0.5)
+
+    def test_identical_profiles_fully_stable(self):
+        diff = profile_of({1, 2}).diff(profile_of({1, 2}))
+        assert diff.churn == 0
+        assert diff.stability == 1.0
+
+    def test_empty_profiles_stable(self):
+        assert profile_of(set()).diff(profile_of(set())).stability == 1.0
+
+    def test_different_targets_rejected(self):
+        other = profile_of({1}, target=Conditions(trefi=1.024, temperature=45.0))
+        with pytest.raises(ConfigurationError):
+            profile_of({1}).diff(other)
+
+    def test_vrt_churn_observed_between_real_rounds(self, chip_factory):
+        """Two rounds a day apart at 2048 ms show VRT churn (Figure 3)."""
+        chip = chip_factory(max_trefi_s=2.6)
+        profiler = ReachProfiler(reach=ReachDelta(delta_trefi=0.25), iterations=2)
+        first = profiler.run(chip, TARGET)
+        chip.wait(86400.0)
+        second = profiler.run(chip, TARGET)
+        diff = second.diff(first)
+        assert len(diff.common) > 0
+        assert diff.churn > 0
+        assert diff.stability < 1.0
+
+
+class TestReaperEarlyStop:
+    def test_quiet_stop_shortens_rounds(self, chip_factory):
+        target = Conditions(trefi=1.024, temperature=45.0)
+        plain_chip, adaptive_chip = chip_factory(), chip_factory()
+        plain = REAPER(
+            plain_chip, ArchShield(capacity_bits=plain_chip.capacity_bits),
+            target, iterations=8,
+        )
+        adaptive = REAPER(
+            adaptive_chip, ArchShield(capacity_bits=adaptive_chip.capacity_bits),
+            target, iterations=8, stop_after_quiet_iterations=1,
+        )
+        plain_round = plain.profile_and_update()
+        adaptive_round = adaptive.profile_and_update()
+        assert adaptive_round.runtime_seconds < plain_round.runtime_seconds
+        assert adaptive_round.profile.iterations < 8
+
+
+class TestSteadyStateOnset:
+    def make_result(self, burst, rate_per_iter, n=64, days=2.0):
+        """Synthetic Fig3 points: a burst then linear accumulation."""
+        from repro.analysis.characterization import Fig3IterationPoint, Fig3Result
+
+        points = []
+        cumulative = 0
+        for i in range(n):
+            new = burst if i == 0 else rate_per_iter
+            cumulative += new
+            points.append(
+                Fig3IterationPoint(
+                    iteration=i,
+                    time_days=days * (i + 1) / n,
+                    unique_new=new,
+                    repeat=0,
+                    cumulative=cumulative,
+                )
+            )
+        steady_rate = rate_per_iter / (days * 24.0 / n)
+        return Fig3Result(
+            points=tuple(points),
+            steady_state_rate_per_hour=steady_rate,
+            trefi_s=2.048,
+            capacity_bits=1 << 30,
+        )
+
+    def test_burst_delays_onset(self):
+        with_burst = self.make_result(burst=1000, rate_per_iter=2)
+        without = self.make_result(burst=2, rate_per_iter=2)
+        assert with_burst.steady_state_onset_days() > without.steady_state_onset_days()
+
+    def test_pure_steady_state_onset_is_immediate(self):
+        result = self.make_result(burst=2, rate_per_iter=2)
+        assert result.steady_state_onset_days() == pytest.approx(0.0)
+
+    def test_onset_bounded_by_span(self):
+        result = self.make_result(burst=1000, rate_per_iter=2, days=3.0)
+        assert 0.0 <= result.steady_state_onset_days() <= 3.0

@@ -1,0 +1,102 @@
+"""Property harness over the full profiling stack.
+
+Randomized profiler configurations (intervals, iteration counts, pattern
+subsets, reach deltas) against small chips, checking the invariants that
+must hold for *any* configuration: Eq-9 runtime accounting, metric bounds,
+protocol legality, and profile well-formedness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core import BruteForceProfiler, ReachProfiler, evaluate
+from repro.dram.chip import SimulatedDRAMChip
+from repro.dram.geometry import ChipGeometry
+from repro.patterns import STANDARD_PATTERNS
+
+MICRO = ChipGeometry.from_capacity_gigabits(1.0 / 64.0)
+
+configs = st.fixed_dictionaries(
+    {
+        "trefi": st.sampled_from([0.256, 0.512, 1.024, 1.536]),
+        "iterations": st.integers(min_value=1, max_value=4),
+        "n_patterns": st.integers(min_value=1, max_value=12),
+        "delta": st.sampled_from([0.0, 0.125, 0.25]),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+class TestProfilerInvariants:
+    @given(configs)
+    @settings(max_examples=25, deadline=None)
+    def test_runtime_matches_eq9(self, config):
+        chip = SimulatedDRAMChip(geometry=MICRO, seed=config["seed"])
+        patterns = STANDARD_PATTERNS[: config["n_patterns"]]
+        profiler = BruteForceProfiler(patterns=patterns, iterations=config["iterations"])
+        profile = profiler.run(chip, Conditions(trefi=config["trefi"], temperature=45.0))
+        per_pass = config["trefi"] + 2 * chip.pattern_io_seconds
+        expected = per_pass * len(patterns) * config["iterations"]
+        assert profile.runtime_seconds == pytest.approx(expected)
+
+    @given(configs)
+    @settings(max_examples=25, deadline=None)
+    def test_profile_well_formed(self, config):
+        chip = SimulatedDRAMChip(geometry=MICRO, seed=config["seed"])
+        patterns = STANDARD_PATTERNS[: config["n_patterns"]]
+        profiler = ReachProfiler(
+            reach=ReachDelta(delta_trefi=config["delta"]),
+            patterns=patterns,
+            iterations=config["iterations"],
+        )
+        target = Conditions(trefi=config["trefi"], temperature=45.0)
+        profile = profiler.run(chip, target)
+        # Records cover exactly iterations x patterns passes.
+        assert len(profile.records) == config["iterations"] * len(patterns)
+        # Every recorded new cell appears in the final set; counts add up.
+        union = set()
+        for record in profile.records:
+            assert record.new_cells.isdisjoint(union)
+            union |= record.new_cells
+        assert union == set(profile.failing)
+        # Cells are valid addresses.
+        for cell in profile.failing:
+            assert 0 <= cell < chip.capacity_bits
+        # The command trace is a legal test sequence.
+        chip.trace.verify_protocol()
+
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_metrics_bounded_against_oracle(self, config):
+        chip = SimulatedDRAMChip(geometry=MICRO, seed=config["seed"])
+        target = Conditions(trefi=config["trefi"], temperature=45.0)
+        profiler = ReachProfiler(
+            reach=ReachDelta(delta_trefi=config["delta"]),
+            iterations=config["iterations"],
+        )
+        profile = profiler.run(chip, target)
+        oracle = set(int(c) for c in chip.oracle_failing_set(target, p_min=0.01))
+        result = evaluate(profile, oracle)
+        assert 0.0 <= result.coverage <= 1.0
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        # A zero-delta reach is brute force: nearly no false positives vs a
+        # permissive oracle (VRT arrivals can contribute a couple).
+        if config["delta"] == 0.0 and result.n_found > 0:
+            assert result.n_false_positives <= max(2, result.n_found // 5)
+
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_more_reach_never_fewer_expected_finds(self, config):
+        """Statistically: a +250ms profile finds at least as many cells as a
+        zero-delta profile of the same chip state (same seed, same draws)."""
+        base_chip = SimulatedDRAMChip(geometry=MICRO, seed=config["seed"])
+        reach_chip = SimulatedDRAMChip(geometry=MICRO, seed=config["seed"])
+        target = Conditions(trefi=config["trefi"], temperature=45.0)
+        base = ReachProfiler(reach=ReachDelta(), iterations=2).run(base_chip, target)
+        reached = ReachProfiler(reach=ReachDelta(delta_trefi=0.25), iterations=2).run(
+            reach_chip, target
+        )
+        # Identical RNG streams: the reach exposure dominates pointwise.
+        assert len(reached) >= len(base)

@@ -1,0 +1,135 @@
+"""Cross-cutting property tests of library invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.metrics import coverage, false_positive_rate
+from repro.core.profile import RetentionProfile
+from repro.dram.vendor import VENDOR_A, VENDOR_B, VENDOR_C
+from repro.ecc.model import ECC2, NO_ECC, SECDED, uber
+
+
+class TestVendorModelProperties:
+    @given(
+        st.sampled_from([VENDOR_A, VENDOR_B, VENDOR_C]),
+        st.floats(min_value=0.064, max_value=4.0),
+        st.floats(min_value=0.064, max_value=4.0),
+    )
+    def test_ber_monotone_in_interval(self, vendor, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert vendor.ber(Conditions(trefi=lo)) <= vendor.ber(Conditions(trefi=hi))
+
+    @given(
+        st.sampled_from([VENDOR_A, VENDOR_B, VENDOR_C]),
+        st.floats(min_value=0.064, max_value=4.0),
+        st.floats(min_value=20.0, max_value=60.0),
+        st.floats(min_value=20.0, max_value=60.0),
+    )
+    def test_ber_monotone_in_temperature(self, vendor, trefi, temp1, temp2):
+        lo, hi = min(temp1, temp2), max(temp1, temp2)
+        assert vendor.ber(Conditions(trefi=trefi, temperature=lo)) <= vendor.ber(
+            Conditions(trefi=trefi, temperature=hi)
+        )
+
+    @given(
+        st.sampled_from([VENDOR_A, VENDOR_B, VENDOR_C]),
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.5, max_value=64.0),
+    )
+    def test_vrt_rate_superlinear(self, vendor, trefi, capacity):
+        """Doubling the interval multiplies the rate by more than 2 (b > 1)."""
+        single = vendor.vrt_arrival_rate_per_hour(trefi, capacity)
+        doubled = vendor.vrt_arrival_rate_per_hour(trefi * 2.0, capacity)
+        assert doubled > 2.0 * single
+
+
+class TestMetricProperties:
+    cells = st.frozensets(st.integers(0, 200), max_size=60)
+
+    @given(cells, cells, cells)
+    def test_coverage_monotone_in_found(self, a, b, truth):
+        """Finding more cells never lowers coverage."""
+        assert coverage(a | b, truth) >= coverage(a, truth)
+
+    @given(cells, cells)
+    def test_perfect_profile_metrics(self, found, extra):
+        truth = found | extra
+        assert coverage(truth, truth) == 1.0
+        assert false_positive_rate(truth, truth) == 0.0
+
+    @given(cells, cells)
+    def test_complement_decomposition(self, found, truth):
+        """covered + missed = |truth| exactly."""
+        covered = len(found & truth)
+        missed = len(truth - found)
+        assert covered + missed == len(truth)
+        if truth:
+            assert coverage(found, truth) == pytest.approx(covered / len(truth))
+
+
+class TestEccProperties:
+    @given(st.floats(min_value=1e-12, max_value=1e-2))
+    def test_stronger_ecc_never_worse(self, rber):
+        assert uber(ECC2, rber) <= uber(SECDED, rber) <= uber(NO_ECC, rber)
+
+    @given(
+        st.floats(min_value=1e-12, max_value=1e-3),
+        st.floats(min_value=1.0, max_value=5.0),
+    )
+    def test_uber_monotone(self, rber, factor):
+        assert uber(SECDED, rber) <= uber(SECDED, min(rber * factor, 1.0))
+
+
+class TestProfileSerializationProperties:
+    @given(
+        st.frozensets(
+            st.one_of(
+                st.integers(0, 10**6),
+                st.tuples(st.integers(0, 31), st.integers(0, 10**6)),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_mixed_cell_types_roundtrip(self, cells):
+        profile = RetentionProfile(
+            failing=cells,
+            profiling_conditions=Conditions(trefi=1.274),
+            target_conditions=Conditions(trefi=1.024),
+            patterns=("solid",),
+            iterations=1,
+            runtime_seconds=1.0,
+            started_at=0.0,
+        )
+        assert RetentionProfile.from_json(profile.to_json()).failing == cells
+
+
+class TestPlannerProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=0.4),
+        st.floats(min_value=0.0, max_value=0.4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fpr_estimate_monotone_in_reach(self, d1, d2):
+        from repro.core.planner import RelaxedRefreshPlanner
+        from repro.dram.spd import SPDCharacterization
+
+        spd = SPDCharacterization(
+            vendor="B",
+            capacity_gigabits=1.0,
+            temp_coefficient=0.20,
+            ber_anchors=((0.512, 1e-8), (1.024, 1.5e-7), (1.536, 8e-7), (2.048, 2e-6)),
+            vrt_scale_per_hour=0.05,
+            vrt_exponent=7.94,
+            sigma_median_s=0.06,
+        )
+        planner = RelaxedRefreshPlanner(spd)
+        target = Conditions(trefi=1.024)
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert planner.estimated_false_positive_rate(
+            target, ReachDelta(delta_trefi=lo)
+        ) <= planner.estimated_false_positive_rate(
+            target, ReachDelta(delta_trefi=hi)
+        ) + 1e-12

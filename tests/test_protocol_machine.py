@@ -1,0 +1,84 @@
+"""Stateful property testing of the chip command protocol.
+
+Drives a simulated chip through random *legal* command sequences and checks
+the invariants a SoftMC-style infrastructure relies on: the command trace
+always verifies, the clock never goes backwards, exposures are accounted
+exactly, and read-outs never report cells outside the array.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.dram.chip import SimulatedDRAMChip
+from repro.dram.geometry import ChipGeometry
+from repro.patterns import CHECKERBOARD, RANDOM, SOLID_ZERO
+
+MICRO_GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0 / 64.0)
+MAX_EXPOSURE = 2.0
+
+
+class ChipProtocol(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.chip = SimulatedDRAMChip(geometry=MICRO_GEOMETRY, seed=5150)
+        self.written = False
+        self.refresh_enabled = True
+        self.last_clock = self.chip.clock.now
+
+    # ------------------------------------------------------------------
+    @rule(pattern=st.sampled_from([CHECKERBOARD, SOLID_ZERO, RANDOM, CHECKERBOARD.inverse]))
+    def write(self, pattern):
+        self.chip.write_pattern(pattern)
+        self.written = True
+
+    @precondition(lambda self: self.refresh_enabled)
+    @rule()
+    def disable_refresh(self):
+        self.chip.disable_refresh()
+        self.refresh_enabled = False
+
+    @precondition(lambda self: not self.refresh_enabled)
+    @rule()
+    def enable_refresh(self):
+        self.chip.enable_refresh()
+        self.refresh_enabled = True
+
+    @rule(dt=st.floats(min_value=0.001, max_value=0.4))
+    def wait(self, dt):
+        # Keep exposures within the chip's supported horizon; a real test
+        # program has the same obligation.
+        if not self.refresh_enabled and self.chip.current_exposure() + dt > MAX_EXPOSURE:
+            return
+        self.chip.wait(dt)
+
+    @precondition(lambda self: self.written)
+    @rule()
+    def read(self):
+        errors = self.chip.read_errors()
+        assert np.all(errors >= 0)
+        assert np.all(errors < self.chip.capacity_bits)
+        assert np.all(np.diff(errors) > 0)  # sorted unique
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def trace_always_legal(self):
+        self.chip.trace.verify_protocol()
+
+    @invariant()
+    def clock_monotone(self):
+        assert self.chip.clock.now >= self.last_clock
+        self.last_clock = self.chip.clock.now
+
+    @invariant()
+    def exposure_consistent(self):
+        exposure = self.chip.current_exposure()
+        assert exposure >= 0.0
+        if self.refresh_enabled or self.chip._disable_time is None:
+            # Frozen exposure never exceeds what the protocol allowed.
+            assert exposure <= MAX_EXPOSURE + 0.4 + 1e-9
+
+
+TestChipProtocol = ChipProtocol.TestCase
+TestChipProtocol.settings = settings(max_examples=15, stateful_step_count=25, deadline=None)

@@ -1,0 +1,62 @@
+"""The public API surface: every advertised name must resolve."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.dram",
+    "repro.patterns",
+    "repro.ecc",
+    "repro.mitigation",
+    "repro.infra",
+    "repro.sysperf",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} advertised but missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_unique(package_name):
+    package = importlib.import_module(package_name)
+    assert len(package.__all__) == len(set(package.__all__))
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_classes_documented(package_name):
+    """Every public class and function carries a docstring."""
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in package.__all__:
+        obj = getattr(package, name)
+        if not callable(obj):
+            continue
+        # Type aliases (Mix, ModuleCellRef, ...) resolve to typing/builtin
+        # objects; only objects defined inside this package need docstrings.
+        if not str(getattr(obj, "__module__", "")).startswith("repro"):
+            continue
+        if not getattr(obj, "__doc__", None):
+            undocumented.append(name)
+    assert not undocumented, f"{package_name}: missing docstrings on {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_star_import_is_clean():
+    namespace = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate API check
+    assert "ReachProfiler" in namespace
+    assert "SimulatedDRAMChip" in namespace

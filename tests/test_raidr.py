@@ -1,0 +1,103 @@
+"""Unit tests for RAIDR multi-rate refresh."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigation.raidr import RAIDR
+
+
+def make_raidr(total_rows=4096, relaxed=1.024, bins=(0.064,), **kwargs):
+    kwargs.setdefault("expected_weak_rows", 256)
+    return RAIDR(
+        total_rows=total_rows,
+        bits_per_row=1024,
+        relaxed_interval_s=relaxed,
+        bin_intervals_s=bins,
+        **kwargs,
+    )
+
+
+class TestConfiguration:
+    def test_relaxed_must_exceed_bins(self):
+        with pytest.raises(ConfigurationError):
+            make_raidr(relaxed=0.064, bins=(0.064,))
+
+    def test_bins_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            make_raidr(bins=(0.128, 0.064))
+
+    def test_empty_bins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_raidr(bins=())
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RAIDR(total_rows=0, bits_per_row=1024, relaxed_interval_s=1.0)
+
+
+class TestBinning:
+    def test_unknown_row_gets_relaxed_interval(self):
+        raidr = make_raidr()
+        assert raidr.refresh_interval_for_row(7) == pytest.approx(1.024)
+
+    def test_ingested_cells_put_rows_in_conservative_bin(self):
+        raidr = make_raidr()
+        raidr.ingest({1024 * 5 + 3})  # a cell in row 5
+        assert raidr.refresh_interval_for_row(5) == pytest.approx(0.064)
+        assert raidr.bin_row_count(0) == 1
+
+    def test_duplicate_cells_one_row(self):
+        raidr = make_raidr()
+        raidr.ingest({1024 * 5, 1024 * 5 + 1})
+        assert raidr.bin_row_count(0) == 1
+
+    def test_assign_row_to_specific_bin(self):
+        raidr = make_raidr(bins=(0.064, 0.128))
+        raidr.assign_row(10, bin_index=1)
+        assert raidr.refresh_interval_for_row(10) == pytest.approx(0.128)
+
+    def test_invalid_bin_index_rejected(self):
+        raidr = make_raidr()
+        with pytest.raises(ConfigurationError):
+            raidr.assign_row(1, bin_index=5)
+
+    def test_bloom_false_positives_only_tighten(self):
+        """Any misclassification must move a row to a *shorter* interval."""
+        raidr = make_raidr(total_rows=10000)
+        for row in range(0, 200):
+            raidr.assign_row(row, 0)
+        for row in range(200, 10000):
+            assert raidr.refresh_interval_for_row(row) in (0.064, 1.024)
+
+
+class TestRefreshAccounting:
+    def test_all_strong_rows_save_most_refreshes(self):
+        raidr = make_raidr()
+        savings = raidr.refresh_savings_fraction()
+        assert savings > 0.9  # 64ms -> 1024ms is a 16x reduction
+
+    def test_weak_rows_cost_refreshes(self):
+        empty = make_raidr()
+        loaded = make_raidr()
+        for row in range(512):
+            loaded.assign_row(row, 0)
+        assert loaded.refreshes_per_second() > empty.refreshes_per_second()
+
+    def test_savings_upper_bound(self):
+        raidr = make_raidr()
+        assert raidr.refresh_savings_fraction() <= 1.0 - 0.064 / 1.024 + 0.01
+
+    def test_false_positive_accounting_increases_cost(self):
+        raidr = make_raidr(total_rows=100000, expected_weak_rows=16)
+        for row in range(2000):  # heavily overload the small filter
+            raidr.assign_row(row, 0)
+        with_fp = raidr.refreshes_per_second(include_bloom_fp=True)
+        without_fp = raidr.refreshes_per_second(include_bloom_fp=False)
+        assert with_fp > without_fp
+
+    def test_all_rows_weak_degenerates_to_baseline(self):
+        raidr = make_raidr(total_rows=128)
+        for row in range(128):
+            raidr.assign_row(row, 0)
+        baseline = 128 / 0.064
+        assert raidr.refreshes_per_second(include_bloom_fp=False) == pytest.approx(baseline)

@@ -1,0 +1,137 @@
+"""Unit tests for RAPID retention-aware placement."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.reach import ReachProfiler
+from repro.errors import CapacityError, ConfigurationError
+from repro.mitigation.rapid import RAPID
+
+
+def make_rapid(total_rows=100, **kwargs):
+    return RAPID(total_rows=total_rows, bits_per_row=64, **kwargs)
+
+
+class TestLearning:
+    def test_failures_tighten_estimates(self):
+        rapid = make_rapid()
+        tightened = rapid.learn_from_failing_cells({64 * 3 + 5}, tested_interval_s=0.512)
+        assert tightened == 1
+        assert rapid.row_retention(3) == pytest.approx(0.512)
+
+    def test_estimates_only_tighten_downwards(self):
+        rapid = make_rapid()
+        rapid.learn_row_retention(7, 0.512)
+        rapid.learn_row_retention(7, 1.024)  # weaker evidence: ignored
+        assert rapid.row_retention(7) == pytest.approx(0.512)
+        rapid.learn_row_retention(7, 0.256)  # stronger evidence: kept
+        assert rapid.row_retention(7) == pytest.approx(0.256)
+
+    def test_survivors_raise_unknown_rows_only(self):
+        rapid = make_rapid()
+        rapid.learn_row_retention(1, 0.512)
+        rapid.learn_survivors([1, 2], survived_interval_s=2.048)
+        assert rapid.row_retention(1) == pytest.approx(0.512)  # failure wins
+        assert rapid.row_retention(2) == pytest.approx(2.048)
+
+    def test_unknown_rows_conservative(self):
+        assert make_rapid().row_retention(42) == pytest.approx(0.064)
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_rapid().learn_row_retention(1, 0.0)
+
+
+class TestAllocation:
+    def setup_rapid(self):
+        rapid = make_rapid(total_rows=10)
+        for row, retention in enumerate((4.0, 3.0, 2.0, 1.0, 0.5)):
+            rapid.learn_row_retention(row, retention)
+        return rapid
+
+    def test_strongest_first(self):
+        rapid = self.setup_rapid()
+        assert rapid.allocate(2) == [0, 1]
+
+    def test_allocation_is_exclusive(self):
+        rapid = self.setup_rapid()
+        first = rapid.allocate(2)
+        second = rapid.allocate(2)
+        assert not set(first) & set(second)
+
+    def test_release_returns_rows_to_pool(self):
+        rapid = self.setup_rapid()
+        rows = rapid.allocate(2)
+        rapid.release(rows)
+        assert rapid.allocate(1) == [0]
+
+    def test_overflow_to_unprofiled_rows(self):
+        rapid = self.setup_rapid()
+        rows = rapid.allocate(7)  # 5 profiled + 2 unprofiled
+        assert rapid.allocated_rows == 7
+        assert sum(1 for r in rows if isinstance(r, tuple)) == 2
+
+    def test_capacity_error_when_full(self):
+        rapid = make_rapid(total_rows=3)
+        rapid.learn_row_retention(0, 1.0)
+        with pytest.raises(CapacityError):
+            rapid.allocate(5)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.setup_rapid().allocate(0)
+
+
+class TestRefreshPolicy:
+    def test_interval_set_by_weakest_allocated(self):
+        rapid = make_rapid(guardband=0.5)
+        rapid.learn_row_retention(0, 4.0)
+        rapid.learn_row_retention(1, 1.0)
+        rapid.allocate(1)  # strongest only
+        assert rapid.required_refresh_interval_s() == pytest.approx(2.0)
+        rapid.allocate(1)  # now the 1.0s row too
+        assert rapid.required_refresh_interval_s() == pytest.approx(0.5)
+
+    def test_interval_degrades_with_utilization(self):
+        """RAPID's signature curve: more data -> weaker rows -> faster refresh."""
+        rapid = make_rapid(total_rows=50, guardband=1.0)
+        for row in range(50):
+            rapid.learn_row_retention(row, 4.0 / (row + 1))
+        intervals = []
+        for _ in range(5):
+            rapid.allocate(10)
+            intervals.append(rapid.required_refresh_interval_s())
+        assert intervals == sorted(intervals, reverse=True)
+
+    def test_refresh_savings_positive_when_lightly_loaded(self):
+        rapid = make_rapid(total_rows=100, guardband=1.0)
+        for row in range(100):
+            rapid.learn_row_retention(row, 2.048)
+        rapid.allocate(10)
+        assert rapid.refresh_savings_fraction() > 0.95
+
+    def test_empty_machine_full_savings(self):
+        assert make_rapid().refresh_savings_fraction() == 1.0
+
+    def test_guardband_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_rapid(guardband=0.0)
+
+
+class TestWithProfiler:
+    def test_rapid_fed_by_reach_profiles(self, chip):
+        """End to end: ladder of reach profiles -> RAPID placement."""
+        rapid = RAPID(
+            total_rows=chip.geometry.total_rows,
+            bits_per_row=chip.geometry.bits_per_row,
+        )
+        for interval in (0.512, 1.024, 2.048):
+            profile = ReachProfiler(
+                reach=ReachDelta(delta_trefi=0.25), iterations=1
+            ).run(chip, Conditions(trefi=interval, temperature=45.0))
+            rapid.learn_from_failing_cells(profile.failing, tested_interval_s=interval)
+        weak_rows = len(rapid._retention)
+        assert weak_rows > 0
+        # Allocating far fewer rows than the weak population stays fast.
+        allocation = rapid.allocate(max(1, weak_rows // 2))
+        assert rapid.required_refresh_interval_s() >= 0.064

@@ -1,0 +1,102 @@
+"""Unit tests for reach profiling (the paper's contribution)."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.bruteforce import BruteForceProfiler
+from repro.core.metrics import evaluate
+from repro.core.reach import ReachProfiler
+from repro.errors import ConfigurationError, ProfilingError
+
+
+class TestConfiguration:
+    def test_default_reach_is_plus_250ms(self):
+        profiler = ReachProfiler()
+        assert profiler.reach.delta_trefi == pytest.approx(0.250)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReachProfiler(iterations=0)
+
+    def test_profiling_conditions_applies_delta(self):
+        profiler = ReachProfiler(reach=ReachDelta(delta_trefi=0.25, delta_temperature=5.0))
+        reach = profiler.profiling_conditions(Conditions(trefi=1.0, temperature=45.0))
+        assert reach.trefi == pytest.approx(1.25)
+        assert reach.temperature == pytest.approx(50.0)
+
+
+class TestRun:
+    def test_profile_records_both_condition_sets(self, chip, target_conditions):
+        profiler = ReachProfiler(iterations=1)
+        profile = profiler.run(chip, target_conditions)
+        assert profile.target_conditions == target_conditions
+        assert profile.profiling_conditions.trefi == pytest.approx(1.274)
+        assert profile.is_reach_profile
+        assert profile.mechanism == "reach"
+
+    def test_reach_beyond_device_rejected(self, chip):
+        profiler = ReachProfiler(reach=ReachDelta(delta_trefi=10.0), iterations=1)
+        with pytest.raises(ProfilingError):
+            profiler.run(chip, Conditions(trefi=1.0))
+
+    def test_temperature_reach_sets_and_restores(self, chip_factory):
+        chip = chip_factory(max_temperature_c=60.0)
+        profiler = ReachProfiler(
+            reach=ReachDelta(delta_temperature=5.0), iterations=1
+        )
+        profiler.run(chip, Conditions(trefi=1.024, temperature=45.0))
+        assert chip.temperature_c == pytest.approx(45.0)
+
+    def test_temperature_reach_without_management_rejected(self, chip):
+        profiler = ReachProfiler(
+            reach=ReachDelta(delta_temperature=5.0),
+            iterations=1,
+            manage_temperature=False,
+        )
+        with pytest.raises(ProfilingError):
+            profiler.run(chip, Conditions(trefi=1.0, temperature=45.0))
+
+
+class TestKeyResult:
+    """The paper's central claims, at unit-test scale."""
+
+    def test_high_coverage_with_few_iterations(self, chip_factory, target_conditions):
+        """Reach profiling with 5 iterations covers the brute-force truth."""
+        truth = BruteForceProfiler(iterations=16).run(chip_factory(), target_conditions)
+        reach = ReachProfiler(iterations=5).run(chip_factory(), target_conditions)
+        result = evaluate(reach, truth.failing)
+        assert result.coverage > 0.98
+
+    def test_reach_is_faster_than_brute_force(self, chip_factory, target_conditions):
+        truth = BruteForceProfiler(iterations=16).run(chip_factory(), target_conditions)
+        reach = ReachProfiler(iterations=5).run(chip_factory(), target_conditions)
+        speedup = truth.runtime_seconds / reach.runtime_seconds
+        assert speedup > 2.0
+
+    def test_false_positives_bounded(self, chip_factory, target_conditions):
+        """+250 ms keeps the false positive rate under ~50% (Section 6.1.2)."""
+        truth = BruteForceProfiler(iterations=16).run(chip_factory(), target_conditions)
+        reach = ReachProfiler(iterations=5).run(chip_factory(), target_conditions)
+        result = evaluate(reach, truth.failing)
+        assert result.false_positive_rate < 0.60
+
+    def test_more_aggressive_reach_more_false_positives(self, chip_factory, target_conditions):
+        truth = BruteForceProfiler(iterations=16).run(chip_factory(), target_conditions)
+        mild = ReachProfiler(reach=ReachDelta(delta_trefi=0.125), iterations=5).run(
+            chip_factory(), target_conditions
+        )
+        aggressive = ReachProfiler(reach=ReachDelta(delta_trefi=0.5), iterations=5).run(
+            chip_factory(max_trefi_s=2.6), target_conditions
+        )
+        fpr_mild = evaluate(mild, truth.failing).false_positive_rate
+        fpr_aggr = evaluate(aggressive, truth.failing).false_positive_rate
+        assert fpr_aggr > fpr_mild
+
+    def test_temperature_reach_also_raises_coverage(self, chip_factory, target_conditions):
+        """Raising temperature is an alternative reach knob (Observation 4)."""
+        truth = BruteForceProfiler(iterations=16).run(chip_factory(), target_conditions)
+        hot = ReachProfiler(
+            reach=ReachDelta(delta_temperature=10.0), iterations=5
+        ).run(chip_factory(max_temperature_c=60.0), target_conditions)
+        result = evaluate(hot, truth.failing)
+        assert result.coverage > 0.95

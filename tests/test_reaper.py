@@ -1,0 +1,95 @@
+"""Unit tests for the REAPER firmware wrapper."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.reaper import REAPER
+from repro.errors import ConfigurationError
+from repro.mitigation import ArchShield, RowMapOut
+
+
+def make_reaper(chip, target=Conditions(trefi=1.024, temperature=45.0), **kwargs):
+    mitigation = ArchShield(capacity_bits=chip.capacity_bits)
+    return REAPER(chip, mitigation, target, **kwargs), mitigation
+
+
+class TestConfiguration:
+    def test_temperature_reach_rejected(self, chip):
+        """Section 7.1: REAPER firmware only manipulates the refresh interval."""
+        with pytest.raises(ConfigurationError):
+            REAPER(
+                chip,
+                ArchShield(capacity_bits=chip.capacity_bits),
+                Conditions(trefi=1.024),
+                reach=ReachDelta(delta_temperature=5.0),
+            )
+
+    def test_reach_conditions_derived_from_target(self, chip):
+        reaper, _ = make_reaper(chip)
+        assert reaper.reach_conditions.trefi == pytest.approx(1.274)
+
+
+class TestProfileAndUpdate:
+    def test_round_populates_mitigation(self, chip):
+        reaper, mitigation = make_reaper(chip)
+        round_record = reaper.profile_and_update()
+        assert round_record.cells_added_to_mitigation == len(round_record.profile)
+        assert mitigation.known_cell_count == len(round_record.profile)
+        assert round_record.runtime_seconds > 0.0
+
+    def test_second_round_adds_only_new_cells(self, chip):
+        reaper, mitigation = make_reaper(chip)
+        first = reaper.profile_and_update()
+        chip.wait(3600.0)  # let VRT evolve
+        second = reaper.profile_and_update()
+        assert second.cells_added_to_mitigation <= len(second.profile)
+        assert mitigation.known_cell_count >= len(first.profile)
+
+    def test_rounds_are_recorded(self, chip):
+        reaper, _ = make_reaper(chip)
+        reaper.profile_and_update()
+        reaper.profile_and_update()
+        assert [r.index for r in reaper.rounds] == [0, 1]
+        assert reaper.total_pause_seconds == pytest.approx(
+            sum(r.runtime_seconds for r in reaper.rounds)
+        )
+
+    def test_pause_runtime_matches_clock(self, chip):
+        reaper, _ = make_reaper(chip)
+        t0 = chip.clock.now
+        record = reaper.profile_and_update()
+        assert chip.clock.now - t0 == pytest.approx(record.runtime_seconds)
+
+    def test_save_restore_extends_pause(self, chip_factory):
+        """Footnote 4: a naive save/restore adds to the round pause."""
+        plain_chip, costly_chip = chip_factory(), chip_factory()
+        plain, _ = make_reaper(plain_chip)
+        costly = REAPER(
+            costly_chip,
+            ArchShield(capacity_bits=costly_chip.capacity_bits),
+            Conditions(trefi=1.024, temperature=45.0),
+            save_restore_seconds=30.0,
+        )
+        plain_pause = plain.profile_and_update().runtime_seconds
+        costly_pause = costly.profile_and_update().runtime_seconds
+        assert costly_pause == pytest.approx(plain_pause + 60.0)
+
+    def test_negative_save_restore_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            REAPER(
+                chip,
+                ArchShield(capacity_bits=chip.capacity_bits),
+                Conditions(trefi=1.024),
+                save_restore_seconds=-1.0,
+            )
+
+    def test_works_with_row_mapout(self, chip):
+        mitigation = RowMapOut(
+            total_rows=chip.geometry.total_rows,
+            bits_per_row=chip.geometry.bits_per_row,
+            max_mapped_fraction=0.5,
+        )
+        reaper = REAPER(chip, mitigation, Conditions(trefi=1.024))
+        record = reaper.profile_and_update()
+        assert mitigation.mapped_row_count > 0
+        assert mitigation.mapped_row_count <= len(record.profile)

@@ -1,0 +1,57 @@
+"""Tests for open vs closed row-buffer policies (Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sysperf.dramtiming import DRAMTimings
+from repro.sysperf.memctrl import MemoryControllerSim
+from repro.sysperf.trace import TraceGenerator
+from repro.sysperf.workloads import benchmark_by_name
+
+
+def trace_of(name, n=1200, seed=3):
+    return TraceGenerator(benchmark_by_name(name), seed=seed).generate(n)
+
+
+class TestRowPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryControllerSim(DRAMTimings(), row_policy="lazy")
+
+    def test_closed_policy_never_row_hits(self):
+        trace = trace_of("libquantum_like")  # 90% locality stream
+        stats = MemoryControllerSim(DRAMTimings(), row_policy="closed").run(trace)
+        assert stats.row_hit_rate == 0.0
+
+    def test_open_policy_exploits_locality(self):
+        """High-locality traffic strongly prefers the open-row policy."""
+        trace = trace_of("libquantum_like")
+        open_stats = MemoryControllerSim(DRAMTimings(), row_policy="open").run(trace)
+        closed_stats = MemoryControllerSim(DRAMTimings(), row_policy="closed").run(trace)
+        assert open_stats.row_hit_rate > 0.6
+        assert open_stats.avg_latency_ns < closed_stats.avg_latency_ns
+
+    def test_closed_policy_competitive_for_low_locality(self):
+        """Conflict-heavy traffic narrows (or reverses) the gap: closed rows
+        skip the precharge on the critical path."""
+        trace = trace_of("mcf_like")  # 25% locality
+        open_stats = MemoryControllerSim(DRAMTimings(), row_policy="open").run(trace)
+        closed_stats = MemoryControllerSim(DRAMTimings(), row_policy="closed").run(trace)
+        # With 25% locality the closed policy loses the few hits but saves
+        # the precharge on the other 75% -- it must land within 15% of open.
+        assert closed_stats.avg_latency_ns < open_stats.avg_latency_ns * 1.15
+
+    def test_all_requests_served_under_both_policies(self):
+        trace = trace_of("gcc_like", n=700)
+        for policy in ("open", "closed"):
+            stats = MemoryControllerSim(DRAMTimings(), row_policy=policy).run(trace)
+            assert stats.served == len(trace)
+
+    def test_refresh_still_applies_under_closed_policy(self):
+        trace = trace_of("lbm_like")
+        timings = DRAMTimings(density_gigabits=64)
+        with_refresh = MemoryControllerSim(
+            timings, trefi_s=0.064, row_policy="closed"
+        ).run(trace)
+        without = MemoryControllerSim(timings, trefi_s=None, row_policy="closed").run(trace)
+        assert with_refresh.avg_latency_ns > without.avg_latency_ns

@@ -1,0 +1,83 @@
+"""Unit tests for the Eq-9 runtime model, pinned to the paper's examples."""
+
+import pytest
+
+from repro.core.runtime_model import ProfilingRoundModel, reach_speedup, round_runtime_seconds
+from repro.dram.geometry import GIBIBIT
+from repro.errors import ConfigurationError
+
+
+class TestEq9PaperExamples:
+    def test_32x8gb_is_about_3_minutes(self):
+        """Section 7.3.1: 32x 8Gb chips, 1024 ms, 6 patterns, 6 iterations
+        -> T_profile ~= 3.01 minutes."""
+        seconds = round_runtime_seconds(
+            trefi_s=1.024,
+            capacity_bits=32 * 8 * GIBIBIT,
+            n_patterns=6,
+            n_iterations=6,
+        )
+        assert seconds / 60.0 == pytest.approx(3.01, rel=0.02)
+
+    def test_32x64gb_is_about_20_minutes(self):
+        """Section 7.3.1: 32x 64Gb chips -> T_profile ~= 19.8 minutes."""
+        seconds = round_runtime_seconds(
+            trefi_s=1.024,
+            capacity_bits=32 * 64 * GIBIBIT,
+            n_patterns=6,
+            n_iterations=6,
+        )
+        assert seconds / 60.0 == pytest.approx(19.8, rel=0.02)
+
+
+class TestModelStructure:
+    def test_linear_in_iterations(self):
+        one = round_runtime_seconds(1.0, GIBIBIT, 6, 1)
+        four = round_runtime_seconds(1.0, GIBIBIT, 6, 4)
+        assert four == pytest.approx(4 * one)
+
+    def test_linear_in_patterns(self):
+        one = round_runtime_seconds(1.0, GIBIBIT, 1, 6)
+        six = round_runtime_seconds(1.0, GIBIBIT, 6, 6)
+        assert six == pytest.approx(6 * one)
+
+    def test_io_term_scales_with_capacity(self):
+        model_small = ProfilingRoundModel(trefi_s=1.0, capacity_bits=GIBIBIT)
+        model_large = ProfilingRoundModel(trefi_s=1.0, capacity_bits=4 * GIBIBIT)
+        assert model_large.io_seconds_per_pass == pytest.approx(
+            4 * model_small.io_seconds_per_pass
+        )
+
+    def test_pass_time_includes_wait_and_io(self):
+        model = ProfilingRoundModel(trefi_s=1.0, capacity_bits=16 * GIBIBIT)
+        assert model.seconds_per_pass == pytest.approx(1.0 + 0.25)
+
+    def test_invalid_trefi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProfilingRoundModel(trefi_s=0.0, capacity_bits=GIBIBIT)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProfilingRoundModel(trefi_s=1.0, capacity_bits=GIBIBIT, n_patterns=0)
+
+
+class TestReachSpeedup:
+    def test_headline_configuration_is_about_2_5x(self):
+        """16 brute iterations at 1024 ms vs 5 reach iterations at 1274 ms."""
+        speedup = reach_speedup(
+            target_trefi_s=1.024,
+            reach_trefi_s=1.274,
+            capacity_bits=16 * GIBIBIT,
+            brute_iterations=16,
+            reach_iterations=5,
+        )
+        assert speedup == pytest.approx(2.5, rel=0.1)
+
+    def test_fewer_reach_iterations_faster(self):
+        fast = reach_speedup(1.024, 1.274, GIBIBIT, 16, 4)
+        slow = reach_speedup(1.024, 1.274, GIBIBIT, 16, 8)
+        assert fast > slow
+
+    def test_reach_below_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reach_speedup(1.024, 0.9, GIBIBIT, 16, 5)

@@ -1,0 +1,139 @@
+"""Scenario tests: multi-component deployment stories run end to end."""
+
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core import (
+    AccumulationRateEstimator,
+    BruteForceProfiler,
+    PlannerConstraints,
+    REAPER,
+    ReachProfiler,
+    RelaxedRefreshPlanner,
+    coverage,
+)
+from repro.dram import DRAMModule, SimulatedDRAMChip, characterize_for_spd
+from repro.dram.spd import SPDCharacterization
+from repro.ecc import SECDED
+from repro.ecc.model import tolerable_bit_errors
+from repro.mitigation import ArchShield
+
+from conftest import TINY_GEOMETRY, TEST_SEED
+
+
+class TestFieldDeploymentLoop:
+    """SPD plan -> deploy -> measure the VRT rate -> adapt the cadence."""
+
+    def test_measured_rate_refines_the_cadence(self, chip_factory):
+        chip = chip_factory(max_trefi_s=2.6)
+        target = Conditions(trefi=2.048, temperature=45.0)
+
+        # Plan from SPD (catalogue numbers).  A tiny test chip has an ECC
+        # budget of a fraction of a cell, so near-perfect coverage is needed
+        # for the plan to have headroom at this aggressive target.
+        spd = characterize_for_spd(
+            chip, anchor_intervals_s=(0.512, 1.024, 1.536, 2.048)
+        )
+        planner = RelaxedRefreshPlanner(spd)
+        plan = planner.evaluate(
+            target,
+            ReachDelta(delta_trefi=0.25),
+            PlannerConstraints(min_coverage=0.999999),
+        )
+        assert plan.reprofile_interval_seconds > 0.0
+
+        # Deploy and *measure* the accumulation rate across rounds.
+        reaper = REAPER(chip, ArchShield(capacity_bits=chip.capacity_bits), target, iterations=2)
+        estimator = AccumulationRateEstimator()
+        reaper.profile_and_update()  # base set
+        for _ in range(10):
+            t0 = chip.clock.now
+            chip.wait(4 * 3600.0)
+            record = reaper.profile_and_update()
+            estimator.observe(chip.clock.now - t0, record.cells_added_to_mitigation)
+        estimate = estimator.estimate()
+        assert estimate.is_informative
+
+        # The measured rate should land near the SPD's catalogue rate.
+        catalogue = spd.accumulation_per_hour(target.trefi)
+        assert estimate.confidence_low_per_hour <= catalogue * 2.0
+        assert estimate.confidence_high_per_hour >= catalogue * 0.3
+
+        # And the measured-rate longevity is a usable cadence.
+        budget = tolerable_bit_errors(SECDED, chip.capacity_bits // 8)
+        adapted = estimator.longevity_seconds(budget, 0.0)
+        assert adapted > 0.0
+
+
+class TestTemperatureExcursion:
+    """A hot spell grows the failing set; reprofiling at temperature recovers."""
+
+    def test_profile_degrades_then_recovers(self, chip_factory):
+        chip = chip_factory()
+        cool = Conditions(trefi=1.024, temperature=45.0)
+        hot = Conditions(trefi=1.024, temperature=55.0)
+
+        profile_cool = ReachProfiler(iterations=5).run(chip, cool)
+
+        # The chip heats up: the true failing set expands sharply (Eq 1).
+        chip.set_temperature(55.0)
+        oracle_hot = set(int(c) for c in chip.oracle_failing_set(hot, p_min=0.3))
+        cool_coverage = coverage(profile_cool.failing, oracle_hot)
+        assert cool_coverage < 0.9, "a cool-weather profile cannot cover hot operation"
+
+        # Reprofiling at the new temperature restores coverage.
+        profile_hot = ReachProfiler(iterations=5).run(chip, hot)
+        hot_coverage = coverage(profile_hot.failing, oracle_hot)
+        assert hot_coverage > cool_coverage + 0.05
+        assert hot_coverage > 0.9
+
+
+class TestModuleDeployment:
+    """REAPER protecting a multi-chip module through one mitigation table."""
+
+    def test_module_wide_faultmap(self):
+        module = DRAMModule.build(n_chips=2, geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        shield = ArchShield(capacity_bits=module.capacity_bits)
+        reaper = REAPER(module, shield, Conditions(trefi=1.024, temperature=45.0), iterations=2)
+        record = reaper.profile_and_update()
+        assert record.cells_added_to_mitigation > 0
+        # Entries exist for both chips' namespaces.
+        chips_seen = {cell[0] for cell in record.profile.failing}
+        assert chips_seen == {0, 1}
+        for cell in record.profile.failing:
+            assert shield.covers(cell)
+
+    def test_module_profile_scales_runtime_with_capacity(self):
+        single = SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        pair = DRAMModule.build(n_chips=2, geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        target = Conditions(trefi=1.024, temperature=45.0)
+        profile_one = BruteForceProfiler(iterations=1).run(single, target)
+        profile_two = BruteForceProfiler(iterations=1).run(pair, target)
+        # Eq 9: the IO term doubles with capacity, the wait term does not.
+        io_delta = profile_two.runtime_seconds - profile_one.runtime_seconds
+        expected = single.pattern_io_seconds * 2 * len(profile_one.patterns)
+        assert io_delta == pytest.approx(expected, rel=0.05)
+
+
+class TestPlannerAgainstVendorSpread:
+    """One planning policy holds across all three vendors' silicon."""
+
+    @pytest.mark.parametrize("vendor_name", ["A", "B", "C"])
+    def test_plan_validates_on_chip(self, vendor_name):
+        from repro.dram.vendor import vendor_by_name
+
+        vendor = vendor_by_name(vendor_name)
+        chip = SimulatedDRAMChip(vendor=vendor, geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        spd = characterize_for_spd(
+            chip, anchor_intervals_s=(0.512, 0.768, 1.024, 1.28, 1.536)
+        )
+        planner = RelaxedRefreshPlanner(spd)
+        target = Conditions(trefi=1.024, temperature=45.0)
+        plan = planner.plan(target, PlannerConstraints(max_false_positive_rate=0.55))
+        assert plan.feasible
+
+        truth_chip = SimulatedDRAMChip(vendor=vendor, geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        truth = BruteForceProfiler(iterations=16).run(truth_chip, target)
+        reach_chip = SimulatedDRAMChip(vendor=vendor, geometry=TINY_GEOMETRY, seed=TEST_SEED)
+        profile = ReachProfiler(reach=plan.reach, iterations=5).run(reach_chip, target)
+        assert coverage(profile.failing, truth.failing) > 0.97

@@ -1,0 +1,87 @@
+"""Unit tests for online profiling scheduling."""
+
+import pytest
+
+from repro.conditions import Conditions
+from repro.core.longevity import LongevityEstimate
+from repro.core.reaper import REAPER
+from repro.core.scheduler import OnlineProfilingScheduler, ScheduleReport
+from repro.errors import ConfigurationError
+from repro.mitigation import ArchShield
+
+
+def make_scheduler(chip, longevity_seconds=7200.0, safety=0.5):
+    reaper = REAPER(
+        chip,
+        ArchShield(capacity_bits=chip.capacity_bits),
+        Conditions(trefi=1.024, temperature=45.0),
+        iterations=1,
+    )
+    return OnlineProfilingScheduler(reaper, longevity_seconds, safety_factor=safety)
+
+
+class TestConfiguration:
+    def test_interval_is_longevity_times_safety(self, chip):
+        scheduler = make_scheduler(chip, longevity_seconds=7200.0, safety=0.5)
+        assert scheduler.reprofile_interval_seconds == pytest.approx(3600.0)
+
+    def test_accepts_longevity_estimate(self, chip):
+        estimate = LongevityEstimate(
+            tolerable_failures=65.0,
+            expected_failures=2464.0,
+            missed_failures=25.0,
+            accumulation_per_hour=0.73,
+            longevity_seconds=10000.0,
+        )
+        reaper = REAPER(
+            chip, ArchShield(capacity_bits=chip.capacity_bits), Conditions(trefi=1.024)
+        )
+        scheduler = OnlineProfilingScheduler(reaper, estimate, safety_factor=1.0)
+        assert scheduler.reprofile_interval_seconds == pytest.approx(10000.0)
+
+    def test_infeasible_longevity_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(chip, longevity_seconds=0.0)
+
+    def test_bad_safety_factor_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(chip, safety=0.0)
+
+
+class TestRunFor:
+    def test_rounds_recur_on_cadence(self, chip):
+        scheduler = make_scheduler(chip, longevity_seconds=7200.0, safety=0.5)
+        report = scheduler.run_for(4 * 3600.0)
+        # Round at t=0 then roughly every hour.
+        assert len(report.rounds) >= 3
+
+    def test_profiling_fraction_accounting(self, chip):
+        scheduler = make_scheduler(chip, longevity_seconds=7200.0)
+        report = scheduler.run_for(2 * 3600.0)
+        expected = report.profiling_seconds / report.duration_seconds
+        assert report.profiling_fraction == pytest.approx(expected)
+        assert 0.0 < report.profiling_fraction < 1.0
+
+    def test_clock_advances_through_span(self, chip):
+        scheduler = make_scheduler(chip, longevity_seconds=7200.0)
+        t0 = chip.clock.now
+        scheduler.run_for(3600.0)
+        assert chip.clock.now - t0 >= 3600.0
+
+    def test_on_round_callback_invoked(self, chip):
+        scheduler = make_scheduler(chip, longevity_seconds=7200.0)
+        seen = []
+        scheduler.run_for(3600.0, on_round=seen.append)
+        assert len(seen) == len(scheduler.reaper.rounds)
+
+    def test_new_failures_discovered_over_time(self, chip):
+        """VRT keeps supplying new cells between rounds (Observation 2)."""
+        scheduler = make_scheduler(chip, longevity_seconds=4 * 3600.0, safety=1.0)
+        report = scheduler.run_for(48 * 3600.0)
+        added = [r.cells_added_to_mitigation for r in report.rounds]
+        assert sum(added[1:]) > 0, "later rounds should find VRT newcomers"
+
+    def test_zero_duration_rejected(self, chip):
+        scheduler = make_scheduler(chip)
+        with pytest.raises(ConfigurationError):
+            scheduler.run_for(0.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the AVATAR-style ECC-scrubbing baseline."""
+
+import pytest
+
+from repro.conditions import Conditions
+from repro.core.bruteforce import BruteForceProfiler
+from repro.core.metrics import coverage
+from repro.ecc.scrubbing import EccScrubber, word_of
+from repro.errors import ConfigurationError
+
+
+class TestWordMapping:
+    def test_int_cells(self):
+        assert word_of(0) == 0
+        assert word_of(63) == 0
+        assert word_of(64) == 1
+
+    def test_tuple_cells(self):
+        assert word_of((2, 130)) == (2, 2)
+
+    def test_custom_word_width(self):
+        assert word_of(250, data_bits=128) == 1
+
+
+class TestScrubber:
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EccScrubber(rounds=0)
+
+    def test_report_structure(self, chip, target_conditions):
+        report = EccScrubber(rounds=4).run(chip, target_conditions)
+        assert len(report.rounds) == 4
+        assert report.conditions == target_conditions
+        assert report.runtime_seconds > 0.0
+
+    def test_failing_cells_accumulate(self, chip, target_conditions):
+        report = EccScrubber(rounds=6).run(chip, target_conditions)
+        assert len(report.failing_cells) >= report.rounds[0].new_cells
+
+    def test_writes_memory_only_once(self, chip, target_conditions):
+        from repro.dram.commands import Command
+
+        EccScrubber(rounds=3).run(chip, target_conditions)
+        writes = chip.trace.of_type(Command.WRITE_PATTERN)
+        assert len(writes) == 1
+
+    def test_word_counters_consistent(self, chip, target_conditions):
+        report = EccScrubber(rounds=4).run(chip, target_conditions)
+        for scrub_round in report.rounds:
+            assert scrub_round.corrected_words >= 0
+            assert scrub_round.uncorrectable_words >= 0
+
+    def test_passive_scrubbing_misses_dpd_failures(self, chip_factory, target_conditions):
+        """The paper's core criticism (Section 3.2): a passive scrubber,
+        stuck with whatever data is resident, covers less of the true
+        failing set than active multi-pattern profiling."""
+        active_chip = chip_factory()
+        passive_chip = chip_factory()
+        truth = BruteForceProfiler(iterations=16).run(active_chip, target_conditions)
+        report = EccScrubber(rounds=16).run(passive_chip, target_conditions)
+        scrub_coverage = coverage(report.failing_cells, truth.failing)
+        assert scrub_coverage < 0.95
+
+    def test_runtime_cheaper_than_profiling(self, chip_factory, target_conditions):
+        """Scrubbing skips the per-pattern write sweeps, so it is cheap --
+        its weakness is coverage, not speed."""
+        scrub = EccScrubber(rounds=16).run(chip_factory(), target_conditions)
+        brute = BruteForceProfiler(iterations=16).run(chip_factory(), target_conditions)
+        assert scrub.runtime_seconds < brute.runtime_seconds

@@ -1,0 +1,98 @@
+"""Unit tests for SECRET remapping and address-space row map-out."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.mitigation.rowmapout import RowMapOut
+from repro.mitigation.secret import SECRET
+
+
+class TestSecret:
+    def test_remap_allocates_spares(self):
+        secret = SECRET(spare_cells=10)
+        secret.ingest({100, 200})
+        assert secret.spares_used == 2
+        assert secret.spares_remaining == 8
+        assert secret.remap_target(100) != secret.remap_target(200)
+
+    def test_duplicate_ingest_consumes_no_spares(self):
+        secret = SECRET(spare_cells=10)
+        secret.ingest({100})
+        secret.ingest({100})
+        assert secret.spares_used == 1
+
+    def test_capacity_exhaustion(self):
+        secret = SECRET(spare_cells=2)
+        with pytest.raises(CapacityError):
+            secret.ingest({1, 2, 3})
+
+    def test_false_positives_consume_spares(self):
+        """The mechanism cannot tell false positives from real failures --
+        the cost the paper's tradeoff analysis charges to aggressive reach."""
+        secret = SECRET(spare_cells=4)
+        secret.ingest({1, 2})        # real failures
+        secret.ingest({900, 901})    # false positives: spares still consumed
+        assert secret.spares_remaining == 0
+
+    def test_unmapped_cell_lookup_rejected(self):
+        secret = SECRET(spare_cells=4)
+        with pytest.raises(ConfigurationError):
+            secret.remap_target(5)
+
+    def test_utilization(self):
+        secret = SECRET(spare_cells=4)
+        secret.ingest({1})
+        assert secret.utilization == pytest.approx(0.25)
+
+    def test_zero_spares_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SECRET(spare_cells=0)
+
+    def test_tuple_cells_supported(self):
+        secret = SECRET(spare_cells=4)
+        secret.ingest({(0, 5), (1, 5)})
+        assert secret.spares_used == 2
+
+
+class TestRowMapOut:
+    def make(self, total_rows=1000, max_fraction=0.05):
+        return RowMapOut(
+            total_rows=total_rows, bits_per_row=100, max_mapped_fraction=max_fraction
+        )
+
+    def test_cells_map_out_their_rows(self):
+        mapper = self.make()
+        mapper.ingest({250})  # row 2
+        assert mapper.row_is_mapped_out(2)
+        assert not mapper.address_is_usable(299)
+        assert mapper.address_is_usable(300)
+
+    def test_capacity_loss_fraction(self):
+        mapper = self.make()
+        mapper.ingest({0, 100, 200})
+        assert mapper.capacity_loss_fraction == pytest.approx(3 / 1000)
+
+    def test_cells_in_same_row_one_mapout(self):
+        mapper = self.make()
+        mapper.ingest({100, 101, 150})
+        assert mapper.mapped_row_count == 1
+
+    def test_budget_exhaustion(self):
+        mapper = self.make(total_rows=100, max_fraction=0.02)  # 2 rows
+        with pytest.raises(CapacityError):
+            mapper.ingest({0, 100, 200})
+
+    def test_tuple_cells_namespaced_by_chip(self):
+        mapper = self.make()
+        mapper.ingest({(0, 100), (1, 100)})
+        assert mapper.mapped_row_count == 2
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(max_fraction=0.0)
+
+    def test_covers_reflects_known_cells(self):
+        mapper = self.make()
+        mapper.ingest({123})
+        assert mapper.covers(123)
+        assert not mapper.covers(124)

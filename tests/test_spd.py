@@ -1,0 +1,101 @@
+"""Unit tests for SPD characterization blobs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.spd import SPDCharacterization, characterize_for_spd
+from repro.errors import ConfigurationError
+
+from conftest import TINY_GEOMETRY
+
+
+def make_summary():
+    return SPDCharacterization(
+        vendor="B",
+        capacity_gigabits=16.0,
+        temp_coefficient=0.20,
+        ber_anchors=((0.512, 1e-8), (1.024, 1.5e-7), (2.048, 1e-6)),
+        vrt_scale_per_hour=0.6,
+        vrt_exponent=7.94,
+        sigma_median_s=0.06,
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        summary = make_summary()
+        assert SPDCharacterization.from_bytes(summary.to_bytes()) == summary
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SPDCharacterization.from_bytes(b"XXXX" + b"0" * 32)
+
+    def test_truncated_blob_rejected(self):
+        blob = make_summary().to_bytes()
+        with pytest.raises(ConfigurationError):
+            SPDCharacterization.from_bytes(blob[:-3])
+
+    def test_corrupted_payload_rejected(self):
+        blob = bytearray(make_summary().to_bytes())
+        blob[20] ^= 0xFF
+        with pytest.raises(ConfigurationError):
+            SPDCharacterization.from_bytes(bytes(blob))
+
+    @given(st.floats(min_value=0.01, max_value=1.0), st.floats(min_value=1.0, max_value=12.0))
+    def test_roundtrip_arbitrary_params(self, scale, exponent):
+        summary = SPDCharacterization(
+            vendor="A",
+            capacity_gigabits=8.0,
+            temp_coefficient=0.22,
+            ber_anchors=((1.0, 1e-7),),
+            vrt_scale_per_hour=scale,
+            vrt_exponent=exponent,
+            sigma_median_s=0.07,
+        )
+        assert SPDCharacterization.from_bytes(summary.to_bytes()) == summary
+
+
+class TestInterpolation:
+    def test_ber_at_anchor(self):
+        summary = make_summary()
+        assert summary.ber_at(1.024) == pytest.approx(1.5e-7)
+
+    def test_ber_between_anchors_loglog(self):
+        summary = make_summary()
+        mid = summary.ber_at(0.72)
+        assert 1e-8 < mid < 1.5e-7
+
+    def test_ber_clamps_outside_range(self):
+        summary = make_summary()
+        assert summary.ber_at(0.1) == pytest.approx(1e-8)
+        assert summary.ber_at(10.0) == pytest.approx(1e-6)
+
+    def test_accumulation_power_law(self):
+        summary = make_summary()
+        assert summary.accumulation_per_hour(2.0) / summary.accumulation_per_hour(
+            1.0
+        ) == pytest.approx(2.0**7.94)
+
+
+class TestChipExport:
+    def test_characterize_for_spd(self, chip):
+        summary = characterize_for_spd(chip)
+        assert summary.vendor == "B"
+        assert summary.capacity_gigabits == pytest.approx(
+            TINY_GEOMETRY.capacity_gigabits
+        )
+        assert len(summary.ber_anchors) >= 3
+        # Interpolation should match the chip's analytic BER at an anchor.
+        from repro.conditions import Conditions
+
+        assert summary.ber_at(1.024) == pytest.approx(
+            chip.expected_ber(Conditions(trefi=1.024, temperature=45.0)), rel=1e-6
+        )
+
+    def test_blob_roundtrip_from_chip(self, chip):
+        summary = characterize_for_spd(chip)
+        assert SPDCharacterization.from_bytes(summary.to_bytes()) == summary
+
+    def test_no_usable_anchor_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            characterize_for_spd(chip, anchor_intervals_s=(99.0,))

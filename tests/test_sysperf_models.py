@@ -1,0 +1,134 @@
+"""Unit tests for the DRAM timing, CPU, and power models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sysperf.cpu import CoreModel
+from repro.sysperf.dramtiming import DRAMTimings
+from repro.sysperf.power import PowerModel
+from repro.sysperf.workloads import benchmark_by_name
+
+
+class TestDramTimings:
+    def test_row_hit_cheaper_than_miss(self):
+        timings = DRAMTimings()
+        assert timings.row_hit_latency_ns < timings.row_miss_latency_ns
+
+    def test_access_latency_interpolates(self):
+        timings = DRAMTimings()
+        mid = timings.access_latency_ns(0.5)
+        assert timings.row_hit_latency_ns < mid < timings.row_miss_latency_ns
+
+    def test_bad_hit_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMTimings().access_latency_ns(1.5)
+
+    def test_refresh_commands_spread_across_window(self):
+        timings = DRAMTimings()
+        assert timings.refresh_command_period_ns(0.064) == pytest.approx(
+            0.064e9 / 8192
+        )
+
+    def test_busy_fraction_shrinks_with_longer_window(self):
+        timings = DRAMTimings(density_gigabits=64)
+        assert timings.refresh_busy_fraction(0.512) < timings.refresh_busy_fraction(0.064)
+
+    def test_busy_fraction_grows_with_density(self):
+        small = DRAMTimings(density_gigabits=8).refresh_busy_fraction(0.064)
+        large = DRAMTimings(density_gigabits=64).refresh_busy_fraction(0.064)
+        assert large > small
+
+    def test_blocking_latency_structure(self):
+        timings = DRAMTimings(density_gigabits=64)
+        busy = timings.refresh_busy_fraction(0.064)
+        assert timings.refresh_blocking_latency_ns(0.064) == pytest.approx(
+            busy * timings.trfc_ns / 2.0
+        )
+
+    def test_bad_trefi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMTimings().refresh_busy_fraction(0.0)
+
+
+class TestCoreModel:
+    def make(self, name="gcc_like"):
+        return CoreModel(benchmark_by_name(name))
+
+    def test_zero_latency_gives_base_ipc(self):
+        core = self.make()
+        assert core.ipc(0.0) == pytest.approx(core.profile.base_ipc)
+
+    def test_ipc_decreases_with_latency(self):
+        core = self.make()
+        assert core.ipc(200.0) < core.ipc(50.0)
+
+    def test_memory_bound_core_more_sensitive(self):
+        heavy = self.make("mcf_like")
+        light = self.make("povray_like")
+        heavy_drop = heavy.ipc(200.0) / heavy.ipc(50.0)
+        light_drop = light.ipc(200.0) / light.ipc(50.0)
+        assert heavy_drop < light_drop
+
+    def test_mlp_capped_by_mshrs(self):
+        core = CoreModel(benchmark_by_name("libquantum_like"), mshrs=4)
+        assert core.effective_mlp == 4.0
+
+    def test_request_rate_tracks_ipc(self):
+        core = self.make("mcf_like")
+        assert core.request_rate_per_ns(200.0) < core.request_rate_per_ns(50.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make().ipc(-1.0)
+
+
+class TestPowerModel:
+    def test_refresh_power_scales_inverse_with_window(self):
+        model = PowerModel(density_gigabits=64)
+        assert model.refresh_power_mw(0.128) == pytest.approx(
+            model.refresh_power_mw(0.064) / 2.0
+        )
+
+    def test_refresh_power_zero_when_disabled(self):
+        assert PowerModel().refresh_power_mw(None) == 0.0
+
+    def test_refresh_share_large_for_big_chips(self):
+        """The paper's motivation: refresh is up to ~50% of DRAM power."""
+        share = PowerModel(density_gigabits=64).refresh_share(0.064, requests_per_ns=0.01)
+        assert 0.30 < share < 0.65
+
+    def test_refresh_share_small_for_small_chips(self):
+        share = PowerModel(density_gigabits=8).refresh_share(0.064, requests_per_ns=0.01)
+        assert share < 0.25
+
+    def test_rows_per_refresh_command(self):
+        assert PowerModel(density_gigabits=8).rows_per_refresh_command == 64
+        assert PowerModel(density_gigabits=64).rows_per_refresh_command == 512
+
+    def test_access_power_linear_in_rate(self):
+        model = PowerModel()
+        assert model.access_power_mw(0.2) == pytest.approx(2 * model.access_power_mw(0.1))
+
+    def test_profiling_round_energy_scales_with_capacity(self):
+        model = PowerModel()
+        small = model.profiling_round_energy_j(1 << 30)
+        large = model.profiling_round_energy_j(4 << 30)
+        assert large == pytest.approx(4 * small)
+
+    def test_profiling_power_amortizes(self):
+        model = PowerModel()
+        frequent = model.profiling_power_mw(1 << 30, 3600.0)
+        rare = model.profiling_power_mw(1 << 30, 7200.0)
+        assert frequent == pytest.approx(2 * rare)
+
+    def test_profiling_power_is_negligible(self):
+        """Figure 12's conclusion: profiling power is tiny versus the
+        module's total power."""
+        model = PowerModel(density_gigabits=64)
+        profiling = model.profiling_power_mw(64 * (1 << 30) * 32, 4 * 3600.0)
+        total = model.total_power_mw(0.512, requests_per_ns=0.05) * 32
+        assert profiling / total < 0.05
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel().profiling_power_mw(1 << 30, 0.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the multi-core system performance model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sysperf.dramtiming import DRAMTimings
+from repro.sysperf.system import SystemConfig, SystemSimulator
+from repro.sysperf.workloads import benchmark_by_name, workload_mixes
+
+
+def heavy_mix():
+    return tuple(benchmark_by_name(n) for n in ("mcf_like", "lbm_like", "milc_like", "soplex_like"))
+
+
+def light_mix():
+    return tuple(benchmark_by_name(n) for n in ("povray_like", "gamess_like", "namd_like", "calculix_like"))
+
+
+@pytest.fixture(scope="module")
+def system64():
+    return SystemSimulator(timings=DRAMTimings(density_gigabits=64))
+
+
+class TestMixSimulation:
+    def test_weighted_speedup_bounded_by_core_count(self, system64):
+        result = system64.simulate_mix(heavy_mix(), 0.064)
+        assert 0.0 < result.weighted_speedup <= 4.0
+
+    def test_sharing_hurts_vs_alone(self, system64):
+        result = system64.simulate_mix(heavy_mix(), 0.064)
+        for shared, alone in zip(result.ipcs, result.alone_ipcs):
+            assert shared <= alone * 1.01
+
+    def test_empty_mix_rejected(self, system64):
+        with pytest.raises(ConfigurationError):
+            system64.simulate_mix((), 0.064)
+
+    def test_heavy_mix_higher_utilization(self, system64):
+        heavy = system64.simulate_mix(heavy_mix(), 0.064)
+        light = system64.simulate_mix(light_mix(), 0.064)
+        assert heavy.channel_utilization > light.channel_utilization
+
+    def test_request_rate_recorded(self, system64):
+        result = system64.simulate_mix(heavy_mix(), 0.064)
+        assert result.request_rate_per_ns > 0.0
+
+
+class TestRefreshSensitivity:
+    def test_longer_interval_improves_speedup(self, system64):
+        base = system64.simulate_mix(heavy_mix(), 0.064).weighted_speedup
+        relaxed = system64.simulate_mix(heavy_mix(), 0.512).weighted_speedup
+        assert relaxed > base
+
+    def test_no_refresh_is_upper_bound(self, system64):
+        relaxed = system64.simulate_mix(heavy_mix(), 1.024).weighted_speedup
+        unbounded = system64.simulate_mix(heavy_mix(), None).weighted_speedup
+        assert unbounded >= relaxed * 0.999
+
+    def test_speedup_over_default_positive_for_heavy_mix(self, system64):
+        assert system64.speedup_over_default(heavy_mix(), 0.512) > 0.05
+
+    def test_light_mix_gains_less_than_heavy(self, system64):
+        light_gain = system64.speedup_over_default(light_mix(), 0.512)
+        heavy_gain = system64.speedup_over_default(heavy_mix(), 0.512)
+        assert light_gain < heavy_gain
+        assert light_gain < 0.08
+
+    def test_gains_grow_with_density(self):
+        small = SystemSimulator(timings=DRAMTimings(density_gigabits=8))
+        large = SystemSimulator(timings=DRAMTimings(density_gigabits=64))
+        mix = heavy_mix()
+        assert large.speedup_over_default(mix, None) > small.speedup_over_default(mix, None)
+
+    def test_paper_scale_no_refresh_gain(self):
+        """Figure 13: ~19-20% average ideal gain for 64 Gb at no-refresh."""
+        system = SystemSimulator(timings=DRAMTimings(density_gigabits=64))
+        mixes = workload_mixes(10)
+        gains = [system.speedup_over_default(mix, None) for mix in mixes]
+        mean_gain = sum(gains) / len(gains)
+        assert 0.10 < mean_gain < 0.35
+
+
+class TestConfig:
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(cores=0)
+
+    def test_defaults_match_table2(self):
+        config = SystemConfig()
+        assert config.cores == 4
+        assert config.channels == 4
+        assert config.clock_ghz == 4.0
+        assert config.mshrs_per_core == 8

@@ -1,0 +1,58 @@
+"""Cross-validation: event-driven mix evaluation vs the closed-form model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sysperf.dramtiming import DRAMTimings
+from repro.sysperf.system import SystemSimulator
+from repro.sysperf.workloads import benchmark_by_name
+
+
+def mid_mix():
+    return tuple(
+        benchmark_by_name(n) for n in ("gcc_like", "sphinx_like", "astar_like", "bzip2_like")
+    )
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemSimulator(timings=DRAMTimings(density_gigabits=64))
+
+
+class TestEventDrivenMix:
+    def test_returns_full_result(self, system):
+        result = system.simulate_mix_event_driven(mid_mix(), 0.064, requests_per_core=600)
+        assert len(result.ipcs) == 4
+        assert all(ipc > 0 for ipc in result.ipcs)
+        assert result.avg_latency_ns > 0.0
+
+    def test_empty_mix_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.simulate_mix_event_driven((), 0.064)
+
+    def test_refresh_relaxation_helps_in_both_models(self, system):
+        mix = mid_mix()
+        event_default = system.simulate_mix_event_driven(mix, 0.064, requests_per_core=800)
+        event_relaxed = system.simulate_mix_event_driven(mix, 0.512, requests_per_core=800)
+        model_default = system.simulate_mix(mix, 0.064)
+        model_relaxed = system.simulate_mix(mix, 0.512)
+        event_gain = sum(event_relaxed.ipcs) / sum(event_default.ipcs) - 1.0
+        model_gain = sum(model_relaxed.ipcs) / sum(model_default.ipcs) - 1.0
+        assert event_gain > 0.0
+        assert model_gain > 0.0
+        # Same order of magnitude.
+        assert 0.25 < (event_gain / model_gain) < 4.0
+
+    def test_heavier_memory_mix_lower_ipcs(self, system):
+        light = system.simulate_mix_event_driven(
+            (benchmark_by_name("povray_like"),) * 4, 0.064, requests_per_core=400
+        )
+        heavy = system.simulate_mix_event_driven(
+            (benchmark_by_name("mcf_like"),) * 4, 0.064, requests_per_core=400
+        )
+        assert sum(heavy.ipcs) < sum(light.ipcs)
+
+    def test_deterministic_per_seed(self, system):
+        a = system.simulate_mix_event_driven(mid_mix(), 0.064, requests_per_core=300, seed=5)
+        b = system.simulate_mix_event_driven(mid_mix(), 0.064, requests_per_core=300, seed=5)
+        assert a.ipcs == b.ipcs

@@ -1,0 +1,56 @@
+"""Unit tests for the profiling-IO timing model and refresh constants."""
+
+import pytest
+
+from repro.dram.geometry import GIBIBIT
+from repro.dram.timing import (
+    IO_SECONDS_PER_GIGABIT,
+    pattern_io_seconds,
+    refresh_timings,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPatternIo:
+    def test_paper_anchor_2gb_in_125ms(self):
+        """Section 7.3.1: one full pass over 16 Gbit takes 0.125 s."""
+        assert pattern_io_seconds(16 * GIBIBIT) == pytest.approx(0.125)
+
+    def test_linear_scaling(self):
+        assert pattern_io_seconds(32 * GIBIBIT) == pytest.approx(0.25)
+
+    def test_module_of_32x8gb(self):
+        """32x 8Gb chips: 2 s per pass (the paper's Eq 9 worked example)."""
+        assert pattern_io_seconds(32 * 8 * GIBIBIT) == pytest.approx(2.0)
+
+    def test_module_of_32x64gb(self):
+        """32x 64Gb chips: 16 s per pass."""
+        assert pattern_io_seconds(32 * 64 * GIBIBIT) == pytest.approx(16.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pattern_io_seconds(0)
+
+    def test_rate_constant(self):
+        assert IO_SECONDS_PER_GIGABIT == pytest.approx(0.125 / 16.0)
+
+
+class TestRefreshTimings:
+    @pytest.mark.parametrize("density", [8, 16, 32, 64])
+    def test_known_densities(self, density):
+        info = refresh_timings(density)
+        assert info.density_gigabits == density
+        assert info.trfc_ns > 0.0
+        assert info.refresh_commands_per_window == 8192
+
+    def test_trfc_grows_with_density(self):
+        values = [refresh_timings(d).trfc_ns for d in (8, 16, 32, 64)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_rows_scale_with_density(self):
+        assert refresh_timings(64).rows_per_bank == 8 * refresh_timings(8).rows_per_bank
+
+    def test_unknown_density_rejected(self):
+        with pytest.raises(ConfigurationError):
+            refresh_timings(128)

@@ -1,0 +1,96 @@
+"""Unit tests for the tradeoff-space explorer (Figures 9 and 10)."""
+
+import numpy as np
+import pytest
+
+from repro.conditions import Conditions, ReachDelta
+from repro.core.tradeoff import TradeoffExplorer
+from repro.errors import ConfigurationError
+
+from conftest import TINY_GEOMETRY, TEST_SEED
+
+
+@pytest.fixture(scope="module")
+def surface():
+    from repro.dram.chip import SimulatedDRAMChip
+
+    def factory():
+        return SimulatedDRAMChip(geometry=TINY_GEOMETRY, seed=TEST_SEED, max_trefi_s=2.0)
+
+    explorer = TradeoffExplorer(device_factory=factory, iterations=8)
+    return explorer.explore(
+        Conditions(trefi=0.768, temperature=45.0),
+        delta_trefis=[0.0, 0.25, 0.5],
+        delta_temperatures=[0.0, 5.0],
+    )
+
+
+class TestSurfaceStructure:
+    def test_all_deltas_present(self, surface):
+        for d_trefi in (0.0, 0.25, 0.5):
+            for d_temp in (0.0, 5.0):
+                cell = surface.cell(ReachDelta(d_trefi, d_temp))
+                assert cell.samples >= 1
+
+    def test_origin_is_identity(self, surface):
+        origin = surface.cell(ReachDelta())
+        assert origin.coverage_mean == pytest.approx(1.0)
+        assert origin.fpr_mean == pytest.approx(0.0)
+        assert origin.runtime_norm_mean == pytest.approx(1.0)
+
+    def test_unknown_delta_rejected(self, surface):
+        with pytest.raises(ConfigurationError):
+            surface.cell(ReachDelta(delta_trefi=0.33))
+
+    def test_grid_shapes(self, surface):
+        for metric in ("coverage", "fpr", "runtime"):
+            grid = surface.grid(metric)
+            assert grid.shape == (2, 3)
+            assert not np.isnan(grid).any()
+
+    def test_unknown_metric_rejected(self, surface):
+        with pytest.raises(ConfigurationError):
+            surface.grid("happiness")
+
+
+class TestPaperTrends:
+    def test_coverage_high_at_positive_reach(self, surface):
+        """Figure 9 top: reach conditions give near-total coverage."""
+        reach = surface.cell(ReachDelta(delta_trefi=0.25))
+        assert reach.coverage_mean > 0.95
+
+    def test_fpr_grows_with_reach(self, surface):
+        """Figure 9 bottom: more aggressive reach -> more false positives."""
+        mild = surface.cell(ReachDelta(delta_trefi=0.25))
+        harsh = surface.cell(ReachDelta(delta_trefi=0.5, delta_temperature=5.0))
+        assert harsh.fpr_mean > mild.fpr_mean
+
+    def test_runtime_drops_with_reach(self, surface):
+        """Figure 10: reach profiling needs less runtime for the same coverage."""
+        origin = surface.cell(ReachDelta())
+        reach = surface.cell(ReachDelta(delta_trefi=0.25))
+        assert reach.runtime_norm_mean < origin.runtime_norm_mean
+
+    def test_temperature_axis_also_gives_coverage(self, surface):
+        hot = surface.cell(ReachDelta(delta_temperature=5.0))
+        assert hot.coverage_mean > 0.9
+
+    def test_best_reach_respects_constraints(self, surface):
+        best = surface.best_reach(min_coverage=0.95, max_fpr=0.9)
+        assert best is not None
+        assert best.coverage_mean >= 0.95
+        assert best.fpr_mean <= 0.9
+
+    def test_best_reach_none_when_impossible(self, surface):
+        assert surface.best_reach(min_coverage=1.01, max_fpr=0.0) is None
+
+
+class TestValidation:
+    def test_grid_must_start_at_zero(self, chip_factory):
+        explorer = TradeoffExplorer(device_factory=chip_factory, iterations=2)
+        with pytest.raises(ConfigurationError):
+            explorer.explore(Conditions(trefi=0.5), delta_trefis=[0.1, 0.2])
+
+    def test_bad_coverage_target_rejected(self, chip_factory):
+        with pytest.raises(ConfigurationError):
+            TradeoffExplorer(device_factory=chip_factory, coverage_target=0.0)

@@ -1,0 +1,120 @@
+"""Unit tests for the episodic VRT process."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.dram.vrt import VRTProcess
+from repro.dram.vendor import VENDOR_B
+from repro.errors import ConfigurationError
+
+GBIT = 1 << 30
+
+
+def make_process(horizon=2.2, seed=5, capacity=16 * GBIT):
+    return VRTProcess(
+        vendor=VENDOR_B,
+        capacity_bits=capacity,
+        horizon_s=horizon,
+        rng=rng_mod.derive(seed, "vrt-test"),
+    )
+
+
+class TestArrivals:
+    def test_no_time_no_episodes(self):
+        process = make_process()
+        assert process.episode_count == 0
+
+    def test_arrival_rate_matches_vendor_model(self):
+        """Over 10 hours, arrivals should match A(horizon) closely."""
+        process = make_process()
+        hours = 10.0
+        process.advance_to(hours * 3600.0)
+        expected = VENDOR_B.vrt_arrival_rate_per_hour(2.2, 16.0, 45.0) * hours
+        assert process.episode_count == pytest.approx(expected, rel=0.15)
+
+    def test_advance_is_incremental(self):
+        process = make_process()
+        process.advance_to(3600.0)
+        count1 = process.episode_count
+        process.advance_to(7200.0)
+        assert process.episode_count >= count1
+
+    def test_backwards_advance_rejected(self):
+        process = make_process()
+        process.advance_to(100.0)
+        with pytest.raises(ConfigurationError):
+            process.advance_to(50.0)
+
+    def test_temperature_raises_arrival_rate(self):
+        cool = make_process(seed=9)
+        hot = make_process(seed=9)
+        cool.advance_to(20 * 3600.0, temperature_c=45.0)
+        hot.advance_to(20 * 3600.0, temperature_c=55.0)
+        assert hot.episode_count > 2 * cool.episode_count
+
+
+class TestFailingCells:
+    def test_power_law_exposure_scaling(self):
+        """Episodes failing a t-exposure scale as t^b (Figure 4's law)."""
+        process = make_process()
+        process.advance_to(40 * 3600.0)
+        now = process.time_s
+        n_full = len(process.episodes_overlapping(0.0, now, 2.2))
+        n_half = len(process.episodes_overlapping(0.0, now, 1.1))
+        expected_ratio = 0.5**VENDOR_B.vrt_arrival_exponent
+        assert n_half / n_full == pytest.approx(expected_ratio, rel=0.5)
+
+    def test_active_set_is_subset_of_overlapping(self):
+        process = make_process()
+        process.advance_to(20 * 3600.0)
+        now = process.time_s
+        active = set(process.failing_cells(now, 2.0).tolist())
+        window = set(process.episodes_overlapping(0.0, now, 2.0).tolist())
+        assert active <= window
+
+    def test_episodes_expire(self):
+        """After many dwell times of quiet, old episodes leave the active set."""
+        process = make_process()
+        process.advance_to(10 * 3600.0)
+        mid = process.time_s
+        active_mid = len(process.failing_cells(mid, 2.0))
+        # Jump far ahead: everything from the early window should have expired
+        # while the active population stays near steady state.
+        process.advance_to(mid + 40 * VENDOR_B.vrt_dwell_mean_s)
+        early_window = set(process.episodes_overlapping(0.0, mid, 2.0).tolist())
+        active_now = set(process.failing_cells(process.time_s, 2.0).tolist())
+        assert len(active_now & early_window) < max(1, len(early_window) // 4)
+        assert active_mid >= 0  # smoke
+
+    def test_exposure_beyond_horizon_rejected(self):
+        process = make_process(horizon=2.0)
+        process.advance_to(3600.0)
+        with pytest.raises(ConfigurationError):
+            process.failing_cells(3600.0, 2.5)
+
+    def test_window_order_enforced(self):
+        process = make_process()
+        with pytest.raises(ConfigurationError):
+            process.episodes_overlapping(10.0, 5.0, 1.0)
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_process(horizon=0.0)
+
+    def test_steady_state_active_population(self):
+        """Active episodes ~ A * dwell once past a few dwell times."""
+        process = make_process(horizon=2.2)
+        t = 10 * VENDOR_B.vrt_dwell_mean_s
+        process.advance_to(t)
+        rate = VENDOR_B.vrt_arrival_rate_per_hour(2.2, 16.0, 45.0)
+        expected = rate * VENDOR_B.vrt_dwell_mean_s / 3600.0
+        active = len(process.failing_cells(t, 2.2))
+        assert active == pytest.approx(expected, rel=0.35)
+
+    def test_deterministic_given_seed(self):
+        a = make_process(seed=21)
+        b = make_process(seed=21)
+        a.advance_to(3600.0)
+        b.advance_to(3600.0)
+        assert np.array_equal(a.failing_cells(3600.0, 2.0), b.failing_cells(3600.0, 2.0))

@@ -1,0 +1,82 @@
+"""Unit tests for synthetic SPEC-like workloads."""
+
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.sysperf.workloads import (
+    BenchmarkProfile,
+    SPEC_LIKE_BENCHMARKS,
+    benchmark_by_name,
+    random_mix,
+    workload_mixes,
+)
+
+
+class TestBenchmarkProfiles:
+    def test_suite_spans_memory_intensity(self):
+        mpkis = [b.mpki for b in SPEC_LIKE_BENCHMARKS]
+        assert min(mpkis) < 0.5
+        assert max(mpkis) > 25.0
+
+    def test_twenty_profiles(self):
+        assert len(SPEC_LIKE_BENCHMARKS) == 20
+
+    def test_names_unique(self):
+        names = [b.name for b in SPEC_LIKE_BENCHMARKS]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert benchmark_by_name("mcf_like").mpki == pytest.approx(36.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            benchmark_by_name("doom_like")
+
+    def test_memory_bound_benchmarks_have_lower_base_ipc(self):
+        heavy = benchmark_by_name("mcf_like")
+        light = benchmark_by_name("povray_like")
+        assert heavy.base_ipc < light.base_ipc
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile("x", mpki=-1, row_hit_fraction=0.5, read_fraction=0.5, mlp=2, base_ipc=1)
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile("x", mpki=1, row_hit_fraction=1.5, read_fraction=0.5, mlp=2, base_ipc=1)
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile("x", mpki=1, row_hit_fraction=0.5, read_fraction=0.5, mlp=0.5, base_ipc=1)
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile("x", mpki=1, row_hit_fraction=0.5, read_fraction=0.5, mlp=2, base_ipc=0)
+
+
+class TestMixes:
+    def test_default_is_20_mixes_of_4(self):
+        """Section 7.2: 20 heterogeneous 4-benchmark mixes."""
+        mixes = workload_mixes()
+        assert len(mixes) == 20
+        assert all(len(mix) == 4 for mix in mixes)
+
+    def test_mixes_are_deterministic_per_seed(self):
+        a = workload_mixes(seed=5)
+        b = workload_mixes(seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert workload_mixes(seed=5) != workload_mixes(seed=6)
+
+    def test_mixes_are_heterogeneous(self):
+        mixes = workload_mixes()
+        distinct = {tuple(b.name for b in mix) for mix in mixes}
+        assert len(distinct) > 15
+
+    def test_random_mix_size(self):
+        mix = random_mix(rng_mod.derive(1, "mix"), size=6)
+        assert len(mix) == 6
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_mix(rng_mod.derive(1, "mix"), size=0)
+
+    def test_zero_mix_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workload_mixes(n_mixes=0)
