@@ -6,7 +6,16 @@ simulated chips (small-capacity for speed; BER statistics are
 capacity-independent) and checks the population-level regularities the
 paper reports: monotone BER curves per vendor, tight cross-chip spreads,
 and per-vendor Eq-1 temperature coefficients recovered empirically.
+
+The campaign executes through the ``repro.runner`` process-pool backend
+(``REPRO_BENCH_WORKERS`` overrides the pool size, default ``os.cpu_count()``;
+set it to 0 for the serial reference path), so the timed number measures
+the parallel execution engine at the paper's population scale.  The
+runner's determinism contract -- parallel byte-identical to serial -- is
+covered by ``tests/test_runner.py``.
 """
+
+import os
 
 import pytest
 
@@ -19,6 +28,7 @@ from conftest import run_once, save_report
 GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0 / 16.0)
 CHIPS_PER_VENDOR = 123  # 3 x 123 = 369 ~ the paper's 368; close enough in spirit
 PAPER_COEFFICIENTS = {"A": 0.22, "B": 0.20, "C": 0.26}
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", os.cpu_count() or 1))
 
 
 def test_campaign_368(benchmark):
@@ -27,7 +37,12 @@ def test_campaign_368(benchmark):
     )
     summary = run_once(
         benchmark,
-        lambda: campaign.run(intervals_s=(0.512, 1.024, 2.048), temperatures_c=(45.0, 55.0)),
+        lambda: campaign.run(
+            intervals_s=(0.512, 1.024, 2.048),
+            temperatures_c=(45.0, 55.0),
+            backend="process" if WORKERS > 1 else "serial",
+            workers=WORKERS,
+        ),
     )
 
     rows = []
@@ -48,7 +63,10 @@ def test_campaign_368(benchmark):
         )
         for name, expected in PAPER_COEFFICIENTS.items()
     ]
-    save_report("campaign_368", table + "\n" + "\n".join(comparisons))
+    backend_line = (
+        f"  execution: {'process pool, ' + str(WORKERS) + ' workers' if WORKERS > 1 else 'serial'}"
+    )
+    save_report("campaign_368", table + "\n" + "\n".join(comparisons) + "\n" + backend_line)
 
     assert summary.n_chips == 3 * CHIPS_PER_VENDOR
     for name, expected in PAPER_COEFFICIENTS.items():

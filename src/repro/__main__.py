@@ -6,6 +6,8 @@ Examples::
     python -m repro profile --trefi 1.024 --reach 0.25 --iterations 5
     python -m repro plan --trefi 1.024 --max-fpr 0.5
     python -m repro longevity --capacity-gb 2 --ecc SECDED --trefi 1.024
+    python -m repro campaign --chips-per-vendor 8 --workers 4 \
+        --run-dir runs/campaign --resume --progress
 """
 
 from __future__ import annotations
@@ -114,8 +116,21 @@ def cmd_campaign(args) -> int:
         geometry=ChipGeometry.from_capacity_gigabits(args.capacity_gbit),
         seed=args.seed,
     )
-    print(campaign.run().to_text())
-    return 0
+    progress = None
+    if args.progress:
+
+        def progress(result, tracker):
+            print(tracker.render(), file=sys.stderr)
+
+    summary = campaign.run(
+        backend=None,  # auto: process pool when --workers > 1, else serial
+        workers=args.workers,
+        run_dir=args.run_dir,
+        resume=args.resume,
+        progress=progress,
+    )
+    print(summary.to_text())
+    return 0 if not summary.failed_units else 1
 
 
 def cmd_export(args) -> int:
@@ -165,6 +180,22 @@ def main(argv=None) -> int:
 
     p_camp = sub.add_parser("campaign", help="run a multi-vendor characterization campaign")
     p_camp.add_argument("--chips-per-vendor", type=int, default=4, dest="chips_per_vendor")
+    p_camp.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (>1 enables parallel execution; default serial)",
+    )
+    p_camp.add_argument(
+        "--run-dir", default=None, dest="run_dir",
+        help="durable run directory (JSONL result store, enables --resume)",
+    )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted run, skipping chips already measured",
+    )
+    p_camp.add_argument(
+        "--progress", action="store_true",
+        help="print per-chip progress (throughput, ETA) to stderr",
+    )
     p_camp.set_defaults(func=cmd_campaign)
 
     args = parser.parse_args(argv)

@@ -2,26 +2,40 @@
 
 The paper's credibility rests on characterizing 368 chips across three
 vendors.  :class:`CharacterizationCampaign` packages that workflow at any
-population size: build a thermally controlled testbed, sweep refresh
-intervals and temperatures, and aggregate per-vendor statistics -- the
-measured BER curves, the empirical Eq-1 temperature coefficients, and the
-spread across chips -- into a single summary report.
+population size: decompose the population into independent per-chip work
+units, execute them through the :mod:`repro.runner` engine (serially by
+default; across a process pool with ``workers``), and aggregate per-vendor
+statistics -- the measured BER curves, the empirical Eq-1 temperature
+coefficients, and the spread across chips -- into a single summary report.
+
+Passing ``run_dir`` makes the run durable: completed chips stream into a
+JSONL result store, and relaunching with ``resume=True`` executes only the
+chips that are missing.  Serial, parallel, and resumed runs of the same
+configuration produce identical summaries -- every chip's measurement is a
+pure function of ``(seed, chip_id)`` and aggregation erases completion
+order.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import rng as rng_mod
-from ..conditions import Conditions
-from ..core.bruteforce import BruteForceProfiler
 from ..dram.geometry import ChipGeometry
+from ..dram.vendor import VENDORS, vendor_by_name
 from ..errors import ConfigurationError
-from ..infra.testbed import TestBed
+from ..runner import (
+    Backend,
+    ProgressCallback,
+    RunnerEngine,
+    aggregate_chip_results,
+    build_chip_units,
+    campaign_fingerprint,
+    measure_chip,
+)
 from .characterization import DEFAULT_CHAR_GEOMETRY
 from .report import ascii_table
 
@@ -34,7 +48,7 @@ class VendorStatistics:
     n_chips: int
     #: trefi_s -> (mean BER, std BER across chips)
     ber_by_interval: Dict[float, Tuple[float, float]]
-    #: Empirical Eq-1 coefficient from the two-temperature measurement.
+    #: Empirical Eq-1 coefficient from the multi-temperature measurement.
     measured_temp_coefficient: Optional[float]
     model_temp_coefficient: float
 
@@ -47,6 +61,8 @@ class CampaignSummary:
     intervals_s: Tuple[float, ...]
     temperatures_c: Tuple[float, ...]
     vendors: Dict[str, VendorStatistics]
+    #: Unit ids whose chips could not be measured (retries exhausted).
+    failed_units: Tuple[str, ...] = field(default=())
 
     def to_text(self) -> str:
         rows: List[List] = []
@@ -68,6 +84,11 @@ class CampaignSummary:
             lines.append(
                 f"  vendor {stats.vendor}: measured k={measured} "
                 f"(model k={stats.model_temp_coefficient:.2f})"
+            )
+        if self.failed_units:
+            lines.append(
+                f"Unmeasured chips ({len(self.failed_units)}): "
+                + ", ".join(self.failed_units)
             )
         return "\n".join(lines)
 
@@ -104,51 +125,79 @@ class CharacterizationCampaign:
         self,
         intervals_s: Sequence[float] = (0.512, 1.024, 2.048),
         temperatures_c: Sequence[float] = (45.0, 55.0),
+        *,
+        backend: Union[str, Backend, None] = "serial",
+        workers: Optional[int] = None,
+        run_dir: Optional[str] = None,
+        resume: bool = False,
+        max_retries: int = 1,
+        progress: Optional[ProgressCallback] = None,
     ) -> CampaignSummary:
         """Measure BER curves and temperature scaling across the population.
 
         The first temperature hosts the interval sweep; the remaining
         temperatures measure the failure-rate scaling at the largest
         interval, from which the empirical Eq-1 coefficient is fitted.
+        Fitting needs at least two *distinct* temperatures; with fewer, the
+        summary reports ``measured_temp_coefficient=None`` instead of
+        attempting a degenerate fit.
+
+        Execution goes through :class:`repro.runner.RunnerEngine`:
+        ``backend``/``workers`` select serial or process-pool execution,
+        ``run_dir``/``resume`` make the run durable and restartable,
+        ``max_retries`` bounds per-chip re-attempts before a failure row is
+        recorded, and ``progress`` observes every completed chip.
         """
         if not intervals_s or list(intervals_s) != sorted(intervals_s):
             raise ConfigurationError("intervals must be non-empty ascending")
         if not temperatures_c:
             raise ConfigurationError("need at least one temperature")
-        bed = TestBed.build(
+        vendor_names = tuple(VENDORS)
+        units = build_chip_units(
             chips_per_vendor=self.chips_per_vendor,
             geometry=self.geometry,
+            iterations=self.iterations,
             seed=self.seed,
-            max_trefi_s=max(intervals_s) * 1.05,
+            intervals_s=intervals_s,
+            temperatures_c=temperatures_c,
+            vendor_names=vendor_names,
         )
-        profiler = BruteForceProfiler(iterations=self.iterations)
-        base_temp = temperatures_c[0]
-        bed.set_ambient(base_temp)
+        manifest = {
+            "kind": "characterization-campaign",
+            "fingerprint": campaign_fingerprint(
+                chips_per_vendor=self.chips_per_vendor,
+                geometry=self.geometry,
+                iterations=self.iterations,
+                seed=self.seed,
+                intervals_s=intervals_s,
+                temperatures_c=temperatures_c,
+                vendor_names=vendor_names,
+            ),
+            "chips_per_vendor": self.chips_per_vendor,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "intervals_s": [float(t) for t in intervals_s],
+            "temperatures_c": [float(t) for t in temperatures_c],
+            "vendors": list(vendor_names),
+            "n_units": len(units),
+        }
+        engine = RunnerEngine(
+            backend=backend,
+            workers=workers,
+            run_dir=run_dir,
+            resume=resume,
+            max_retries=max_retries,
+            progress=progress,
+        )
+        report = engine.run(measure_chip, units, manifest)
+        counts, temp_counts = aggregate_chip_results(report.results.values())
 
-        # Interval sweep at the base temperature.
-        counts: Dict[str, Dict[float, List[int]]] = {}
-        for trefi in intervals_s:
-            profiles = bed.profile_all(profiler, Conditions(trefi=trefi, temperature=base_temp))
-            for chip in bed.chips:
-                counts.setdefault(chip.vendor.name, {}).setdefault(trefi, []).append(
-                    len(profiles[chip.chip_id])
-                )
-
-        # Temperature scaling at the top interval.
-        top = max(intervals_s)
-        temp_counts: Dict[str, Dict[float, List[int]]] = {}
-        for vendor_name in counts:
-            temp_counts[vendor_name] = {base_temp: counts[vendor_name][top]}
-        for temperature in temperatures_c[1:]:
-            bed.set_ambient(temperature)
-            profiles = bed.profile_all(profiler, Conditions(trefi=top, temperature=temperature))
-            for chip in bed.chips:
-                temp_counts[chip.vendor.name].setdefault(temperature, []).append(
-                    len(profiles[chip.chip_id])
-                )
+        # The Eq-1 fit is only meaningful across distinct temperatures.
+        fit_temperatures = len({float(t) for t in temperatures_c}) >= 2
 
         capacity = self.geometry.capacity_bits
         vendors: Dict[str, VendorStatistics] = {}
+        measured_chips = 0
         for vendor_name, by_interval in counts.items():
             ber = {
                 trefi: (
@@ -157,24 +206,26 @@ class CharacterizationCampaign:
                 )
                 for trefi, values in by_interval.items()
             }
-            coefficient = self._fit_temp_coefficient(temp_counts[vendor_name])
-            model_k = next(
-                chip.vendor.failure_rate_temp_coeff
-                for chip in bed.chips
-                if chip.vendor.name == vendor_name
+            n_chips = max(len(values) for values in by_interval.values())
+            measured_chips += n_chips
+            coefficient = (
+                self._fit_temp_coefficient(temp_counts[vendor_name])
+                if fit_temperatures
+                else None
             )
             vendors[vendor_name] = VendorStatistics(
                 vendor=vendor_name,
-                n_chips=self.chips_per_vendor,
+                n_chips=n_chips,
                 ber_by_interval=ber,
                 measured_temp_coefficient=coefficient,
-                model_temp_coefficient=model_k,
+                model_temp_coefficient=vendor_by_name(vendor_name).failure_rate_temp_coeff,
             )
         return CampaignSummary(
-            n_chips=len(bed.chips),
+            n_chips=measured_chips,
             intervals_s=tuple(intervals_s),
             temperatures_c=tuple(temperatures_c),
             vendors=vendors,
+            failed_units=tuple(sorted(report.failed_results())),
         )
 
     @staticmethod

@@ -64,6 +64,24 @@ def paper_vs_measured(
     return row
 
 
+def format_duration(seconds: Optional[float]) -> str:
+    """Render a duration as a compact human-readable string.
+
+    ``None`` and non-finite values render as ``"?"`` (an ETA that cannot be
+    estimated yet); everything else as ``90s`` / ``4m30s`` / ``2h05m``.
+    """
+    if seconds is None or not (seconds == seconds) or seconds in (float("inf"), float("-inf")):
+        return "?"
+    seconds = max(0.0, float(seconds))
+    if seconds < 120.0:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 120:
+        return f"{minutes:d}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours:d}h{minutes:02d}m"
+
+
 def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
     """Dump a result series as CSV text."""
     out = io.StringIO()

@@ -76,13 +76,60 @@ class TestBed:
                 chip_id += 1
         return bed
 
-    def add_chip(self, chip: SimulatedDRAMChip) -> None:
+    @classmethod
+    def build_single(
+        cls,
+        chip_id: int,
+        vendor: VendorModel,
+        geometry: ChipGeometry = DEFAULT_GEOMETRY,
+        seed: int = rng_mod.DEFAULT_SEED,
+        max_trefi_s: float = 2.6,
+        max_temperature_c: float = 60.0,
+    ) -> "TestBed":
+        """Build a one-chip testbed for the chip with global id ``chip_id``.
+
+        The chip is identical to the one a full :meth:`build` would create
+        under the same (seed, chip_id), and its placement offset comes from
+        :meth:`placement_offset`, so the construction is independent of any
+        other chip -- the basis for decomposing a campaign into per-chip
+        work units that can run anywhere, in any order.
+        """
+        bed = cls(seed=seed)
+        bed.add_chip(
+            SimulatedDRAMChip(
+                vendor=vendor,
+                geometry=geometry,
+                seed=seed,
+                chip_id=chip_id,
+                clock=bed.clock,
+                max_trefi_s=max_trefi_s,
+                max_temperature_c=max_temperature_c,
+            ),
+            placement_offset=cls.placement_offset(seed, chip_id),
+        )
+        return bed
+
+    @staticmethod
+    def placement_offset(seed: int, chip_id: int) -> float:
+        """Deterministic airflow-placement offset for one chip.
+
+        Keyed by (seed, chip_id) so it does not depend on the order chips
+        were racked -- unlike the legacy sequential draw in
+        :meth:`add_chip`, which remains for full-bed construction.
+        """
+        return float(rng_mod.derive(seed, "placement", chip_id).normal(0.0, 0.1))
+
+    def add_chip(
+        self, chip: SimulatedDRAMChip, placement_offset: Optional[float] = None
+    ) -> None:
         if chip.clock is not self.clock:
             raise ConfigurationError("chip must share the testbed clock")
         self.chips.append(chip)
         # Fixed per-chip placement offset: chips sit at slightly different
         # spots in the airflow.
-        self._placement_offsets.append(float(self._placement_rng.normal(0.0, 0.1)))
+        if placement_offset is None:
+            placement_offset = float(self._placement_rng.normal(0.0, 0.1))
+        self._placement_offsets.append(placement_offset)
 
     def chips_by_vendor(self) -> Dict[str, List[SimulatedDRAMChip]]:
         grouped: Dict[str, List[SimulatedDRAMChip]] = {}

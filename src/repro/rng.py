@@ -54,3 +54,17 @@ def derive_seed(seed: int, *parts: KeyPart) -> int:
     Useful when a component wants to further derive its own sub-streams.
     """
     return _digest(seed, parts)
+
+
+def fingerprint(seed: int, *parts: KeyPart) -> str:
+    """Return a short stable hex fingerprint of ``(seed, *parts)``.
+
+    The digest is the same 128-bit hash :func:`derive` seeds its streams
+    from, rendered as 32 hex characters.  Used wherever a configuration
+    needs a filesystem- and JSON-friendly identity: work-unit ids, run
+    directory manifests, cache keys.
+
+    >>> fingerprint(7, "chip", 0) == fingerprint(7, "chip", 0)
+    True
+    """
+    return format(_digest(seed, parts), "032x")

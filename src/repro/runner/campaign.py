@@ -1,0 +1,202 @@
+"""Campaign driver: decompose a characterization campaign into work units.
+
+The paper's campaign is embarrassingly parallel at the chip: every chip's
+measurement sequence (interval sweep at the base temperature, then the
+temperature-scaling points at the top interval) touches only that chip's
+own thermally controlled environment.  This module makes that explicit:
+
+``build_chip_units``
+    One :class:`~repro.runner.units.WorkUnit` per chip, with a stable
+    ``chip-NNNNN`` id and a plain-JSON payload describing everything the
+    measurement needs.
+
+``measure_chip``
+    The picklable worker.  It rebuilds the chip's world from the payload --
+    a single-chip :class:`~repro.infra.testbed.TestBed` whose weak-cell
+    population, VRT process, and placement offset are all keyed by
+    ``(seed, chip_id)`` via :func:`repro.rng.derive` -- so the result is a
+    pure function of the payload: independent of which process runs it,
+    in what order, or how many times the campaign was resumed.
+
+``aggregate_chip_results``
+    Folds ok results (sorted by chip id, so completion order is erased)
+    back into the per-vendor failure-count tables the campaign summary is
+    computed from.
+
+The driver knows nothing about executors or stores; `analysis.campaign`
+composes it with :class:`~repro.runner.engine.RunnerEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .. import rng as rng_mod
+from ..conditions import Conditions
+from ..core.bruteforce import BruteForceProfiler
+from ..dram.geometry import ChipGeometry
+from ..dram.vendor import VENDORS, vendor_by_name
+from ..errors import ConfigurationError
+from ..infra.testbed import TestBed
+from .units import UnitResult, WorkUnit
+
+#: Kind tag on every per-chip measurement unit.
+CHIP_UNIT_KIND = "chip-measurement"
+
+#: Headroom factor between the largest profiled interval and the chip's
+#: supported maximum, matching the legacy in-process campaign.
+TREFI_HEADROOM = 1.05
+
+#: vendor -> interval -> failure counts in ascending chip order.
+CountTable = Dict[str, Dict[float, List[int]]]
+
+
+def campaign_fingerprint(
+    chips_per_vendor: int,
+    geometry: ChipGeometry,
+    iterations: int,
+    seed: int,
+    intervals_s: Sequence[float],
+    temperatures_c: Sequence[float],
+    vendor_names: Sequence[str],
+) -> str:
+    """Stable identity of one campaign configuration.
+
+    Guards a run directory: resuming with any changed knob produces a
+    different fingerprint and the store refuses the mix.
+    """
+    return rng_mod.fingerprint(
+        seed,
+        "campaign",
+        chips_per_vendor,
+        geometry.banks,
+        geometry.rows_per_bank,
+        geometry.bits_per_row,
+        iterations,
+        "intervals",
+        *(repr(float(t)) for t in intervals_s),
+        "temperatures",
+        *(repr(float(t)) for t in temperatures_c),
+        "vendors",
+        *vendor_names,
+    )
+
+
+def build_chip_units(
+    chips_per_vendor: int,
+    geometry: ChipGeometry,
+    iterations: int,
+    seed: int,
+    intervals_s: Sequence[float],
+    temperatures_c: Sequence[float],
+    vendor_names: Optional[Sequence[str]] = None,
+) -> Tuple[WorkUnit, ...]:
+    """One work unit per chip, ids and chip numbering matching a full bed.
+
+    Chip ids run sequentially across vendors in declaration order, exactly
+    like :meth:`repro.infra.testbed.TestBed.build`, so a unit's chip is
+    statistically identical to the one the legacy shared-bed campaign would
+    have racked in the same slot.
+    """
+    if chips_per_vendor <= 0:
+        raise ConfigurationError("chips_per_vendor must be positive")
+    names = tuple(vendor_names) if vendor_names is not None else tuple(VENDORS)
+    units: List[WorkUnit] = []
+    chip_id = 0
+    for vendor_name in names:
+        vendor_by_name(vendor_name)  # fail fast on unknown vendors
+        for _ in range(chips_per_vendor):
+            units.append(
+                WorkUnit(
+                    unit_id=f"chip-{chip_id:05d}",
+                    kind=CHIP_UNIT_KIND,
+                    payload={
+                        "chip_id": chip_id,
+                        "vendor": vendor_name,
+                        "seed": int(seed),
+                        "iterations": int(iterations),
+                        "geometry": {
+                            "banks": geometry.banks,
+                            "rows_per_bank": geometry.rows_per_bank,
+                            "bits_per_row": geometry.bits_per_row,
+                        },
+                        "intervals_s": [float(t) for t in intervals_s],
+                        "temperatures_c": [float(t) for t in temperatures_c],
+                    },
+                )
+            )
+            chip_id += 1
+    return tuple(units)
+
+
+def measure_chip(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Measure one chip's full campaign contribution (worker function).
+
+    Runs the interval sweep at the base temperature, then the remaining
+    temperatures at the top interval, inside this chip's own single-chip
+    testbed.  Returns plain JSON: ordered ``[condition, failure_count]``
+    pairs (pairs, not a mapping, so duplicate temperatures keep their
+    legacy append semantics).
+    """
+    geometry = ChipGeometry(**{k: int(v) for k, v in payload["geometry"].items()})
+    intervals = [float(t) for t in payload["intervals_s"]]
+    temperatures = [float(t) for t in payload["temperatures_c"]]
+    chip_id = int(payload["chip_id"])
+    bed = TestBed.build_single(
+        chip_id=chip_id,
+        vendor=vendor_by_name(str(payload["vendor"])),
+        geometry=geometry,
+        seed=int(payload["seed"]),
+        max_trefi_s=max(intervals) * TREFI_HEADROOM,
+    )
+    chip = bed.chips[0]
+    profiler = BruteForceProfiler(iterations=int(payload["iterations"]))
+
+    base_temp = temperatures[0]
+    bed.set_ambient(base_temp)
+    interval_failures: List[List[float]] = []
+    for trefi in intervals:
+        profile = profiler.run(chip, Conditions(trefi=trefi, temperature=base_temp))
+        interval_failures.append([trefi, float(len(profile))])
+
+    top = max(intervals)
+    top_count = next(count for trefi, count in interval_failures if trefi == top)
+    temperature_failures: List[List[float]] = [[base_temp, top_count]]
+    for temperature in temperatures[1:]:
+        bed.set_ambient(temperature)
+        profile = profiler.run(chip, Conditions(trefi=top, temperature=temperature))
+        temperature_failures.append([temperature, float(len(profile))])
+
+    return {
+        "chip_id": chip_id,
+        "vendor": str(payload["vendor"]),
+        "interval_failures": interval_failures,
+        "temperature_failures": temperature_failures,
+    }
+
+
+def aggregate_chip_results(
+    results: Iterable[UnitResult],
+) -> Tuple[CountTable, CountTable]:
+    """Fold ok unit results into (interval, temperature) count tables.
+
+    Results are sorted by chip id first, so the tables -- and everything
+    derived from them -- are identical for any completion order and for any
+    serial/parallel/resumed execution mix.
+    """
+    ordered = sorted(
+        (r.value for r in results if r.ok), key=lambda value: int(value["chip_id"])
+    )
+    interval_counts: CountTable = {}
+    temperature_counts: CountTable = {}
+    for value in ordered:
+        vendor = str(value["vendor"])
+        for trefi, count in value["interval_failures"]:
+            interval_counts.setdefault(vendor, {}).setdefault(float(trefi), []).append(
+                int(count)
+            )
+        for temperature, count in value["temperature_failures"]:
+            temperature_counts.setdefault(vendor, {}).setdefault(
+                float(temperature), []
+            ).append(int(count))
+    return interval_counts, temperature_counts

@@ -1,0 +1,147 @@
+"""The campaign execution engine: skip, dispatch, stream, aggregate.
+
+:class:`RunnerEngine` ties the subsystem together.  Given a worker
+function, a tuple of work units, and a run configuration, it
+
+1. opens the result store (a durable JSONL directory, or an in-memory
+   stand-in when no ``run_dir`` was requested) and validates the manifest
+   fingerprint against any previous occupant,
+2. partitions units into *satisfied* (an ``ok`` row already persisted --
+   the checkpoint/resume path) and *pending*,
+3. streams the pending units through the chosen backend, appending each
+   result row as it completes and feeding the progress tracker/callback,
+4. returns a :class:`RunReport` with every result keyed by unit id plus
+   the run statistics.
+
+Because units are self-contained and results are keyed, the report is
+independent of completion order, worker placement, and how many times the
+run was interrupted and resumed -- callers aggregate from the report and
+get byte-identical answers every way the campaign can be executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from .executors import Backend, WorkerFn, backend_from_spec
+from .progress import ProgressTracker
+from .store import NullStore, ResultStore
+from .units import UnitResult, WorkUnit, check_unique_ids
+
+#: Called after every completed unit with (result, tracker).
+ProgressCallback = Callable[[UnitResult, ProgressTracker], None]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """How a run went, operationally."""
+
+    total: int
+    executed: int
+    skipped: int
+    failed: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything a run produced."""
+
+    results: Dict[str, UnitResult] = field(default_factory=dict)
+    stats: RunStats = RunStats(0, 0, 0, 0, 0.0)
+
+    def ok_results(self) -> Dict[str, UnitResult]:
+        return {uid: r for uid, r in self.results.items() if r.ok}
+
+    def failed_results(self) -> Dict[str, UnitResult]:
+        return {uid: r for uid, r in self.results.items() if not r.ok}
+
+
+class RunnerEngine:
+    """Executes work units through a backend with persistence and progress.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"process"``, a backend instance, or ``None``
+        (auto: process pool when ``workers > 1``, else serial).
+    workers:
+        Pool size for the process backend; ignored by the serial one.
+    run_dir:
+        Durable run directory; ``None`` keeps results in memory only.
+    resume:
+        Allow appending to a run directory that already has results.
+    max_retries:
+        Re-attempts per unit before a failure row is recorded.
+    progress:
+        Optional callback invoked after every completed unit.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, Backend, None] = "serial",
+        workers: Optional[int] = None,
+        run_dir: Optional[str] = None,
+        resume: bool = False,
+        max_retries: int = 1,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        self.backend = backend_from_spec(backend, workers=workers)
+        self.run_dir = run_dir
+        self.resume = bool(resume)
+        self.max_retries = int(max_retries)
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        worker: WorkerFn,
+        units: Sequence[WorkUnit],
+        manifest: Mapping[str, Any],
+    ) -> RunReport:
+        """Execute ``units`` through the backend; returns the full report.
+
+        ``manifest`` must carry a ``"fingerprint"`` identifying the campaign
+        configuration; it guards the run directory against cross-campaign
+        contamination on resume.
+        """
+        units = tuple(units)
+        check_unique_ids(units)
+        store: Union[ResultStore, NullStore]
+        store = ResultStore(self.run_dir) if self.run_dir is not None else NullStore()
+        store.open(manifest, resume=self.resume)
+        try:
+            persisted = store.load_results()
+            satisfied = {
+                unit.unit_id: persisted[unit.unit_id]
+                for unit in units
+                if unit.unit_id in persisted and persisted[unit.unit_id].ok
+            }
+            pending = tuple(u for u in units if u.unit_id not in satisfied)
+
+            tracker = ProgressTracker(total=len(pending))
+            tracker.note_skipped(len(satisfied))
+            tracker.start()
+
+            results: Dict[str, UnitResult] = dict(satisfied)
+            for result in self.backend.run(worker, pending, self.max_retries):
+                results[result.unit_id] = result
+                store.append(result)
+                tracker.update(result)
+                if self.progress is not None:
+                    self.progress(result, tracker)
+
+            stats = RunStats(
+                total=len(units),
+                executed=len(pending),
+                skipped=len(satisfied),
+                failed=tracker.failed,
+                elapsed_s=tracker.elapsed_seconds,
+            )
+            return RunReport(results=results, stats=stats)
+        finally:
+            store.close()

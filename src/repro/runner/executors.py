@@ -1,0 +1,153 @@
+"""Execution backends: where campaign work units actually run.
+
+Two interchangeable backends share one contract -- take a picklable worker
+function plus a tuple of :class:`~repro.runner.units.WorkUnit` and yield
+:class:`~repro.runner.units.UnitResult` objects *in completion order*:
+
+``SerialBackend``
+    Runs every unit in-process, in submission order.  The default: zero
+    overhead, zero new failure modes, and the reference behaviour the
+    parallel backend must reproduce byte-identically.
+
+``ProcessPoolBackend``
+    Fans units out across a :class:`concurrent.futures.ProcessPoolExecutor`
+    (worker count defaults to ``os.cpu_count()``).  Because every unit is
+    self-contained and seeded by key (:func:`repro.rng.derive`), placement
+    and completion order cannot change any unit's value -- parallelism is
+    pure wall-clock.
+
+Retries happen *inside* the worker via :func:`execute_unit`, so an
+exception never crosses the pool boundary as an exception: after
+``max_retries`` re-attempts it comes back as a structured ``failed`` row
+and the run keeps going.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Iterator, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from .units import STATUS_FAILED, STATUS_OK, UnitFailure, UnitResult, WorkUnit
+
+#: A worker takes the unit's payload mapping and returns a JSON value.
+WorkerFn = Callable[[Any], Any]
+
+
+def execute_unit(worker: WorkerFn, unit: WorkUnit, max_retries: int = 1) -> UnitResult:
+    """Run one unit with bounded retry, capturing failure as data.
+
+    ``max_retries`` counts *re*-attempts: 1 means up to two executions.
+    Runs in the worker process for pool backends, so a poisoned unit costs
+    its own retries without a round-trip through the coordinator.
+    """
+    if max_retries < 0:
+        raise ConfigurationError("max_retries must be non-negative")
+    started = time.perf_counter()
+    failure: Optional[UnitFailure] = None
+    attempts = 0
+    for attempt in range(max_retries + 1):
+        attempts = attempt + 1
+        try:
+            value = worker(unit.payload)
+        except Exception as exc:  # noqa: BLE001 - capture is the contract
+            failure = UnitFailure.from_exception(exc, traceback.format_exc())
+            continue
+        return UnitResult(
+            unit_id=unit.unit_id,
+            status=STATUS_OK,
+            value=value,
+            attempts=attempts,
+            elapsed_s=time.perf_counter() - started,
+        )
+    assert failure is not None
+    return UnitResult(
+        unit_id=unit.unit_id,
+        status=STATUS_FAILED,
+        error=failure,
+        attempts=attempts,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+class SerialBackend:
+    """In-process, in-order execution; the reference backend."""
+
+    name = "serial"
+
+    def run(
+        self, worker: WorkerFn, units: Tuple[WorkUnit, ...], max_retries: int = 1
+    ) -> Iterator[UnitResult]:
+        for unit in units:
+            yield execute_unit(worker, unit, max_retries)
+
+
+class ProcessPoolBackend:
+    """Fan units out across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.  The worker function and
+        unit payloads must be picklable (module-level functions and plain
+        JSON payloads are).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 0:
+            raise ConfigurationError(f"workers must be positive, got {workers!r}")
+        self.workers = int(workers)
+
+    def run(
+        self, worker: WorkerFn, units: Tuple[WorkUnit, ...], max_retries: int = 1
+    ) -> Iterator[UnitResult]:
+        if not units:
+            return
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(units))) as pool:
+            pending = {
+                pool.submit(execute_unit, worker, unit, max_retries) for unit in units
+            }
+            # as_completed() holds every future to the end; draining with
+            # wait() lets finished futures (and their result payloads) be
+            # released incrementally on large campaigns.
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+
+Backend = Union[SerialBackend, ProcessPoolBackend]
+
+#: Backend names accepted by :func:`backend_from_spec` (and the CLI).
+BACKEND_NAMES = ("serial", "process")
+
+
+def backend_from_spec(
+    spec: Union[str, Backend, None], workers: Optional[int] = None
+) -> Backend:
+    """Resolve a backend from a name, an instance, or ``None``.
+
+    ``None`` picks :class:`ProcessPoolBackend` when ``workers`` asks for
+    more than one process, else :class:`SerialBackend` -- the conservative
+    default that leaves existing single-process behaviour untouched.
+    """
+    if workers is not None and workers <= 0:
+        raise ConfigurationError(f"workers must be positive, got {workers!r}")
+    if spec is None:
+        spec = "process" if workers is not None and workers > 1 else "serial"
+    if not isinstance(spec, str):
+        return spec
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "process":
+        return ProcessPoolBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown backend {spec!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )

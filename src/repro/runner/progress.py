@@ -1,0 +1,136 @@
+"""Live progress reporting for campaign runs.
+
+The engine feeds every completed unit into a :class:`ProgressTracker`,
+which maintains completed/failed/skipped counts, an exponentially weighted
+moving average (EWMA) of the inter-completion gap, and from it a smoothed
+throughput and ETA.  The EWMA deliberately weights recent completions: a
+campaign's early units include pool warm-up and cold caches, and a stale
+average would keep lying about the ETA long after the run reaches steady
+state.
+
+The tracker is clock-injected (any ``() -> float`` monotonic source) so
+tests can drive it deterministically, and rendering is plain text so it
+composes with whatever sink the caller wires up -- the CLI prints lines to
+stderr, tests capture them in lists.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from .units import UnitResult
+
+
+class ProgressTracker:
+    """Running statistics over a stream of completed work units.
+
+    Parameters
+    ----------
+    total:
+        Number of units the run will execute (excluding resume-skipped
+        units, which are recorded separately via :meth:`note_skipped`).
+    alpha:
+        EWMA weight of the newest inter-completion gap; 0 < alpha <= 1.
+    clock:
+        Monotonic time source, seconds.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        alpha: float = 0.3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total < 0:
+            raise ConfigurationError("total must be non-negative")
+        if not (0.0 < alpha <= 1.0):
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.total = int(total)
+        self.alpha = float(alpha)
+        self._clock = clock
+        self.completed = 0
+        self.failed = 0
+        self.skipped = 0
+        self._started_at: Optional[float] = None
+        self._last_at: Optional[float] = None
+        self._ewma_gap_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Mark the beginning of live execution (idempotent)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+            self._last_at = self._started_at
+
+    def note_skipped(self, count: int = 1) -> None:
+        """Record units satisfied from the result store instead of executed."""
+        self.skipped += int(count)
+
+    def update(self, result: UnitResult) -> None:
+        """Fold one completed unit into the statistics."""
+        self.start()
+        now = self._clock()
+        gap = max(0.0, now - (self._last_at if self._last_at is not None else now))
+        self._last_at = now
+        if self._ewma_gap_s is None:
+            self._ewma_gap_s = gap
+        else:
+            self._ewma_gap_s = self.alpha * gap + (1.0 - self.alpha) * self._ewma_gap_s
+        self.completed += 1
+        if not result.ok:
+            self.failed += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.completed)
+
+    @property
+    def throughput_units_per_s(self) -> Optional[float]:
+        """Smoothed completion rate; ``None`` until it can be estimated."""
+        if self._ewma_gap_s is None:
+            return None
+        if self._ewma_gap_s <= 0.0:
+            # Gaps below clock resolution: fall back to the overall mean.
+            if self._started_at is None or self._last_at is None:
+                return None
+            elapsed = self._last_at - self._started_at
+            return self.completed / elapsed if elapsed > 0.0 else None
+        return 1.0 / self._ewma_gap_s
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        rate = self.throughput_units_per_s
+        if rate is None or rate <= 0.0:
+            return None
+        return self.remaining / rate
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return max(0.0, self._clock() - self._started_at)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """One status line: counts, failures, throughput, ETA."""
+        parts = [f"[{self.completed}/{self.total}]"]
+        if self.skipped:
+            parts.append(f"{self.skipped} resumed")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        rate = self.throughput_units_per_s
+        if rate is not None:
+            parts.append(f"{rate:.2f} units/s")
+        # Imported lazily: repro.analysis sits above repro.runner in the
+        # layering (analysis.campaign drives the engine), so the runner must
+        # not import analysis at module load time.
+        from ..analysis.report import format_duration
+
+        parts.append(f"ETA {format_duration(self.eta_seconds)}")
+        return " | ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ProgressTracker({self.render()})"

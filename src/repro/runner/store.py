@@ -1,0 +1,182 @@
+"""Durable JSONL result store for campaign runs.
+
+A run directory holds everything needed to resume an interrupted campaign::
+
+    <run_dir>/
+        manifest.json    # campaign configuration fingerprint + metadata
+        results.jsonl    # one UnitResult per line, append-only
+
+Results stream in as workers complete, one ``json.dumps`` line per unit,
+flushed after every append so a crash loses at most the line being written.
+On re-open the loader tolerates a torn trailing line (the signature of a
+mid-write crash) but rejects corruption anywhere else, and the manifest
+fingerprint check refuses to mix results from two different campaign
+configurations in one directory.
+
+Failed rows are deliberately *not* treated as completed: resuming a run
+retries every unit that has no ``ok`` row, so transient infrastructure
+failures heal across relaunches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Iterable, Mapping, Optional, Set, Union
+
+from ..errors import ConfigurationError
+from .units import STATUS_OK, UnitResult
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+
+class ResultStore:
+    """Append-only persistence for one campaign run directory."""
+
+    def __init__(self, run_dir: Union[str, os.PathLike]) -> None:
+        self.run_dir = pathlib.Path(run_dir)
+        self.manifest_path = self.run_dir / MANIFEST_NAME
+        self.results_path = self.run_dir / RESULTS_NAME
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self, manifest: Mapping[str, Any], resume: bool = False) -> None:
+        """Create or re-open the run directory for appending.
+
+        A fresh directory is stamped with ``manifest``.  An existing one is
+        accepted only when ``resume`` is set *and* its stored fingerprint
+        matches -- otherwise the mismatch (or the missing ``--resume``
+        intent) raises :class:`~repro.errors.ConfigurationError` instead of
+        silently mixing two campaigns' results.
+        """
+        if "fingerprint" not in manifest:
+            raise ConfigurationError("store manifest must carry a 'fingerprint'")
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        if self.manifest_path.exists():
+            existing = json.loads(self.manifest_path.read_text())
+            if existing.get("fingerprint") != manifest["fingerprint"]:
+                raise ConfigurationError(
+                    f"run directory {self.run_dir} belongs to a different campaign "
+                    f"(manifest fingerprint {existing.get('fingerprint')!r} != "
+                    f"{manifest['fingerprint']!r}); use a fresh --run-dir"
+                )
+            if not resume and self.results_path.exists() and self.results_path.stat().st_size:
+                raise ConfigurationError(
+                    f"run directory {self.run_dir} already holds results; "
+                    "pass resume=True (--resume) to continue it"
+                )
+        else:
+            self.manifest_path.write_text(json.dumps(dict(manifest), indent=2, sort_keys=True))
+        self._handle = open(self.results_path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load_results(self) -> Dict[str, UnitResult]:
+        """All persisted results, keyed by unit id.
+
+        Later rows win (a resumed run re-records units whose earlier row was
+        ``failed``).  A torn final line -- no trailing newline and invalid
+        JSON -- is skipped as a crash artifact; torn interior lines raise.
+        """
+        results: Dict[str, UnitResult] = {}
+        if not self.results_path.exists():
+            return results
+        raw = self.results_path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        complete = raw.endswith("\n")
+        body = lines[:-1]  # the final element is "" (complete) or a torn tail
+        for lineno, line in enumerate(body, start=1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{self.results_path}:{lineno}: corrupt result row: {exc}"
+                ) from exc
+            result = UnitResult.from_json_dict(row)
+            results[result.unit_id] = result
+        if not complete and lines[-1].strip():
+            try:
+                row = json.loads(lines[-1])
+            except json.JSONDecodeError:
+                pass  # torn tail from a mid-write crash; the unit reruns
+            else:
+                result = UnitResult.from_json_dict(row)
+                results[result.unit_id] = result
+        return results
+
+    def completed_ids(self) -> Set[str]:
+        """Ids of units with a persisted ``ok`` row (the resume skip-set)."""
+        return {
+            uid for uid, result in self.load_results().items() if result.status == STATUS_OK
+        }
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, result: UnitResult) -> None:
+        """Persist one result row and flush it to the OS immediately."""
+        if self._handle is None:
+            raise ConfigurationError("store is not open for appending")
+        self._handle.write(json.dumps(result.to_json_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append_all(self, results: Iterable[UnitResult]) -> None:
+        for result in results:
+            self.append(result)
+
+
+class NullStore:
+    """In-memory stand-in used when no run directory was requested.
+
+    Mirrors the :class:`ResultStore` surface so the engine has one code
+    path; nothing survives the process.
+    """
+
+    run_dir: Optional[pathlib.Path] = None
+
+    def open(self, manifest: Mapping[str, Any], resume: bool = False) -> None:
+        self._results: Dict[str, UnitResult] = {}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def load_results(self) -> Dict[str, UnitResult]:
+        return dict(getattr(self, "_results", {}))
+
+    def completed_ids(self) -> Set[str]:
+        return {
+            uid
+            for uid, result in getattr(self, "_results", {}).items()
+            if result.status == STATUS_OK
+        }
+
+    def append(self, result: UnitResult) -> None:
+        self._results[result.unit_id] = result
+
+    def append_all(self, results: Iterable[UnitResult]) -> None:
+        for result in results:
+            self.append(result)

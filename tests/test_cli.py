@@ -55,6 +55,46 @@ class TestCli:
         assert "Campaign over 3 chips" in out
         assert "Temperature coefficients" in out
 
+    def test_campaign_parallel_workers(self, capsys):
+        code = main(TINY_ARGS + ["campaign", "--chips-per-vendor", "1", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign over 3 chips" in out
+
+    def test_campaign_run_dir_and_resume(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        args = TINY_ARGS + ["campaign", "--chips-per-vendor", "1", "--run-dir", run_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        # Relaunching the finished run resumes from the store: every chip is
+        # already persisted, and the summary is reproduced identically.
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert (tmp_path / "run" / "results.jsonl").exists()
+        assert (tmp_path / "run" / "manifest.json").exists()
+
+    def test_campaign_without_resume_flag_refuses_reuse(self, tmp_path, capsys):
+        from repro.errors import ConfigurationError
+
+        run_dir = str(tmp_path / "run")
+        args = TINY_ARGS + ["campaign", "--chips-per-vendor", "1", "--run-dir", run_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        with pytest.raises(ConfigurationError, match="--resume"):
+            main(args)
+
+    def test_campaign_progress_lines(self, capsys):
+        code = main(
+            TINY_ARGS + ["campaign", "--chips-per-vendor", "1", "--progress"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.startswith("[")]
+        assert len(lines) == 3  # one per chip
+        assert "[3/3]" in lines[-1]
+        assert "ETA" in lines[-1]
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])

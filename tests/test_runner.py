@@ -1,0 +1,330 @@
+"""Tests for the parallel campaign execution engine (`repro.runner`).
+
+Covers the subsystem's three contracts:
+
+* determinism -- a process-pool run produces a byte-identical
+  ``CampaignSummary`` to the serial backend;
+* checkpoint/resume -- a run interrupted after K units relaunches from its
+  run directory, executes only the remaining units, and reproduces the
+  uninterrupted summary;
+* failure capture -- a raising work unit is retried, recorded as a
+  structured failure row, and does not abort the run.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import CharacterizationCampaign
+from repro.errors import ConfigurationError
+from repro.runner import (
+    ProcessPoolBackend,
+    ProgressTracker,
+    ResultStore,
+    RunnerEngine,
+    SerialBackend,
+    UnitFailure,
+    UnitResult,
+    WorkUnit,
+    backend_from_spec,
+    build_chip_units,
+    execute_unit,
+)
+
+from conftest import TINY_GEOMETRY
+
+MANIFEST = {"fingerprint": "f" * 32}
+
+
+def make_units(n):
+    return tuple(
+        WorkUnit(unit_id=f"u-{i:03d}", kind="toy", payload={"i": i}) for i in range(n)
+    )
+
+
+# Module-level workers: picklable for the process backend, shared-state for
+# serial retry tests.
+def square_worker(payload):
+    return {"i": payload["i"], "sq": payload["i"] ** 2}
+
+
+def failing_worker(payload):
+    if payload["i"] == 1:
+        raise RuntimeError(f"unit {payload['i']} is poisoned")
+    return {"i": payload["i"]}
+
+
+_FLAKY_CALLS = []
+
+
+def flaky_worker(payload):
+    _FLAKY_CALLS.append(payload["i"])
+    if _FLAKY_CALLS.count(payload["i"]) == 1:
+        raise RuntimeError("transient infrastructure failure")
+    return {"i": payload["i"]}
+
+
+_EXECUTED = []
+
+
+def recording_worker(payload):
+    _EXECUTED.append(payload["i"])
+    return {"i": payload["i"]}
+
+
+class TestUnitSchema:
+    def test_result_json_roundtrip(self):
+        ok = UnitResult(unit_id="u", status="ok", value={"x": 1.5}, attempts=2, elapsed_s=0.25)
+        assert UnitResult.from_json_dict(json.loads(json.dumps(ok.to_json_dict()))) == ok
+        failed = UnitResult(
+            unit_id="v",
+            status="failed",
+            error=UnitFailure(type="RuntimeError", message="boom", traceback="tb"),
+            attempts=3,
+        )
+        assert UnitResult.from_json_dict(failed.to_json_dict()) == failed
+
+    def test_schema_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkUnit(unit_id="", kind="toy")
+        with pytest.raises(ConfigurationError):
+            UnitResult(unit_id="u", status="weird")
+        with pytest.raises(ConfigurationError):
+            UnitResult(unit_id="u", status="failed")  # failed without error
+
+    def test_duplicate_unit_ids_rejected(self):
+        units = make_units(2) + (WorkUnit(unit_id="u-000", kind="toy"),)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            RunnerEngine().run(square_worker, units, MANIFEST)
+
+
+class TestExecutors:
+    def test_serial_executes_in_order(self):
+        results = list(SerialBackend().run(square_worker, make_units(5)))
+        assert [r.value["sq"] for r in results] == [0, 1, 4, 9, 16]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_process_pool_matches_serial(self):
+        units = make_units(6)
+        serial = {r.unit_id: r.value for r in SerialBackend().run(square_worker, units)}
+        pooled = {
+            r.unit_id: r.value
+            for r in ProcessPoolBackend(workers=4).run(square_worker, units)
+        }
+        assert pooled == serial
+
+    def test_failure_captured_after_retries(self):
+        result = execute_unit(failing_worker, WorkUnit("u-001", "toy", {"i": 1}), max_retries=2)
+        assert not result.ok
+        assert result.attempts == 3
+        assert result.error.type == "RuntimeError"
+        assert "poisoned" in result.error.message
+        assert "RuntimeError" in result.error.traceback
+
+    def test_flaky_unit_recovers_on_retry(self):
+        _FLAKY_CALLS.clear()
+        result = execute_unit(flaky_worker, WorkUnit("u-007", "toy", {"i": 7}), max_retries=1)
+        assert result.ok
+        assert result.attempts == 2
+
+    def test_backend_spec_resolution(self):
+        assert isinstance(backend_from_spec("serial"), SerialBackend)
+        assert isinstance(backend_from_spec("process", workers=2), ProcessPoolBackend)
+        assert isinstance(backend_from_spec(None), SerialBackend)
+        assert isinstance(backend_from_spec(None, workers=4), ProcessPoolBackend)
+        with pytest.raises(ConfigurationError):
+            backend_from_spec("threads")
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            backend_from_spec(None, workers=-3)
+
+
+class TestResultStore:
+    def test_append_and_reload(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        with store:
+            store.open(MANIFEST)
+            store.append(UnitResult("a", "ok", value=1))
+            store.append(
+                UnitResult("b", "failed", error=UnitFailure("E", "m", "tb"), attempts=2)
+            )
+        reloaded = ResultStore(tmp_path / "run").load_results()
+        assert reloaded["a"].value == 1
+        assert not reloaded["b"].ok
+        # Failed rows are not completed: they rerun on resume.
+        assert ResultStore(tmp_path / "run").completed_ids() == {"a"}
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        with store:
+            store.open(MANIFEST)
+            store.append(UnitResult("a", "ok", value=1))
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write('{"unit_id": "b", "status": "ok", "val')  # crash artifact
+        assert ResultStore(tmp_path / "run").completed_ids() == {"a"}
+
+    def test_interior_corruption_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        with store:
+            store.open(MANIFEST)
+            store.append(UnitResult("a", "ok", value=1))
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            ResultStore(tmp_path / "run").load_results()
+
+    def test_manifest_mismatch_rejected(self, tmp_path):
+        with ResultStore(tmp_path / "run") as store:
+            store.open(MANIFEST)
+        other = ResultStore(tmp_path / "run")
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            other.open({"fingerprint": "0" * 32}, resume=True)
+
+    def test_reuse_without_resume_rejected(self, tmp_path):
+        with ResultStore(tmp_path / "run") as store:
+            store.open(MANIFEST)
+            store.append(UnitResult("a", "ok", value=1))
+        with pytest.raises(ConfigurationError, match="resume"):
+            ResultStore(tmp_path / "run").open(MANIFEST)
+
+
+class TestProgress:
+    def test_ewma_throughput_and_eta(self):
+        now = [0.0]
+        tracker = ProgressTracker(total=10, alpha=0.5, clock=lambda: now[0])
+        tracker.start()
+        ok = UnitResult("u", "ok", value=None)
+        for _ in range(4):
+            now[0] += 2.0
+            tracker.update(ok)
+        assert tracker.completed == 4
+        assert tracker.remaining == 6
+        # Constant 2 s gaps: EWMA converges to exactly 2 s per unit.
+        assert tracker.throughput_units_per_s == pytest.approx(0.5)
+        assert tracker.eta_seconds == pytest.approx(12.0)
+        rendered = tracker.render()
+        assert "[4/10]" in rendered and "0.50 units/s" in rendered
+
+    def test_failed_and_skipped_counts(self):
+        tracker = ProgressTracker(total=2, clock=lambda: 0.0)
+        tracker.note_skipped(3)
+        tracker.update(UnitResult("u", "failed", error=UnitFailure("E", "m", "t")))
+        assert tracker.failed == 1 and tracker.skipped == 3
+        assert "3 resumed" in tracker.render() and "1 failed" in tracker.render()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProgressTracker(total=-1)
+        with pytest.raises(ConfigurationError):
+            ProgressTracker(total=1, alpha=0.0)
+
+
+class TestEngine:
+    def test_failure_does_not_abort_run(self):
+        report = RunnerEngine(max_retries=1).run(failing_worker, make_units(4), MANIFEST)
+        assert report.stats.failed == 1
+        assert set(report.failed_results()) == {"u-001"}
+        assert set(report.ok_results()) == {"u-000", "u-002", "u-003"}
+        failed = report.results["u-001"]
+        assert failed.attempts == 2
+        assert failed.error.type == "RuntimeError"
+
+    def test_resume_executes_only_missing_units(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        engine = RunnerEngine(run_dir=run_dir)
+        first = engine.run(recording_worker, make_units(5), MANIFEST)
+        assert first.stats.executed == 5 and first.stats.skipped == 0
+
+        # Simulate a crash that lost the last three units.
+        results_path = tmp_path / "run" / "results.jsonl"
+        kept = results_path.read_text().splitlines()[:2]
+        results_path.write_text("\n".join(kept) + "\n")
+
+        _EXECUTED.clear()
+        resumed = RunnerEngine(run_dir=run_dir, resume=True).run(
+            recording_worker, make_units(5), MANIFEST
+        )
+        assert resumed.stats.executed == 3 and resumed.stats.skipped == 2
+        assert sorted(_EXECUTED) == [2, 3, 4]
+        assert {uid: r.value for uid, r in resumed.results.items()} == {
+            uid: r.value for uid, r in first.results.items()
+        }
+
+    def test_resumed_failures_are_retried(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        report = RunnerEngine(run_dir=run_dir, max_retries=0).run(
+            failing_worker, make_units(3), MANIFEST
+        )
+        assert set(report.failed_results()) == {"u-001"}
+        # Relaunch with a healed worker: only the failed unit reruns.
+        _EXECUTED.clear()
+        healed = RunnerEngine(run_dir=run_dir, resume=True).run(
+            recording_worker, make_units(3), MANIFEST
+        )
+        assert _EXECUTED == [1]
+        assert healed.stats.skipped == 2
+        assert all(r.ok for r in healed.results.values())
+
+    def test_progress_callback_stream(self):
+        seen = []
+        engine = RunnerEngine(progress=lambda result, tracker: seen.append(tracker.render()))
+        engine.run(square_worker, make_units(3), MANIFEST)
+        assert len(seen) == 3
+        assert seen[-1].startswith("[3/3]")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return CharacterizationCampaign(
+        chips_per_vendor=1, geometry=TINY_GEOMETRY, iterations=1, seed=77
+    )
+
+
+CAMPAIGN_KW = dict(intervals_s=(0.512, 1.024), temperatures_c=(45.0, 55.0))
+
+
+class TestCampaignThroughRunner:
+    def test_parallel_matches_serial_byte_identical(self, campaign):
+        serial = campaign.run(backend="serial", **CAMPAIGN_KW)
+        parallel = campaign.run(backend="process", workers=4, **CAMPAIGN_KW)
+        assert parallel == serial
+        assert parallel.to_text() == serial.to_text()
+
+    def test_resume_completes_only_remaining_chips(self, campaign, tmp_path):
+        run_dir = str(tmp_path / "run")
+        full = campaign.run(run_dir=run_dir, **CAMPAIGN_KW)
+
+        # Keep only the first chip's row: the "crash" lost two of three.
+        results_path = tmp_path / "run" / "results.jsonl"
+        kept = results_path.read_text().splitlines()[:1]
+        results_path.write_text("\n".join(kept) + "\n")
+
+        executed = []
+        resumed = campaign.run(
+            run_dir=run_dir,
+            resume=True,
+            progress=lambda result, tracker: executed.append(result.unit_id),
+            **CAMPAIGN_KW,
+        )
+        assert len(executed) == 2
+        assert resumed == full
+
+    def test_single_temperature_reports_none_coefficient(self, campaign):
+        summary = campaign.run(intervals_s=(0.512, 1.024), temperatures_c=(45.0,))
+        assert all(
+            stats.measured_temp_coefficient is None for stats in summary.vendors.values()
+        )
+        assert "n/a" in summary.to_text()
+
+    def test_duplicate_temperatures_report_none_coefficient(self, campaign):
+        summary = campaign.run(intervals_s=(0.512, 1.024), temperatures_c=(45.0, 45.0))
+        assert all(
+            stats.measured_temp_coefficient is None for stats in summary.vendors.values()
+        )
+
+    def test_unit_ids_stable_across_plans(self):
+        a = build_chip_units(2, TINY_GEOMETRY, 1, 7, (0.512,), (45.0,))
+        b = build_chip_units(2, TINY_GEOMETRY, 1, 7, (0.512,), (45.0,))
+        assert [u.unit_id for u in a] == [u.unit_id for u in b]
+        assert len({u.unit_id for u in a}) == len(a)
