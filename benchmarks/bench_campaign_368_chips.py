@@ -1,11 +1,13 @@
-"""A 368-chip characterization campaign, at the paper's population scale.
+"""A 369-chip characterization campaign, at the paper's population scale.
 
 The paper's headline experimental contribution is characterizing 368
-LPDDR4 chips from three vendors.  This bench runs the same campaign on 368
-simulated chips (small-capacity for speed; BER statistics are
-capacity-independent) and checks the population-level regularities the
-paper reports: monotone BER curves per vendor, tight cross-chip spreads,
-and per-vendor Eq-1 temperature coefficients recovered empirically.
+LPDDR4 chips from three vendors.  368 does not split evenly three ways, so
+this bench simulates 123 chips per vendor -- 369 in total, one more than
+the paper's population -- keeping the vendor populations symmetric
+(small-capacity chips for speed; BER statistics are capacity-independent).
+It checks the population-level regularities the paper reports: monotone
+BER curves per vendor, tight cross-chip spreads, and per-vendor Eq-1
+temperature coefficients recovered empirically.
 
 The campaign executes through the ``repro.runner`` process-pool backend
 (``REPRO_BENCH_WORKERS`` overrides the pool size, default ``os.cpu_count()``;
@@ -26,7 +28,7 @@ from repro.dram.geometry import ChipGeometry
 from conftest import run_once, save_report
 
 GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0 / 16.0)
-CHIPS_PER_VENDOR = 123  # 3 x 123 = 369 ~ the paper's 368; close enough in spirit
+CHIPS_PER_VENDOR = 123  # 3 x 123 = 369: the smallest symmetric population >= the paper's 368
 PAPER_COEFFICIENTS = {"A": 0.22, "B": 0.20, "C": 0.26}
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", os.cpu_count() or 1))
 

@@ -7,6 +7,7 @@ end-to-end mix evaluation.  Useful for catching performance regressions in
 the vectorized cell-evaluation code.
 """
 
+from repro import obs
 from repro.conditions import Conditions
 from repro.dram.chip import SimulatedDRAMChip
 from repro.dram.geometry import ChipGeometry
@@ -42,6 +43,32 @@ def test_perf_profiling_pass(benchmark):
         return chip.read_errors()
 
     errors = benchmark(one_pass)
+    assert errors is not None
+
+
+def test_perf_profiling_pass_instrumented(benchmark):
+    """The same pass with `repro.obs` enabled.
+
+    The pass is dominated by the vectorized cell evaluation, which is
+    deliberately uninstrumented; the per-command counters must stay in
+    the noise (<5 %) relative to ``test_perf_profiling_pass``.
+    """
+    chip = SimulatedDRAMChip(geometry=GEOMETRY, seed=2)
+
+    def one_pass():
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(TARGET.trefi)
+        chip.enable_refresh()
+        return chip.read_errors()
+
+    obs.reset()
+    obs.enable()
+    try:
+        errors = benchmark(one_pass)
+    finally:
+        obs.disable()
+        obs.reset()
     assert errors is not None
 
 

@@ -7,7 +7,7 @@ Examples::
     python -m repro plan --trefi 1.024 --max-fpr 0.5
     python -m repro longevity --capacity-gb 2 --ecc SECDED --trefi 1.024
     python -m repro campaign --chips-per-vendor 8 --workers 4 \
-        --run-dir runs/campaign --resume --progress
+        --run-dir runs/campaign --resume --progress --metrics
 """
 
 from __future__ import annotations
@@ -111,6 +111,11 @@ def cmd_longevity(args) -> int:
 def cmd_campaign(args) -> int:
     from .analysis.campaign import CharacterizationCampaign
 
+    if args.metrics:
+        from . import obs
+
+        obs.enable()
+
     campaign = CharacterizationCampaign(
         chips_per_vendor=args.chips_per_vendor,
         geometry=ChipGeometry.from_capacity_gigabits(args.capacity_gbit),
@@ -130,6 +135,9 @@ def cmd_campaign(args) -> int:
         progress=progress,
     )
     print(summary.to_text())
+    if args.metrics:
+        print()
+        print(obs.report(title="campaign metrics"))
     return 0 if not summary.failed_units else 1
 
 
@@ -195,6 +203,12 @@ def main(argv=None) -> int:
     p_camp.add_argument(
         "--progress", action="store_true",
         help="print per-chip progress (throughput, ETA) to stderr",
+    )
+    p_camp.add_argument(
+        "--metrics", action="store_true",
+        help="enable repro.obs instrumentation and print the per-phase metric "
+             "summary; with --run-dir, an events.jsonl log lands next to "
+             "results.jsonl",
     )
     p_camp.set_defaults(func=cmd_campaign)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .. import obs
 from ..clock import ClockStopwatch
 from ..conditions import Conditions
 from ..errors import ConfigurationError, ProfilingError
@@ -86,33 +87,57 @@ class BruteForceProfiler:
         records = []
         quiet_streak = 0
         iterations_run = 0
-        for iteration in range(self.iterations):
-            new_this_iteration = 0
-            for pattern in self.patterns:
-                device.write_pattern(pattern)
-                device.disable_refresh()
-                device.wait(conditions.trefi)
-                device.enable_refresh()
-                observed = normalize_cells(device.read_errors())
-                new_cells = frozenset(observed - discovered)
-                discovered |= observed
-                new_this_iteration += len(new_cells)
-                records.append(
-                    IterationRecord(
-                        iteration=iteration,
-                        pattern_key=pattern.key,
-                        new_cells=new_cells,
-                        observed_count=len(observed),
-                        clock_time=device.clock.now,
+        with obs.span(
+            "profiler.run",
+            mechanism=self.mechanism_name,
+            chip_id=getattr(device, "chip_id", None),
+            trefi=conditions.trefi,
+        ):
+            for iteration in range(self.iterations):
+                new_this_iteration = 0
+                for pattern in self.patterns:
+                    device.write_pattern(pattern)
+                    device.disable_refresh()
+                    device.wait(conditions.trefi)
+                    device.enable_refresh()
+                    observed = normalize_cells(device.read_errors())
+                    new_cells = frozenset(observed - discovered)
+                    discovered |= observed
+                    new_this_iteration += len(new_cells)
+                    records.append(
+                        IterationRecord(
+                            iteration=iteration,
+                            pattern_key=pattern.key,
+                            new_cells=new_cells,
+                            observed_count=len(observed),
+                            clock_time=device.clock.now,
+                        )
                     )
-                )
-            iterations_run = iteration + 1
-            if self.idle_between_iterations_s:
-                device.wait(self.idle_between_iterations_s)
-            if self.stop_after_quiet_iterations:
-                quiet_streak = quiet_streak + 1 if new_this_iteration == 0 else 0
-                if quiet_streak >= self.stop_after_quiet_iterations:
-                    break
+                iterations_run = iteration + 1
+                if obs.enabled():
+                    obs.counter("profiler.iterations", mechanism=self.mechanism_name)
+                    obs.counter(
+                        "profiler.new_cells", new_this_iteration, mechanism=self.mechanism_name
+                    )
+                    obs.observe(
+                        "profiler.new_cells_per_iteration",
+                        new_this_iteration,
+                        mechanism=self.mechanism_name,
+                    )
+                    obs.emit(
+                        "profiler.iteration",
+                        mechanism=self.mechanism_name,
+                        chip_id=getattr(device, "chip_id", None),
+                        iteration=iteration,
+                        new_cells=new_this_iteration,
+                        discovered=len(discovered),
+                    )
+                if self.idle_between_iterations_s:
+                    device.wait(self.idle_between_iterations_s)
+                if self.stop_after_quiet_iterations:
+                    quiet_streak = quiet_streak + 1 if new_this_iteration == 0 else 0
+                    if quiet_streak >= self.stop_after_quiet_iterations:
+                        break
         return RetentionProfile(
             failing=frozenset(discovered),
             profiling_conditions=conditions,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .. import obs
 from ..conditions import Conditions, HEADLINE_REACH, ReachDelta
 from ..errors import ConfigurationError, ProfilingError
 from ..patterns import STANDARD_PATTERNS, DataPattern
@@ -88,7 +89,13 @@ class ReachProfiler:
             original_temperature = device.temperature_c
             device.set_temperature(reach_conditions.temperature)
         try:
-            profile = self._inner.run(device, reach_conditions, target_conditions=target)
+            with obs.span(
+                "profiler.reach",
+                chip_id=getattr(device, "chip_id", None),
+                delta_trefi=self.reach.delta_trefi,
+                delta_temperature=self.reach.delta_temperature,
+            ):
+                profile = self._inner.run(device, reach_conditions, target_conditions=target)
         finally:
             if original_temperature is not None:
                 device.set_temperature(original_temperature)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..conditions import Conditions, HEADLINE_REACH, ReachDelta
 from ..errors import ConfigurationError
 from ..patterns import STANDARD_PATTERNS, DataPattern
@@ -104,13 +105,14 @@ class REAPER:
         cell into the mitigation mechanism, and records the pause length.
         """
         started_at = self.device.clock.now
-        if self.save_restore_seconds:
-            self.device.wait(self.save_restore_seconds)  # save contents
-        profile = self.profiler.run(self.device, self.target)
-        if self.save_restore_seconds:
-            self.device.wait(self.save_restore_seconds)  # restore contents
-        added = self.mitigation.ingest(profile.failing)
-        pause = self.device.clock.now - started_at
+        with obs.span("reaper.round", index=len(self.rounds)):
+            if self.save_restore_seconds:
+                self.device.wait(self.save_restore_seconds)  # save contents
+            profile = self.profiler.run(self.device, self.target)
+            if self.save_restore_seconds:
+                self.device.wait(self.save_restore_seconds)  # restore contents
+            added = self.mitigation.ingest(profile.failing)
+            pause = self.device.clock.now - started_at
         round_record = ProfilingRound(
             index=len(self.rounds),
             started_at=started_at,
@@ -120,4 +122,17 @@ class REAPER:
         )
         self.rounds.append(round_record)
         self.total_pause_seconds += pause
+        if obs.enabled():
+            obs.counter("reaper.rounds")
+            obs.counter("reaper.cells_added", added)
+            obs.observe("reaper.pause_sim_seconds", pause)
+            obs.emit(
+                "reaper.round",
+                index=round_record.index,
+                started_at=started_at,
+                pause_sim_seconds=pause,
+                cells_added=added,
+                discovered=len(profile.failing),
+                total_pause_sim_seconds=self.total_pause_seconds,
+            )
         return round_record

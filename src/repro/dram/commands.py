@@ -15,6 +15,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
+from .. import obs
+
 
 class Command(enum.Enum):
     """Operations visible on the simulated command bus."""
@@ -47,6 +49,20 @@ class CommandTrace:
     records: List[CommandRecord] = field(default_factory=list)
 
     def append(self, time: float, command: Command, detail: str = "") -> None:
+        # Observability piggybacks on the trace: each record's timestamp is
+        # the simulated clock *after* the command completed, so the delta to
+        # the previous record is the simulated time this command consumed.
+        # The first record has no predecessor on this trace and contributes
+        # only to the command count.  Pure observation -- recording reads
+        # the trace, never alters it.
+        if obs.enabled():
+            obs.counter("chip.commands", command=command.value)
+            if self.records:
+                obs.observe(
+                    "chip.sim_seconds",
+                    time - self.records[-1].time,
+                    command=command.value,
+                )
         self.records.append(CommandRecord(time=time, command=command, detail=detail))
 
     def __len__(self) -> int:

@@ -1,0 +1,227 @@
+"""Run-level observability: metrics, spans, and an event log.
+
+The instrumentation layer behind ``python -m repro campaign --metrics``.
+Three cooperating pieces, bundled by :class:`Observability`:
+
+``metrics``
+    A :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+    histograms with deterministic snapshot/reset.
+``tracing``
+    :class:`~repro.obs.tracing.Tracer` spans
+    (``with obs.span("profiler.run", chip_id=...)``) that time operations
+    in wall-clock terms and feed both the registry and the event log.
+``events``
+    JSONL event sinks; the runner engine attaches one at
+    ``<run_dir>/events.jsonl`` next to ``results.jsonl`` for durable runs.
+
+Design contract -- **zero perturbation, near-zero overhead**:
+
+* Instrumentation only *observes*: it never draws randomness (all
+  simulation randomness flows through :func:`repro.rng.derive`), never
+  advances simulated time, and never branches simulation behaviour, so a
+  campaign summary is byte-identical with observability on or off
+  (asserted in ``tests/test_obs.py``).
+* The layer is **off by default**.  Every module-level helper starts with
+  one boolean check and returns immediately when disabled, and hot
+  vectorized paths (``repro.dram.cell``) carry no instrumentation at all
+  -- only command-, iteration-, and unit-granularity code does.
+* State is **process-wide but injectable**: components call the module
+  helpers (which hit the process default), while anything that wants an
+  isolated instance -- tests, the runner engine -- constructs its own
+  :class:`Observability` and passes it explicitly.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    summary = CharacterizationCampaign(...).run(...)
+    print(obs.report())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .events import JsonlEventSink, ListEventSink, NullEventSink
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_report
+from .tracing import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlEventSink",
+    "ListEventSink",
+    "MetricsRegistry",
+    "NullEventSink",
+    "Observability",
+    "Tracer",
+    "counter",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "gauge",
+    "get",
+    "observe",
+    "render_report",
+    "report",
+    "reset",
+    "sink_to",
+    "snapshot",
+    "span",
+]
+
+
+class Observability:
+    """One registry + tracer + event sink, usable standalone or as the
+    process default."""
+
+    def __init__(self, sink=None) -> None:
+        self.metrics = MetricsRegistry()
+        self.sink = sink if sink is not None else NullEventSink()
+        self.tracer = Tracer(self.metrics, self.sink)
+
+    # -- recording ------------------------------------------------------
+    def counter(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        self.sink.emit(event, **fields)
+
+    # -- sinks ----------------------------------------------------------
+    def set_sink(self, sink) -> None:
+        self.sink = sink
+        self.tracer.sink = sink
+
+    @contextlib.contextmanager
+    def sink_to(self, path: Union[str, os.PathLike]) -> Iterator[JsonlEventSink]:
+        """Route events to ``path`` (JSONL, append) for the with-block."""
+        sink = JsonlEventSink(path)
+        previous = self.sink
+        self.set_sink(sink)
+        try:
+            yield sink
+        finally:
+            self.set_sink(previous)
+            sink.close()
+
+    # -- reading --------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return self.metrics.snapshot()
+
+    def report(self, title: str = "observability report") -> str:
+        return render_report(self.snapshot(), title=title)
+
+    def reset(self) -> None:
+        self.metrics.reset()
+
+
+#: Process-wide default instance.  Module-level helpers target it; the
+#: ``_ENABLED`` flag gates them so disabled instrumentation costs one
+#: boolean check per call site.
+_DEFAULT = Observability()
+_ENABLED = False
+
+#: Shared no-op context manager handed out by :func:`span` when disabled
+#: (``contextlib.nullcontext`` is reusable and reentrant).
+_NULL_SPAN = contextlib.nullcontext()
+
+
+def enabled() -> bool:
+    """Is the process-wide instrumentation currently recording?"""
+    return _ENABLED
+
+
+def enable(events_path: Optional[Union[str, os.PathLike]] = None) -> Observability:
+    """Turn the process-wide layer on (idempotent); returns the instance.
+
+    ``events_path`` optionally routes events to a JSONL file immediately;
+    the runner engine attaches its own per-run sink regardless.
+    """
+    global _ENABLED
+    _ENABLED = True
+    if events_path is not None:
+        _DEFAULT.set_sink(JsonlEventSink(events_path))
+    return _DEFAULT
+
+
+def disable() -> None:
+    """Stop recording.  Accumulated metrics stay readable via report()."""
+    global _ENABLED
+    _ENABLED = False
+    _DEFAULT.sink.close()
+    _DEFAULT.set_sink(NullEventSink())
+
+
+def get() -> Observability:
+    """The process-wide instance (whether or not it is enabled)."""
+    return _DEFAULT
+
+
+# ----------------------------------------------------------------------
+# Module-level recording helpers: the instrumentation call sites.  Each
+# starts with the enabled check so a disabled layer is near-free.
+# ----------------------------------------------------------------------
+def counter(name: str, amount: float = 1.0, **labels: Any) -> None:
+    if _ENABLED:
+        _DEFAULT.counter(name, amount, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    if _ENABLED:
+        _DEFAULT.gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    if _ENABLED:
+        _DEFAULT.observe(name, value, **labels)
+
+
+def span(name: str, **attrs: Any):
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _DEFAULT.span(name, **attrs)
+
+
+def emit(event: str, **fields: Any) -> None:
+    if _ENABLED:
+        _DEFAULT.emit(event, **fields)
+
+
+def sink_to(path: Union[str, os.PathLike]):
+    """Route the default instance's events to ``path`` for a with-block.
+
+    A no-op context when the layer is disabled.
+    """
+    if not _ENABLED:
+        return contextlib.nullcontext()
+    return _DEFAULT.sink_to(path)
+
+
+# ----------------------------------------------------------------------
+# Reading helpers (work whether or not recording is enabled).
+# ----------------------------------------------------------------------
+def snapshot() -> List[Dict[str, Any]]:
+    return _DEFAULT.snapshot()
+
+
+def report(title: str = "observability report") -> str:
+    return _DEFAULT.report(title=title)
+
+
+def reset() -> None:
+    _DEFAULT.reset()

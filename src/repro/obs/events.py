@@ -1,0 +1,81 @@
+"""Event sinks: the streaming half of the observability layer.
+
+Where metrics aggregate, events narrate: one JSON object per noteworthy
+occurrence (a profiler iteration, a completed work unit, a span closing),
+appended to a ``.jsonl`` file and flushed per line -- the same durability
+contract as the runner's ``results.jsonl``, so a crash loses at most the
+event being written.  The runner engine attaches a sink at
+``<run_dir>/events.jsonl`` for the duration of a durable run.
+
+Event payloads must be JSON-serializable; the sink stamps each with a
+wall-clock ``ts`` and a monotonically increasing ``seq``.  Timestamps make
+the event log *non*-deterministic by design -- it records when things
+really happened -- which is why campaign results are never derived from it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Optional, TextIO, Union
+
+
+class NullEventSink:
+    """Swallows events; the default when no event log was requested."""
+
+    path: Optional[pathlib.Path] = None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlEventSink:
+    """Appends one JSON line per event to ``path``, flushed immediately."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[TextIO] = open(self.path, "a", encoding="utf-8")
+        self._seq = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._handle is None:
+            return
+        row = {"event": event, "ts": time.time(), "seq": self._seq}
+        row.update(fields)
+        self._seq += 1
+        self._handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ListEventSink:
+    """Collects events in memory; the test double."""
+
+    path: Optional[pathlib.Path] = None
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def emit(self, event: str, **fields: Any) -> None:
+        row = {"event": event}
+        row.update(fields)
+        self.events.append(row)
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,178 @@
+"""Metric primitives: counters, gauges, and histograms in a registry.
+
+The registry is the accumulation half of the observability layer
+(:mod:`repro.obs`): instrumentation points increment counters, set gauges,
+and feed histograms; reporting reads a deterministic snapshot.  Three
+properties drive the design:
+
+* **Observation only.**  Metrics never feed back into the simulation --
+  no randomness, no simulated time, no control flow -- so enabling them
+  cannot perturb a campaign's results.
+* **Bounded memory.**  Histograms keep running aggregates (count, sum,
+  sum of squares, min, max), never sample lists, so a six-day campaign's
+  instrumentation stays O(#distinct metric series).
+* **Deterministic snapshots.**  :meth:`MetricsRegistry.snapshot` orders
+  series by (name, sorted labels), so two runs that perform the same
+  operations produce identical snapshots regardless of dict insertion
+  order or thread interleaving at read time.
+
+Series are keyed by metric name plus a frozen label set, Prometheus-style::
+
+    registry.counter("chip.commands", command="wait").inc()
+    registry.histogram("runner.unit_seconds", status="ok").observe(0.21)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: A series key: (metric name, ((label, value), ...) sorted by label).
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> SeriesKey:
+    if not name:
+        raise ConfigurationError("metric name must be non-empty")
+    return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count of events (or event weight)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ConfigurationError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, pool size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Running aggregates over an observed value stream.
+
+    Keeps count/sum/sum-of-squares/min/max -- enough for mean and
+    standard deviation in the report without unbounded storage.
+    """
+
+    __slots__ = ("count", "total", "sum_sq", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sum_sq += value * value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    @property
+    def stddev(self) -> Optional[float]:
+        if not self.count:
+            return None
+        mean = self.total / self.count
+        variance = max(0.0, self.sum_sq / self.count - mean * mean)
+        return math.sqrt(variance)
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric series, keyed by name + labels.
+
+    A series' kind is fixed by its first use; asking for the same series
+    as a different kind raises :class:`~repro.errors.ConfigurationError`
+    instead of silently aliasing counters onto gauges.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[SeriesKey, Any] = {}
+
+    def _get_or_create(self, cls, name: str, labels: Mapping[str, Any]):
+        key = _series_key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = cls()
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {type(series).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return series
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """All series as plain dicts, deterministically ordered.
+
+        Each entry carries ``kind``, ``name``, ``labels`` and the series'
+        aggregate fields; the list is sorted by (name, labels) so equal
+        instrumentation streams yield byte-equal JSON dumps.
+        """
+        rows: List[Dict[str, Any]] = []
+        for (name, labels), series in sorted(self._series.items()):
+            row: Dict[str, Any] = {
+                "kind": type(series).__name__.lower(),
+                "name": name,
+                "labels": dict(labels),
+            }
+            if isinstance(series, (Counter, Gauge)):
+                row["value"] = series.value
+            else:
+                row.update(
+                    count=series.count,
+                    total=series.total,
+                    mean=series.mean,
+                    stddev=series.stddev,
+                    min=series.min,
+                    max=series.max,
+                )
+            rows.append(row)
+        return rows
+
+    def reset(self) -> None:
+        """Drop every series (a fresh registry without re-plumbing it)."""
+        self._series.clear()
+
+    def __len__(self) -> int:
+        return len(self._series)

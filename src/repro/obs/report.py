@@ -1,0 +1,92 @@
+"""Plain-text rendering of a metrics snapshot.
+
+:func:`render_report` turns :meth:`MetricsRegistry.snapshot` rows into the
+summary table behind ``python -m repro campaign --metrics`` and
+``repro.obs.report()``: counters, gauges, then histograms, each section a
+fixed-width table sorted the way the snapshot already is (by name, then
+labels), so the rendering is as deterministic as the data.
+
+This module deliberately does not reuse :func:`repro.analysis.report`
+helpers: ``repro.obs`` sits below every instrumented layer (dram, core,
+runner, analysis) and must not import upward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _fmt_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return lines
+
+
+def render_report(snapshot: List[Dict[str, Any]], title: str = "observability report") -> str:
+    """Render one snapshot (see :meth:`MetricsRegistry.snapshot`) as text."""
+    counters = [r for r in snapshot if r["kind"] == "counter"]
+    gauges = [r for r in snapshot if r["kind"] == "gauge"]
+    histograms = [r for r in snapshot if r["kind"] == "histogram"]
+
+    lines: List[str] = [f"== {title} =="]
+    if not snapshot:
+        lines.append("(no metrics recorded; is observability enabled?)")
+        return "\n".join(lines)
+
+    for section, rows in (("counters", counters), ("gauges", gauges)):
+        if not rows:
+            continue
+        lines.append("")
+        lines.append(f"-- {section} --")
+        lines.extend(
+            _table(
+                ["name", "labels", "value"],
+                [
+                    [r["name"], _fmt_labels(r["labels"]), _fmt_value(r["value"])]
+                    for r in rows
+                ],
+            )
+        )
+    if histograms:
+        lines.append("")
+        lines.append("-- histograms --")
+        lines.extend(
+            _table(
+                ["name", "labels", "count", "total", "mean", "min", "max"],
+                [
+                    [
+                        r["name"],
+                        _fmt_labels(r["labels"]),
+                        _fmt_value(r["count"]),
+                        _fmt_value(r["total"]),
+                        _fmt_value(r["mean"]),
+                        _fmt_value(r["min"]),
+                        _fmt_value(r["max"]),
+                    ]
+                    for r in histograms
+                ],
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Span-based tracing over wall-clock time.
+
+A *span* brackets one logical operation -- a profiler run, a REAPER round,
+an engine dispatch loop -- and records how long it really took (wall time
+via ``time.perf_counter``, not simulated time; simulated durations are
+already exact and live in the metrics the instrumented components emit).
+
+Usage::
+
+    with tracer.span("profiler.run", mechanism="reach", chip_id=3):
+        ...
+
+Closing a span feeds two outputs:
+
+* a histogram series ``span.<name>`` in the metrics registry (one
+  observation per completed span, keyed by the span *name only* -- span
+  attributes are high-cardinality by design, e.g. one ``chip_id`` per
+  chip, and belong in the event log, not as metric label explosions), and
+* a ``span`` event on the event sink, carrying name, attributes, nesting
+  depth, and elapsed seconds.
+
+Spans nest via a plain stack, so ``depth`` in the event log reconstructs
+the call tree.  Tracing reads the clock and writes observability state
+only -- it cannot perturb simulation results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, List
+
+from .events import NullEventSink
+from .metrics import MetricsRegistry
+
+
+class Tracer:
+    """Produces nested spans bound to one registry + event sink pair."""
+
+    def __init__(self, metrics: MetricsRegistry, sink=None) -> None:
+        self.metrics = metrics
+        self.sink = sink if sink is not None else NullEventSink()
+        self._stack: List[str] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Time one operation; record it as a histogram sample + event."""
+        self._stack.append(name)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._stack.pop()
+            self.metrics.histogram(f"span.{name}").observe(elapsed)
+            self.sink.emit(
+                "span", name=name, elapsed_s=elapsed, depth=len(self._stack), **attrs
+            )

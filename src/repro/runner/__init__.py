@@ -41,14 +41,17 @@ from .executors import (
     execute_unit,
 )
 from .progress import ProgressTracker
-from .store import NullStore, ResultStore
+from .store import EVENTS_NAME, MANIFEST_NAME, NullStore, RESULTS_NAME, ResultStore
 from .units import UnitFailure, UnitResult, WorkUnit
 
 __all__ = [
     "BACKEND_NAMES",
     "Backend",
     "CHIP_UNIT_KIND",
+    "EVENTS_NAME",
+    "MANIFEST_NAME",
     "NullStore",
+    "RESULTS_NAME",
     "ProcessPoolBackend",
     "ProgressCallback",
     "ProgressTracker",

@@ -17,17 +17,31 @@ Because units are self-contained and results are keyed, the report is
 independent of completion order, worker placement, and how many times the
 run was interrupted and resumed -- callers aggregate from the report and
 get byte-identical answers every way the campaign can be executed.
+
+Statistics are derived from the :class:`ProgressTracker`'s *observed*
+completion stream, never from the planned unit count: if an exception
+escapes the backend mid-run, every result that streamed in before the
+failure is already persisted (rows are appended and flushed per unit) and
+the exception propagates after the store is closed -- a relaunch with
+``resume=True`` continues from exactly the observed frontier.
+
+When the observability layer (:mod:`repro.obs`) is enabled -- or an
+:class:`~repro.obs.Observability` instance is injected -- the engine
+records per-unit wall time, retry, and queue-depth metrics and streams a
+run event log to ``<run_dir>/events.jsonl`` alongside ``results.jsonl``.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
+from .. import obs as obs_mod
 from ..errors import ConfigurationError
 from .executors import Backend, WorkerFn, backend_from_spec
 from .progress import ProgressTracker
-from .store import NullStore, ResultStore
+from .store import EVENTS_NAME, NullStore, ResultStore
 from .units import UnitResult, WorkUnit, check_unique_ids
 
 #: Called after every completed unit with (result, tracker).
@@ -36,10 +50,18 @@ ProgressCallback = Callable[[UnitResult, ProgressTracker], None]
 
 @dataclass(frozen=True)
 class RunStats:
-    """How a run went, operationally."""
+    """How a run went, operationally.
+
+    ``executed`` counts units whose results were actually observed from
+    the backend this run (``succeeded + failed``); ``skipped`` counts
+    units satisfied from the result store.  On an uninterrupted run
+    ``executed + skipped == total``; after a mid-run crash the shortfall
+    is exactly the work that never happened.
+    """
 
     total: int
     executed: int
+    succeeded: int
     skipped: int
     failed: int
     elapsed_s: float
@@ -50,7 +72,7 @@ class RunReport:
     """Everything a run produced."""
 
     results: Dict[str, UnitResult] = field(default_factory=dict)
-    stats: RunStats = RunStats(0, 0, 0, 0, 0.0)
+    stats: RunStats = RunStats(0, 0, 0, 0, 0, 0.0)
 
     def ok_results(self) -> Dict[str, UnitResult]:
         return {uid: r for uid, r in self.results.items() if r.ok}
@@ -77,6 +99,10 @@ class RunnerEngine:
         Re-attempts per unit before a failure row is recorded.
     progress:
         Optional callback invoked after every completed unit.
+    observability:
+        Explicit :class:`repro.obs.Observability` instance to record
+        into.  ``None`` (the default) uses the process-wide layer when
+        :func:`repro.obs.enabled` says it is on, else records nothing.
     """
 
     def __init__(
@@ -87,6 +113,7 @@ class RunnerEngine:
         resume: bool = False,
         max_retries: int = 1,
         progress: Optional[ProgressCallback] = None,
+        observability: Optional["obs_mod.Observability"] = None,
     ) -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
@@ -95,6 +122,14 @@ class RunnerEngine:
         self.resume = bool(resume)
         self.max_retries = int(max_retries)
         self.progress = progress
+        self.observability = observability
+
+    def _active_obs(self) -> Optional["obs_mod.Observability"]:
+        """The instance to record into, or ``None`` when instrumentation
+        is off (explicit injection wins over the process-wide flag)."""
+        if self.observability is not None:
+            return self.observability
+        return obs_mod.get() if obs_mod.enabled() else None
 
     # ------------------------------------------------------------------
     def run(
@@ -114,7 +149,12 @@ class RunnerEngine:
         store: Union[ResultStore, NullStore]
         store = ResultStore(self.run_dir) if self.run_dir is not None else NullStore()
         store.open(manifest, resume=self.resume)
-        try:
+        active = self._active_obs()
+        with contextlib.ExitStack() as stack:
+            stack.callback(store.close)
+            if active is not None and store.run_dir is not None:
+                stack.enter_context(active.sink_to(store.run_dir / EVENTS_NAME))
+
             persisted = store.load_results()
             satisfied = {
                 unit.unit_id: persisted[unit.unit_id]
@@ -126,22 +166,84 @@ class RunnerEngine:
             tracker = ProgressTracker(total=len(pending))
             tracker.note_skipped(len(satisfied))
             tracker.start()
+            if active is not None:
+                if satisfied:
+                    active.counter("runner.units", len(satisfied), status="skipped")
+                active.gauge("runner.queue_depth", len(pending))
+                active.emit(
+                    "runner.start",
+                    backend=self.backend.name,
+                    total=len(units),
+                    pending=len(pending),
+                    skipped=len(satisfied),
+                    run_dir=str(store.run_dir) if store.run_dir is not None else None,
+                )
 
             results: Dict[str, UnitResult] = dict(satisfied)
-            for result in self.backend.run(worker, pending, self.max_retries):
-                results[result.unit_id] = result
-                store.append(result)
-                tracker.update(result)
-                if self.progress is not None:
-                    self.progress(result, tracker)
+            span = (
+                active.span("runner.run", backend=self.backend.name)
+                if active is not None
+                else contextlib.nullcontext()
+            )
+            try:
+                with span:
+                    for result in self.backend.run(worker, pending, self.max_retries):
+                        results[result.unit_id] = result
+                        store.append(result)
+                        tracker.update(result)
+                        if active is not None:
+                            self._record_unit(active, result, tracker)
+                        if self.progress is not None:
+                            self.progress(result, tracker)
+            except BaseException as exc:
+                # Every result observed so far is already appended and
+                # flushed; surface the abort, close the store (ExitStack),
+                # and let the caller resume from the persisted frontier.
+                if active is not None:
+                    active.emit(
+                        "runner.aborted",
+                        error=type(exc).__name__,
+                        executed=tracker.completed,
+                        succeeded=tracker.succeeded,
+                        failed=tracker.failed,
+                        remaining=tracker.remaining,
+                    )
+                raise
 
             stats = RunStats(
                 total=len(units),
-                executed=len(pending),
-                skipped=len(satisfied),
+                executed=tracker.completed,
+                succeeded=tracker.succeeded,
+                skipped=tracker.skipped,
                 failed=tracker.failed,
                 elapsed_s=tracker.elapsed_seconds,
             )
+            if active is not None:
+                active.observe("runner.run_seconds", stats.elapsed_s)
+                active.emit(
+                    "runner.finish",
+                    total=stats.total,
+                    executed=stats.executed,
+                    succeeded=stats.succeeded,
+                    skipped=stats.skipped,
+                    failed=stats.failed,
+                    elapsed_s=stats.elapsed_s,
+                )
             return RunReport(results=results, stats=stats)
-        finally:
-            store.close()
+
+    @staticmethod
+    def _record_unit(
+        active: "obs_mod.Observability", result: UnitResult, tracker: ProgressTracker
+    ) -> None:
+        active.counter("runner.units", status=result.status)
+        active.observe("runner.unit_seconds", result.elapsed_s, status=result.status)
+        if result.attempts > 1:
+            active.counter("runner.retries", result.attempts - 1)
+        active.gauge("runner.queue_depth", tracker.remaining)
+        active.emit(
+            "runner.unit",
+            unit_id=result.unit_id,
+            status=result.status,
+            attempts=result.attempts,
+            elapsed_s=result.elapsed_s,
+        )

@@ -84,6 +84,11 @@ class ProgressTracker:
 
     # ------------------------------------------------------------------
     @property
+    def succeeded(self) -> int:
+        """Units that completed with an ``ok`` result."""
+        return self.completed - self.failed
+
+    @property
     def remaining(self) -> int:
         return max(0, self.total - self.completed)
 
@@ -115,8 +120,13 @@ class ProgressTracker:
 
     # ------------------------------------------------------------------
     def render(self) -> str:
-        """One status line: counts, failures, throughput, ETA."""
-        parts = [f"[{self.completed}/{self.total}]"]
+        """One status line: counts, failures, throughput, ETA.
+
+        The bracketed fraction counts *successes* only -- a run with 50
+        failures must not render as fully completed -- and failures are
+        reported as their own distinct part.
+        """
+        parts = [f"[{self.succeeded}/{self.total}]"]
         if self.skipped:
             parts.append(f"{self.skipped} resumed")
         if self.failed:

@@ -30,6 +30,8 @@ from .units import STATUS_OK, UnitResult
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
+#: Run event log written by the engine when observability is enabled.
+EVENTS_NAME = "events.jsonl"
 
 
 class ResultStore:
@@ -57,7 +59,7 @@ class ResultStore:
             raise ConfigurationError("store manifest must carry a 'fingerprint'")
         self.run_dir.mkdir(parents=True, exist_ok=True)
         if self.manifest_path.exists():
-            existing = json.loads(self.manifest_path.read_text())
+            existing = self._load_manifest()
             if existing.get("fingerprint") != manifest["fingerprint"]:
                 raise ConfigurationError(
                     f"run directory {self.run_dir} belongs to a different campaign "
@@ -70,8 +72,42 @@ class ResultStore:
                     "pass resume=True (--resume) to continue it"
                 )
         else:
-            self.manifest_path.write_text(json.dumps(dict(manifest), indent=2, sort_keys=True))
+            self._stamp_manifest(manifest)
         self._handle = open(self.results_path, "a", encoding="utf-8")
+
+    def _stamp_manifest(self, manifest: Mapping[str, Any]) -> None:
+        """Write ``manifest.json`` atomically.
+
+        The payload lands in a sibling temp file first and is moved into
+        place with :func:`os.replace`, so a crash mid-stamp leaves either
+        no manifest (a fresh directory, restampable on relaunch) or the
+        complete one -- never a torn ``manifest.json`` that poisons every
+        subsequent ``--resume``.
+        """
+        tmp_path = self.manifest_path.with_name(MANIFEST_NAME + ".tmp")
+        tmp_path.write_text(
+            json.dumps(dict(manifest), indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp_path, self.manifest_path)
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        """Load ``manifest.json``, refusing corruption with a clear path out."""
+        try:
+            existing = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"{self.manifest_path} is corrupt ({exc}); the run directory can "
+                "no longer prove which campaign it belongs to.  Recover by "
+                "deleting the directory and relaunching without --resume (the "
+                "campaign re-executes from scratch), or restore manifest.json "
+                "from a backup of the same configuration."
+            ) from exc
+        if not isinstance(existing, dict):
+            raise ConfigurationError(
+                f"{self.manifest_path} does not hold a manifest object; delete "
+                "the run directory and relaunch without --resume"
+            )
+        return existing
 
     def close(self) -> None:
         if self._handle is not None:

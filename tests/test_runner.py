@@ -72,6 +72,31 @@ def recording_worker(payload):
     return {"i": payload["i"]}
 
 
+def interrupting_worker(payload):
+    # BaseException bypasses in-worker retry capture (which catches
+    # Exception only), so it escapes the backend mid-run like a Ctrl-C.
+    if payload["i"] == 2:
+        raise KeyboardInterrupt
+    return {"i": payload["i"]}
+
+
+class TruncatingBackend:
+    """A backend that silently loses every unit after the first ``keep``.
+
+    Models a pool that died without raising: the engine must report what
+    it *observed*, not what it planned.
+    """
+
+    name = "truncating"
+
+    def __init__(self, keep):
+        self.keep = keep
+
+    def run(self, worker, units, max_retries=1):
+        for unit in units[: self.keep]:
+            yield execute_unit(worker, unit, max_retries)
+
+
 class TestUnitSchema:
     def test_result_json_roundtrip(self):
         ok = UnitResult(unit_id="u", status="ok", value={"x": 1.5}, attempts=2, elapsed_s=0.25)
@@ -189,6 +214,84 @@ class TestResultStore:
             ResultStore(tmp_path / "run").open(MANIFEST)
 
 
+class TestStoreCrashInjection:
+    """Simulated crashes at every vulnerable point of the store lifecycle."""
+
+    def test_manifest_stamp_is_atomic(self, tmp_path):
+        with ResultStore(tmp_path / "run") as store:
+            store.open(MANIFEST)
+        # The temp file used for the atomic stamp must not survive.
+        assert [p.name for p in (tmp_path / "run").iterdir() if p.suffix == ".tmp"] == []
+        assert json.loads(store.manifest_path.read_text())["fingerprint"] == "f" * 32
+
+    def test_corrupt_manifest_refused_with_clear_error(self, tmp_path):
+        # A crash mid-stamp under the old non-atomic write left a torn
+        # JSON prefix; resume must refuse it as ConfigurationError (with
+        # recovery guidance), never a raw JSONDecodeError.
+        run_dir = tmp_path / "run"
+        with ResultStore(run_dir) as store:
+            store.open(MANIFEST)
+            store.append(UnitResult("a", "ok", value=1))
+        torn = store.manifest_path.read_text()[: len(store.manifest_path.read_text()) // 2]
+        store.manifest_path.write_text(torn)
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            ResultStore(run_dir).open(MANIFEST, resume=True)
+        # ...and through the engine, the same refusal (not a crash).
+        with pytest.raises(ConfigurationError, match="deleting the directory"):
+            RunnerEngine(run_dir=str(run_dir), resume=True).run(
+                square_worker, make_units(2), MANIFEST
+            )
+
+    def test_manifest_holding_non_object_refused(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with ResultStore(run_dir) as store:
+            store.open(MANIFEST)
+        store.manifest_path.write_text('"not a manifest"')
+        with pytest.raises(ConfigurationError, match="manifest object"):
+            ResultStore(run_dir).open(MANIFEST, resume=True)
+
+    def test_kill_between_append_and_flush_then_resume(self, tmp_path):
+        # A kill after the OS saw only part of the final row leaves a torn
+        # tail; resume must rerun exactly the torn unit and reproduce the
+        # uninterrupted result set.
+        run_dir = str(tmp_path / "run")
+        full = RunnerEngine(run_dir=run_dir).run(square_worker, make_units(4), MANIFEST)
+        results_path = tmp_path / "run" / "results.jsonl"
+        lines = results_path.read_text().splitlines()
+        torn = "\n".join(lines[:3]) + "\n" + lines[3][: len(lines[3]) // 2]
+        results_path.write_text(torn)  # no trailing newline: mid-write kill
+
+        _EXECUTED.clear()
+        resumed = RunnerEngine(run_dir=run_dir, resume=True).run(
+            recording_worker, make_units(4), MANIFEST
+        )
+        assert _EXECUTED == [3]
+        assert resumed.stats.skipped == 3 and resumed.stats.executed == 1
+        assert set(resumed.results) == set(full.results)
+
+    def test_mid_run_abort_persists_partial_results_then_resumes(self, tmp_path):
+        # KeyboardInterrupt is not captured by in-worker retry, so it
+        # escapes the backend mid-run: everything observed before the
+        # abort must already be on disk, and a relaunch finishes the rest.
+        run_dir = str(tmp_path / "run")
+
+        with pytest.raises(KeyboardInterrupt):
+            RunnerEngine(run_dir=run_dir).run(
+                interrupting_worker, make_units(5), MANIFEST
+            )
+        persisted = ResultStore(tmp_path / "run").load_results()
+        assert sorted(persisted) == ["u-000", "u-001"]
+        assert all(r.ok for r in persisted.values())
+
+        _EXECUTED.clear()
+        resumed = RunnerEngine(run_dir=run_dir, resume=True).run(
+            recording_worker, make_units(5), MANIFEST
+        )
+        assert sorted(_EXECUTED) == [2, 3, 4]
+        assert resumed.stats.skipped == 2 and resumed.stats.executed == 3
+        assert len(resumed.results) == 5
+
+
 class TestProgress:
     def test_ewma_throughput_and_eta(self):
         now = [0.0]
@@ -224,11 +327,24 @@ class TestEngine:
     def test_failure_does_not_abort_run(self):
         report = RunnerEngine(max_retries=1).run(failing_worker, make_units(4), MANIFEST)
         assert report.stats.failed == 1
+        assert report.stats.executed == 4
+        assert report.stats.succeeded == 3
         assert set(report.failed_results()) == {"u-001"}
         assert set(report.ok_results()) == {"u-000", "u-002", "u-003"}
         failed = report.results["u-001"]
         assert failed.attempts == 2
         assert failed.error.type == "RuntimeError"
+
+    def test_stats_derive_from_observed_completions(self):
+        # A backend that loses units must not inflate `executed`.
+        report = RunnerEngine(backend=TruncatingBackend(keep=2)).run(
+            square_worker, make_units(5), MANIFEST
+        )
+        assert report.stats.total == 5
+        assert report.stats.executed == 2
+        assert report.stats.succeeded == 2
+        assert report.stats.failed == 0
+        assert len(report.results) == 2
 
     def test_resume_executes_only_missing_units(self, tmp_path):
         run_dir = str(tmp_path / "run")
