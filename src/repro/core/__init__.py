@@ -11,7 +11,7 @@
 
 from ..conditions import Conditions, HEADLINE_REACH, ReachDelta
 from .bruteforce import BruteForceProfiler
-from .device import ProfilableDevice, normalize_cells
+from .device import ObservedCellAccumulator, ProfilableDevice, normalize_cells
 from .longevity import (
     LongevityEstimate,
     longevity_for_system,
@@ -47,6 +47,7 @@ __all__ = [
     "ProfilingRound",
     "ProfilableDevice",
     "normalize_cells",
+    "ObservedCellAccumulator",
     "RetentionProfile",
     "IterationRecord",
     "ProfileDiff",

@@ -16,7 +16,7 @@ from ..clock import ClockStopwatch
 from ..conditions import Conditions
 from ..errors import ConfigurationError, ProfilingError
 from ..patterns import STANDARD_PATTERNS, DataPattern
-from .device import ProfilableDevice, normalize_cells
+from .device import ObservedCellAccumulator, ProfilableDevice
 from .profile import IterationRecord, RetentionProfile
 
 
@@ -31,9 +31,12 @@ class BruteForceProfiler:
     iterations:
         Number of rounds; the paper's tradeoff analysis uses 16.
     idle_between_iterations_s:
-        Optional idle gap inserted after each iteration, modelling test
-        infrastructure overhead between rounds (used by the six-day
-        characterization campaigns, where 800 iterations span six days).
+        Optional idle gap inserted strictly *between* consecutive
+        iterations, modelling test infrastructure overhead between rounds
+        (used by the six-day characterization campaigns, where 800
+        iterations span six days).  An N-iteration run charges exactly
+        N - 1 gaps: no gap trails the final iteration or a quiet-streak
+        stop, so ``runtime_seconds`` matches the Eq-9 accounting.
     stop_after_quiet_iterations:
         Adaptive early stopping: end the run once this many consecutive
         iterations discover no new failing cells (0 disables).  A cheap
@@ -83,8 +86,14 @@ class BruteForceProfiler:
         target = target_conditions if target_conditions is not None else conditions
         watch = ClockStopwatch(device.clock)
         started_at = device.clock.now
-        discovered: set = set()
-        records = []
+        index_space = getattr(device, "error_index_space", None)
+        accumulator = ObservedCellAccumulator(
+            index_space() if callable(index_space) else None
+        )
+        # (iteration, pattern_key, new-cells handle, observed, clock_time):
+        # frozensets are materialized once at the end of the run, not per
+        # read -- the hot loop stays in numpy index space.
+        pending = []
         quiet_streak = 0
         iterations_run = 0
         with obs.span(
@@ -94,24 +103,22 @@ class BruteForceProfiler:
             trefi=conditions.trefi,
         ):
             for iteration in range(self.iterations):
+                # The idle gap models inter-round infrastructure overhead,
+                # so it is charged strictly between iterations: never before
+                # the first, never after the last or after a quiet-streak
+                # stop (the run is already over).
+                if iteration and self.idle_between_iterations_s:
+                    device.wait(self.idle_between_iterations_s)
                 new_this_iteration = 0
                 for pattern in self.patterns:
                     device.write_pattern(pattern)
                     device.disable_refresh()
                     device.wait(conditions.trefi)
                     device.enable_refresh()
-                    observed = normalize_cells(device.read_errors())
-                    new_cells = frozenset(observed - discovered)
-                    discovered |= observed
+                    new_cells, observed_count = accumulator.observe(device.read_errors())
                     new_this_iteration += len(new_cells)
-                    records.append(
-                        IterationRecord(
-                            iteration=iteration,
-                            pattern_key=pattern.key,
-                            new_cells=new_cells,
-                            observed_count=len(observed),
-                            clock_time=device.clock.now,
-                        )
+                    pending.append(
+                        (iteration, pattern.key, new_cells, observed_count, device.clock.now)
                     )
                 iterations_run = iteration + 1
                 if obs.enabled():
@@ -130,22 +137,30 @@ class BruteForceProfiler:
                         chip_id=getattr(device, "chip_id", None),
                         iteration=iteration,
                         new_cells=new_this_iteration,
-                        discovered=len(discovered),
+                        discovered=len(accumulator),
                     )
-                if self.idle_between_iterations_s:
-                    device.wait(self.idle_between_iterations_s)
                 if self.stop_after_quiet_iterations:
                     quiet_streak = quiet_streak + 1 if new_this_iteration == 0 else 0
                     if quiet_streak >= self.stop_after_quiet_iterations:
                         break
+        records = tuple(
+            IterationRecord(
+                iteration=it,
+                pattern_key=key,
+                new_cells=ObservedCellAccumulator.materialize(new_cells),
+                observed_count=observed_count,
+                clock_time=clock_time,
+            )
+            for it, key, new_cells, observed_count, clock_time in pending
+        )
         return RetentionProfile(
-            failing=frozenset(discovered),
+            failing=accumulator.discovered(),
             profiling_conditions=conditions,
             target_conditions=target,
             patterns=tuple(p.key for p in self.patterns),
             iterations=iterations_run,
             runtime_seconds=watch.elapsed,
             started_at=started_at,
-            records=tuple(records),
+            records=records,
             mechanism=self.mechanism_name,
         )

@@ -9,7 +9,9 @@ references a device reports as opaque hashable ids (integers for a chip,
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Protocol, runtime_checkable
+from typing import Hashable, Iterable, Optional, Protocol, Tuple, Union, runtime_checkable
+
+import numpy as np
 
 from ..clock import SimClock
 from ..patterns import DataPattern
@@ -57,3 +59,136 @@ def normalize_cells(errors: Iterable) -> frozenset:
         else:
             cells.append(int(item))
     return frozenset(cells)
+
+
+#: Per-read "new cells" handle returned by
+#: :meth:`ObservedCellAccumulator.observe` -- either an int64 index array
+#: (vectorized path) or an already-built frozenset (generic fallback).
+#: ``len()`` works on both; :meth:`ObservedCellAccumulator.materialize`
+#: turns either into the frozenset profilers record.
+NewCells = Union[np.ndarray, frozenset]
+
+
+class ObservedCellAccumulator:
+    """Accumulates observed failing cells across profiling reads.
+
+    The reference bookkeeping (``normalize_cells`` -> python set difference
+    -> set union, per read) costs a python-level loop over every observed
+    cell on every one of the hundreds of reads in a profiling run.  A chip
+    reports errors as a sorted int64 index array whose elements almost all
+    come from a fixed *index space* (the weak tail), so the accumulator
+    tracks discoveries as a dense boolean mask over that space plus a small
+    sorted overflow array for cells outside it (VRT episodes can strike
+    anywhere in the array).  Per read that is two ``searchsorted``-class
+    operations instead of thousands of hash insertions.
+
+    Devices that report anything other than an integer ndarray (e.g. a
+    :class:`~repro.dram.DRAMModule`'s ``(chip, flat)`` tuples) degrade the
+    accumulator permanently to plain-set bookkeeping -- identical results,
+    reference speed.
+
+    The per-read return value stays in array form; profilers materialize the
+    frozensets the :class:`~repro.core.profile.IterationRecord` API promises
+    only once, at the end of the run (:meth:`materialize`).  Both paths
+    produce frozensets of python ints equal to what the reference
+    ``normalize_cells`` pipeline builds.
+    """
+
+    def __init__(self, space: Optional[np.ndarray] = None) -> None:
+        self._space: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+        if space is not None:
+            space = np.asarray(space)
+            if space.size:
+                self._space = space
+                self._mask = np.zeros(space.size, dtype=bool)
+        self._extras = np.empty(0, dtype=np.int64)
+        self._set: Optional[set] = None
+
+    def __len__(self) -> int:
+        if self._set is not None:
+            return len(self._set)
+        count = int(self._extras.size)
+        if self._mask is not None:
+            count += int(np.count_nonzero(self._mask))
+        return count
+
+    def observe(self, errors: Iterable[Hashable]) -> Tuple[NewCells, int]:
+        """Fold one read-out in; returns (newly seen cells, observed count).
+
+        ``observed count`` counts *distinct* cells in the read-out, matching
+        ``len(normalize_cells(errors))``.
+        """
+        if (
+            self._set is None
+            and isinstance(errors, np.ndarray)
+            and errors.dtype.kind in "iu"
+        ):
+            return self._observe_array(errors)
+        return self._observe_set(errors)
+
+    def _observe_array(self, errors: np.ndarray) -> Tuple[np.ndarray, int]:
+        arr = errors.astype(np.int64, copy=False)
+        # Chip read-outs are already sorted-unique; a strictness check is
+        # cheaper than an unconditional unique() and keeps arbitrary
+        # device arrays safe.
+        if arr.size > 1 and not np.all(arr[1:] > arr[:-1]):
+            arr = np.unique(arr)
+        if self._space is not None:
+            pos = np.searchsorted(self._space, arr)
+            in_space = self._space[np.minimum(pos, self._space.size - 1)] == arr
+            idx = pos[in_space]
+            newly_hit = ~self._mask[idx]
+            new_in = arr[in_space][newly_hit]
+            self._mask[idx[newly_hit]] = True
+            outside = arr[~in_space]
+        else:
+            new_in = arr[:0]
+            outside = arr
+        if outside.size:
+            new_out = outside[~np.isin(outside, self._extras, assume_unique=True)]
+            if new_out.size:
+                self._extras = np.union1d(self._extras, new_out)
+            new = np.concatenate((new_in, new_out)) if new_out.size else new_in
+        else:
+            new = new_in
+        return new, int(arr.size)
+
+    def _observe_set(self, errors: Iterable[Hashable]) -> Tuple[frozenset, int]:
+        if self._set is None:
+            self._degrade()
+        observed = normalize_cells(errors)
+        new = frozenset(observed - self._set)
+        self._set |= observed
+        return new, len(observed)
+
+    def _degrade(self) -> None:
+        """Switch permanently to plain-set bookkeeping, keeping history."""
+        cells: list = []
+        if self._mask is not None and self._space is not None:
+            cells.extend(self._space[self._mask].tolist())
+        cells.extend(self._extras.tolist())
+        self._set = set(cells)
+        self._space = None
+        self._mask = None
+        self._extras = self._extras[:0]
+
+    def discovered(self) -> frozenset:
+        """Every cell observed so far, as the frozenset profiles record."""
+        if self._set is not None:
+            return frozenset(self._set)
+        parts = []
+        if self._mask is not None and self._space is not None:
+            parts.append(self._space[self._mask])
+        if self._extras.size:
+            parts.append(self._extras)
+        if not parts:
+            return frozenset()
+        return frozenset(np.concatenate(parts).tolist())
+
+    @staticmethod
+    def materialize(new_cells: NewCells) -> frozenset:
+        """Convert one :meth:`observe` handle into its frozenset form."""
+        if isinstance(new_cells, frozenset):
+            return new_cells
+        return frozenset(new_cells.tolist())

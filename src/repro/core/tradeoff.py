@@ -136,9 +136,22 @@ class TradeoffExplorer:
     ) -> Dict[Tuple[int, int], RetentionProfile]:
         profiler = BruteForceProfiler(patterns=self.patterns, iterations=self.iterations)
         profiles: Dict[Tuple[int, int], RetentionProfile] = {}
+        # Grid points re-test "the same physical chip", so reuse one device
+        # and reset() it between points instead of paying weak-tail sampling
+        # + DPD + VRT construction per grid cell.  reset() replays a freshly
+        # constructed chip exactly, so results are unchanged; devices
+        # without reset() (custom factories) fall back to reconstruction.
+        device = None
         for j, d_temp in enumerate(delta_temperatures):
             for i, d_trefi in enumerate(delta_trefis):
-                device = self.device_factory()
+                if device is None:
+                    device = self.device_factory()
+                else:
+                    reset = getattr(device, "reset", None)
+                    if callable(reset):
+                        reset()
+                    else:
+                        device = self.device_factory()
                 conditions = Conditions(
                     trefi=base.trefi + d_trefi,
                     temperature=base.temperature + d_temp,
@@ -161,6 +174,20 @@ class TradeoffExplorer:
         for grid in (delta_trefis, delta_temperatures):
             if not grid or grid[0] != 0.0 or list(grid) != sorted(grid):
                 raise ConfigurationError("delta grids must start at 0 and be ascending")
+            diffs = np.diff(grid)
+            if np.any(diffs <= 0.0):
+                raise ConfigurationError(
+                    f"delta grid {tuple(grid)!r} contains duplicate values; "
+                    "grids must be strictly ascending"
+                )
+            # Pairwise differences of grid values must land back on the
+            # grid, otherwise the snap-to-nearest below merges samples into
+            # the wrong delta bucket -- that requires uniform spacing.
+            if diffs.size and not np.allclose(diffs, diffs[0], rtol=1e-9, atol=1e-12):
+                raise ConfigurationError(
+                    f"delta grid {tuple(grid)!r} is not uniformly spaced; "
+                    "pairwise deltas would not land on the grid"
+                )
         profiles = self._profile_grid(base, delta_trefis, delta_temperatures)
 
         samples: Dict[Tuple[float, float], Dict[str, List[float]]] = {}

@@ -74,6 +74,10 @@ class SimulatedDRAMChip:
         Highest ambient temperature the chip will be operated at.
     temperature_c:
         Initial ambient temperature.
+    fast_path:
+        Enable the memoized marginal-band failure evaluation in
+        :class:`~repro.dram.cell.WeakCellPopulation` (byte-identical to the
+        reference path); ``None`` resolves the process-wide default.
     """
 
     def __init__(
@@ -86,6 +90,7 @@ class SimulatedDRAMChip:
         max_trefi_s: float = 2.6,
         max_temperature_c: float = MAX_SUPPORTED_TEMPERATURE_C,
         temperature_c: float = REFERENCE_TEMPERATURE_C,
+        fast_path: Optional[bool] = None,
     ) -> None:
         if max_trefi_s <= 0.0:
             raise ConfigurationError(f"max_trefi_s must be positive, got {max_trefi_s!r}")
@@ -117,6 +122,9 @@ class SimulatedDRAMChip:
         self._max_trefi_s = float(max_trefi_s)
         self._max_temperature_c = float(max_temperature_c)
         self._temperature_c = float(temperature_c)
+        self._initial_temperature_c = float(temperature_c)
+        self._external_clock = clock is not None
+        self._fast_path = fast_path
 
         # Weak-tail horizon in reference-temperature space: hotter operation
         # shrinks retention times, pulling more of the tail below max_trefi.
@@ -140,7 +148,7 @@ class SimulatedDRAMChip:
             orientation=sample.orientation,
             bits_per_row=geometry.bits_per_row,
         )
-        self.population = WeakCellPopulation(sample, vendor, dpd)
+        self.population = WeakCellPopulation(sample, vendor, dpd, fast_path=fast_path)
         self.vrt = VRTProcess(
             vendor=vendor,
             capacity_bits=geometry.capacity_bits,
@@ -194,11 +202,25 @@ class SimulatedDRAMChip:
     # Command interface
     # ------------------------------------------------------------------
     def set_temperature(self, temperature_c: float) -> None:
-        """Change the ambient temperature the chip operates at."""
+        """Change the ambient temperature the chip operates at.
+
+        Refused while refresh is disabled: a mid-exposure change would make
+        the whole exposure evaluate at the final temperature (reads apply a
+        single :meth:`~repro.dram.vendor.VendorModel.retention_scale`), which
+        silently misattributes the accumulated leakage.  The paper's
+        methodology changes ambient temperature only between tests; enable
+        refresh (ending the exposure) before changing it.
+        """
         if temperature_c > self._max_temperature_c:
             raise ConfigurationError(
                 f"temperature {temperature_c!r} exceeds the chip's configured maximum "
                 f"{self._max_temperature_c!r}; reconstruct with a larger max_temperature_c"
+            )
+        if not self._refresh_enabled:
+            raise CommandSequenceError(
+                "cannot change temperature while refresh is disabled: the "
+                "in-progress retention exposure would be evaluated entirely at "
+                "the new temperature; enable refresh first"
             )
         self._sync_vrt()
         self._temperature_c = float(temperature_c)
@@ -249,6 +271,56 @@ class SimulatedDRAMChip:
         """
         self._sync_vrt()
 
+    def error_index_space(self) -> np.ndarray:
+        """Sorted flat indices every :meth:`read_errors` cell can come from.
+
+        VRT episodes can strike anywhere in the array, so this is *not* a
+        guarantee -- it is the weak tail that covers the overwhelming
+        majority of observations, letting profilers accumulate observed
+        cells in a dense boolean mask with a sparse overflow for the rest
+        (see :class:`repro.core.device.ObservedCellAccumulator`).
+        """
+        return self.population.indices
+
+    def reset(self) -> "SimulatedDRAMChip":
+        """Return the chip to its just-constructed state, in place.
+
+        Re-derives every RNG stream from (seed, chip_id), recreates the VRT
+        process, clears DPD and fast-path caches, starts a fresh private
+        clock and command trace, restores the initial temperature, and
+        re-enables refresh.  A reset chip replays *exactly* the command
+        responses of a newly constructed one -- which is what lets
+        :class:`~repro.core.tradeoff.TradeoffExplorer` reuse one chip across
+        grid points instead of paying weak-tail sampling per point.  Refused
+        for chips on a shared external clock (a reset would rewind time for
+        every other chip on it).
+        """
+        if self._external_clock:
+            raise CommandSequenceError(
+                "cannot reset a chip driven by a shared external clock; "
+                "reconstruct the module instead"
+            )
+        self.clock = SimClock()
+        self.trace = CommandTrace()
+        self.population.dpd.reset(rng_mod.derive(self.seed, "dpd", self.chip_id))
+        self.population.invalidate_fast_cache()
+        self.vrt = VRTProcess(
+            vendor=self.vendor,
+            capacity_bits=self.geometry.capacity_bits,
+            horizon_s=self._max_trefi_s,
+            rng=rng_mod.derive(self.seed, "vrt", self.chip_id),
+            start_time_s=self.clock.now,
+        )
+        self._read_rng = rng_mod.derive(self.seed, "read", self.chip_id)
+        self._temperature_c = self._initial_temperature_c
+        self._pattern = None
+        self._alignment = None
+        self._stressed = None
+        self._refresh_enabled = True
+        self._disable_time = None
+        self._frozen_exposure = 0.0
+        return self
+
     def current_exposure(self) -> float:
         """Retention exposure the next read-out would test against."""
         if not self._refresh_enabled and self._disable_time is not None:
@@ -280,9 +352,16 @@ class SimulatedDRAMChip:
             self._alignment,
             self._read_rng,
             stressed=self._stressed,
+            pattern_key=self._pattern.key,
+            stochastic=self._pattern.stochastic,
         )
         vrt = self.vrt.failing_cells(self.clock.now, exposure)
-        failures = np.union1d(static, vrt)
+        if len(vrt) == 0:
+            # ``static`` is already sorted and unique (a boolean mask over
+            # the sorted weak-cell indices), so the union is the identity.
+            failures = static
+        else:
+            failures = np.union1d(static, vrt)
         # Reading through the sense amplifiers restores the cells.
         if not self._refresh_enabled:
             self._disable_time = self.clock.now

@@ -29,7 +29,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ProfilingError
 from ..patterns import DataPattern
 
 
@@ -89,38 +89,90 @@ class DPDModel:
     def alignment(self, pattern: DataPattern, fresh: bool = False) -> np.ndarray:
         """Alignment vector of ``pattern`` across all cells.
 
-        For stochastic (random-data) patterns a new vector is drawn on every
-        call with ``fresh=True`` (i.e. on every write); repeated calls with
-        ``fresh=False`` return the draw from the most recent write.
+        With ``fresh=True`` (a write) a new vector is drawn for stochastic
+        patterns and the deterministic vector is drawn on first use; with
+        ``fresh=False`` (a read-only query) the call returns the draw from
+        the most recent write and is strictly side-effect-free.  Querying a
+        pattern that has never been written raises
+        :class:`~repro.errors.ProfilingError` -- the alternative (drawing
+        from the chip RNG as a side effect of an inspection) would perturb
+        every subsequent stochastic draw and break the determinism contract
+        that identically-configured chips replay identical failures.
         """
         a, b = pattern.alignment_beta
-        if pattern.stochastic:
-            if fresh or pattern.key not in self._cached:
-                draw = self._rng.beta(a, b, size=self.n_cells) * self._random_cap
+        if fresh:
+            if pattern.stochastic:
+                draw = self._draw_beta(a, b) * self._random_cap
                 self._cached[pattern.key] = draw
+            elif pattern.key not in self._cached:
+                self._cached[pattern.key] = self._rng.beta(a, b, size=self.n_cells)
             return self._cached[pattern.key]
         if pattern.key not in self._cached:
-            self._cached[pattern.key] = self._rng.beta(a, b, size=self.n_cells)
+            raise ProfilingError(
+                f"no alignment for pattern {pattern.key!r}: it has never been "
+                "written to this chip (query paths must not draw DPD state; "
+                "write the pattern first or call excite())"
+            )
         return self._cached[pattern.key]
+
+    def _draw_beta(self, a: float, b: float) -> np.ndarray:
+        """One Beta(a, b) draw per cell.
+
+        Stochastic patterns redraw this on *every* write, so it sits on the
+        profiling hot path.  ``Beta(2, 2)`` -- the random pattern family --
+        is the distribution of the median of three iid uniforms (the
+        order-statistic identity ``Beta(k, n-k+1) = k``-th smallest of ``n``
+        uniforms), and a branchless exact median of three uniform vectors
+        costs a fraction of the generic rejection sampler.  Other shapes
+        fall back to the generator's Beta sampler.
+        """
+        if a == 2.0 and b == 2.0:
+            u = self._rng.random((3, self.n_cells))
+            return np.maximum(
+                np.minimum(u[0], u[1]),
+                np.minimum(np.maximum(u[0], u[1]), u[2]),
+            )
+        return self._rng.beta(a, b, size=self.n_cells)
 
     def stress_mask(self, pattern: DataPattern, fresh: bool = False) -> np.ndarray:
         """Per-cell mask: 1 where ``pattern`` stores the cell's charged value.
 
         Without orientation information (standalone DPD models in tests)
         every cell counts as stressed.  For the random pattern the stored
-        bits -- and hence the mask -- are redrawn on every write.
+        bits -- and hence the mask -- are redrawn on every write
+        (``fresh=True``); querying a never-written stochastic pattern with
+        ``fresh=False`` raises :class:`~repro.errors.ProfilingError` rather
+        than drawing from the chip RNG as a query side effect.  Deterministic
+        masks involve no RNG and are computed (and cached) on demand.
         """
         if self._orientation is None:
             return np.ones(self.n_cells)
         if pattern.stochastic:
-            if fresh or pattern.key not in self._stress_cached:
+            if fresh:
                 bits = pattern.bits_at(self._rows, self._cols, self._bits_per_row, self._rng)
                 self._stress_cached[pattern.key] = (bits == self._orientation).astype(float)
+            elif pattern.key not in self._stress_cached:
+                raise ProfilingError(
+                    f"no stress mask for stochastic pattern {pattern.key!r}: it has "
+                    "never been written to this chip (query paths must not draw "
+                    "DPD state; write the pattern first or call excite())"
+                )
             return self._stress_cached[pattern.key]
         if pattern.key not in self._stress_cached:
             bits = pattern.bits_at(self._rows, self._cols, self._bits_per_row)
             self._stress_cached[pattern.key] = (bits == self._orientation).astype(float)
         return self._stress_cached[pattern.key]
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Return the model to its just-constructed state.
+
+        Drops every cached alignment and stress mask and replaces the
+        generator with ``rng`` (a freshly re-derived stream), so a reset
+        chip replays exactly the draws a newly constructed one would make.
+        """
+        self._rng = rng
+        self._cached.clear()
+        self._stress_cached.clear()
 
     def excite(self, pattern: DataPattern) -> "tuple[np.ndarray, np.ndarray]":
         """One write's DPD state: (alignment, stress mask), fresh draws for

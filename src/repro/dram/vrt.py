@@ -92,6 +92,7 @@ class VRTProcess:
         self._time_s = float(start_time_s)
         self._blocks: List[_EpisodeBlock] = []
         self._compacted: _EpisodeBlock = _empty_block()
+        self._rate_memo: dict = {}
 
     # ------------------------------------------------------------------
     # Time evolution
@@ -117,9 +118,12 @@ class VRTProcess:
         dt_s = time_s - self._time_s
         if dt_s == 0.0:
             return
-        rate_per_hour = self._vendor.vrt_arrival_rate_per_hour(
-            self._horizon_s, self._capacity_gbit, temperature_c
-        )
+        rate_per_hour = self._rate_memo.get(temperature_c)
+        if rate_per_hour is None:
+            rate_per_hour = self._vendor.vrt_arrival_rate_per_hour(
+                self._horizon_s, self._capacity_gbit, temperature_c
+            )
+            self._rate_memo[temperature_c] = rate_per_hour
         expected = rate_per_hour * dt_s / _SECONDS_PER_HOUR
         count = int(self._rng.poisson(expected))
         if count > 0:
@@ -182,7 +186,10 @@ class VRTProcess:
             & (episodes.end_s > now_s)
             & (episodes.mu_low_s < exposure_s)
         )
-        return np.unique(episodes.cell_index[mask])
+        failing = episodes.cell_index[mask]
+        if failing.size == 0:
+            return failing
+        return np.unique(failing)
 
     def episodes_overlapping(
         self, window_start_s: float, window_end_s: float, exposure_s: float

@@ -51,11 +51,14 @@ class TestBed:
         seed: int = rng_mod.DEFAULT_SEED,
         max_trefi_s: float = 2.6,
         max_temperature_c: float = 60.0,
+        fast_path: Optional[bool] = None,
     ) -> "TestBed":
         """Populate a testbed with chips from each vendor.
 
         ``max_temperature_c`` defaults above the chamber range (40-55 degC)
         so chips never reject a temperature the chamber can legally reach.
+        ``fast_path`` selects the chips' failure-evaluation mode
+        (byte-identical either way; ``None`` = process default).
         """
         bed = cls(seed=seed)
         chosen = list(vendors) if vendors is not None else list(VENDORS.values())
@@ -71,6 +74,7 @@ class TestBed:
                         clock=bed.clock,
                         max_trefi_s=max_trefi_s,
                         max_temperature_c=max_temperature_c,
+                        fast_path=fast_path,
                     )
                 )
                 chip_id += 1
@@ -85,6 +89,7 @@ class TestBed:
         seed: int = rng_mod.DEFAULT_SEED,
         max_trefi_s: float = 2.6,
         max_temperature_c: float = 60.0,
+        fast_path: Optional[bool] = None,
     ) -> "TestBed":
         """Build a one-chip testbed for the chip with global id ``chip_id``.
 
@@ -104,6 +109,7 @@ class TestBed:
                 clock=bed.clock,
                 max_trefi_s=max_trefi_s,
                 max_temperature_c=max_temperature_c,
+                fast_path=fast_path,
             ),
             placement_offset=cls.placement_offset(seed, chip_id),
         )

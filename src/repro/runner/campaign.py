@@ -90,6 +90,7 @@ def build_chip_units(
     intervals_s: Sequence[float],
     temperatures_c: Sequence[float],
     vendor_names: Optional[Sequence[str]] = None,
+    fast_path: Optional[bool] = None,
 ) -> Tuple[WorkUnit, ...]:
     """One work unit per chip, ids and chip numbering matching a full bed.
 
@@ -97,6 +98,12 @@ def build_chip_units(
     like :meth:`repro.infra.testbed.TestBed.build`, so a unit's chip is
     statistically identical to the one the legacy shared-bed campaign would
     have racked in the same slot.
+
+    ``fast_path`` selects the failure-evaluation mode for the measurement
+    worker (``None`` = worker-process default).  Both modes are
+    byte-identical, so the flag is deliberately *not* part of
+    :func:`campaign_fingerprint` -- results from either mode can resume
+    each other's run directories.
     """
     if chips_per_vendor <= 0:
         raise ConfigurationError("chips_per_vendor must be positive")
@@ -122,6 +129,7 @@ def build_chip_units(
                         },
                         "intervals_s": [float(t) for t in intervals_s],
                         "temperatures_c": [float(t) for t in temperatures_c],
+                        **({} if fast_path is None else {"fast_path": bool(fast_path)}),
                     },
                 )
             )
@@ -142,12 +150,14 @@ def measure_chip(payload: Mapping[str, Any]) -> Dict[str, Any]:
     intervals = [float(t) for t in payload["intervals_s"]]
     temperatures = [float(t) for t in payload["temperatures_c"]]
     chip_id = int(payload["chip_id"])
+    fast_path = payload.get("fast_path")
     bed = TestBed.build_single(
         chip_id=chip_id,
         vendor=vendor_by_name(str(payload["vendor"])),
         geometry=geometry,
         seed=int(payload["seed"]),
         max_trefi_s=max(intervals) * TREFI_HEADROOM,
+        fast_path=None if fast_path is None else bool(fast_path),
     )
     chip = bed.chips[0]
     profiler = BruteForceProfiler(iterations=int(payload["iterations"]))

@@ -57,13 +57,46 @@ class TestAlgorithm1:
         assert profile.runtime_seconds == pytest.approx(per_pass * 2 * 3)
 
     def test_idle_gap_extends_runtime(self, chip_factory, target_conditions):
+        """N iterations charge exactly N - 1 idle gaps, none trailing.
+
+        Regression test for the runtime-accounting bug where the gap was
+        also charged after the final iteration, inflating runtime_seconds
+        by one gap per run and skewing the Eq-9 comparisons.
+        """
         fast = BruteForceProfiler(patterns=(CHECKERBOARD,), iterations=2)
         slow = BruteForceProfiler(
             patterns=(CHECKERBOARD,), iterations=2, idle_between_iterations_s=100.0
         )
         t_fast = fast.run(chip_factory(), target_conditions).runtime_seconds
         t_slow = slow.run(chip_factory(), target_conditions).runtime_seconds
-        assert t_slow == pytest.approx(t_fast + 200.0)
+        assert t_slow == pytest.approx(t_fast + 100.0)
+
+    def test_two_iteration_runtime_pinned_with_idle_gap(self, chip_factory, target_conditions):
+        """runtime_seconds for 2 iterations is exactly 2 passes + 1 gap."""
+        chip = chip_factory()
+        idle = 37.5
+        profiler = BruteForceProfiler(
+            patterns=(CHECKERBOARD,), iterations=2, idle_between_iterations_s=idle
+        )
+        profile = profiler.run(chip, target_conditions)
+        per_pass = target_conditions.trefi + 2 * chip.pattern_io_seconds
+        assert profile.runtime_seconds == pytest.approx(2 * per_pass + idle)
+
+    def test_no_idle_gap_after_quiet_streak_stop(self, chip_factory, target_conditions):
+        """A quiet-streak stop ends the run without charging another gap."""
+        chip = chip_factory()
+        idle = 50.0
+        profiler = BruteForceProfiler(
+            patterns=(CHECKERBOARD,),
+            iterations=10,
+            idle_between_iterations_s=idle,
+            stop_after_quiet_iterations=2,
+        )
+        profile = profiler.run(chip, target_conditions)
+        assert profile.iterations < 10
+        per_pass = target_conditions.trefi + 2 * chip.pattern_io_seconds
+        expected = profile.iterations * per_pass + (profile.iterations - 1) * idle
+        assert profile.runtime_seconds == pytest.approx(expected)
 
     def test_profile_target_defaults_to_profiling_conditions(self, chip, target_conditions):
         profile = BruteForceProfiler(iterations=1).run(chip, target_conditions)

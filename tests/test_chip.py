@@ -58,6 +58,27 @@ class TestProtocol:
         start, end = windows[0]
         assert end - start == pytest.approx(0.75)
 
+    def test_set_temperature_mid_exposure_rejected(self, chip):
+        """Temperature changes are refused while refresh is disabled.
+
+        Regression test: previously the chip silently accepted the change
+        and evaluated the *whole* in-progress exposure at the final
+        temperature.  The paper's methodology only changes ambient
+        temperature between tests.
+        """
+        chip.write_pattern(CHECKERBOARD)
+        chip.disable_refresh()
+        chip.wait(0.5)
+        with pytest.raises(CommandSequenceError):
+            chip.set_temperature(50.0)
+        # The exposure is unharmed and the temperature unchanged.
+        assert chip.temperature_c == pytest.approx(45.0)
+        chip.enable_refresh()
+        chip.read_errors()
+        # Between tests (refresh enabled) the change is legal again.
+        chip.set_temperature(50.0)
+        assert chip.temperature_c == pytest.approx(50.0)
+
 
 class TestTimeAccounting:
     def test_write_costs_io_time(self, chip):

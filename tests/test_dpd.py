@@ -5,7 +5,7 @@ import pytest
 
 from repro import rng as rng_mod
 from repro.dram.dpd import DPDModel
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProfilingError
 from repro.patterns import CHECKERBOARD, RANDOM, SOLID_ZERO
 
 
@@ -18,19 +18,25 @@ def make_model(n_cells=500, cap=0.97, seed=3):
 class TestAlignment:
     def test_alignment_in_unit_interval(self):
         model = make_model()
-        a = model.alignment(CHECKERBOARD)
+        a = model.alignment(CHECKERBOARD, fresh=True)
         assert np.all(a >= 0.0) and np.all(a <= 1.0)
 
     def test_deterministic_pattern_alignment_cached(self):
         model = make_model()
-        a1 = model.alignment(CHECKERBOARD)
+        a1 = model.alignment(CHECKERBOARD, fresh=True)
         a2 = model.alignment(CHECKERBOARD)
+        assert np.array_equal(a1, a2)
+
+    def test_deterministic_pattern_stable_across_writes(self):
+        model = make_model()
+        a1 = model.alignment(CHECKERBOARD, fresh=True)
+        a2 = model.alignment(CHECKERBOARD, fresh=True)
         assert np.array_equal(a1, a2)
 
     def test_inverse_pattern_has_own_alignment(self):
         model = make_model()
-        a = model.alignment(CHECKERBOARD)
-        inv = model.alignment(CHECKERBOARD.inverse)
+        a = model.alignment(CHECKERBOARD, fresh=True)
+        inv = model.alignment(CHECKERBOARD.inverse, fresh=True)
         assert not np.array_equal(a, inv)
 
     def test_random_pattern_redraws_on_fresh(self):
@@ -53,8 +59,43 @@ class TestAlignment:
 
     def test_deterministic_patterns_can_exceed_random_cap(self):
         model = make_model(n_cells=20000, cap=0.5)
-        a = model.alignment(SOLID_ZERO)
+        a = model.alignment(SOLID_ZERO, fresh=True)
         assert np.any(a > 0.5)
+
+
+class TestQueryPurity:
+    """Read-only DPD queries must not draw RNG state (the determinism bug)."""
+
+    def test_unwritten_alignment_query_raises(self):
+        model = make_model()
+        with pytest.raises(ProfilingError):
+            model.alignment(CHECKERBOARD)
+
+    def test_unwritten_stochastic_query_raises(self):
+        model = make_model()
+        with pytest.raises(ProfilingError):
+            model.alignment(RANDOM)
+
+    def test_failed_query_does_not_perturb_rng_stream(self):
+        """Inspecting an unwritten pattern leaves future draws unchanged."""
+        pristine = make_model()
+        inspected = make_model()
+        with pytest.raises(ProfilingError):
+            inspected.alignment(CHECKERBOARD)
+        with pytest.raises(ProfilingError):
+            inspected.alignment(RANDOM)
+        a1 = pristine.alignment(RANDOM, fresh=True)
+        a2 = inspected.alignment(RANDOM, fresh=True)
+        assert np.array_equal(a1, a2)
+
+    def test_reset_replays_construction_draws(self):
+        model = make_model(seed=9)
+        first = model.alignment(RANDOM, fresh=True).copy()
+        model.alignment(RANDOM, fresh=True)  # advance the stream
+        model.reset(rng_mod.derive(9, "dpd-align"))
+        with pytest.raises(ProfilingError):
+            model.alignment(RANDOM)  # caches were dropped
+        assert np.array_equal(model.alignment(RANDOM, fresh=True), first)
 
 
 class TestEffectiveRetention:

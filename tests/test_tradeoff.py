@@ -91,6 +91,68 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             explorer.explore(Conditions(trefi=0.5), delta_trefis=[0.1, 0.2])
 
+    def test_non_uniform_grid_rejected(self, chip_factory):
+        """Regression test: a non-uniform grid used to be accepted and
+        silently snapped pairwise deltas into the wrong bucket."""
+        explorer = TradeoffExplorer(device_factory=chip_factory, iterations=2)
+        with pytest.raises(ConfigurationError):
+            explorer.explore(Conditions(trefi=0.5), delta_trefis=[0.0, 0.25, 1.0])
+        with pytest.raises(ConfigurationError):
+            explorer.explore(
+                Conditions(trefi=0.5),
+                delta_trefis=[0.0, 0.25],
+                delta_temperatures=[0.0, 5.0, 7.0],
+            )
+
+    def test_duplicate_grid_values_rejected(self, chip_factory):
+        explorer = TradeoffExplorer(device_factory=chip_factory, iterations=2)
+        with pytest.raises(ConfigurationError):
+            explorer.explore(Conditions(trefi=0.5), delta_trefis=[0.0, 0.25, 0.25])
+
     def test_bad_coverage_target_rejected(self, chip_factory):
         with pytest.raises(ConfigurationError):
             TradeoffExplorer(device_factory=chip_factory, coverage_target=0.0)
+
+
+class TestDeviceReuse:
+    def test_reused_device_matches_fresh_devices(self):
+        """One reset() chip across the grid equals a fresh chip per point."""
+        from repro.dram.chip import SimulatedDRAMChip
+
+        class CountingFactory:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self):
+                self.calls += 1
+                return SimulatedDRAMChip(
+                    geometry=TINY_GEOMETRY, seed=TEST_SEED, max_trefi_s=2.0
+                )
+
+        class NoResetChip:
+            """Hides reset() so the explorer falls back to reconstruction."""
+
+            def __init__(self, chip):
+                self._chip = chip
+
+            def __getattr__(self, name):
+                if name == "reset":
+                    raise AttributeError(name)
+                return getattr(self._chip, name)
+
+        reused_factory = CountingFactory()
+        fresh_factory = CountingFactory()
+        explorer_kwargs = dict(iterations=2)
+        base = Conditions(trefi=0.768, temperature=45.0)
+        grids = dict(delta_trefis=[0.0, 0.25], delta_temperatures=[0.0, 5.0])
+
+        reused = TradeoffExplorer(device_factory=reused_factory, **explorer_kwargs).explore(
+            base, **grids
+        )
+        fresh = TradeoffExplorer(
+            device_factory=lambda: NoResetChip(fresh_factory()), **explorer_kwargs
+        ).explore(base, **grids)
+
+        assert reused_factory.calls == 1
+        assert fresh_factory.calls == 4
+        assert reused.cells == fresh.cells
