@@ -1,0 +1,192 @@
+"""Observability overhead benchmark: profiling hot path with metrics on.
+
+Times the standard profiling workload (Algorithm 1, fast path) with the
+observability layer disabled and enabled in its ``--metrics``
+configuration (process-wide registry recording, no event file), and
+verifies both that the profiles stay *byte-identical* (the
+zero-perturbation contract) and that the enabled-instrumentation overhead
+stays under ``--max-overhead`` (default 5%).  Instrumentation sits at
+command/iteration granularity, never inside the vectorized cell loops, so
+the expected overhead is low single digits of a percent.
+
+Measurement methodology, chosen to survive noisy shared runners:
+
+* every timed sample is a fixed number of back-to-back runs on a *fresh*
+  chip (same seed), after one untimed warmup run -- the simulation is
+  deterministic, so every sample of both modes times the exact same work;
+* samples use CPU time (``time.process_time``), which a co-tenant
+  stealing the core cannot inflate the way wall time is inflated;
+* each round measures an (off, on) pair in alternating order and the
+  reported overhead is the **ratio of the per-mode minima** -- the
+  fastest observed sample is the closest estimate of the true cost, and
+  co-tenant noise can only inflate samples, never deflate them, so extra
+  rounds monotonically sharpen the estimate;
+* if the reading still exceeds the gate after the requested rounds,
+  extra rounds (bounded) keep sampling -- noise gets more chances to
+  land a clean sample, while a real regression stays above the gate.
+
+Emits ``BENCH_obs_overhead.json`` at the repository root plus a
+human-readable report under ``benchmarks/results/``.
+
+Run standalone (CI uses ``--rounds 3 --max-overhead 0.05``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+Exits non-zero if the profiles diverge or the overhead exceeds the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.conditions import Conditions  # noqa: E402
+from repro.core import BruteForceProfiler  # noqa: E402
+from repro.dram.chip import SimulatedDRAMChip  # noqa: E402
+from repro.dram.geometry import ChipGeometry  # noqa: E402
+from repro.patterns import STANDARD_PATTERNS  # noqa: E402
+
+GEOMETRY = ChipGeometry.from_capacity_gigabits(4.0)
+CONDITIONS = Conditions(trefi=1.024, temperature=45.0)
+ITERATIONS = 8
+REPEATS = 3
+SEED = 7
+DEFAULT_OUT = REPO_ROOT / "BENCH_obs_overhead.json"
+REPORT_PATH = REPO_ROOT / "benchmarks" / "results" / "obs_overhead.txt"
+
+
+def run_benchmark(rounds: int, gate: float = None, max_rounds: int = None):
+    """Measure (off seconds, on seconds, overhead, equivalent, rounds).
+
+    See the module docstring for the methodology.  ``gate`` triggers
+    adaptive extra rounds (up to ``max_rounds``, default ``4 * rounds``)
+    while the median overhead sits above it.
+    """
+    if max_rounds is None:
+        max_rounds = rounds * 4
+    profiler = BruteForceProfiler(patterns=STANDARD_PATTERNS, iterations=ITERATIONS)
+
+    def one_sample(mode: bool):
+        chip = SimulatedDRAMChip(geometry=GEOMETRY, seed=SEED, fast_path=True)
+        if mode:
+            obs.reset()
+            obs.enable()
+        try:
+            profiler.run(chip, CONDITIONS)  # untimed: lazy init, caches
+            gc.collect()
+            start = time.process_time()
+            for _ in range(REPEATS):
+                profile = profiler.run(chip, CONDITIONS)
+            return (time.process_time() - start) / REPEATS, profile
+        finally:
+            if mode:
+                obs.disable()
+                obs.reset()
+
+    samples = {False: [], True: []}
+    equivalent = True
+    completed = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while True:
+            order = (False, True) if completed % 2 == 0 else (True, False)
+            times, profiles = {}, {}
+            for mode in order:
+                times[mode], profiles[mode] = one_sample(mode)
+                samples[mode].append(times[mode])
+            equivalent = (
+                equivalent and profiles[False].to_json() == profiles[True].to_json()
+            )
+            completed += 1
+            overhead = min(samples[True]) / min(samples[False]) - 1.0
+            if completed >= rounds and (
+                gate is None or overhead <= gate or completed >= max_rounds
+            ):
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    off_seconds = min(samples[False])
+    on_seconds = min(samples[True])
+    return off_seconds, on_seconds, on_seconds / off_seconds - 1.0, equivalent, completed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5, help="off/on round pairs (median-of)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="exit non-zero if enabled-instrumentation overhead exceeds this fraction",
+    )
+    args = parser.parse_args(argv)
+
+    passes = ITERATIONS * len(STANDARD_PATTERNS)
+    off_seconds, on_seconds, overhead, equivalent, rounds_run = run_benchmark(
+        args.rounds, gate=args.max_overhead
+    )
+
+    result = {
+        "benchmark": "obs_overhead",
+        "config": {
+            "capacity_gigabits": GEOMETRY.capacity_gigabits,
+            "patterns": len(STANDARD_PATTERNS),
+            "iterations": ITERATIONS,
+            "trefi_s": CONDITIONS.trefi,
+            "temperature_c": CONDITIONS.temperature,
+            "rounds_requested": args.rounds,
+            "rounds_run": rounds_run,
+            "repeats_per_sample": REPEATS,
+            "seed": SEED,
+            "max_overhead": args.max_overhead,
+        },
+        "disabled": {"cpu_seconds": off_seconds, "passes_per_s": passes / off_seconds},
+        "enabled": {"cpu_seconds": on_seconds, "passes_per_s": passes / on_seconds},
+        "overhead_fraction": overhead,
+        "equivalent": equivalent,
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+
+    report = "\n".join(
+        [
+            "Observability overhead on the profiling hot path",
+            f"  workload    : {ITERATIONS} iterations x {len(STANDARD_PATTERNS)} patterns "
+            f"({passes} passes), {GEOMETRY.capacity_gigabits:g} Gbit chip, "
+            f"trefi={CONDITIONS.trefi}s",
+            f"  obs off     : {off_seconds:.3f}s CPU  ({passes / off_seconds:,.0f} passes/s)",
+            f"  obs on      : {on_seconds:.3f}s CPU  ({passes / on_seconds:,.0f} passes/s)",
+            f"  overhead    : {overhead:+.2%} (gate {args.max_overhead:.0%}, "
+            f"best of {rounds_run} rounds)",
+            f"  byte-identical profiles: {equivalent}",
+            f"  json        : {args.out}",
+        ]
+    )
+    REPORT_PATH.parent.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(report + "\n")
+    print(report)
+
+    if not equivalent:
+        print("FAIL: instrumented profile differs from the baseline profile", file=sys.stderr)
+        return 1
+    if overhead > args.max_overhead:
+        print(
+            f"FAIL: overhead {overhead:.2%} above allowed {args.max_overhead:.2%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

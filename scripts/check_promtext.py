@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus/OpenMetrics text exposition file.
+
+A deliberately small checker for CI: verifies that every line of the
+exposition is either a well-formed comment (``# TYPE|HELP|UNIT ...``) or a
+well-formed sample (``name{label="value",...} number``), that the document
+ends with the OpenMetrics ``# EOF`` terminator, and that each ``# TYPE``
+appears at most once per metric name.  It is a grammar check, not a full
+OpenMetrics validator -- enough to catch a malformed exporter before a real
+scraper does.
+
+Usage::
+
+    python scripts/check_promtext.py <file> [<file> ...]
+
+Exits non-zero on the first violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+COMMENT = re.compile(r"^# (TYPE|HELP|UNIT) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$")
+SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" -?([0-9][0-9.eE+\-]*|\.[0-9]+|NaN|\+Inf|-Inf)$"
+)
+
+
+def check_file(path: str) -> int:
+    """Returns the number of sample lines; raises ValueError on violation."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError(f"{path}: missing trailing '# EOF' terminator")
+    samples = 0
+    typed = set()
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise ValueError(f"{path}:{lineno}: empty line inside exposition")
+        if line.startswith("#"):
+            if not COMMENT.match(line):
+                raise ValueError(f"{path}:{lineno}: malformed comment: {line!r}")
+            kind, name = line.split(" ", 3)[1:3]
+            if kind == "TYPE":
+                if name in typed:
+                    raise ValueError(f"{path}:{lineno}: duplicate TYPE for {name}")
+                typed.add(name)
+            continue
+        if not SAMPLE.match(line):
+            raise ValueError(f"{path}:{lineno}: malformed sample: {line!r}")
+        samples += 1
+    if not samples:
+        raise ValueError(f"{path}: no sample lines")
+    return samples
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv:
+        try:
+            samples = check_file(path)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(f"ok: {path} ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

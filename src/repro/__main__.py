@@ -8,11 +8,15 @@ Examples::
     python -m repro longevity --capacity-gb 2 --ecc SECDED --trefi 1.024
     python -m repro campaign --chips-per-vendor 8 --workers 4 \
         --run-dir runs/campaign --resume --progress --metrics
+    python -m repro obs runs/campaign
+    python -m repro obs runs/campaign --export prometheus
+    python -m repro obs --compare runs/campaign-a runs/campaign-b
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .conditions import Conditions, ReachDelta
@@ -141,6 +145,29 @@ def cmd_campaign(args) -> int:
     return 0 if not summary.failed_units else 1
 
 
+def cmd_obs(args) -> int:
+    from .obs import analyze
+    from pathlib import Path
+
+    if args.compare:
+        run_a, run_b = (analyze.load_run(d) for d in args.compare)
+        print(analyze.compare_runs(run_a, run_b))
+        return 0
+    if args.run_dir is None:
+        print("error: pass a run directory or --compare RUN_A RUN_B", file=sys.stderr)
+        return 2
+    run = analyze.load_run(args.run_dir)
+    if args.export:
+        default_name, content = analyze.export_run(run, args.export)
+        out = Path(args.out) if args.out else run.run_dir / default_name
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(content, encoding="utf-8")
+        print(f"wrote {out}")
+        return 0
+    print(analyze.summarize_run(run))
+    return 0
+
+
 def cmd_export(args) -> int:
     from .analysis.export import export_all
 
@@ -212,8 +239,37 @@ def main(argv=None) -> int:
     )
     p_camp.set_defaults(func=cmd_campaign)
 
+    p_obs = sub.add_parser(
+        "obs", help="analyze a campaign run directory's recorded telemetry"
+    )
+    p_obs.add_argument(
+        "run_dir", nargs="?", default=None,
+        help="run directory to summarize (results.jsonl + events.jsonl + metrics.json)",
+    )
+    p_obs.add_argument(
+        "--compare", nargs=2, metavar=("RUN_A", "RUN_B"), default=None,
+        help="compare two run directories (A = baseline) instead of summarizing one",
+    )
+    p_obs.add_argument(
+        "--export", choices=["prometheus", "chrome-trace", "html"], default=None,
+        help="write an export instead of the text summary",
+    )
+    p_obs.add_argument(
+        "--out", default=None,
+        help="export output path (default: a standard name inside the run dir)",
+    )
+    p_obs.set_defaults(func=cmd_obs)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `... obs RUN | head`); the
+        # truncated output is exactly what the pipe asked for.  Detach so
+        # the interpreter's shutdown flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

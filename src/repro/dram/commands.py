@@ -47,6 +47,27 @@ class CommandTrace:
     """An append-only log of commands issued to a chip."""
 
     records: List[CommandRecord] = field(default_factory=list)
+    #: Memoized (registry, generation, {command: (counter, histogram)}).
+    #: This is the hottest instrumentation site in the simulator (every
+    #: command on every chip), so series handles are resolved once per
+    #: command kind and reused until the active registry changes (a
+    #: worker-side ``obs.capture()``) or is reset (generation bump).
+    _obs_series: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    def _series_for(self, command: Command):
+        registry = obs.get().metrics
+        cache = self._obs_series
+        if cache is None or cache[0] is not registry or cache[1] != registry.generation:
+            cache = (registry, registry.generation, {})
+            self._obs_series = cache
+        pair = cache[2].get(command)
+        if pair is None:
+            pair = (
+                registry.series(obs.Counter, "chip.commands", {"command": command.value}),
+                registry.series(obs.Histogram, "chip.sim_seconds", {"command": command.value}),
+            )
+            cache[2][command] = pair
+        return pair
 
     def append(self, time: float, command: Command, detail: str = "") -> None:
         # Observability piggybacks on the trace: each record's timestamp is
@@ -56,13 +77,10 @@ class CommandTrace:
         # only to the command count.  Pure observation -- recording reads
         # the trace, never alters it.
         if obs.enabled():
-            obs.counter("chip.commands", command=command.value)
+            command_counter, sim_seconds = self._series_for(command)
+            command_counter.inc()
             if self.records:
-                obs.observe(
-                    "chip.sim_seconds",
-                    time - self.records[-1].time,
-                    command=command.value,
-                )
+                sim_seconds.observe(time - self.records[-1].time)
         self.records.append(CommandRecord(time=time, command=command, detail=detail))
 
     def __len__(self) -> int:

@@ -45,13 +45,21 @@ import contextlib
 import os
 from typing import Any, Dict, Iterator, List, Optional, Union
 
-from .events import JsonlEventSink, ListEventSink, NullEventSink
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .events import BufferedEventSink, JsonlEventSink, ListEventSink, NullEventSink
+from .export import (
+    load_metrics_json,
+    to_chrome_trace,
+    to_openmetrics,
+    write_metrics_json,
+)
+from .metrics import DEFAULT_BUCKET_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
 from .report import render_report
 from .tracing import Tracer
 
 __all__ = [
+    "BufferedEventSink",
     "Counter",
+    "DEFAULT_BUCKET_BOUNDS",
     "Gauge",
     "Histogram",
     "JsonlEventSink",
@@ -60,6 +68,11 @@ __all__ = [
     "NullEventSink",
     "Observability",
     "Tracer",
+    "capture",
+    "load_metrics_json",
+    "to_chrome_trace",
+    "to_openmetrics",
+    "write_metrics_json",
     "counter",
     "disable",
     "emit",
@@ -87,14 +100,17 @@ class Observability:
         self.tracer = Tracer(self.metrics, self.sink)
 
     # -- recording ------------------------------------------------------
+    # The ``**labels`` mappings go to ``MetricsRegistry.series`` directly
+    # instead of through the kwargs accessors: one dict build per call,
+    # which matters at per-command instrumentation granularity.
     def counter(self, name: str, amount: float = 1.0, **labels: Any) -> None:
-        self.metrics.counter(name, **labels).inc(amount)
+        self.metrics.series(Counter, name, labels).inc(amount)
 
     def gauge(self, name: str, value: float, **labels: Any) -> None:
-        self.metrics.gauge(name, **labels).set(value)
+        self.metrics.series(Gauge, name, labels).set(value)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
-        self.metrics.histogram(name, **labels).observe(value)
+        self.metrics.series(Histogram, name, labels).observe(value)
 
     def span(self, name: str, **attrs: Any):
         return self.tracer.span(name, **attrs)
@@ -104,19 +120,33 @@ class Observability:
 
     # -- sinks ----------------------------------------------------------
     def set_sink(self, sink) -> None:
+        """Swap the event sink, closing the one being replaced.
+
+        The close prevents a leaked open file handle per swap (e.g. a
+        double ``enable(events_path=...)``).  Re-installing the sink that
+        is already active -- as :meth:`sink_to` does when restoring the
+        previous sink -- is a no-op close-wise.
+        """
+        previous = self.sink
         self.sink = sink
         self.tracer.sink = sink
+        if previous is not sink:
+            previous.close()
 
     @contextlib.contextmanager
     def sink_to(self, path: Union[str, os.PathLike]) -> Iterator[JsonlEventSink]:
         """Route events to ``path`` (JSONL, append) for the with-block."""
         sink = JsonlEventSink(path)
         previous = self.sink
-        self.set_sink(sink)
+        self.sink = sink
+        self.tracer.sink = sink
         try:
             yield sink
         finally:
-            self.set_sink(previous)
+            # Restore without set_sink's auto-close: `previous` must come
+            # back alive; the temporary sink is closed explicitly.
+            self.sink = previous
+            self.tracer.sink = previous
             sink.close()
 
     # -- reading --------------------------------------------------------
@@ -139,6 +169,10 @@ _ENABLED = False
 #: Shared no-op context manager handed out by :func:`span` when disabled
 #: (``contextlib.nullcontext`` is reusable and reentrant).
 _NULL_SPAN = contextlib.nullcontext()
+
+#: Shared no-op sink yielded by :func:`sink_to` when disabled, so
+#: ``with obs.sink_to(p) as sink: sink.path`` works either way.
+_NULL_SINK = NullEventSink()
 
 
 def enabled() -> bool:
@@ -163,13 +197,37 @@ def disable() -> None:
     """Stop recording.  Accumulated metrics stay readable via report()."""
     global _ENABLED
     _ENABLED = False
-    _DEFAULT.sink.close()
-    _DEFAULT.set_sink(NullEventSink())
+    _DEFAULT.set_sink(NullEventSink())  # closes whatever sink was attached
 
 
 def get() -> Observability:
     """The process-wide instance (whether or not it is enabled)."""
     return _DEFAULT
+
+
+@contextlib.contextmanager
+def capture() -> Iterator[Observability]:
+    """Record into a fresh, isolated process-default instance.
+
+    The worker half of cross-process telemetry: for the duration of the
+    with-block the process-wide default -- the instance every module-level
+    instrumentation call site targets -- is a fresh :class:`Observability`
+    with a :class:`BufferedEventSink`, and recording is force-enabled.  On
+    exit the previous default and enabled flag come back untouched, so the
+    caller can snapshot the yielded instance (``layer.snapshot()``,
+    ``layer.sink.events``) and ship it across the process boundary.
+
+    Capture is pure observation -- it swaps observability state only, never
+    simulation state -- so it preserves the zero-perturbation contract.
+    """
+    global _DEFAULT, _ENABLED
+    previous = (_DEFAULT, _ENABLED)
+    fresh = Observability(sink=BufferedEventSink())
+    _DEFAULT, _ENABLED = fresh, True
+    try:
+        yield fresh
+    finally:
+        _DEFAULT, _ENABLED = previous
 
 
 # ----------------------------------------------------------------------
@@ -178,17 +236,17 @@ def get() -> Observability:
 # ----------------------------------------------------------------------
 def counter(name: str, amount: float = 1.0, **labels: Any) -> None:
     if _ENABLED:
-        _DEFAULT.counter(name, amount, **labels)
+        _DEFAULT.metrics.series(Counter, name, labels).inc(amount)
 
 
 def gauge(name: str, value: float, **labels: Any) -> None:
     if _ENABLED:
-        _DEFAULT.gauge(name, value, **labels)
+        _DEFAULT.metrics.series(Gauge, name, labels).set(value)
 
 
 def observe(name: str, value: float, **labels: Any) -> None:
     if _ENABLED:
-        _DEFAULT.observe(name, value, **labels)
+        _DEFAULT.metrics.series(Histogram, name, labels).observe(value)
 
 
 def span(name: str, **attrs: Any):
@@ -205,10 +263,12 @@ def emit(event: str, **fields: Any) -> None:
 def sink_to(path: Union[str, os.PathLike]):
     """Route the default instance's events to ``path`` for a with-block.
 
-    A no-op context when the layer is disabled.
+    When the layer is disabled this is a no-op context that still yields
+    a :class:`NullEventSink` (never ``None``), so callers can use the
+    yielded sink identically on both paths.
     """
     if not _ENABLED:
-        return contextlib.nullcontext()
+        return contextlib.nullcontext(_NULL_SINK)
     return _DEFAULT.sink_to(path)
 
 

@@ -1,0 +1,470 @@
+"""Offline run-directory analyzer: make recorded telemetry usable.
+
+The consumer half of cross-process telemetry (``python -m repro obs``).
+Where the live layer records, this module *reads*: given a run directory
+produced by the runner engine --
+
+::
+
+    <run_dir>/
+        manifest.json    # campaign fingerprint + configuration
+        results.jsonl    # one UnitResult row per completion (append-only)
+        events.jsonl     # run event log (spans, unit rows, iterations)
+        metrics.json     # merged metric snapshot written at run end
+
+-- it produces a run summary (unit throughput and latency percentiles,
+retry and failure breakdown, slowest spans, per-chip profiling timeline),
+run-over-run comparison for regression checks, and Prometheus /
+Chrome-trace / HTML exports.
+
+Everything here is tolerant of partial runs: ``events.jsonl`` and
+``metrics.json`` only exist when the run recorded with ``--metrics``, a
+torn trailing line is the signature of a mid-write crash and is skipped,
+and resumed runs -- which append a second ``runner.start`` and re-record
+units whose earlier row was ``failed`` -- analyze with later-row-wins
+semantics, exactly like the result store's resume path.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import json
+import math
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from .export import load_metrics_json, to_chrome_trace, to_openmetrics
+
+#: Run-directory file names (mirrors ``repro.runner.store``; kept literal
+#: here so the offline analyzer does not import the execution stack).
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+EVENTS_NAME = "events.jsonl"
+METRICS_NAME = "metrics.json"
+
+#: ``--export`` format -> default output file name inside the run dir.
+EXPORT_FORMATS = {
+    "prometheus": "metrics.prom",
+    "chrome-trace": "trace.json",
+    "html": "summary.html",
+}
+
+
+@dataclass
+class RunData:
+    """Everything read back from one run directory."""
+
+    run_dir: pathlib.Path
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    #: Raw result rows in append order (re-recorded units appear twice).
+    result_rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: unit_id -> final row (later rows win, matching resume semantics).
+    results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Parsed ``metrics.json`` payload, or ``None`` when the run did not
+    #: record metrics.
+    metrics: Optional[Dict[str, Any]] = None
+    #: Unparseable JSONL lines skipped while loading (crash artifacts).
+    skipped_lines: int = 0
+
+
+def _read_jsonl(path: pathlib.Path) -> Tuple[List[Dict[str, Any]], int]:
+    """Read a JSONL file, skipping unparseable lines (returns rows, skips)."""
+    rows: List[Dict[str, Any]] = []
+    skipped = 0
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if isinstance(row, dict):
+            rows.append(row)
+        else:
+            skipped += 1
+    return rows, skipped
+
+
+def load_run(run_dir: Union[str, os.PathLike]) -> RunData:
+    """Load a run directory for analysis.
+
+    Requires ``results.jsonl`` (the one file every durable run has); the
+    manifest, event log, and metric snapshot are picked up when present.
+    """
+    run_dir = pathlib.Path(run_dir)
+    results_path = run_dir / RESULTS_NAME
+    if not results_path.exists():
+        raise ConfigurationError(
+            f"{run_dir} is not a run directory (no {RESULTS_NAME}); point the "
+            "analyzer at a --run-dir produced by `python -m repro campaign`"
+        )
+    run = RunData(run_dir=run_dir)
+    run.result_rows, run.skipped_lines = _read_jsonl(results_path)
+    for row in run.result_rows:
+        unit_id = str(row.get("unit_id", ""))
+        if unit_id:
+            run.results[unit_id] = row
+
+    manifest_path = run_dir / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if isinstance(manifest, dict):
+                run.manifest = manifest
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            run.skipped_lines += 1
+
+    events_path = run_dir / EVENTS_NAME
+    if events_path.exists():
+        events, skipped = _read_jsonl(events_path)
+        run.events = events
+        run.skipped_lines += skipped
+
+    metrics_path = run_dir / METRICS_NAME
+    if metrics_path.exists():
+        run.metrics = load_metrics_json(metrics_path)
+    return run
+
+
+# ----------------------------------------------------------------------
+# Statistics helpers
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Exact linear-interpolated percentile of a small sample (q in [0,1])."""
+    if not values:
+        return None
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 100.0:
+        return f"{value:.0f}s"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.1f}ms"
+
+
+def _fmt_delta(a: Optional[float], b: Optional[float]) -> str:
+    if a is None or b is None:
+        return "-"
+    if a == 0.0:
+        return "-" if b == 0.0 else "+inf"
+    change = (b - a) / a * 100.0
+    return f"{change:+.1f}%"
+
+
+# ----------------------------------------------------------------------
+# Derived views
+# ----------------------------------------------------------------------
+def unit_latency_stats(run: RunData) -> Dict[str, Optional[float]]:
+    """Latency distribution over the final row of every unit."""
+    elapsed = [float(r.get("elapsed_s", 0.0)) for r in run.results.values()]
+    if not elapsed:
+        return {"count": 0}
+    return {
+        "count": len(elapsed),
+        "mean": sum(elapsed) / len(elapsed),
+        "p50": percentile(elapsed, 0.50),
+        "p95": percentile(elapsed, 0.95),
+        "p99": percentile(elapsed, 0.99),
+        "max": max(elapsed),
+    }
+
+
+def failure_breakdown(run: RunData) -> Dict[str, List[str]]:
+    """error type -> sorted unit ids still failed at their final row."""
+    breakdown: Dict[str, List[str]] = {}
+    for unit_id, row in sorted(run.results.items()):
+        if row.get("status") == "failed":
+            error = row.get("error") or {}
+            breakdown.setdefault(str(error.get("type", "unknown")), []).append(unit_id)
+    return breakdown
+
+
+def throughput_units_per_s(run: RunData) -> Optional[float]:
+    """Completion rate over the observed ``runner.unit`` event window."""
+    stamps = sorted(
+        float(e["ts"]) for e in run.events if e.get("event") == "runner.unit" and "ts" in e
+    )
+    if len(stamps) < 2 or stamps[-1] <= stamps[0]:
+        return None
+    return (len(stamps) - 1) / (stamps[-1] - stamps[0])
+
+
+def slowest_spans(run: RunData, top: int = 5) -> List[Dict[str, Any]]:
+    spans = [e for e in run.events if e.get("event") == "span" and "elapsed_s" in e]
+    spans.sort(key=lambda e: (-float(e["elapsed_s"]), str(e.get("name"))))
+    return spans[:top]
+
+
+def chip_timelines(run: RunData) -> List[Dict[str, Any]]:
+    """Per-chip profiling progress from ``profiler.iteration`` events."""
+    by_chip: Dict[Any, Dict[str, Any]] = {}
+    for event in run.events:
+        if event.get("event") != "profiler.iteration":
+            continue
+        chip = event.get("chip_id")
+        entry = by_chip.setdefault(
+            chip,
+            {"chip_id": chip, "iterations": 0, "new_cells": 0, "first_ts": None, "last_ts": None},
+        )
+        entry["iterations"] += 1
+        entry["new_cells"] += int(event.get("new_cells", 0))
+        ts = event.get("ts")
+        if ts is not None:
+            ts = float(ts)
+            entry["first_ts"] = ts if entry["first_ts"] is None else min(entry["first_ts"], ts)
+            entry["last_ts"] = ts if entry["last_ts"] is None else max(entry["last_ts"], ts)
+    return sorted(by_chip.values(), key=lambda e: (e["chip_id"] is None, e["chip_id"]))
+
+
+def counter_totals(run: RunData) -> Dict[str, float]:
+    """metric name -> total across label sets, for counters in metrics.json."""
+    totals: Dict[str, float] = {}
+    for row in (run.metrics or {}).get("series", []):
+        if row.get("kind") == "counter":
+            name = str(row.get("name"))
+            totals[name] = totals.get(name, 0.0) + float(row.get("value", 0.0))
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def summarize_run(run: RunData, timeline_limit: int = 20) -> str:
+    """Render the run summary the ``python -m repro obs <run_dir>`` prints."""
+    lines: List[str] = [f"== run summary: {run.run_dir} =="]
+
+    manifest = run.manifest
+    if manifest:
+        fingerprint = str(manifest.get("fingerprint", ""))[:12]
+        lines.append(
+            f"campaign     : {manifest.get('kind', 'unknown')}"
+            + (f" (fingerprint {fingerprint}...)" if fingerprint else "")
+        )
+        if "n_units" in manifest:
+            lines.append(f"planned      : {manifest['n_units']} units")
+
+    ok = sum(1 for r in run.results.values() if r.get("status") == "ok")
+    failed = len(run.results) - ok
+    rerecorded = len(run.result_rows) - len(run.results)
+    executions = sum(int(r.get("attempts", 1)) for r in run.result_rows)
+    retries = executions - len(run.result_rows)
+    lines.append(
+        f"units        : {len(run.results)} recorded | {ok} ok | {failed} failed"
+        + (f" | {rerecorded} re-recorded across resumes" if rerecorded else "")
+    )
+    lines.append(
+        f"attempts     : {executions} executions | {retries} in-worker retries"
+    )
+
+    stats = unit_latency_stats(run)
+    if stats.get("count"):
+        lines.append(
+            "unit latency : "
+            f"mean {_fmt_seconds(stats['mean'])} | p50 {_fmt_seconds(stats['p50'])} | "
+            f"p95 {_fmt_seconds(stats['p95'])} | p99 {_fmt_seconds(stats['p99'])} | "
+            f"max {_fmt_seconds(stats['max'])}"
+        )
+    rate = throughput_units_per_s(run)
+    if rate is not None:
+        lines.append(f"throughput   : {rate:.2f} units/s (over runner.unit events)")
+
+    breakdown = failure_breakdown(run)
+    if breakdown:
+        lines.append("failures     :")
+        for error_type, unit_ids in sorted(breakdown.items()):
+            shown = ", ".join(unit_ids[:5]) + (", ..." if len(unit_ids) > 5 else "")
+            lines.append(f"  {error_type}: {len(unit_ids)} units ({shown})")
+
+    spans = slowest_spans(run)
+    if spans:
+        lines.append("slowest spans:")
+        for span in spans:
+            attrs = [
+                f"{k}={span[k]}"
+                for k in ("unit_id", "chip_id", "mechanism", "backend")
+                if span.get(k) is not None
+            ]
+            suffix = f" ({', '.join(attrs)})" if attrs else ""
+            lines.append(
+                f"  {span.get('name')}: {_fmt_seconds(float(span['elapsed_s']))}{suffix}"
+            )
+
+    timelines = chip_timelines(run)
+    if timelines:
+        lines.append(f"chip timeline ({len(timelines)} chips):")
+        for entry in timelines[:timeline_limit]:
+            window = (
+                _fmt_seconds(entry["last_ts"] - entry["first_ts"])
+                if entry["first_ts"] is not None and entry["last_ts"] is not None
+                else "-"
+            )
+            lines.append(
+                f"  chip {entry['chip_id']}: {entry['iterations']} iterations, "
+                f"{entry['new_cells']} cells discovered, {window} window"
+            )
+        if len(timelines) > timeline_limit:
+            lines.append(f"  ... {len(timelines) - timeline_limit} more chips")
+
+    if run.metrics is not None:
+        series = run.metrics.get("series", [])
+        totals = counter_totals(run)
+        highlights = [
+            f"{name} {totals[name]:g}"
+            for name in ("chip.commands", "profiler.iterations", "runner.units")
+            if name in totals
+        ]
+        lines.append(
+            f"metrics      : {len(series)} series in {METRICS_NAME}"
+            + (f" ({'; '.join(highlights)})" if highlights else "")
+        )
+    else:
+        lines.append(
+            f"metrics      : no {METRICS_NAME} (run with --metrics to record one)"
+        )
+    if run.skipped_lines:
+        lines.append(f"warnings     : skipped {run.skipped_lines} unparseable lines")
+    return "\n".join(lines)
+
+
+def compare_runs(run_a: RunData, run_b: RunData) -> str:
+    """Run-over-run comparison for regression checks (A = baseline)."""
+    lines = [
+        "== run comparison ==",
+        f"A: {run_a.run_dir}",
+        f"B: {run_b.run_dir}",
+    ]
+    fp_a = str(run_a.manifest.get("fingerprint", ""))
+    fp_b = str(run_b.manifest.get("fingerprint", ""))
+    if fp_a and fp_b:
+        verdict = "identical" if fp_a == fp_b else "DIFFERENT"
+        lines.append(f"campaign fingerprints: {verdict}")
+
+    ok_a = sum(1 for r in run_a.results.values() if r.get("status") == "ok")
+    ok_b = sum(1 for r in run_b.results.values() if r.get("status") == "ok")
+    lines.append(
+        f"units ok     : A {ok_a}/{len(run_a.results)} | B {ok_b}/{len(run_b.results)}"
+    )
+
+    stats_a, stats_b = unit_latency_stats(run_a), unit_latency_stats(run_b)
+    if stats_a.get("count") and stats_b.get("count"):
+        lines.append("unit latency : A -> B (delta)")
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            lines.append(
+                f"  {key:<4}: {_fmt_seconds(stats_a[key])} -> {_fmt_seconds(stats_b[key])} "
+                f"({_fmt_delta(stats_a[key], stats_b[key])})"
+            )
+    rate_a, rate_b = throughput_units_per_s(run_a), throughput_units_per_s(run_b)
+    if rate_a is not None and rate_b is not None:
+        lines.append(
+            f"throughput   : {rate_a:.2f} -> {rate_b:.2f} units/s "
+            f"({_fmt_delta(rate_a, rate_b)})"
+        )
+
+    totals_a, totals_b = counter_totals(run_a), counter_totals(run_b)
+    shared = sorted(set(totals_a) & set(totals_b))
+    if shared:
+        lines.append("counters     : A -> B (delta)")
+        for name in shared:
+            lines.append(
+                f"  {name}: {totals_a[name]:g} -> {totals_b[name]:g} "
+                f"({_fmt_delta(totals_a[name], totals_b[name])})"
+            )
+    only_a = sorted(set(totals_a) - set(totals_b))
+    only_b = sorted(set(totals_b) - set(totals_a))
+    if only_a:
+        lines.append(f"counters only in A: {', '.join(only_a)}")
+    if only_b:
+        lines.append(f"counters only in B: {', '.join(only_b)}")
+    return "\n".join(lines)
+
+
+def to_html(run: RunData) -> str:
+    """Self-contained HTML rendering of the run summary + metric series."""
+    summary = html_mod.escape(summarize_run(run))
+    rows: List[str] = []
+    for series in (run.metrics or {}).get("series", []):
+        labels = ",".join(f"{k}={v}" for k, v in sorted(series.get("labels", {}).items()))
+        if series.get("kind") == "histogram":
+            value = (
+                f"count={series.get('count')} total={series.get('total'):g} "
+                f"p50={series.get('p50')} p95={series.get('p95')} p99={series.get('p99')}"
+            )
+        else:
+            value = f"{series.get('value'):g}"
+        rows.append(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>".format(
+                html_mod.escape(str(series.get("kind"))),
+                html_mod.escape(str(series.get("name"))),
+                html_mod.escape(labels or "-"),
+                html_mod.escape(value),
+            )
+        )
+    metrics_table = (
+        "<table><thead><tr><th>kind</th><th>name</th><th>labels</th>"
+        "<th>value</th></tr></thead><tbody>" + "\n".join(rows) + "</tbody></table>"
+        if rows
+        else "<p>No metrics.json recorded for this run.</p>"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro run summary: {html_mod.escape(str(run.run_dir))}</title>
+<style>
+body {{ font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem; }}
+pre {{ background: #f6f8fa; padding: 1rem; border-radius: 6px; }}
+table {{ border-collapse: collapse; margin-top: 1rem; }}
+th, td {{ border: 1px solid #d0d7de; padding: 0.25rem 0.6rem; text-align: left; }}
+th {{ background: #f6f8fa; }}
+</style>
+</head>
+<body>
+<h1>Run summary</h1>
+<pre>{summary}</pre>
+<h2>Metric series</h2>
+{metrics_table}
+</body>
+</html>
+"""
+
+
+def export_run(run: RunData, fmt: str) -> Tuple[str, str]:
+    """Produce one export: returns (default file name, file contents)."""
+    if fmt == "prometheus":
+        if run.metrics is None:
+            raise ConfigurationError(
+                f"{run.run_dir} has no {METRICS_NAME}; re-run the campaign with "
+                "--metrics to record a metric snapshot"
+            )
+        return EXPORT_FORMATS[fmt], to_openmetrics(run.metrics.get("series", []))
+    if fmt == "chrome-trace":
+        if not run.events:
+            raise ConfigurationError(
+                f"{run.run_dir} has no {EVENTS_NAME}; re-run the campaign with "
+                "--metrics to record the event log"
+            )
+        trace = to_chrome_trace(run.events)
+        return EXPORT_FORMATS[fmt], json.dumps(trace, indent=2, sort_keys=True) + "\n"
+    if fmt == "html":
+        return EXPORT_FORMATS[fmt], to_html(run)
+    raise ConfigurationError(
+        f"unknown export format {fmt!r}; expected one of {', '.join(EXPORT_FORMATS)}"
+    )

@@ -35,13 +35,45 @@ class NullEventSink:
 
 
 class JsonlEventSink:
-    """Appends one JSON line per event to ``path``, flushed immediately."""
+    """Appends one JSON line per event to ``path``, flushed immediately.
+
+    Reopening an existing file (the checkpoint/resume path) continues the
+    ``seq`` sequence where the previous attach left off, so ordering-by-seq
+    consumers see one monotone stream across resumes instead of duplicate
+    sequence numbers.
+    """
 
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._seq = self._next_seq(self.path)
         self._handle: Optional[TextIO] = open(self.path, "a", encoding="utf-8")
-        self._seq = 0
+
+    @staticmethod
+    def _next_seq(path: pathlib.Path) -> int:
+        """First unused ``seq`` in an existing event log (0 when fresh).
+
+        Scans for the largest recorded ``seq``; unparseable lines (a torn
+        tail from a crash) fall back to the line count so the sequence
+        still moves strictly forward.
+        """
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return 0
+        next_seq = 0
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                seq = json.loads(line).get("seq")
+            except json.JSONDecodeError:
+                seq = None
+            if isinstance(seq, int):
+                next_seq = max(next_seq, seq + 1)
+            else:
+                next_seq = max(next_seq, lineno)
+        return next_seq
 
     def emit(self, event: str, **fields: Any) -> None:
         if self._handle is None:
@@ -79,3 +111,19 @@ class ListEventSink:
 
     def close(self) -> None:
         pass
+
+
+class BufferedEventSink(ListEventSink):
+    """In-memory sink that stamps wall-clock ``ts`` like the JSONL sink.
+
+    Used for worker-side telemetry capture: a pool worker buffers its
+    events here, ships the rows back attached to the unit result, and the
+    parent replays them into its own sink -- the preserved ``ts`` keeps
+    the merged event log truthful about when things really happened in
+    the worker.
+    """
+
+    def emit(self, event: str, **fields: Any) -> None:
+        row: dict = {"event": event, "ts": time.time()}
+        row.update(fields)
+        self.events.append(row)

@@ -74,7 +74,7 @@ def render_report(snapshot: List[Dict[str, Any]], title: str = "observability re
         lines.append("-- histograms --")
         lines.extend(
             _table(
-                ["name", "labels", "count", "total", "mean", "min", "max"],
+                ["name", "labels", "count", "total", "mean", "p50", "p95", "p99", "min", "max"],
                 [
                     [
                         r["name"],
@@ -82,6 +82,9 @@ def render_report(snapshot: List[Dict[str, Any]], title: str = "observability re
                         _fmt_value(r["count"]),
                         _fmt_value(r["total"]),
                         _fmt_value(r["mean"]),
+                        _fmt_value(r.get("p50")),
+                        _fmt_value(r.get("p95")),
+                        _fmt_value(r.get("p99")),
                         _fmt_value(r["min"]),
                         _fmt_value(r["max"]),
                     ]

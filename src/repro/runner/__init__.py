@@ -41,7 +41,14 @@ from .executors import (
     execute_unit,
 )
 from .progress import ProgressTracker
-from .store import EVENTS_NAME, MANIFEST_NAME, NullStore, RESULTS_NAME, ResultStore
+from .store import (
+    EVENTS_NAME,
+    MANIFEST_NAME,
+    METRICS_NAME,
+    NullStore,
+    RESULTS_NAME,
+    ResultStore,
+)
 from .units import UnitFailure, UnitResult, WorkUnit
 
 __all__ = [
@@ -50,6 +57,7 @@ __all__ = [
     "CHIP_UNIT_KIND",
     "EVENTS_NAME",
     "MANIFEST_NAME",
+    "METRICS_NAME",
     "NullStore",
     "RESULTS_NAME",
     "ProcessPoolBackend",

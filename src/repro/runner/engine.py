@@ -29,6 +29,14 @@ When the observability layer (:mod:`repro.obs`) is enabled -- or an
 :class:`~repro.obs.Observability` instance is injected -- the engine
 records per-unit wall time, retry, and queue-depth metrics and streams a
 run event log to ``<run_dir>/events.jsonl`` alongside ``results.jsonl``.
+Telemetry survives the process boundary: the backend captures each
+unit's worker-side instrumentation (:func:`repro.obs.capture`) and ships
+it back on the result, the engine merges the metric snapshots into the
+active registry (counters sum, histograms merge exactly, gauges take the
+latest observation) and replays the buffered worker events -- tagged
+with their ``unit_id`` -- into the run event log.  At run end the merged
+snapshot lands durably as ``<run_dir>/metrics.json``, the input to the
+``python -m repro obs`` analyzer and exporters.
 """
 
 from __future__ import annotations
@@ -39,9 +47,10 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
 from .. import obs as obs_mod
 from ..errors import ConfigurationError
+from ..obs.export import write_metrics_json
 from .executors import Backend, WorkerFn, backend_from_spec
 from .progress import ProgressTracker
-from .store import EVENTS_NAME, NullStore, ResultStore
+from .store import EVENTS_NAME, METRICS_NAME, NullStore, ResultStore
 from .units import UnitResult, WorkUnit, check_unique_ids
 
 #: Called after every completed unit with (result, tracker).
@@ -187,11 +196,17 @@ class RunnerEngine:
             )
             try:
                 with span:
-                    for result in self.backend.run(worker, pending, self.max_retries):
+                    for result in self.backend.run(
+                        worker,
+                        pending,
+                        self.max_retries,
+                        capture_telemetry=active is not None,
+                    ):
                         results[result.unit_id] = result
                         store.append(result)
                         tracker.update(result)
                         if active is not None:
+                            self._merge_telemetry(active, result)
                             self._record_unit(active, result, tracker)
                         if self.progress is not None:
                             self.progress(result, tracker)
@@ -229,7 +244,41 @@ class RunnerEngine:
                     failed=stats.failed,
                     elapsed_s=stats.elapsed_s,
                 )
+                if store.run_dir is not None:
+                    write_metrics_json(
+                        active.snapshot(),
+                        store.run_dir / METRICS_NAME,
+                        meta={
+                            "backend": self.backend.name,
+                            "total": stats.total,
+                            "executed": stats.executed,
+                            "succeeded": stats.succeeded,
+                            "skipped": stats.skipped,
+                            "failed": stats.failed,
+                            "elapsed_s": stats.elapsed_s,
+                        },
+                    )
             return RunReport(results=results, stats=stats)
+
+    @staticmethod
+    def _merge_telemetry(
+        active: "obs_mod.Observability", result: UnitResult
+    ) -> None:
+        """Fold one unit's worker-side capture into the parent layer.
+
+        Metric snapshots merge with the registry's deterministic algebra;
+        buffered worker events replay into the parent sink tagged with the
+        unit id (their worker-side ``ts`` is preserved -- the sink only
+        stamps fields the replay does not provide).
+        """
+        telemetry = result.telemetry
+        if not telemetry:
+            return
+        active.metrics.merge_snapshot(telemetry.get("metrics", []))
+        for row in telemetry.get("events", []):
+            fields = {k: v for k, v in row.items() if k not in ("event", "seq")}
+            fields.setdefault("unit_id", result.unit_id)
+            active.emit(str(row.get("event", "worker.event")), **fields)
 
     @staticmethod
     def _record_unit(

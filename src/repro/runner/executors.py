@@ -20,16 +20,26 @@ Retries happen *inside* the worker via :func:`execute_unit`, so an
 exception never crosses the pool boundary as an exception: after
 ``max_retries`` re-attempts it comes back as a structured ``failed`` row
 and the run keeps going.
+
+When the engine runs with observability on, it asks the backend for
+``capture_telemetry``: each unit executes under :func:`repro.obs.capture`,
+which records the unit's instrumentation (chip commands, profiler
+iterations, spans, events) into an isolated per-unit layer, and the
+snapshot rides back on ``UnitResult.telemetry`` for the parent to merge.
+The same capture runs on the serial backend, so serial and pooled runs
+produce merged reports with identical content.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Iterator, Optional, Tuple, Union
 
+from .. import obs as obs_mod
 from ..errors import ConfigurationError
 from .units import STATUS_FAILED, STATUS_OK, UnitFailure, UnitResult, WorkUnit
 
@@ -37,13 +47,34 @@ from .units import STATUS_FAILED, STATUS_OK, UnitFailure, UnitResult, WorkUnit
 WorkerFn = Callable[[Any], Any]
 
 
-def execute_unit(worker: WorkerFn, unit: WorkUnit, max_retries: int = 1) -> UnitResult:
+def execute_unit(
+    worker: WorkerFn,
+    unit: WorkUnit,
+    max_retries: int = 1,
+    capture_telemetry: bool = False,
+) -> UnitResult:
     """Run one unit with bounded retry, capturing failure as data.
 
     ``max_retries`` counts *re*-attempts: 1 means up to two executions.
     Runs in the worker process for pool backends, so a poisoned unit costs
     its own retries without a round-trip through the coordinator.
+
+    With ``capture_telemetry`` the whole execution (retries included)
+    records into an isolated observability layer whose snapshot is
+    attached to the result as ``telemetry`` -- plain picklable dicts, so
+    it crosses the pool boundary intact.
     """
+    if not capture_telemetry:
+        return _execute_unit(worker, unit, max_retries)
+    with obs_mod.capture() as layer:
+        result = _execute_unit(worker, unit, max_retries)
+    return dataclasses.replace(
+        result,
+        telemetry={"metrics": layer.snapshot(), "events": list(layer.sink.events)},
+    )
+
+
+def _execute_unit(worker: WorkerFn, unit: WorkUnit, max_retries: int) -> UnitResult:
     if max_retries < 0:
         raise ConfigurationError("max_retries must be non-negative")
     started = time.perf_counter()
@@ -79,10 +110,14 @@ class SerialBackend:
     name = "serial"
 
     def run(
-        self, worker: WorkerFn, units: Tuple[WorkUnit, ...], max_retries: int = 1
+        self,
+        worker: WorkerFn,
+        units: Tuple[WorkUnit, ...],
+        max_retries: int = 1,
+        capture_telemetry: bool = False,
     ) -> Iterator[UnitResult]:
         for unit in units:
-            yield execute_unit(worker, unit, max_retries)
+            yield execute_unit(worker, unit, max_retries, capture_telemetry)
 
 
 class ProcessPoolBackend:
@@ -106,13 +141,18 @@ class ProcessPoolBackend:
         self.workers = int(workers)
 
     def run(
-        self, worker: WorkerFn, units: Tuple[WorkUnit, ...], max_retries: int = 1
+        self,
+        worker: WorkerFn,
+        units: Tuple[WorkUnit, ...],
+        max_retries: int = 1,
+        capture_telemetry: bool = False,
     ) -> Iterator[UnitResult]:
         if not units:
             return
         with ProcessPoolExecutor(max_workers=min(self.workers, len(units))) as pool:
             pending = {
-                pool.submit(execute_unit, worker, unit, max_retries) for unit in units
+                pool.submit(execute_unit, worker, unit, max_retries, capture_telemetry)
+                for unit in units
             }
             # as_completed() holds every future to the end; draining with
             # wait() lets finished futures (and their result payloads) be

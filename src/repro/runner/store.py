@@ -32,6 +32,8 @@ MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
 #: Run event log written by the engine when observability is enabled.
 EVENTS_NAME = "events.jsonl"
+#: Durable merged metric snapshot written by the engine at run end.
+METRICS_NAME = "metrics.json"
 
 
 class ResultStore:

@@ -85,6 +85,12 @@ class UnitResult:
     ``error`` holds the :class:`UnitFailure` after retries are exhausted.
     ``elapsed_s`` is wall-clock bookkeeping only -- it never participates
     in aggregation, so resumed runs stay deterministic.
+
+    ``telemetry`` is transient wire data: the worker-side observability
+    capture (``{"metrics": snapshot rows, "events": buffered rows}``)
+    shipped back for the parent to merge.  It is excluded from equality
+    and from :meth:`to_json_dict`, so ``results.jsonl`` stays byte-for-byte
+    independent of whether instrumentation was on.
     """
 
     unit_id: str
@@ -93,6 +99,9 @@ class UnitResult:
     error: Optional[UnitFailure] = None
     attempts: int = 1
     elapsed_s: float = 0.0
+    telemetry: Optional[Mapping[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.status not in (STATUS_OK, STATUS_FAILED):

@@ -142,6 +142,108 @@ class TestEventSinks:
         assert [r["seq"] for r in rows] == [0, 1]
         assert rows[0]["x"] == 1 and "ts" in rows[0]
 
+    def test_jsonl_seq_continues_across_reopen(self, tmp_path):
+        # Regression: reopening (the checkpoint/resume path) used to
+        # restart seq at 0, handing consumers duplicate sequence numbers.
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit("a")
+            sink.emit("b")
+        with JsonlEventSink(path) as sink:
+            sink.emit("c")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["seq"] for r in rows] == [0, 1, 2]
+
+    def test_jsonl_seq_survives_torn_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit("a")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "torn", "seq": 1, "x\n')  # crash artifact
+        with JsonlEventSink(path) as sink:
+            sink.emit("b")
+        last = json.loads(path.read_text().splitlines()[-1])
+        # The unparseable line still advances the sequence (line-count
+        # fallback), so seq stays strictly monotone across the corruption.
+        assert last["event"] == "b" and last["seq"] == 2
+
+    def test_jsonl_supplied_ts_overrides_stamp_seq_stays_local(self, tmp_path):
+        # Worker event replay passes the worker's wall-clock ts through;
+        # the sink must honour it while keeping seq ownership local.
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit("replayed", ts=5.0)
+        (row,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert row["ts"] == 5.0 and row["seq"] == 0
+
+
+class TestSinkLifecycle:
+    def test_set_sink_closes_replaced_sink(self, tmp_path):
+        # Regression: swapping sinks used to leak the old open handle.
+        layer = Observability()
+        first = JsonlEventSink(tmp_path / "a.jsonl")
+        second = JsonlEventSink(tmp_path / "b.jsonl")
+        layer.set_sink(first)
+        layer.set_sink(second)
+        assert first._handle is None  # closed, not leaked
+        assert second._handle is not None
+        layer.emit("hello")
+        second.close()
+        assert "hello" in (tmp_path / "b.jsonl").read_text()
+
+    def test_set_sink_same_instance_is_not_closed(self, tmp_path):
+        layer = Observability()
+        sink = JsonlEventSink(tmp_path / "a.jsonl")
+        layer.set_sink(sink)
+        layer.set_sink(sink)  # re-install: must stay open
+        assert sink._handle is not None
+        sink.close()
+
+    def test_double_enable_closes_first_events_path(self, tmp_path):
+        obs.reset()
+        try:
+            obs.enable(events_path=tmp_path / "first.jsonl")
+            first_sink = obs.get().sink
+            obs.enable(events_path=tmp_path / "second.jsonl")
+            assert first_sink._handle is None
+            obs.emit("hello")
+        finally:
+            obs.disable()
+            obs.reset()
+        assert "hello" in (tmp_path / "second.jsonl").read_text()
+
+    def test_sink_to_restores_previous_sink_alive(self, tmp_path):
+        layer = Observability()
+        outer = JsonlEventSink(tmp_path / "outer.jsonl")
+        layer.set_sink(outer)
+        with layer.sink_to(tmp_path / "inner.jsonl") as inner:
+            layer.emit("inside")
+        # The outer sink must come back *usable* (sink_to must not let
+        # set_sink's auto-close kill it), the temporary one closed.
+        layer.emit("outside")
+        assert inner._handle is None
+        outer.close()
+        assert "inside" in (tmp_path / "inner.jsonl").read_text()
+        assert "outside" in (tmp_path / "outer.jsonl").read_text()
+
+    def test_module_sink_to_disabled_yields_null_sink(self, tmp_path):
+        # Regression: the disabled path used to yield None, crashing any
+        # `with obs.sink_to(p) as sink: sink.emit(...)` caller.
+        assert not obs.enabled()
+        path = tmp_path / "events.jsonl"
+        with obs.sink_to(path) as sink:
+            assert sink is not None
+            sink.emit("ignored")  # NullEventSink: a no-op, not a crash
+            assert sink.path is None
+        assert not path.exists()
+
+    def test_module_sink_to_enabled_yields_jsonl_sink(self, enabled_obs, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.sink_to(path) as sink:
+            obs.emit("recorded")
+            assert sink.path == path
+        assert "recorded" in path.read_text()
+
 
 class TestGating:
     def test_disabled_records_nothing(self):

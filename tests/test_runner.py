@@ -92,9 +92,9 @@ class TruncatingBackend:
     def __init__(self, keep):
         self.keep = keep
 
-    def run(self, worker, units, max_retries=1):
+    def run(self, worker, units, max_retries=1, capture_telemetry=False):
         for unit in units[: self.keep]:
-            yield execute_unit(worker, unit, max_retries)
+            yield execute_unit(worker, unit, max_retries, capture_telemetry)
 
 
 class TestUnitSchema:
