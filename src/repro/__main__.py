@@ -137,6 +137,7 @@ def cmd_campaign(args) -> int:
         run_dir=args.run_dir,
         resume=args.resume,
         progress=progress,
+        chips_per_unit=args.chips_per_unit,
     )
     print(summary.to_text())
     if args.metrics:
@@ -226,6 +227,12 @@ def main(argv=None) -> int:
     p_camp.add_argument(
         "--resume", action="store_true",
         help="continue an interrupted run, skipping chips already measured",
+    )
+    p_camp.add_argument(
+        "--chips-per-unit", type=int, default=None, dest="chips_per_unit",
+        help="fleet-batch size: ship chips to workers in chunks of this "
+             "many, evaluating each chunk with the fused fleet kernel "
+             "(>1 enables batching; results are byte-identical)",
     )
     p_camp.add_argument(
         "--progress", action="store_true",

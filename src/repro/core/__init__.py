@@ -27,6 +27,7 @@ from .metrics import (
     iterations_to_coverage,
 )
 from .estimation import AccumulationRateEstimator, RateEstimate
+from .fleetprof import FleetChipResult, FleetProfiler
 from .hybrid import HybridMaintainer, MaintenanceReport
 from .incremental import IncrementalReachProfiler, PassReport
 from .planner import DeploymentPlan, PlannerConstraints, RelaxedRefreshPlanner
@@ -42,6 +43,8 @@ __all__ = [
     "ReachDelta",
     "HEADLINE_REACH",
     "BruteForceProfiler",
+    "FleetChipResult",
+    "FleetProfiler",
     "ReachProfiler",
     "REAPER",
     "ProfilingRound",

@@ -1,0 +1,157 @@
+"""Fleet-batched brute-force profiling (Algorithm 1 across many chips).
+
+:class:`FleetProfiler` runs the same write/expose/read schedule as
+:class:`~repro.core.bruteforce.BruteForceProfiler` on a whole
+:class:`~repro.dram.fleet.ChipFleet` at once: each command fans out to the
+member chips (preserving exact per-chip clocks, traces, and RNG streams),
+while the failure evaluation of every read runs as one fused numpy pass
+over the stacked weak tails.  Observed-cell accumulation is likewise
+batched -- one boolean "discovered" mask over the concatenated cell space
+(the fleet analogue of :class:`~repro.core.device.ObservedCellAccumulator`)
+plus a small per-chip overflow set for VRT episodes striking outside the
+weak tail.
+
+The per-chip failing sets it reports are byte-identical to what a
+:class:`~repro.core.bruteforce.BruteForceProfiler` run over each chip
+standalone would have discovered under the same schedule -- the contract
+``tests/test_fleet.py`` and ``tests/test_fastpath_equivalence.py`` pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..conditions import Conditions
+from ..dram.fleet import ChipFleet
+from ..errors import ConfigurationError, ProfilingError
+from ..patterns import STANDARD_PATTERNS, DataPattern
+
+
+@dataclass(frozen=True)
+class FleetChipResult:
+    """One chip's accumulated discoveries from a fleet profiling run."""
+
+    chip_id: int
+    failing: frozenset
+
+    def __len__(self) -> int:
+        return len(self.failing)
+
+
+class FleetProfiler:
+    """Algorithm 1, evaluated fleet-fused.
+
+    Parameters
+    ----------
+    patterns:
+        Data patterns tested each iteration; defaults to the paper's six
+        base patterns plus inverses.
+    iterations:
+        Number of rounds (the campaign worker uses the campaign's
+        ``iterations``).
+
+    The adaptive knobs of the per-chip profiler (idle gaps, quiet-streak
+    stopping) are deliberately absent: they would couple the schedule to
+    per-chip discovery dynamics, breaking the "every chip sees the same
+    command/clock trajectory" invariant fleet reads are built on.
+    """
+
+    mechanism_name = "fleet-brute-force"
+
+    def __init__(
+        self,
+        patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+        iterations: int = 16,
+    ) -> None:
+        if iterations <= 0:
+            raise ConfigurationError(f"iterations must be positive, got {iterations!r}")
+        if not patterns:
+            raise ConfigurationError("at least one data pattern is required")
+        self.patterns = tuple(patterns)
+        self.iterations = iterations
+
+    def run(
+        self, fleet: ChipFleet, conditions: Conditions
+    ) -> Tuple[FleetChipResult, ...]:
+        """Profile every chip in ``fleet`` at ``conditions``.
+
+        Returns one :class:`FleetChipResult` per chip, in fleet order.
+        """
+        if conditions.trefi > fleet.max_trefi_s:
+            raise ProfilingError(
+                f"profiling interval {conditions.trefi!r}s exceeds the fleet's "
+                f"supported maximum of {fleet.max_trefi_s!r}s"
+            )
+        population = fleet.population
+        discovered = np.zeros(len(population), dtype=bool)
+        extras: List[Set[int]] = [set() for _ in fleet.chips]
+        with obs.span(
+            "profiler.fleet_run",
+            mechanism=self.mechanism_name,
+            chips=len(fleet),
+            trefi=conditions.trefi,
+        ):
+            for iteration in range(self.iterations):
+                for pattern in self.patterns:
+                    fleet.write_pattern(pattern)
+                    fleet.disable_refresh()
+                    fleet.wait(conditions.trefi)
+                    fleet.enable_refresh()
+                    mask, vrt = fleet.read_failures()
+                    discovered |= mask
+                    for chip_index, cells in vrt:
+                        self._fold_vrt(
+                            population, discovered, extras, chip_index, cells
+                        )
+                if obs.enabled():
+                    obs.counter(
+                        "profiler.iterations",
+                        len(fleet),
+                        mechanism=self.mechanism_name,
+                    )
+                    obs.emit(
+                        "profiler.fleet_iteration",
+                        mechanism=self.mechanism_name,
+                        chips=len(fleet),
+                        iteration=iteration,
+                        discovered=int(np.count_nonzero(discovered))
+                        + sum(len(e) for e in extras),
+                    )
+        results = []
+        for i, chip in enumerate(fleet.chips):
+            start, end = population.segment(i)
+            in_space = population.member_indices(i)[discovered[start:end]]
+            failing = frozenset(in_space.tolist()) | frozenset(extras[i])
+            results.append(FleetChipResult(chip_id=chip.chip_id, failing=failing))
+        return tuple(results)
+
+    @staticmethod
+    def _fold_vrt(
+        population,
+        discovered: np.ndarray,
+        extras: List[Set[int]],
+        chip_index: int,
+        cells: np.ndarray,
+    ) -> None:
+        """Fold one chip's VRT failing cells into the fleet bookkeeping.
+
+        Cells inside the chip's weak tail mark the shared mask (they are
+        indistinguishable from static discoveries there, matching
+        :class:`~repro.core.device.ObservedCellAccumulator`); the rest land
+        in the chip's overflow set.
+        """
+        space = population.member_indices(chip_index)
+        start, _end = population.segment(chip_index)
+        if space.size:
+            pos = np.searchsorted(space, cells)
+            in_space = space[np.minimum(pos, space.size - 1)] == cells
+            discovered[start + pos[in_space]] = True
+            outside = cells[~in_space]
+        else:
+            outside = cells
+        if outside.size:
+            extras[chip_index].update(int(c) for c in outside)

@@ -10,6 +10,7 @@ from .cell import WeakCellPopulation
 from .chip import DEFAULT_GEOMETRY, SimulatedDRAMChip
 from .commands import Command, CommandRecord, CommandTrace, ProtocolViolation
 from .dpd import DPDModel
+from .fleet import ChipFleet, FleetPopulation
 from .geometry import GIBIBIT, CellAddress, ChipGeometry
 from .module import DRAMModule, ModuleCellRef
 from .retention import RetentionSampler, WeakCellSample
@@ -26,7 +27,9 @@ __all__ = [
     "CommandRecord",
     "CommandTrace",
     "ProtocolViolation",
+    "ChipFleet",
     "DPDModel",
+    "FleetPopulation",
     "DRAMModule",
     "ModuleCellRef",
     "DEFAULT_GEOMETRY",

@@ -99,21 +99,27 @@ class DPDModel:
         every subsequent stochastic draw and break the determinism contract
         that identically-configured chips replay identical failures.
         """
-        a, b = pattern.alignment_beta
+        key = pattern.key
         if fresh:
             if pattern.stochastic:
+                a, b = pattern.alignment_beta
                 draw = self._draw_beta(a, b) * self._random_cap
-                self._cached[pattern.key] = draw
-            elif pattern.key not in self._cached:
-                self._cached[pattern.key] = self._rng.beta(a, b, size=self.n_cells)
-            return self._cached[pattern.key]
-        if pattern.key not in self._cached:
+                self._cached[key] = draw
+                return draw
+            draw = self._cached.get(key)
+            if draw is None:
+                a, b = pattern.alignment_beta
+                draw = self._rng.beta(a, b, size=self.n_cells)
+                self._cached[key] = draw
+            return draw
+        draw = self._cached.get(key)
+        if draw is None:
             raise ProfilingError(
-                f"no alignment for pattern {pattern.key!r}: it has never been "
+                f"no alignment for pattern {key!r}: it has never been "
                 "written to this chip (query paths must not draw DPD state; "
                 "write the pattern first or call excite())"
             )
-        return self._cached[pattern.key]
+        return draw
 
     def _draw_beta(self, a: float, b: float) -> np.ndarray:
         """One Beta(a, b) draw per cell.
@@ -147,21 +153,27 @@ class DPDModel:
         """
         if self._orientation is None:
             return np.ones(self.n_cells)
+        key = pattern.key
         if pattern.stochastic:
             if fresh:
                 bits = pattern.bits_at(self._rows, self._cols, self._bits_per_row, self._rng)
-                self._stress_cached[pattern.key] = (bits == self._orientation).astype(float)
-            elif pattern.key not in self._stress_cached:
+                mask = (bits == self._orientation).astype(float)
+                self._stress_cached[key] = mask
+                return mask
+            mask = self._stress_cached.get(key)
+            if mask is None:
                 raise ProfilingError(
-                    f"no stress mask for stochastic pattern {pattern.key!r}: it has "
+                    f"no stress mask for stochastic pattern {key!r}: it has "
                     "never been written to this chip (query paths must not draw "
                     "DPD state; write the pattern first or call excite())"
                 )
-            return self._stress_cached[pattern.key]
-        if pattern.key not in self._stress_cached:
+            return mask
+        mask = self._stress_cached.get(key)
+        if mask is None:
             bits = pattern.bits_at(self._rows, self._cols, self._bits_per_row)
-            self._stress_cached[pattern.key] = (bits == self._orientation).astype(float)
-        return self._stress_cached[pattern.key]
+            mask = (bits == self._orientation).astype(float)
+            self._stress_cached[key] = mask
+        return mask
 
     def reset(self, rng: np.random.Generator) -> None:
         """Return the model to its just-constructed state.

@@ -170,3 +170,87 @@ class TestBed:
         for chip in self.chips:
             results[chip.chip_id] = profiler.run(chip, conditions)
         return results
+
+
+class FleetBed:
+    """A batch of single-chip testbeds operated in lock-step.
+
+    The fleet measurement worker needs B chips whose *construction* and
+    *environment* are byte-identical to what B independent per-chip
+    :meth:`TestBed.build_single` workers would have produced -- same weak
+    tails, same placement offsets, same chamber trajectories.  So a
+    FleetBed simply holds B single-chip beds (one chamber and clock each,
+    all seeded identically) and exploits a structural fact for speed:
+    chambers constructed from the same seed replay *identical* PID/noise
+    trajectories, so one settle on the lead bed yields exactly the elapsed
+    time and settled ambient every member bed's own settle would have
+    produced.  :meth:`set_ambient` therefore settles the lead chamber once
+    and replays the result onto the other members (clock advance, VRT
+    sync, per-chip placement-offset temperature) -- byte-identical to
+    settling each bed, at ~1/B the cost.
+    """
+
+    def __init__(self, beds: Sequence[TestBed]) -> None:
+        members = tuple(beds)
+        if not members:
+            raise ConfigurationError("a fleet bed needs at least one member bed")
+        for bed in members:
+            if len(bed.chips) != 1:
+                raise ConfigurationError(
+                    "fleet beds are built from single-chip testbeds; got a "
+                    f"bed with {len(bed.chips)} chips"
+                )
+        self.beds = members
+
+    @classmethod
+    def build(
+        cls,
+        members: Sequence[tuple],
+        geometry: ChipGeometry = DEFAULT_GEOMETRY,
+        seed: int = rng_mod.DEFAULT_SEED,
+        max_trefi_s: float = 2.6,
+        max_temperature_c: float = 60.0,
+        fast_path: Optional[bool] = None,
+    ) -> "FleetBed":
+        """Build one single-chip bed per ``(chip_id, vendor)`` member.
+
+        Each member bed comes from :meth:`TestBed.build_single` with the
+        shared ``seed``, so every chip -- population, VRT, placement offset
+        -- is the exact chip an independent per-chip worker would build.
+        """
+        return cls(
+            [
+                TestBed.build_single(
+                    chip_id=chip_id,
+                    vendor=vendor,
+                    geometry=geometry,
+                    seed=seed,
+                    max_trefi_s=max_trefi_s,
+                    max_temperature_c=max_temperature_c,
+                    fast_path=fast_path,
+                )
+                for chip_id, vendor in members
+            ]
+        )
+
+    @property
+    def chips(self) -> List[SimulatedDRAMChip]:
+        return [bed.chips[0] for bed in self.beds]
+
+    def set_ambient(self, ambient_c: float, settle: bool = True) -> float:
+        """Retarget every member chamber; settle once, replay everywhere.
+
+        Returns the seconds spent settling (identical for every member by
+        the same-seed replay argument; the lead bed's settle is the one
+        actually computed).
+        """
+        lead = self.beds[0]
+        elapsed = lead.set_ambient(ambient_c, settle=settle)
+        ambient = lead.chamber.ambient_c
+        for bed in self.beds[1:]:
+            bed.chamber.set_target(ambient_c)
+            bed.clock.advance(elapsed)
+            chip = bed.chips[0]
+            chip.sync()
+            chip.set_temperature(ambient + bed._placement_offsets[0])
+        return elapsed

@@ -55,11 +55,10 @@ class DataPattern:
         a, b = self.alignment_beta
         if a <= 0.0 or b <= 0.0:
             raise ConfigurationError(f"Beta parameters must be positive, got {self.alignment_beta!r}")
-
-    @property
-    def key(self) -> str:
-        """Unique string identity, e.g. ``"checkerboard~"`` for the inverse."""
-        return self.name + ("~" if self.inverted else "")
+        # ``key`` sits on the profiling hot path (cache lookups on every
+        # write and read); precompute it once instead of concatenating
+        # strings per access.  Frozen dataclass, hence object.__setattr__.
+        object.__setattr__(self, "key", self.name + ("~" if self.inverted else ""))
 
     @property
     def inverse(self) -> "DataPattern":

@@ -26,18 +26,30 @@ executions of the same campaign produce byte-identical summaries.
 
 from .campaign import (
     CHIP_UNIT_KIND,
+    FLEET_UNIT_KIND,
     aggregate_chip_results,
     build_chip_units,
+    build_fleet_units,
     campaign_fingerprint,
+    expand_fleet_result,
+    fleet_dispatch,
     measure_chip,
+    measure_fleet,
 )
-from .engine import ProgressCallback, RunnerEngine, RunReport, RunStats
+from .engine import (
+    ProgressCallback,
+    RunnerEngine,
+    RunReport,
+    RunStats,
+    UnitDispatch,
+)
 from .executors import (
     BACKEND_NAMES,
     Backend,
     ProcessPoolBackend,
     SerialBackend,
     backend_from_spec,
+    default_worker_count,
     execute_unit,
 )
 from .progress import ProgressTracker
@@ -56,6 +68,7 @@ __all__ = [
     "Backend",
     "CHIP_UNIT_KIND",
     "EVENTS_NAME",
+    "FLEET_UNIT_KIND",
     "MANIFEST_NAME",
     "METRICS_NAME",
     "NullStore",
@@ -68,13 +81,19 @@ __all__ = [
     "RunStats",
     "RunnerEngine",
     "SerialBackend",
+    "UnitDispatch",
     "UnitFailure",
     "UnitResult",
     "WorkUnit",
     "aggregate_chip_results",
     "backend_from_spec",
     "build_chip_units",
+    "build_fleet_units",
     "campaign_fingerprint",
+    "default_worker_count",
     "execute_unit",
+    "expand_fleet_result",
+    "fleet_dispatch",
     "measure_chip",
+    "measure_fleet",
 ]

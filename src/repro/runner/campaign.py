@@ -34,14 +34,20 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from .. import rng as rng_mod
 from ..conditions import Conditions
 from ..core.bruteforce import BruteForceProfiler
+from ..core.fleetprof import FleetProfiler
+from ..dram.fleet import ChipFleet
 from ..dram.geometry import ChipGeometry
 from ..dram.vendor import VENDORS, vendor_by_name
 from ..errors import ConfigurationError
-from ..infra.testbed import TestBed
-from .units import UnitResult, WorkUnit
+from ..infra.testbed import FleetBed, TestBed
+from .engine import UnitDispatch
+from .units import STATUS_FAILED, STATUS_OK, UnitResult, WorkUnit
 
 #: Kind tag on every per-chip measurement unit.
 CHIP_UNIT_KIND = "chip-measurement"
+
+#: Kind tag on every fleet (chunk-of-chips) measurement unit.
+FLEET_UNIT_KIND = "fleet-measurement"
 
 #: Headroom factor between the largest profiled interval and the chip's
 #: supported maximum, matching the legacy in-process campaign.
@@ -183,6 +189,199 @@ def measure_chip(payload: Mapping[str, Any]) -> Dict[str, Any]:
         "interval_failures": interval_failures,
         "temperature_failures": temperature_failures,
     }
+
+
+def build_fleet_units(
+    units: Sequence[WorkUnit], chips_per_unit: int
+) -> Tuple[WorkUnit, ...]:
+    """Pack consecutive per-chip units into fleet transport chunks.
+
+    Each chunk is a :data:`FLEET_UNIT_KIND` unit whose payload carries the
+    member units verbatim (``{"members": [{"unit_id", "payload"}, ...]}``),
+    so :func:`expand_fleet_result` can reconstruct exactly the per-chip
+    results the per-chip path would have produced.  Chunk ids are derived
+    from the member ids but are *transient* -- they never reach the result
+    store (the engine expands chunks back to per-chip rows before
+    persisting), so any chunk size can resume any run directory.
+    """
+    if chips_per_unit <= 0:
+        raise ConfigurationError(
+            f"chips_per_unit must be positive, got {chips_per_unit!r}"
+        )
+    units = tuple(units)
+    for unit in units:
+        if unit.kind != CHIP_UNIT_KIND:
+            raise ConfigurationError(
+                f"fleet chunks are built from {CHIP_UNIT_KIND!r} units; "
+                f"got kind {unit.kind!r}"
+            )
+    chunks: List[WorkUnit] = []
+    for start in range(0, len(units), chips_per_unit):
+        chunk = units[start : start + chips_per_unit]
+        chunks.append(
+            WorkUnit(
+                unit_id=f"fleet-{chunk[0].unit_id}-{chunk[-1].unit_id}",
+                kind=FLEET_UNIT_KIND,
+                payload={
+                    "members": [
+                        {"unit_id": u.unit_id, "payload": dict(u.payload)}
+                        for u in chunk
+                    ]
+                },
+            )
+        )
+    return tuple(chunks)
+
+
+def _shared_fleet_config(members: Sequence[Mapping[str, Any]]) -> Mapping[str, Any]:
+    """The chunk's shared measurement configuration, homogeneity-checked.
+
+    Every key a fleet evaluates *together* (seed, iterations, geometry,
+    intervals, temperatures, fast-path mode) must agree across members --
+    a mixed chunk would silently measure chips under the wrong schedule.
+    """
+    first = members[0]["payload"]
+    shared_keys = ("seed", "iterations", "geometry", "intervals_s", "temperatures_c")
+    for member in members[1:]:
+        payload = member["payload"]
+        for key in shared_keys:
+            if payload.get(key) != first.get(key):
+                raise ConfigurationError(
+                    f"fleet chunk members disagree on {key!r}: "
+                    f"{payload.get(key)!r} vs {first.get(key)!r}"
+                )
+        if payload.get("fast_path") != first.get("fast_path"):
+            raise ConfigurationError(
+                "fleet chunk members disagree on 'fast_path'"
+            )
+    return first
+
+
+def measure_fleet(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Measure one chunk of chips fleet-fused (worker function).
+
+    Runs exactly :func:`measure_chip`'s schedule -- the interval sweep at
+    the base temperature, then the remaining temperatures at the top
+    interval -- on every member chip at once through a
+    :class:`~repro.infra.testbed.FleetBed` and
+    :class:`~repro.core.fleetprof.FleetProfiler`.  Returns
+    ``{"chips": [{"unit_id", "value"}, ...]}`` in member order, where each
+    ``value`` is byte-identical to the member's :func:`measure_chip`
+    return.
+    """
+    members = list(payload["members"])
+    if not members:
+        raise ConfigurationError("a fleet unit needs at least one member chip")
+    first = _shared_fleet_config(members)
+    geometry = ChipGeometry(**{k: int(v) for k, v in first["geometry"].items()})
+    intervals = [float(t) for t in first["intervals_s"]]
+    temperatures = [float(t) for t in first["temperatures_c"]]
+    fast_path = first.get("fast_path")
+    bed = FleetBed.build(
+        members=[
+            (int(m["payload"]["chip_id"]), vendor_by_name(str(m["payload"]["vendor"])))
+            for m in members
+        ],
+        geometry=geometry,
+        seed=int(first["seed"]),
+        max_trefi_s=max(intervals) * TREFI_HEADROOM,
+        fast_path=None if fast_path is None else bool(fast_path),
+    )
+    fleet = ChipFleet(bed.chips)
+    profiler = FleetProfiler(iterations=int(first["iterations"]))
+
+    base_temp = temperatures[0]
+    bed.set_ambient(base_temp)
+    interval_failures: List[List[List[float]]] = [[] for _ in members]
+    for trefi in intervals:
+        results = profiler.run(fleet, Conditions(trefi=trefi, temperature=base_temp))
+        for i, result in enumerate(results):
+            interval_failures[i].append([trefi, float(len(result))])
+
+    top = max(intervals)
+    temperature_failures: List[List[List[float]]] = []
+    for rows in interval_failures:
+        top_count = next(count for trefi, count in rows if trefi == top)
+        temperature_failures.append([[base_temp, top_count]])
+    for temperature in temperatures[1:]:
+        bed.set_ambient(temperature)
+        results = profiler.run(fleet, Conditions(trefi=top, temperature=temperature))
+        for i, result in enumerate(results):
+            temperature_failures[i].append([temperature, float(len(result))])
+
+    return {
+        "chips": [
+            {
+                "unit_id": member["unit_id"],
+                "value": {
+                    "chip_id": int(member["payload"]["chip_id"]),
+                    "vendor": str(member["payload"]["vendor"]),
+                    "interval_failures": interval_failures[i],
+                    "temperature_failures": temperature_failures[i],
+                },
+            }
+            for i, member in enumerate(members)
+        ]
+    }
+
+
+def expand_fleet_result(
+    unit: WorkUnit, result: UnitResult
+) -> Tuple[UnitResult, ...]:
+    """Convert one fleet chunk's result into per-chip results.
+
+    An ok chunk yields one ok row per member carrying exactly the value
+    :func:`measure_chip` would have produced; a failed chunk yields one
+    failed row per member sharing the chunk's :class:`UnitFailure` (every
+    member chip is unmeasured -- the retry already happened in-worker).
+    ``elapsed_s`` is split evenly across members; it is bookkeeping only
+    and never participates in aggregation.
+    """
+    members = list(unit.payload["members"])
+    elapsed = result.elapsed_s / len(members) if members else 0.0
+    if not result.ok:
+        return tuple(
+            UnitResult(
+                unit_id=str(member["unit_id"]),
+                status=STATUS_FAILED,
+                error=result.error,
+                attempts=result.attempts,
+                elapsed_s=elapsed,
+            )
+            for member in members
+        )
+    chips = list(result.value["chips"]) if isinstance(result.value, Mapping) else None
+    if chips is None or [str(c["unit_id"]) for c in chips] != [
+        str(m["unit_id"]) for m in members
+    ]:
+        raise ConfigurationError(
+            f"fleet result for {unit.unit_id!r} does not cover its members "
+            "exactly; the worker and the chunk payload disagree"
+        )
+    return tuple(
+        UnitResult(
+            unit_id=str(chip["unit_id"]),
+            status=STATUS_OK,
+            value=chip["value"],
+            attempts=result.attempts,
+            elapsed_s=elapsed,
+        )
+        for chip in chips
+    )
+
+
+def fleet_dispatch(chips_per_unit: int) -> UnitDispatch:
+    """A :class:`~repro.runner.engine.UnitDispatch` that ships chips to
+    workers in fleet chunks of ``chips_per_unit``."""
+    if chips_per_unit <= 0:
+        raise ConfigurationError(
+            f"chips_per_unit must be positive, got {chips_per_unit!r}"
+        )
+
+    def group(pending: Tuple[WorkUnit, ...]) -> Tuple[WorkUnit, ...]:
+        return build_fleet_units(pending, chips_per_unit)
+
+    return UnitDispatch(worker=measure_fleet, group=group, expand=expand_fleet_result)
 
 
 def aggregate_chip_results(

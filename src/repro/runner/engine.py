@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import obs as obs_mod
 from ..errors import ConfigurationError
@@ -55,6 +55,30 @@ from .units import UnitResult, WorkUnit, check_unique_ids
 
 #: Called after every completed unit with (result, tracker).
 ProgressCallback = Callable[[UnitResult, ProgressTracker], None]
+
+
+@dataclass(frozen=True)
+class UnitDispatch:
+    """Chunk-aware transport: regroup pending units for the backend.
+
+    The engine's currency -- planning, the result store, resume
+    fingerprints, progress, aggregation -- stays the fine-grained unit
+    (one chip).  A dispatch only changes how *pending* units travel to
+    workers: ``group`` packs them into transport chunks (each a
+    :class:`WorkUnit` of its own kind, e.g. ``fleet-measurement``),
+    ``worker`` executes a chunk, and ``expand`` converts each chunk's
+    :class:`UnitResult` back into per-member results before anything is
+    stored or reported.  Chunk ids are transient: they never reach the
+    result store, so a run directory written through any dispatch (or
+    none) can be resumed by any other.
+
+    ``expand`` receives ``(chunk_unit, chunk_result)`` and must return one
+    result per member, ok or failed, in member order.
+    """
+
+    worker: WorkerFn
+    group: Callable[[Tuple[WorkUnit, ...]], Tuple[WorkUnit, ...]]
+    expand: Callable[[WorkUnit, UnitResult], Tuple[UnitResult, ...]]
 
 
 @dataclass(frozen=True)
@@ -146,12 +170,21 @@ class RunnerEngine:
         worker: WorkerFn,
         units: Sequence[WorkUnit],
         manifest: Mapping[str, Any],
+        dispatch: Optional[UnitDispatch] = None,
     ) -> RunReport:
         """Execute ``units`` through the backend; returns the full report.
 
         ``manifest`` must carry a ``"fingerprint"`` identifying the campaign
         configuration; it guards the run directory against cross-campaign
         contamination on resume.
+
+        With ``dispatch``, pending units are regrouped into transport
+        chunks executed by ``dispatch.worker`` and expanded back to
+        per-unit results as each chunk completes -- ``worker`` is unused
+        for execution but keeps the per-unit contract documented at the
+        call site.  Everything persisted, tracked, and reported stays
+        per-unit, so dispatched and plain runs of the same campaign share
+        run directories freely.
         """
         units = tuple(units)
         check_unique_ids(units)
@@ -188,6 +221,15 @@ class RunnerEngine:
                     run_dir=str(store.run_dir) if store.run_dir is not None else None,
                 )
 
+            if dispatch is None:
+                exec_worker, exec_units = worker, pending
+                chunk_by_id: Dict[str, WorkUnit] = {}
+            else:
+                exec_worker = dispatch.worker
+                exec_units = tuple(dispatch.group(pending))
+                check_unique_ids(exec_units)
+                chunk_by_id = {unit.unit_id: unit for unit in exec_units}
+
             results: Dict[str, UnitResult] = dict(satisfied)
             span = (
                 active.span("runner.run", backend=self.backend.name)
@@ -196,20 +238,33 @@ class RunnerEngine:
             )
             try:
                 with span:
-                    for result in self.backend.run(
-                        worker,
-                        pending,
+                    for raw in self.backend.run(
+                        exec_worker,
+                        exec_units,
                         self.max_retries,
                         capture_telemetry=active is not None,
                     ):
-                        results[result.unit_id] = result
-                        store.append(result)
-                        tracker.update(result)
-                        if active is not None:
-                            self._merge_telemetry(active, result)
-                            self._record_unit(active, result, tracker)
-                        if self.progress is not None:
-                            self.progress(result, tracker)
+                        if dispatch is None:
+                            batch: Tuple[UnitResult, ...] = (raw,)
+                        else:
+                            # Telemetry was captured once for the whole
+                            # chunk; merge it before expansion so worker
+                            # events keep their chunk's unit id.
+                            if active is not None:
+                                self._merge_telemetry(active, raw)
+                            batch = tuple(
+                                dispatch.expand(chunk_by_id[raw.unit_id], raw)
+                            )
+                        for result in batch:
+                            results[result.unit_id] = result
+                            store.append(result)
+                            tracker.update(result)
+                            if active is not None:
+                                if dispatch is None:
+                                    self._merge_telemetry(active, result)
+                                self._record_unit(active, result, tracker)
+                            if self.progress is not None:
+                                self.progress(result, tracker)
             except BaseException as exc:
                 # Every result observed so far is already appended and
                 # flushed; surface the abort, close the store (ExitStack),

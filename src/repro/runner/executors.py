@@ -11,7 +11,8 @@ function plus a tuple of :class:`~repro.runner.units.WorkUnit` and yield
 
 ``ProcessPoolBackend``
     Fans units out across a :class:`concurrent.futures.ProcessPoolExecutor`
-    (worker count defaults to ``os.cpu_count()``).  Because every unit is
+    (worker count defaults to the CPU affinity mask via
+    :func:`default_worker_count`).  Because every unit is
     self-contained and seeded by key (:func:`repro.rng.derive`), placement
     and completion order cannot change any unit's value -- parallelism is
     pure wall-clock.
@@ -33,6 +34,7 @@ produce merged reports with identical content.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import os
 import time
 import traceback
@@ -120,22 +122,47 @@ class SerialBackend:
             yield execute_unit(worker, unit, max_retries, capture_telemetry)
 
 
+def default_worker_count() -> int:
+    """Worker count the pool backend uses when none is requested.
+
+    Respects the process's CPU *affinity* where the platform exposes it
+    (``len(os.sched_getaffinity(0))``) -- a containerized CI runner pinned
+    to 2 of a host's 64 cores gets 2 workers, not 64 -- falling back to
+    ``os.cpu_count()`` elsewhere.
+    """
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            return len(sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk fallback
+            pass
+    return os.cpu_count() or 1
+
+
 class ProcessPoolBackend:
     """Fan units out across worker processes.
 
     Parameters
     ----------
     workers:
-        Pool size; defaults to ``os.cpu_count()``.  The worker function and
-        unit payloads must be picklable (module-level functions and plain
-        JSON payloads are).
+        Pool size; defaults to :func:`default_worker_count` (CPU affinity
+        aware).  The worker function and unit payloads must be picklable
+        (module-level functions and plain JSON payloads are).
+
+    Submission is windowed: at most ``INFLIGHT_FACTOR * workers`` units are
+    in flight at once, refilled as results drain, so a 10k-unit campaign
+    never holds every payload and future in the coordinator at the same
+    time while workers still never starve.
     """
 
     name = "process"
 
+    #: In-flight submission window per pool worker.
+    INFLIGHT_FACTOR = 4
+
     def __init__(self, workers: Optional[int] = None) -> None:
         if workers is None:
-            workers = os.cpu_count() or 1
+            workers = default_worker_count()
         if workers <= 0:
             raise ConfigurationError(f"workers must be positive, got {workers!r}")
         self.workers = int(workers)
@@ -149,16 +176,27 @@ class ProcessPoolBackend:
     ) -> Iterator[UnitResult]:
         if not units:
             return
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(units))) as pool:
-            pending = {
-                pool.submit(execute_unit, worker, unit, max_retries, capture_telemetry)
-                for unit in units
-            }
+        pool_size = min(self.workers, len(units))
+        window = max(1, self.INFLIGHT_FACTOR * pool_size)
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            queue = iter(units)
+
+            def submit(batch):
+                return {
+                    pool.submit(
+                        execute_unit, worker, unit, max_retries, capture_telemetry
+                    )
+                    for unit in batch
+                }
+
+            pending = submit(itertools.islice(queue, window))
             # as_completed() holds every future to the end; draining with
             # wait() lets finished futures (and their result payloads) be
-            # released incrementally on large campaigns.
+            # released incrementally, and the bounded window keeps the
+            # not-yet-finished set small on large campaigns.
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                pending |= submit(itertools.islice(queue, len(done)))
                 for future in done:
                     yield future.result()
 

@@ -137,6 +137,43 @@ class TestCampaignEquivalence:
         assert summarize(False) == summarize(True)
 
 
+class TestFleetEquivalence:
+    """Fleet-batched evaluation extends the same contract: stacking B
+    chips into one fused numpy call must not change a single byte."""
+
+    def test_fleet_campaign_summaries_byte_identical(self):
+        def summarize(chips_per_unit):
+            return CharacterizationCampaign(
+                chips_per_vendor=1, geometry=MICRO, iterations=1
+            ).run(
+                intervals_s=(0.512, 1.024),
+                temperatures_c=(45.0, 55.0),
+                chips_per_unit=chips_per_unit,
+            )
+
+        serial = summarize(None)
+        assert summarize(3) == serial
+        assert summarize(2) == serial
+
+    def test_fleet_composes_with_both_fast_path_modes(self):
+        """fast_path and fleet batching are orthogonal byte-identical
+        layers; all four combinations agree."""
+
+        def summarize(fast_path, chips_per_unit):
+            return CharacterizationCampaign(
+                chips_per_vendor=1, geometry=MICRO, iterations=1, fast_path=fast_path
+            ).run(
+                intervals_s=(0.512, 1.024),
+                temperatures_c=(45.0,),
+                chips_per_unit=chips_per_unit,
+            )
+
+        reference = summarize(False, None)
+        assert summarize(True, None) == reference
+        assert summarize(False, 3) == reference
+        assert summarize(True, 3) == reference
+
+
 class TestChipReset:
     def test_reset_replays_fresh_chip(self):
         conditions = Conditions(trefi=1.024, temperature=45.0)

@@ -26,10 +26,12 @@ from repro.runner import (
     UnitFailure,
     UnitResult,
     WorkUnit,
+    aggregate_chip_results,
     backend_from_spec,
     build_chip_units,
     execute_unit,
 )
+from repro.runner.units import STATUS_FAILED, STATUS_OK
 
 from conftest import TINY_GEOMETRY
 
@@ -444,3 +446,62 @@ class TestCampaignThroughRunner:
         b = build_chip_units(2, TINY_GEOMETRY, 1, 7, (0.512,), (45.0,))
         assert [u.unit_id for u in a] == [u.unit_id for u in b]
         assert len({u.unit_id for u in a}) == len(a)
+
+
+def chip_result(chip_id, vendor, intervals, temperatures, ok=True):
+    """A UnitResult shaped like a measure_chip return (or a failure row)."""
+    if not ok:
+        return UnitResult(
+            unit_id=f"chip-{chip_id:05d}",
+            status=STATUS_FAILED,
+            error=UnitFailure(type="RuntimeError", message="boom", traceback="tb"),
+            attempts=2,
+            elapsed_s=0.1,
+        )
+    return UnitResult(
+        unit_id=f"chip-{chip_id:05d}",
+        status=STATUS_OK,
+        value={
+            "chip_id": chip_id,
+            "vendor": vendor,
+            "interval_failures": [[t, float(n)] for t, n in intervals],
+            "temperature_failures": [[t, float(n)] for t, n in temperatures],
+        },
+        attempts=1,
+        elapsed_s=0.1,
+    )
+
+
+class TestAggregateChipResults:
+    def test_failed_units_are_excluded_from_the_tables(self):
+        results = [
+            chip_result(0, "A", [(0.512, 3)], [(45.0, 3)]),
+            chip_result(1, "A", [], [], ok=False),
+            chip_result(2, "B", [(0.512, 7)], [(45.0, 7)]),
+        ]
+        counts, temp_counts = aggregate_chip_results(results)
+        assert counts == {"A": {0.512: [3]}, "B": {0.512: [7]}}
+        assert temp_counts == {"A": {45.0: [3]}, "B": {45.0: [7]}}
+
+    def test_counts_sorted_by_chip_id_not_completion_order(self):
+        results = [
+            chip_result(2, "A", [(0.512, 30)], [(45.0, 30)]),
+            chip_result(0, "A", [(0.512, 10)], [(45.0, 10)]),
+            chip_result(1, "A", [(0.512, 20)], [(45.0, 20)]),
+        ]
+        counts, _ = aggregate_chip_results(results)
+        assert counts["A"][0.512] == [10, 20, 30]
+
+    def test_duplicate_temperatures_append_one_count_each(self):
+        """A (45, 45) sweep measures twice at 45C; both measurements land
+        in the table (legacy append semantics, pairs not a mapping)."""
+        results = [
+            chip_result(0, "A", [(0.512, 5)], [(45.0, 5), (45.0, 6)]),
+            chip_result(1, "A", [(0.512, 9)], [(45.0, 9), (45.0, 9)]),
+        ]
+        _, temp_counts = aggregate_chip_results(results)
+        assert temp_counts == {"A": {45.0: [5, 6, 9, 9]}}
+
+    def test_all_failed_yields_empty_tables(self):
+        results = [chip_result(i, "A", [], [], ok=False) for i in range(3)]
+        assert aggregate_chip_results(results) == ({}, {})
