@@ -8,6 +8,7 @@ Examples::
     python -m repro longevity --capacity-gb 2 --ecc SECDED --trefi 1.024
     python -m repro campaign --chips-per-vendor 8 --workers 4 \
         --run-dir runs/campaign --resume --progress --metrics
+    python -m repro serve --root runs/service --port 8787
     python -m repro obs runs/campaign
     python -m repro obs runs/campaign --export prometheus
     python -m repro obs --compare runs/campaign-a runs/campaign-b
@@ -114,6 +115,7 @@ def cmd_longevity(args) -> int:
 
 def cmd_campaign(args) -> int:
     from .analysis.campaign import CharacterizationCampaign
+    from .runner import graceful_stop
 
     if args.metrics:
         from . import obs
@@ -131,19 +133,52 @@ def cmd_campaign(args) -> int:
         def progress(result, tracker):
             print(tracker.render(), file=sys.stderr)
 
-    summary = campaign.run(
-        backend=None,  # auto: process pool when --workers > 1, else serial
-        workers=args.workers,
-        run_dir=args.run_dir,
-        resume=args.resume,
-        progress=progress,
-        chips_per_unit=args.chips_per_unit,
-    )
+    # SIGINT/SIGTERM drain in-flight units and persist partial results +
+    # telemetry before exiting; the run-dir manifest is marked interrupted
+    # so `--resume` picks up exactly where this run stopped.
+    with graceful_stop() as stop:
+        summary = campaign.run(
+            backend=None,  # auto: process pool when --workers > 1, else serial
+            workers=args.workers,
+            run_dir=args.run_dir,
+            resume=args.resume,
+            progress=progress,
+            chips_per_unit=args.chips_per_unit,
+            should_stop=stop.is_set,
+        )
     print(summary.to_text())
     if args.metrics:
         print()
         print(obs.report(title="campaign metrics"))
+    if stop.is_set():
+        print(
+            "interrupted: partial results persisted"
+            + (f"; rerun with --resume --run-dir {args.run_dir}" if args.run_dir else ""),
+            file=sys.stderr,
+        )
+        return 130
     return 0 if not summary.failed_units else 1
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        pool_workers=args.pool_workers,
+        max_running=args.max_running,
+        max_queued=args.max_queued,
+        resume=not args.no_resume,
+    )
+    try:
+        asyncio.run(run_service(config))
+    except KeyboardInterrupt:  # pragma: no cover - second Ctrl-C
+        return 130
+    return 0
 
 
 def cmd_obs(args) -> int:
@@ -245,6 +280,37 @@ def main(argv=None) -> int:
              "results.jsonl",
     )
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the multi-tenant campaign service (JSON over HTTP)"
+    )
+    p_srv.add_argument(
+        "--root", default="runs/service",
+        help="service root: per-tenant run dirs plus the jobs.jsonl ledger",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8787,
+        help="listen port (0 binds an ephemeral port, printed on startup)",
+    )
+    p_srv.add_argument(
+        "--pool-workers", type=int, default=None, dest="pool_workers",
+        help="shared process-pool size across all jobs (0 = in-thread serial; "
+             "default: CPU count)",
+    )
+    p_srv.add_argument(
+        "--max-running", type=int, default=2, dest="max_running",
+        help="jobs executing concurrently on the shared pool",
+    )
+    p_srv.add_argument(
+        "--max-queued", type=int, default=64, dest="max_queued",
+        help="bound on queued jobs before submissions get 429",
+    )
+    p_srv.add_argument(
+        "--no-resume", action="store_true", dest="no_resume",
+        help="do not re-adopt unfinished jobs from the ledger on startup",
+    )
+    p_srv.set_defaults(func=cmd_serve)
 
     p_obs = sub.add_parser(
         "obs", help="analyze a campaign run directory's recorded telemetry"

@@ -19,7 +19,7 @@ order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,36 @@ class VendorStatistics:
     #: Empirical Eq-1 coefficient from the multi-temperature measurement.
     measured_temp_coefficient: Optional[float]
     model_temp_coefficient: float
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON form; float map keys become their ``repr`` strings
+        so the round trip through :meth:`from_json_dict` is lossless."""
+        return {
+            "vendor": self.vendor,
+            "n_chips": self.n_chips,
+            "ber_by_interval": {
+                repr(float(trefi)): [mean, std]
+                for trefi, (mean, std) in sorted(self.ber_by_interval.items())
+            },
+            "measured_temp_coefficient": self.measured_temp_coefficient,
+            "model_temp_coefficient": self.model_temp_coefficient,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "VendorStatistics":
+        measured = data.get("measured_temp_coefficient")
+        return cls(
+            vendor=str(data["vendor"]),
+            n_chips=int(data["n_chips"]),  # type: ignore[arg-type]
+            ber_by_interval={
+                float(trefi): (float(pair[0]), float(pair[1]))
+                for trefi, pair in data["ber_by_interval"].items()  # type: ignore[union-attr]
+            },
+            measured_temp_coefficient=(
+                None if measured is None else float(measured)  # type: ignore[arg-type]
+            ),
+            model_temp_coefficient=float(data["model_temp_coefficient"]),  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True)
@@ -92,6 +122,38 @@ class CampaignSummary:
                 + ", ".join(self.failed_units)
             )
         return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Wire/ledger form of the summary: plain JSON, fully ordered.
+
+        ``json.dumps(summary.to_json_dict(), sort_keys=True)`` is the
+        service's result payload; because the dict is built from sorted
+        components, two equal summaries serialize to identical bytes --
+        the property the service's byte-identity tests pin.
+        """
+        return {
+            "n_chips": self.n_chips,
+            "intervals_s": [float(t) for t in self.intervals_s],
+            "temperatures_c": [float(t) for t in self.temperatures_c],
+            "vendors": {
+                name: stats.to_json_dict()
+                for name, stats in sorted(self.vendors.items())
+            },
+            "failed_units": list(self.failed_units),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "CampaignSummary":
+        return cls(
+            n_chips=int(data["n_chips"]),  # type: ignore[arg-type]
+            intervals_s=tuple(float(t) for t in data["intervals_s"]),  # type: ignore[union-attr]
+            temperatures_c=tuple(float(t) for t in data["temperatures_c"]),  # type: ignore[union-attr]
+            vendors={
+                str(name): VendorStatistics.from_json_dict(stats)
+                for name, stats in data["vendors"].items()  # type: ignore[union-attr]
+            },
+            failed_units=tuple(str(u) for u in data["failed_units"]),  # type: ignore[union-attr]
+        )
 
 
 class CharacterizationCampaign:
@@ -142,6 +204,8 @@ class CharacterizationCampaign:
         max_retries: int = 1,
         progress: Optional[ProgressCallback] = None,
         chips_per_unit: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        observability: Optional[object] = None,
     ) -> CampaignSummary:
         """Measure BER curves and temperature scaling across the population.
 
@@ -165,6 +229,14 @@ class CharacterizationCampaign:
         holds one row per chip, and the campaign fingerprint is unchanged
         -- fleet and per-chip runs can resume each other's run
         directories.  ``None``/1 keeps the per-chip path.
+
+        ``should_stop`` plugs a cooperative-cancellation probe into the
+        engine (graceful SIGINT/SIGTERM, the service's cancel endpoint):
+        in-flight chips drain and persist, the manifest is marked
+        interrupted, and the partial summary covers exactly the measured
+        chips.  ``observability`` injects an explicit
+        :class:`repro.obs.Observability` instance for per-run telemetry
+        scoping (the service gives every job its own).
         """
         if not intervals_s or list(intervals_s) != sorted(intervals_s):
             raise ConfigurationError("intervals must be non-empty ascending")
@@ -216,6 +288,8 @@ class CharacterizationCampaign:
             resume=resume,
             max_retries=max_retries,
             progress=progress,
+            observability=observability,  # type: ignore[arg-type]
+            should_stop=should_stop,
         )
         report = engine.run(measure_chip, units, manifest, dispatch=dispatch)
         counts, temp_counts = aggregate_chip_results(report.results.values())

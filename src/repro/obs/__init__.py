@@ -45,7 +45,13 @@ import contextlib
 import os
 from typing import Any, Dict, Iterator, List, Optional, Union
 
-from .events import BufferedEventSink, JsonlEventSink, ListEventSink, NullEventSink
+from .events import (
+    BufferedEventSink,
+    JsonlEventSink,
+    ListEventSink,
+    NullEventSink,
+    TeeEventSink,
+)
 from .export import (
     load_metrics_json,
     to_chrome_trace,
@@ -67,6 +73,7 @@ __all__ = [
     "MetricsRegistry",
     "NullEventSink",
     "Observability",
+    "TeeEventSink",
     "Tracer",
     "capture",
     "load_metrics_json",
@@ -135,11 +142,24 @@ class Observability:
 
     @contextlib.contextmanager
     def sink_to(self, path: Union[str, os.PathLike]) -> Iterator[JsonlEventSink]:
-        """Route events to ``path`` (JSONL, append) for the with-block."""
+        """Route events to ``path`` (JSONL, append) for the with-block.
+
+        A displaced sink that declares ``tee_through = True`` keeps
+        receiving events alongside the file (via :class:`TeeEventSink`):
+        the per-job scoping hook the campaign service uses to stream a
+        run's events live while the durable ``events.jsonl`` is written.
+        Ordinary sinks (the default ``NullEventSink``, a CLI-attached
+        JSONL file) are displaced for the block, exactly as before.
+        """
         sink = JsonlEventSink(path)
         previous = self.sink
-        self.sink = sink
-        self.tracer.sink = sink
+        installed = (
+            TeeEventSink(sink, previous)
+            if getattr(previous, "tee_through", False)
+            else sink
+        )
+        self.sink = installed
+        self.tracer.sink = installed
         try:
             yield sink
         finally:

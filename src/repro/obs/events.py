@@ -96,6 +96,30 @@ class JsonlEventSink:
         self.close()
 
 
+class TeeEventSink:
+    """Fans every event out to multiple member sinks.
+
+    Installed by :meth:`repro.obs.Observability.sink_to` when the sink
+    being displaced declares ``tee_through = True`` -- the run-dir JSONL
+    log *and* the displaced sink (e.g. the service's per-job broadcast
+    sink feeding live HTTP event streams) both see the stream.  The tee
+    owns none of its members: closing it closes nothing, the installer
+    remains responsible for each member's lifecycle.
+    """
+
+    path: Optional[pathlib.Path] = None
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks = tuple(sinks)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        for sink in self.sinks:
+            sink.emit(event, **fields)
+
+    def close(self) -> None:
+        pass
+
+
 class ListEventSink:
     """Collects events in memory; the test double."""
 

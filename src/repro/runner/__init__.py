@@ -52,14 +52,19 @@ from .executors import (
     default_worker_count,
     execute_unit,
 )
+from .interrupt import GracefulStop, graceful_stop
 from .progress import ProgressTracker
 from .store import (
     EVENTS_NAME,
     MANIFEST_NAME,
     METRICS_NAME,
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
     NullStore,
     RESULTS_NAME,
     ResultStore,
+    manifest_spec_diff,
 )
 from .units import UnitFailure, UnitResult, WorkUnit
 
@@ -69,9 +74,13 @@ __all__ = [
     "CHIP_UNIT_KIND",
     "EVENTS_NAME",
     "FLEET_UNIT_KIND",
+    "GracefulStop",
     "MANIFEST_NAME",
     "METRICS_NAME",
     "NullStore",
+    "STATUS_COMPLETE",
+    "STATUS_INTERRUPTED",
+    "STATUS_RUNNING",
     "RESULTS_NAME",
     "ProcessPoolBackend",
     "ProgressCallback",
@@ -94,6 +103,8 @@ __all__ = [
     "execute_unit",
     "expand_fleet_result",
     "fleet_dispatch",
+    "graceful_stop",
+    "manifest_spec_diff",
     "measure_chip",
     "measure_fleet",
 ]

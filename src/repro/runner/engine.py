@@ -50,7 +50,15 @@ from ..errors import ConfigurationError
 from ..obs.export import write_metrics_json
 from .executors import Backend, WorkerFn, backend_from_spec
 from .progress import ProgressTracker
-from .store import EVENTS_NAME, METRICS_NAME, NullStore, ResultStore
+from .store import (
+    EVENTS_NAME,
+    METRICS_NAME,
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    NullStore,
+    ResultStore,
+)
 from .units import UnitResult, WorkUnit, check_unique_ids
 
 #: Called after every completed unit with (result, tracker).
@@ -98,6 +106,9 @@ class RunStats:
     skipped: int
     failed: int
     elapsed_s: float
+    #: A cooperative stop (``should_stop``) drained the run before every
+    #: pending unit executed; the persisted frontier resumes it.
+    interrupted: bool = False
 
 
 @dataclass(frozen=True)
@@ -136,6 +147,15 @@ class RunnerEngine:
         Explicit :class:`repro.obs.Observability` instance to record
         into.  ``None`` (the default) uses the process-wide layer when
         :func:`repro.obs.enabled` says it is on, else records nothing.
+    should_stop:
+        Cooperative-cancellation probe (``() -> bool``).  Once it reads
+        ``True`` the backend stops dispatching new units but *drains*
+        the ones already in flight -- every drained result is persisted
+        and reported, the manifest is marked ``interrupted``, and the run
+        returns normally with ``stats.interrupted`` set.  This is the hook
+        behind graceful SIGINT/SIGTERM shutdown and the service's
+        ``DELETE /v1/jobs/{id}`` cancel: no torn tail, no lost work, and
+        a straight ``resume=True`` relaunch finishes the remainder.
     """
 
     def __init__(
@@ -147,6 +167,7 @@ class RunnerEngine:
         max_retries: int = 1,
         progress: Optional[ProgressCallback] = None,
         observability: Optional["obs_mod.Observability"] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
@@ -156,6 +177,7 @@ class RunnerEngine:
         self.max_retries = int(max_retries)
         self.progress = progress
         self.observability = observability
+        self.should_stop = should_stop
 
     def _active_obs(self) -> Optional["obs_mod.Observability"]:
         """The instance to record into, or ``None`` when instrumentation
@@ -191,6 +213,9 @@ class RunnerEngine:
         store: Union[ResultStore, NullStore]
         store = ResultStore(self.run_dir) if self.run_dir is not None else NullStore()
         store.open(manifest, resume=self.resume)
+        # A crash (or kill -9) leaves the manifest saying "running" -- the
+        # truthful signal that the directory holds a resumable frontier.
+        store.mark_status(STATUS_RUNNING)
         active = self._active_obs()
         with contextlib.ExitStack() as stack:
             stack.callback(store.close)
@@ -236,13 +261,20 @@ class RunnerEngine:
                 if active is not None
                 else contextlib.nullcontext()
             )
+            # Custom backends predating cooperative cancellation may not
+            # take ``should_stop``; only pass it when a probe is installed.
+            backend_kwargs: Dict[str, Any] = {
+                "capture_telemetry": active is not None
+            }
+            if self.should_stop is not None:
+                backend_kwargs["should_stop"] = self.should_stop
             try:
                 with span:
                     for raw in self.backend.run(
                         exec_worker,
                         exec_units,
                         self.max_retries,
-                        capture_telemetry=active is not None,
+                        **backend_kwargs,
                     ):
                         if dispatch is None:
                             batch: Tuple[UnitResult, ...] = (raw,)
@@ -280,6 +312,11 @@ class RunnerEngine:
                     )
                 raise
 
+            interrupted = (
+                self.should_stop is not None
+                and self.should_stop()
+                and tracker.completed < tracker.total
+            )
             stats = RunStats(
                 total=len(units),
                 executed=tracker.completed,
@@ -287,8 +324,18 @@ class RunnerEngine:
                 skipped=tracker.skipped,
                 failed=tracker.failed,
                 elapsed_s=tracker.elapsed_seconds,
+                interrupted=interrupted,
+            )
+            store.mark_status(
+                STATUS_INTERRUPTED if interrupted else STATUS_COMPLETE
             )
             if active is not None:
+                if interrupted:
+                    active.emit(
+                        "runner.interrupted",
+                        executed=tracker.completed,
+                        remaining=tracker.remaining,
+                    )
                 active.observe("runner.run_seconds", stats.elapsed_s)
                 active.emit(
                     "runner.finish",
@@ -311,6 +358,7 @@ class RunnerEngine:
                             "skipped": stats.skipped,
                             "failed": stats.failed,
                             "elapsed_s": stats.elapsed_s,
+                            "interrupted": stats.interrupted,
                         },
                     )
             return RunReport(results=results, stats=stats)

@@ -33,6 +33,7 @@ produce merged reports with identical content.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import itertools
 import os
@@ -106,6 +107,10 @@ def _execute_unit(worker: WorkerFn, unit: WorkUnit, max_retries: int) -> UnitRes
     )
 
 
+#: Cooperative-cancellation probe: ``True`` means "stop taking new work".
+ShouldStop = Callable[[], bool]
+
+
 class SerialBackend:
     """In-process, in-order execution; the reference backend."""
 
@@ -117,8 +122,11 @@ class SerialBackend:
         units: Tuple[WorkUnit, ...],
         max_retries: int = 1,
         capture_telemetry: bool = False,
+        should_stop: Optional[ShouldStop] = None,
     ) -> Iterator[UnitResult]:
         for unit in units:
+            if should_stop is not None and should_stop():
+                return
             yield execute_unit(worker, unit, max_retries, capture_telemetry)
 
 
@@ -149,10 +157,26 @@ class ProcessPoolBackend:
         aware).  The worker function and unit payloads must be picklable
         (module-level functions and plain JSON payloads are).
 
+    executor:
+        An externally owned :class:`~concurrent.futures.ProcessPoolExecutor`
+        to submit into instead of creating (and tearing down) a private
+        pool per run.  The caller keeps ownership: the backend never shuts
+        a shared executor down, so one pool can serve many concurrent
+        campaigns (the ``repro.service`` job manager does exactly this).
+        ``workers`` then only sizes this run's submission window -- its
+        fair share of the shared pool -- not the pool itself.
+
     Submission is windowed: at most ``INFLIGHT_FACTOR * workers`` units are
     in flight at once, refilled as results drain, so a 10k-unit campaign
     never holds every payload and future in the coordinator at the same
     time while workers still never starve.
+
+    ``should_stop`` makes cancellation cooperative and lossless: once it
+    reads ``True`` the backend stops submitting, cancels queued futures
+    that have not started, and *drains* the units already executing --
+    their results are yielded (and therefore persisted by the engine)
+    before iteration ends, so cancelling a campaign never throws away
+    finished work.
     """
 
     name = "process"
@@ -160,12 +184,17 @@ class ProcessPoolBackend:
     #: In-flight submission window per pool worker.
     INFLIGHT_FACTOR = 4
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        executor: Optional[ProcessPoolExecutor] = None,
+    ) -> None:
         if workers is None:
             workers = default_worker_count()
         if workers <= 0:
             raise ConfigurationError(f"workers must be positive, got {workers!r}")
         self.workers = int(workers)
+        self.executor = executor
 
     def run(
         self,
@@ -173,12 +202,19 @@ class ProcessPoolBackend:
         units: Tuple[WorkUnit, ...],
         max_retries: int = 1,
         capture_telemetry: bool = False,
+        should_stop: Optional[ShouldStop] = None,
     ) -> Iterator[UnitResult]:
         if not units:
             return
+        if should_stop is not None and should_stop():
+            return
         pool_size = min(self.workers, len(units))
         window = max(1, self.INFLIGHT_FACTOR * pool_size)
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        with contextlib.ExitStack() as stack:
+            if self.executor is None:
+                pool = stack.enter_context(ProcessPoolExecutor(max_workers=pool_size))
+            else:
+                pool = self.executor
             queue = iter(units)
 
             def submit(batch):
@@ -196,7 +232,14 @@ class ProcessPoolBackend:
             # not-yet-finished set small on large campaigns.
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                pending |= submit(itertools.islice(queue, len(done)))
+                if should_stop is not None and should_stop():
+                    # Stop refilling, shed what never started, drain the
+                    # rest.  Successfully cancelled futures leave `pending`
+                    # here and never reach a later `done` set, so every
+                    # future yielded below carries a real result.
+                    pending = {f for f in pending if not f.cancel()}
+                else:
+                    pending |= submit(itertools.islice(queue, len(done)))
                 for future in done:
                     yield future.result()
 

@@ -1,0 +1,71 @@
+"""Graceful-shutdown signal handling for campaign runs.
+
+The engine's ``should_stop`` hook makes interruption cooperative: once the
+probe reads ``True`` the backend stops dispatching, drains the units
+already in flight, persists their results and telemetry, and marks the
+manifest ``interrupted``.  This module provides the signal-side half for
+the CLI (and anything else running an engine in a foreground process):
+:func:`graceful_stop` installs SIGINT/SIGTERM handlers that flip a stop
+event instead of tearing the process down mid-write.
+
+The first signal requests the graceful drain; a second signal means the
+operator is done waiting and raises :class:`KeyboardInterrupt`, falling
+back to the engine's abort path (which still persists every result that
+streamed in -- rows are appended and flushed per unit).
+
+Signal handlers can only be installed from the main thread; elsewhere
+(e.g. the service's job threads, which have their own stop events) the
+context manager degrades to a plain event that nothing flips.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Tuple
+
+
+class GracefulStop:
+    """A stop request: ``is_set`` is the engine's ``should_stop`` probe."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.signals_seen = 0
+
+    def request(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+
+@contextlib.contextmanager
+def graceful_stop(
+    signums: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[GracefulStop]:
+    """Install drain-on-signal handlers for the with-block.
+
+    Yields a :class:`GracefulStop` whose ``is_set`` method plugs straight
+    into ``RunnerEngine(should_stop=...)`` /
+    ``CharacterizationCampaign.run(should_stop=...)``.  Previous handlers
+    are restored on exit.
+    """
+    stop = GracefulStop()
+
+    def handler(signum, frame):  # noqa: ARG001 - signal handler signature
+        stop.signals_seen += 1
+        stop.request()
+        if stop.signals_seen >= 2:
+            # The operator signalled twice: stop waiting for the drain.
+            raise KeyboardInterrupt
+
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in signums:
+            previous[signum] = signal.signal(signum, handler)
+    try:
+        yield stop
+    finally:
+        for signum, prior in previous.items():
+            signal.signal(signum, prior)

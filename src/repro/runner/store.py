@@ -35,6 +35,40 @@ EVENTS_NAME = "events.jsonl"
 #: Durable merged metric snapshot written by the engine at run end.
 METRICS_NAME = "metrics.json"
 
+#: Manifest ``status`` values stamped by the engine.
+STATUS_RUNNING = "running"
+STATUS_COMPLETE = "complete"
+STATUS_INTERRUPTED = "interrupted"
+
+#: Manifest keys that are lifecycle bookkeeping, not campaign identity --
+#: excluded from the collision-guard spec diff.
+_MANIFEST_META_KEYS = ("fingerprint", "status", "kind")
+
+
+def manifest_spec_diff(
+    stored: Mapping[str, Any], requested: Mapping[str, Any], limit: int = 6
+) -> str:
+    """Human-readable diff of two manifests' configuration knobs.
+
+    Used to make a fingerprint-mismatch refusal *actionable*: instead of
+    two opaque hashes, the error names exactly which campaign knobs differ
+    between the directory's occupant and the requested run.
+    """
+    keys = sorted(
+        (set(stored) | set(requested)) - set(_MANIFEST_META_KEYS)
+    )
+    lines = []
+    for key in keys:
+        a, b = stored.get(key), requested.get(key)
+        if a != b:
+            lines.append(f"{key}: stored {a!r} != requested {b!r}")
+    if not lines:
+        return "the stored manifest carries no comparable configuration keys"
+    shown = lines[:limit]
+    if len(lines) > limit:
+        shown.append(f"... and {len(lines) - limit} more differing keys")
+    return "; ".join(shown)
+
 
 class ResultStore:
     """Append-only persistence for one campaign run directory."""
@@ -66,7 +100,10 @@ class ResultStore:
                 raise ConfigurationError(
                     f"run directory {self.run_dir} belongs to a different campaign "
                     f"(manifest fingerprint {existing.get('fingerprint')!r} != "
-                    f"{manifest['fingerprint']!r}); use a fresh --run-dir"
+                    f"{manifest['fingerprint']!r}).  Differing configuration: "
+                    f"{manifest_spec_diff(existing, manifest)}.  Use a fresh "
+                    "--run-dir, or relaunch with the directory's original "
+                    "configuration to resume it"
                 )
             if not resume and self.results_path.exists() and self.results_path.stat().st_size:
                 raise ConfigurationError(
@@ -110,6 +147,19 @@ class ResultStore:
                 "the run directory and relaunch without --resume"
             )
         return existing
+
+    def mark_status(self, status: str) -> None:
+        """Stamp the manifest's lifecycle ``status`` (atomic rewrite).
+
+        The engine marks a run ``running`` on open, ``complete`` on a clean
+        finish, and ``interrupted`` when a cooperative stop drained it early
+        -- so a run directory always tells an operator whether its tail is
+        a finished campaign or a resumable frontier.  The fingerprint and
+        every other manifest key are preserved verbatim.
+        """
+        manifest = self._load_manifest()
+        manifest["status"] = str(status)
+        self._stamp_manifest(manifest)
 
     def close(self) -> None:
         if self._handle is not None:
@@ -192,6 +242,9 @@ class NullStore:
 
     def open(self, manifest: Mapping[str, Any], resume: bool = False) -> None:
         self._results: Dict[str, UnitResult] = {}
+
+    def mark_status(self, status: str) -> None:
+        pass
 
     def close(self) -> None:
         pass

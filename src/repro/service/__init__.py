@@ -1,0 +1,83 @@
+"""Async multi-tenant campaign service over the runner engine.
+
+The blocking engine (``repro.runner`` driven by
+:class:`~repro.analysis.campaign.CharacterizationCampaign`) serves one
+caller at a time.  This package wraps it as a long-lived service:
+
+``jobs``
+    Job schema: :class:`CampaignJobSpec` (the CLI's knobs as JSON),
+    :class:`JobRecord`, the state machine, and service error types.
+``ledger``
+    Durable ``jobs.jsonl`` transition log; replay powers
+    resume-on-restart.
+``events``
+    :class:`BroadcastEventSink`: per-job thread-to-asyncio event fan-out
+    behind the live ``/events`` stream.
+``manager``
+    :class:`JobManager`: bounded queue, FIFO-per-tenant fair scheduling,
+    one shared process pool across concurrent jobs, cooperative cancel,
+    graceful shutdown, crash resume.
+``http``
+    The JSON-over-HTTP API (stdlib asyncio streams).
+``app``
+    :func:`run_service` / :class:`ServiceConfig` / :class:`ServiceThread`
+    assembly.
+``client``
+    Blocking :class:`ServiceClient` mirroring the API.
+
+The service path reuses the exact engine the CLI uses -- same work-unit
+decomposition, same keyed RNG, same result store -- so a campaign
+submitted over HTTP produces a summary byte-identical to
+``python -m repro campaign`` with the same spec.
+"""
+
+from .app import ServiceConfig, ServiceThread, run_service
+from .client import ServiceClient
+from .events import BroadcastEventSink
+from .jobs import (
+    ALL_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    INTERRUPTED,
+    QUEUED,
+    RESUMABLE_STATES,
+    RUNNING,
+    TERMINAL_STATES,
+    CampaignJobSpec,
+    JobRecord,
+    QueueFullError,
+    ServiceError,
+    UnknownJobError,
+    validate_tenant,
+)
+from .ledger import LEDGER_NAME, JobLedger
+from .manager import SUMMARY_NAME, Job, JobManager
+
+__all__ = [
+    "ALL_STATES",
+    "BroadcastEventSink",
+    "CANCELLED",
+    "CampaignJobSpec",
+    "DONE",
+    "FAILED",
+    "INTERRUPTED",
+    "Job",
+    "JobLedger",
+    "JobManager",
+    "JobRecord",
+    "LEDGER_NAME",
+    "QUEUED",
+    "QueueFullError",
+    "RESUMABLE_STATES",
+    "RUNNING",
+    "SUMMARY_NAME",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+    "run_service",
+    "validate_tenant",
+]

@@ -1,0 +1,181 @@
+"""Service assembly: config, signal-aware main loop, in-process harness.
+
+:func:`run_service` is what ``python -m repro serve`` runs: build a
+:class:`~repro.service.manager.JobManager`, bind the HTTP server, print
+the ``serving on http://host:port`` line (flushed, so wrappers can scrape
+the bound port), then wait for SIGINT/SIGTERM.  On the first signal it
+shuts down gracefully -- stops accepting connections, drains running jobs
+(their engines persist partial results and mark manifests interrupted),
+and appends the final ledger rows so a later ``serve`` on the same root
+resumes them.
+
+:class:`ServiceThread` hosts the same stack on a background thread with
+its own event loop -- the fixture the service tests (and any embedding
+application) use to get a real HTTP endpoint without a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import pathlib
+import signal
+import threading
+from typing import Optional, Tuple, Union
+
+from .http import serve
+from .manager import JobManager
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to stand up a service."""
+
+    root: Union[str, pathlib.Path]
+    host: str = "127.0.0.1"
+    port: int = 8787  #: 0 binds an ephemeral port (printed on startup)
+    pool_workers: Optional[int] = None
+    max_running: int = 2
+    max_queued: int = 64
+    resume: bool = True
+
+
+def _bound_address(server: asyncio.AbstractServer) -> Tuple[str, int]:
+    sock = server.sockets[0]
+    host, port = sock.getsockname()[:2]
+    return host, port
+
+
+async def run_service(
+    config: ServiceConfig,
+    *,
+    stop: Optional[asyncio.Event] = None,
+    ready: Optional["ServiceHandle"] = None,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run the service until ``stop`` is set or a termination signal lands."""
+    if stop is None:
+        stop = asyncio.Event()
+    manager = JobManager(
+        config.root,
+        pool_workers=config.pool_workers,
+        max_running=config.max_running,
+        max_queued=config.max_queued,
+        resume=config.resume,
+    )
+    await manager.start()
+    server = await serve(manager, config.host, config.port)
+    host, port = _bound_address(server)
+    print(f"serving on http://{host}:{port}", flush=True)
+    if ready is not None:
+        ready._set(host, port, manager)
+
+    loop = asyncio.get_running_loop()
+    installed = []
+    if install_signal_handlers:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    try:
+        await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        server.close()
+        await server.wait_closed()
+        await manager.shutdown()
+
+
+class ServiceHandle:
+    """Rendezvous for the bound address once :func:`run_service` is up."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.manager: Optional[JobManager] = None
+
+    def _set(self, host: str, port: int, manager: JobManager) -> None:
+        self.host, self.port, self.manager = host, port, manager
+        self._event.set()
+
+    def wait(self, timeout: float = 30.0) -> Tuple[str, int]:
+        if not self._event.wait(timeout):
+            raise TimeoutError("service did not start within the timeout")
+        assert self.host is not None and self.port is not None
+        return self.host, self.port
+
+
+class ServiceThread:
+    """The full service stack on a daemon thread (for tests / embedding).
+
+    Usage::
+
+        with ServiceThread(ServiceConfig(root=tmp, port=0)) as svc:
+            client = ServiceClient(svc.host, svc.port)
+            ...
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.handle = ServiceHandle()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._error: Optional[BaseException] = None
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._error = exc
+            self.handle._event.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await run_service(
+            self.config,
+            stop=self._stop,
+            ready=self.handle,
+            install_signal_handlers=False,
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self.handle.wait()
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+    @property
+    def host(self) -> str:
+        host, _port = self.handle.wait()
+        return host
+
+    @property
+    def port(self) -> int:
+        _host, port = self.handle.wait()
+        return port
+
+    @property
+    def manager(self) -> JobManager:
+        assert self.handle.manager is not None
+        return self.handle.manager
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

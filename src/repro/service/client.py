@@ -1,0 +1,149 @@
+"""Blocking HTTP client for the campaign service (stdlib ``http.client``).
+
+The programmatic mirror of the API in :mod:`repro.service.http`::
+
+    client = ServiceClient("127.0.0.1", 8787)
+    job = client.submit("acme", {"chips_per_vendor": 2, "iterations": 1})
+    for event in client.events(job["job_id"]):   # live NDJSON stream
+        print(event["event"])
+    summary = client.result(job["job_id"])
+
+Server-side errors are re-raised as their service-layer types
+(:class:`~repro.service.jobs.UnknownJobError`,
+:class:`~repro.service.jobs.QueueFullError`,
+:class:`~repro.errors.ConfigurationError`) so callers handle HTTP and
+in-process managers identically.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import quote, urlencode
+
+from ..errors import ConfigurationError
+from .jobs import TERMINAL_STATES, QueueFullError, ServiceError, UnknownJobError
+
+_ERROR_TYPES = {
+    "unknown_job": UnknownJobError,
+    "queue_full": QueueFullError,
+    "configuration": ConfigurationError,
+}
+
+
+class ServiceClient:
+    """One-connection-per-call client; safe to share across threads."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+            if response.status >= 400:
+                self._raise(response.status, decoded)
+            return decoded
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _raise(status: int, decoded: Dict[str, Any]) -> None:
+        error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
+        message = error.get("message") or f"HTTP {status}"
+        exc_type = _ERROR_TYPES.get(error.get("type"), ServiceError)
+        raise exc_type(message)
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def submit(
+        self, tenant: str, spec: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/v1/jobs", {"tenant": tenant, "spec": spec or {}}
+        )
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/v1/jobs"
+        if tenant:
+            path += "?" + urlencode({"tenant": tenant})
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{quote(job_id)}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{quote(job_id)}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{quote(job_id)}")
+
+    # ------------------------------------------------------------------
+    def events(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events as they arrive (blocks until stream ends).
+
+        The server chunk-encodes one JSON object per line;
+        ``http.client`` de-chunks transparently, so this just reads lines
+        until EOF.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{quote(job_id)}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                decoded = json.loads(data.decode("utf-8")) if data else {}
+                self._raise(response.status, decoded)
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+            if buffer.strip():
+                yield json.loads(buffer)
+        finally:
+            conn.close()
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)

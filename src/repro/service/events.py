@@ -1,0 +1,104 @@
+"""Per-job event broadcasting: the live half of ``GET /v1/jobs/{id}/events``.
+
+Each job gets one :class:`BroadcastEventSink`, installed as its
+:class:`~repro.obs.Observability` sink.  The engine's ``sink_to`` sees the
+``tee_through`` flag and tees: the durable ``events.jsonl`` in the job's
+run directory *and* this sink both receive every run event (engine
+lifecycle, per-unit completions, replayed worker telemetry).
+
+The sink is written to from the job's worker thread and read from the
+asyncio event loop, so it bridges the two worlds explicitly: rows are
+buffered under a lock (bounded history for late subscribers) and pushed
+into per-subscriber ``asyncio.Queue``\\ s via ``call_soon_threadsafe``.
+A ``None`` sentinel marks end-of-stream when the job reaches a terminal
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set
+
+
+class BroadcastEventSink:
+    """Thread-safe fan-out sink with bounded replay history.
+
+    Parameters
+    ----------
+    loop:
+        The asyncio loop subscriber queues live on.
+    history_limit:
+        How many recent events a new subscriber is replayed before going
+        live.  Bounded so a million-unit campaign cannot pin every event
+        in memory -- the complete log is always in the run directory's
+        ``events.jsonl``.
+    """
+
+    #: Observability.sink_to tees to this sink instead of displacing it.
+    tee_through = True
+    path = None
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, history_limit: int = 512
+    ) -> None:
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._history: Deque[Dict[str, Any]] = deque(maxlen=max(0, history_limit))
+        self._queues: Set[asyncio.Queue] = set()
+        self._seq = 0
+        self._closed = False
+
+    # -- sink interface (called from the job's worker thread) ----------
+    def emit(self, event: str, **fields: Any) -> None:
+        row: Dict[str, Any] = {"event": event, "ts": time.time(), "seq": self._seq}
+        row.update(fields)
+        with self._lock:
+            if self._closed:
+                return
+            self._seq += 1
+            self._history.append(row)
+            queues = list(self._queues)
+        for queue in queues:
+            self._loop.call_soon_threadsafe(self._offer, queue, row)
+
+    def close(self) -> None:
+        """End every subscriber's stream; further emits are dropped."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            queues = list(self._queues)
+            self._queues.clear()
+        for queue in queues:
+            self._loop.call_soon_threadsafe(self._offer, queue, None)
+
+    @staticmethod
+    def _offer(queue: asyncio.Queue, row: Optional[Dict[str, Any]]) -> None:
+        try:
+            queue.put_nowait(row)
+        except asyncio.QueueFull:  # pragma: no cover - unbounded by default
+            pass
+
+    # -- subscriber interface (called on the loop) ---------------------
+    def subscribe(self) -> asyncio.Queue:
+        """A queue pre-loaded with history, then fed live; ``None`` ends it."""
+        queue: asyncio.Queue = asyncio.Queue()
+        with self._lock:
+            for row in self._history:
+                queue.put_nowait(row)
+            if self._closed:
+                queue.put_nowait(None)
+            else:
+                self._queues.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        with self._lock:
+            self._queues.discard(queue)
+
+    def history(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._history)

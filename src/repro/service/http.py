@@ -1,0 +1,269 @@
+"""Minimal JSON-over-HTTP front-end for the :class:`JobManager`.
+
+Stdlib-only (``asyncio`` streams; no web framework) HTTP/1.1 with exactly
+the surface the service needs:
+
+====== ============================ ===========================================
+Method Path                         Meaning
+====== ============================ ===========================================
+POST   ``/v1/jobs``                 Submit ``{"tenant": ..., "spec": {...}}``
+GET    ``/v1/jobs``                 List jobs (``?tenant=`` filters)
+GET    ``/v1/jobs/{id}``            Job status + EWMA progress / ETA
+GET    ``/v1/jobs/{id}/events``     Live chunked JSONL event stream
+GET    ``/v1/jobs/{id}/result``     Final campaign summary (done jobs only)
+DELETE ``/v1/jobs/{id}``            Cooperative cancel (partials persisted)
+GET    ``/v1/healthz``              Liveness + queue depth
+====== ============================ ===========================================
+
+Error mapping keeps service semantics on the wire:
+:class:`~repro.service.jobs.UnknownJobError` -> 404,
+:class:`~repro.service.jobs.QueueFullError` -> 429,
+:class:`~repro.errors.ConfigurationError` -> 400, anything else -> 500.
+Every error body is ``{"error": {"type": ..., "message": ...}}``.
+
+The events endpoint responds with ``Transfer-Encoding: chunked`` and writes
+one JSON object per chunk as the job emits them, ending with the job's
+terminal ``job.state`` event -- a plain ``http.client`` (or ``curl -N``)
+consumer sees events live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ConfigurationError
+from .jobs import CampaignJobSpec, QueueFullError, UnknownJobError
+from .manager import JobManager
+
+_MAX_BODY = 1 << 20  # 1 MiB is generous for a campaign spec
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9._-]+)(/events|/result)?$")
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, error_type: str = "error") -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+def _map_exception(exc: Exception) -> _HttpError:
+    if isinstance(exc, _HttpError):
+        return exc
+    if isinstance(exc, UnknownJobError):
+        return _HttpError(404, str(exc), "unknown_job")
+    if isinstance(exc, QueueFullError):
+        return _HttpError(429, str(exc), "queue_full")
+    if isinstance(exc, ConfigurationError):
+        return _HttpError(400, str(exc), "configuration")
+    return _HttpError(500, f"{type(exc).__name__}: {exc}", "internal")
+
+
+class ServiceProtocol:
+    """One instance per server; handles each connection sequentially."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    # ------------------------------------------------------------------
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, body = request
+            await self._dispatch(writer, method, path, query, body)
+        except _HttpError as exc:
+            await self._send_error(writer, exc)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - connection isolation
+            try:
+                await self._send_error(writer, _map_exception(exc))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, list], bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body exceeds {_MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        return method.upper(), split.path, parse_qs(split.query), body
+
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: Dict[str, list],
+        body: bytes,
+    ) -> None:
+        if path == "/v1/healthz" and method == "GET":
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "queued": self.manager.queued_count(),
+                    "running": len(self.manager._running),
+                },
+            )
+            return
+        if path == "/v1/jobs":
+            if method == "POST":
+                await self._submit(writer, body)
+            elif method == "GET":
+                tenant = (query.get("tenant") or [None])[0]
+                records = self.manager.jobs(tenant)
+                await self._send_json(
+                    writer, 200, {"jobs": [r.to_json_dict() for r in records]}
+                )
+            else:
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            return
+        match = _JOB_PATH.match(path)
+        if match is None:
+            raise _HttpError(404, f"no route for {path}")
+        job_id, suffix = match.group(1), match.group(2)
+        if suffix == "/events":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            await self._stream_events(writer, job_id)
+        elif suffix == "/result":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            await self._send_json(writer, 200, self.manager.result(job_id))
+        elif method == "GET":
+            await self._send_json(writer, 200, self.manager.job(job_id).to_json_dict())
+        elif method == "DELETE":
+            record = await self.manager.cancel(job_id)
+            await self._send_json(writer, 200, record.to_json_dict())
+        else:
+            raise _HttpError(405, f"{method} not allowed on {path}")
+
+    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        tenant = payload.get("tenant")
+        if not isinstance(tenant, str):
+            raise _HttpError(400, 'submission requires a string "tenant" field')
+        spec_data = payload.get("spec", {})
+        if not isinstance(spec_data, dict):
+            raise _HttpError(400, '"spec" must be a JSON object')
+        spec = CampaignJobSpec.from_json_dict(spec_data)
+        record = await self.manager.submit(tenant, spec)
+        await self._send_json(writer, 201, record.to_json_dict())
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        source, sink = self.manager.subscribe_events(job_id)
+        headers = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(headers.encode("latin-1"))
+        await writer.drain()
+        try:
+            if sink is None:
+                for row in source:  # finished job: replay events.jsonl
+                    await self._write_chunk(writer, row)
+            else:
+                queue: asyncio.Queue = source
+                try:
+                    while True:
+                        row = await queue.get()
+                        if row is None:
+                            break
+                        await self._write_chunk(writer, row)
+                finally:
+                    sink.unsubscribe(queue)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-stream
+
+    @staticmethod
+    async def _write_chunk(writer: asyncio.StreamWriter, row: Dict[str, Any]) -> None:
+        data = (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+        writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _send_json(
+        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _send_error(self, writer: asyncio.StreamWriter, exc: _HttpError) -> None:
+        await self._send_json(
+            writer,
+            exc.status,
+            {"error": {"type": exc.error_type, "message": str(exc)}},
+        )
+
+
+async def serve(
+    manager: JobManager, host: str = "127.0.0.1", port: int = 8787
+) -> asyncio.AbstractServer:
+    """Bind the API server (the manager must already be started)."""
+    protocol = ServiceProtocol(manager)
+    return await asyncio.start_server(protocol.handle, host, port)

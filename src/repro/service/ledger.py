@@ -1,0 +1,131 @@
+"""Durable job ledger: ``<root>/jobs.jsonl``, the service's source of truth.
+
+Every job state transition is appended as one JSON line and flushed
+immediately -- the same crash contract as the runner's ``results.jsonl``:
+a kill -9 loses at most the line being written, and a torn trailing line
+is skipped on replay as a crash artifact (torn *interior* lines raise,
+because they mean something other than a mid-write crash corrupted the
+file).
+
+Replay folds the append-only stream into the latest state per job.  A
+restarted :class:`~repro.service.manager.JobManager` re-adopts every job
+whose folded state is resumable (``queued``/``running``/``interrupted``):
+the run directory's manifest-guarded result store already holds whatever
+the crashed process persisted, so resuming is just re-running the job
+with ``resume=True``.
+
+Row schema (``spec`` rides only on the first row of each job)::
+
+    {"ts": ..., "job_id": "job-000001", "tenant": "acme",
+     "state": "queued", "spec": {...}, "error": null}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, Optional, TextIO, Union
+
+from ..errors import ConfigurationError
+
+#: Ledger file name inside the service root.
+LEDGER_NAME = "jobs.jsonl"
+
+
+class JobLedger:
+    """Append-only JSONL ledger of job state transitions."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = pathlib.Path(path)
+        self._handle: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        job_id: str,
+        tenant: str,
+        state: str,
+        spec: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        **extra: Any,
+    ) -> None:
+        """Record one transition, flushed to the OS before returning."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        row: Dict[str, Any] = {
+            "ts": time.time(),
+            "job_id": job_id,
+            "tenant": tenant,
+            "state": state,
+        }
+        if spec is not None:
+            row["spec"] = spec
+        if error is not None:
+            row["error"] = error
+        row.update(extra)
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JobLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def replay(self) -> Dict[str, Dict[str, Any]]:
+        """Fold the stream into ``{job_id: latest row (+ first-seen spec)}``.
+
+        Insertion order is submission order -- the order a restarted
+        manager re-queues adopted jobs in, which keeps per-tenant FIFO
+        fairness stable across restarts.
+        """
+        folded: Dict[str, Dict[str, Any]] = {}
+        if not self.path.exists():
+            return folded
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        complete = raw.endswith("\n")
+        body = lines[:-1]
+        for lineno, line in enumerate(body, start=1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{self.path}:{lineno}: corrupt ledger row: {exc}"
+                ) from exc
+            self._fold(folded, row)
+        if not complete and lines[-1].strip():
+            try:
+                row = json.loads(lines[-1])
+            except json.JSONDecodeError:
+                pass  # torn tail from a mid-write crash
+            else:
+                self._fold(folded, row)
+        return folded
+
+    @staticmethod
+    def _fold(folded: Dict[str, Dict[str, Any]], row: Dict[str, Any]) -> None:
+        job_id = str(row.get("job_id", ""))
+        if not job_id:
+            return
+        previous = folded.get(job_id)
+        if previous is not None and "spec" not in row and "spec" in previous:
+            row = dict(row)
+            row["spec"] = previous["spec"]
+        if previous is not None and "created_ts" in previous:
+            row.setdefault("created_ts", previous["created_ts"])
+        elif previous is None:
+            row = dict(row)
+            row.setdefault("created_ts", row.get("ts"))
+        folded[job_id] = row

@@ -1,0 +1,469 @@
+"""The multi-tenant job manager: queueing, fairness, shared pool, resume.
+
+:class:`JobManager` turns the blocking campaign engine into a long-lived
+service core:
+
+* **Bounded queue, FIFO-per-tenant fairness.**  Submissions enter their
+  tenant's FIFO; the scheduler round-robins across tenants, so one tenant
+  queueing 100 campaigns cannot starve another's single job.  The queue
+  is bounded (``max_queued``); beyond it submissions are refused with
+  :class:`~repro.service.jobs.QueueFullError` (HTTP 429).
+
+* **One shared process pool.**  Up to ``max_running`` jobs execute
+  concurrently, each in its own thread driving a
+  :class:`~repro.runner.RunnerEngine` whose
+  :class:`~repro.runner.ProcessPoolBackend` submits into the manager's
+  single :class:`~concurrent.futures.ProcessPoolExecutor` -- submission
+  stays windowed per job, fleet ``chips_per_unit`` dispatch is preserved,
+  and N campaigns multiplex one set of worker processes instead of
+  forking N pools.  ``pool_workers=0`` selects in-thread serial execution
+  (the deterministic test mode).
+
+* **Per-tenant run-dir namespaces + durable ledger.**  Job ``NNN`` of
+  tenant ``t`` runs in ``<root>/<t>/job-NNNNNN/`` (collision-safe
+  allocation: ids are never reused against the ledger *or* the
+  filesystem).  Every state transition is appended to ``<root>/jobs.jsonl``
+  and flushed, so a kill -9 at any point leaves a replayable record.
+
+* **Resume-on-restart.**  On :meth:`start`, the ledger is replayed and
+  every job in a resumable state (queued / running / interrupted) is
+  re-queued with ``resume=True``; the manifest-guarded result store skips
+  chips already measured, so the restarted job finishes exactly the
+  remaining work and its summary is byte-identical to an uninterrupted
+  run.
+
+* **Cooperative cancel and graceful shutdown.**  Cancelling a running job
+  (or shutting the manager down) flips the job's stop event; the engine
+  drains in-flight units, persists their results and telemetry, and marks
+  the run-dir manifest ``interrupted``.  Nothing finished is ever thrown
+  away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from ..errors import ConfigurationError
+from ..obs import Observability
+from ..runner import (
+    MANIFEST_NAME,
+    STATUS_INTERRUPTED,
+    ProcessPoolBackend,
+    default_worker_count,
+)
+from .events import BroadcastEventSink
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    INTERRUPTED,
+    QUEUED,
+    RESUMABLE_STATES,
+    RUNNING,
+    CampaignJobSpec,
+    JobRecord,
+    QueueFullError,
+    UnknownJobError,
+    validate_tenant,
+)
+from .ledger import LEDGER_NAME, JobLedger
+
+#: Byte-identical summary snapshot written into each completed job's run dir.
+SUMMARY_NAME = "summary.json"
+
+
+class Job:
+    """Runtime state wrapped around one :class:`JobRecord`."""
+
+    def __init__(self, record: JobRecord, spec: CampaignJobSpec) -> None:
+        self.record = record
+        self.spec = spec
+        self.stop = threading.Event()
+        self.cancel_requested = False
+        self.sink: Optional[BroadcastEventSink] = None
+        self.summary_json: Optional[Dict[str, Any]] = None
+
+    @property
+    def job_id(self) -> str:
+        return self.record.job_id
+
+    @property
+    def tenant(self) -> str:
+        return self.record.tenant
+
+
+class JobManager:
+    """Async façade over the runner engine for many tenants' campaigns."""
+
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        pool_workers: Optional[int] = None,
+        max_running: int = 2,
+        max_queued: int = 64,
+        resume: bool = True,
+    ) -> None:
+        if max_running <= 0:
+            raise ConfigurationError("max_running must be positive")
+        if max_queued <= 0:
+            raise ConfigurationError("max_queued must be positive")
+        if pool_workers is None:
+            pool_workers = default_worker_count()
+        if pool_workers < 0:
+            raise ConfigurationError("pool_workers must be non-negative")
+        self.root = pathlib.Path(root)
+        self.pool_workers = int(pool_workers)
+        self.max_running = int(max_running)
+        self.max_queued = int(max_queued)
+        self.resume = bool(resume)
+        self.ledger = JobLedger(self.root / LEDGER_NAME)
+
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._tenant_queues: Dict[str, Deque[str]] = {}
+        self._tenant_rotation: List[str] = []
+        self._rr_index = 0
+        self._running: Dict[str, asyncio.Task] = {}
+        self._seq = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._scheduler: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Open the ledger, re-adopt resumable jobs, start scheduling."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self.root.mkdir(parents=True, exist_ok=True)
+        if self.pool_workers > 0:
+            self._pool = ProcessPoolExecutor(max_workers=self.pool_workers)
+        if self.resume:
+            self._adopt_ledger()
+        self._scheduler = asyncio.create_task(self._schedule_loop())
+        self._kick()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain running jobs, persist, close everything.
+
+        Running jobs get their stop event -- the engine drains in-flight
+        units and marks manifests interrupted -- and are recorded as
+        ``interrupted`` in the ledger so the next start re-adopts them.
+        Queued jobs simply stay ``queued`` in the ledger.
+        """
+        self._closed = True
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+            self._scheduler = None
+        for job_id in list(self._running):
+            self._jobs[job_id].stop.set()
+        if self._running:
+            await asyncio.gather(*self._running.values(), return_exceptions=True)
+        if self._pool is not None:
+            pool = self._pool
+            self._pool = None
+            await asyncio.to_thread(pool.shutdown, True)
+        self.ledger.close()
+
+    def _adopt_ledger(self) -> None:
+        for job_id, row in self.ledger.replay().items():
+            spec_data = row.get("spec")
+            if spec_data is None:
+                continue  # pre-spec rows cannot be rebuilt; skip defensively
+            spec = CampaignJobSpec.from_json_dict(spec_data)
+            tenant = str(row["tenant"])
+            state = str(row["state"])
+            record = JobRecord(
+                job_id=job_id,
+                tenant=tenant,
+                spec=spec,
+                state=state,
+                created_ts=float(row.get("created_ts") or row.get("ts") or 0.0),
+                error=row.get("error"),
+                run_dir=str(self._run_dir(tenant, job_id)),
+            )
+            job = Job(record, spec)
+            self._jobs[job_id] = job
+            self._note_seq(job_id)
+            if state in RESUMABLE_STATES:
+                # running/interrupted jobs re-enter the queue; their run
+                # dir's manifest-guarded store supplies the frontier.
+                record.state = QUEUED
+                record.started_ts = None
+                job.sink = BroadcastEventSink(self._loop) if self._loop else None
+                self.ledger.append(job_id, tenant, QUEUED, adopted=True)
+                self._enqueue(job)
+
+    def _note_seq(self, job_id: str) -> None:
+        if job_id.startswith("job-"):
+            try:
+                self._seq = max(self._seq, int(job_id[4:]))
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Submission / inspection / cancellation (loop-side API)
+    # ------------------------------------------------------------------
+    def _run_dir(self, tenant: str, job_id: str) -> pathlib.Path:
+        return self.root / tenant / job_id
+
+    def _allocate_job_id(self, tenant: str) -> str:
+        """Next ``job-NNNNNN`` unused by the ledger *and* the filesystem."""
+        while True:
+            self._seq += 1
+            job_id = f"job-{self._seq:06d}"
+            if job_id in self._jobs:
+                continue
+            if self._run_dir(tenant, job_id).exists():
+                continue
+            return job_id
+
+    def queued_count(self) -> int:
+        return sum(len(q) for q in self._tenant_queues.values())
+
+    async def submit(self, tenant: str, spec: CampaignJobSpec) -> JobRecord:
+        if self._closed:
+            raise ConfigurationError("the job manager is shutting down")
+        validate_tenant(tenant)
+        if self.queued_count() >= self.max_queued:
+            raise QueueFullError(
+                f"job queue is full ({self.max_queued} queued); retry later"
+            )
+        job_id = self._allocate_job_id(tenant)
+        record = JobRecord(
+            job_id=job_id,
+            tenant=tenant,
+            spec=spec,
+            state=QUEUED,
+            created_ts=time.time(),
+            run_dir=str(self._run_dir(tenant, job_id)),
+        )
+        job = Job(record, spec)
+        # The sink exists from submission so an events subscriber attached
+        # while the job is still queued sees the run live once it starts.
+        job.sink = BroadcastEventSink(self._loop) if self._loop else None
+        self._jobs[job_id] = job
+        self.ledger.append(job_id, tenant, QUEUED, spec=spec.to_json_dict())
+        self._enqueue(job)
+        self._kick()
+        return record.snapshot()
+
+    def job(self, job_id: str) -> JobRecord:
+        return self._job(job_id).record.snapshot()
+
+    def jobs(self, tenant: Optional[str] = None) -> List[JobRecord]:
+        return [
+            j.record.snapshot()
+            for j in self._jobs.values()
+            if tenant is None or j.tenant == tenant
+        ]
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(f"unknown job {job_id!r}") from None
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's summary (from memory, else ``summary.json``)."""
+        job = self._job(job_id)
+        if job.record.state != DONE:
+            raise ConfigurationError(
+                f"job {job_id} is {job.record.state}, not {DONE}; no result yet"
+            )
+        if job.summary_json is None:
+            summary_path = self._run_dir(job.tenant, job_id) / SUMMARY_NAME
+            job.summary_json = json.loads(summary_path.read_text(encoding="utf-8"))
+        return job.summary_json
+
+    async def cancel(self, job_id: str) -> JobRecord:
+        """Cooperatively cancel: queued jobs die immediately; running jobs
+        drain in-flight units and persist partial results first."""
+        job = self._job(job_id)
+        record = job.record
+        if record.state == QUEUED:
+            queue = self._tenant_queues.get(job.tenant)
+            if queue is not None and job_id in queue:
+                queue.remove(job_id)
+            record.state = CANCELLED
+            record.finished_ts = time.time()
+            self.ledger.append(job_id, job.tenant, CANCELLED)
+            if job.sink is not None:
+                job.sink.close()
+        elif record.state == RUNNING:
+            job.cancel_requested = True
+            job.stop.set()
+        # terminal states: cancel is a no-op, return the record as-is
+        return record.snapshot()
+
+    def subscribe_events(self, job_id: str):
+        """Live event queue for a job, or a replayed list for finished ones.
+
+        Returns ``(queue, sink)`` while the job can still produce events,
+        or ``(rows, None)`` replayed from the run directory's
+        ``events.jsonl`` once it cannot.
+        """
+        job = self._job(job_id)
+        if job.sink is not None and not job.record.terminal:
+            return job.sink.subscribe(), job.sink
+        rows: List[Dict[str, Any]] = []
+        events_path = self._run_dir(job.tenant, job_id) / "events.jsonl"
+        if events_path.exists():
+            for line in events_path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn tail
+        return rows, None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _enqueue(self, job: Job) -> None:
+        tenant = job.tenant
+        if tenant not in self._tenant_queues:
+            self._tenant_queues[tenant] = deque()
+            self._tenant_rotation.append(tenant)
+        self._tenant_queues[tenant].append(job.job_id)
+
+    def _next_queued(self) -> Optional[Job]:
+        """Round-robin across tenants, FIFO within each tenant."""
+        if not self._tenant_rotation:
+            return None
+        n = len(self._tenant_rotation)
+        for offset in range(n):
+            tenant = self._tenant_rotation[(self._rr_index + offset) % n]
+            queue = self._tenant_queues[tenant]
+            if queue:
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return self._jobs[queue.popleft()]
+        return None
+
+    def _kick(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    async def _schedule_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while len(self._running) < self.max_running:
+                job = self._next_queued()
+                if job is None:
+                    break
+                self._launch(job)
+
+    def _launch(self, job: Job) -> None:
+        assert self._loop is not None
+        record = job.record
+        record.state = RUNNING
+        record.started_ts = time.time()
+        self.ledger.append(job.job_id, job.tenant, RUNNING)
+        if job.sink is None:
+            job.sink = BroadcastEventSink(self._loop)
+        task = asyncio.create_task(self._run_job(job))
+        self._running[job.job_id] = task
+
+    async def _run_job(self, job: Job) -> None:
+        record = job.record
+        error: Optional[str] = None
+        try:
+            summary_json = await asyncio.to_thread(self._execute_blocking, job)
+            job.summary_json = summary_json
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            record.finished_ts = time.time()
+            if error is not None:
+                record.state = FAILED
+                record.error = error
+            elif job.cancel_requested:
+                record.state = CANCELLED
+            elif job.stop.is_set() and self._manifest_interrupted(job):
+                # Shutdown drained it mid-run: resumable on restart.
+                record.state = INTERRUPTED
+            else:
+                record.state = DONE
+            self.ledger.append(job.job_id, job.tenant, record.state, error=error)
+            if job.sink is not None:
+                job.sink.emit(
+                    "job.state", job_id=job.job_id, state=record.state, error=error
+                )
+                job.sink.close()
+            self._running.pop(job.job_id, None)
+            self._kick()
+
+    def _manifest_interrupted(self, job: Job) -> bool:
+        """Did the run actually stop early?  The manifest status is the
+        durable truth (a stop requested after the last unit finished still
+        yields a complete run)."""
+        manifest_path = self._run_dir(job.tenant, job.job_id) / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return True
+        return manifest.get("status") == STATUS_INTERRUPTED
+
+    # ------------------------------------------------------------------
+    # Blocking execution (worker thread)
+    # ------------------------------------------------------------------
+    def _execute_blocking(self, job: Job) -> Dict[str, Any]:
+        spec = job.spec
+        run_dir = self._run_dir(job.tenant, job.job_id)
+        campaign = spec.build_campaign()
+        if self._pool is not None:
+            backend: Any = ProcessPoolBackend(
+                workers=spec.workers or self.pool_workers, executor=self._pool
+            )
+        else:
+            backend = "serial"
+        layer = Observability(sink=job.sink)
+
+        def progress(result, tracker):
+            job.record.progress = {
+                "total": tracker.total,
+                "completed": tracker.completed,
+                "succeeded": tracker.succeeded,
+                "failed": tracker.failed,
+                "skipped": tracker.skipped,
+                "throughput_units_per_s": tracker.throughput_units_per_s,
+                "eta_s": tracker.eta_seconds,
+                "elapsed_s": tracker.elapsed_seconds,
+            }
+
+        summary = campaign.run(
+            intervals_s=spec.intervals_s,
+            temperatures_c=spec.temperatures_c,
+            backend=backend,
+            run_dir=str(run_dir),
+            resume=True,
+            max_retries=spec.max_retries,
+            progress=progress,
+            chips_per_unit=spec.chips_per_unit,
+            should_stop=job.stop.is_set,
+            observability=layer,
+        )
+        summary_json = summary.to_json_dict()
+        if not (job.stop.is_set() and self._manifest_interrupted(job)):
+            tmp = run_dir / (SUMMARY_NAME + ".tmp")
+            tmp.write_text(
+                json.dumps(summary_json, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(run_dir / SUMMARY_NAME)
+        return summary_json

@@ -1,0 +1,187 @@
+"""Cooperative cancellation, graceful shutdown, and manifest status.
+
+Covers the runner-side halves of the service contract:
+
+* ``should_stop`` stops both backends without losing finished work;
+* an interrupted run marks its manifest ``interrupted`` and a resumed run
+  completes it to a summary byte-identical to an uninterrupted one;
+* :func:`repro.runner.graceful_stop` turns SIGINT/SIGTERM into a drain;
+* run-dir collisions fail with the stored-vs-requested spec diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from conftest import TINY_GEOMETRY
+
+from repro.analysis.campaign import CharacterizationCampaign
+from repro.errors import ConfigurationError
+from repro.runner import (
+    MANIFEST_NAME,
+    RESULTS_NAME,
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    GracefulStop,
+    ResultStore,
+    RunnerEngine,
+    SerialBackend,
+    WorkUnit,
+    execute_unit,
+    graceful_stop,
+    manifest_spec_diff,
+)
+
+
+def _units(n: int):
+    return [
+        WorkUnit(unit_id=f"u{i:03d}", kind="test.echo", payload={"value": i})
+        for i in range(n)
+    ]
+
+
+def _echo_worker(payload):
+    return {"value": payload["value"]}
+
+
+def _manifest(run_dir) -> dict:
+    return json.loads((run_dir / MANIFEST_NAME).read_text(encoding="utf-8"))
+
+
+class TestSerialBackendStop:
+    def test_stop_after_two_units(self):
+        done = []
+
+        def worker(payload):
+            done.append(payload["value"])
+            return {}
+
+        backend = SerialBackend()
+        results = list(
+            backend.run(worker, _units(10), should_stop=lambda: len(done) >= 2)
+        )
+        # The probe is checked before each unit: two finish, the rest never run.
+        assert len(results) == 2
+        assert done == [0, 1]
+
+    def test_no_stop_runs_everything(self):
+        backend = SerialBackend()
+        assert len(list(backend.run(_echo_worker, _units(5)))) == 5
+
+
+class TestEngineInterrupt:
+    def _campaign(self):
+        return CharacterizationCampaign(
+            chips_per_vendor=2, geometry=TINY_GEOMETRY, iterations=2, seed=99
+        )
+
+    def test_interrupt_marks_manifest_and_resume_completes(self, tmp_path):
+        run_dir = tmp_path / "run"
+        seen = []
+
+        def progress(result, tracker):
+            seen.append(result.unit_id)
+
+        partial = self._campaign().run(
+            intervals_s=(0.512,),
+            temperatures_c=(45.0,),
+            run_dir=str(run_dir),
+            progress=progress,
+            should_stop=lambda: len(seen) >= 2,
+        )
+        manifest = _manifest(run_dir)
+        assert manifest["status"] == STATUS_INTERRUPTED
+        rows = (run_dir / RESULTS_NAME).read_text(encoding="utf-8").splitlines()
+        assert len(rows) >= 2  # finished units were persisted, not discarded
+
+        resumed = self._campaign().run(
+            intervals_s=(0.512,),
+            temperatures_c=(45.0,),
+            run_dir=str(run_dir),
+            resume=True,
+        )
+        assert _manifest(run_dir)["status"] == STATUS_COMPLETE
+
+        clean = self._campaign().run(intervals_s=(0.512,), temperatures_c=(45.0,))
+        assert json.dumps(resumed.to_json_dict(), sort_keys=True) == json.dumps(
+            clean.to_json_dict(), sort_keys=True
+        )
+        # partial summary only covers the drained units
+        assert partial.n_chips < clean.n_chips
+
+    def test_clean_run_marks_complete(self, tmp_path):
+        run_dir = tmp_path / "run"
+        self._campaign().run(
+            intervals_s=(0.512,), temperatures_c=(45.0,), run_dir=str(run_dir)
+        )
+        assert _manifest(run_dir)["status"] == STATUS_COMPLETE
+
+
+class TestStoreStatus:
+    def test_status_lifecycle(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        store.open({"fingerprint": "abc"})
+        store.mark_status(STATUS_RUNNING)
+        assert _manifest(store.run_dir)["status"] == STATUS_RUNNING
+        store.mark_status(STATUS_COMPLETE)
+        assert _manifest(store.run_dir)["status"] == STATUS_COMPLETE
+        store.close()
+
+    def test_collision_reports_spec_diff(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        store.open({"fingerprint": "abc", "seed": 1, "chips": 4})
+        store.close()
+        fresh = ResultStore(tmp_path / "run")
+        with pytest.raises(ConfigurationError) as excinfo:
+            fresh.open({"fingerprint": "def", "seed": 2, "chips": 4}, resume=True)
+        message = str(excinfo.value)
+        assert "seed: stored 1 != requested 2" in message
+
+    def test_manifest_spec_diff_helper(self):
+        diff = manifest_spec_diff(
+            {"fingerprint": "a", "seed": 1, "extra": True},
+            {"fingerprint": "b", "seed": 2},
+        )
+        assert "seed: stored 1 != requested 2" in diff
+        assert "extra" in diff  # keys present on only one side are named
+
+
+class TestGracefulStop:
+    def test_sigint_requests_stop_without_raising(self):
+        with graceful_stop() as stop:
+            assert not stop.is_set()
+            os.kill(os.getpid(), signal.SIGINT)
+            assert stop.is_set()
+            assert stop.signals_seen == 1
+        # handler restored: a later SIGINT raises KeyboardInterrupt again
+        with pytest.raises(KeyboardInterrupt):
+            os.kill(os.getpid(), signal.SIGINT)
+
+    def test_second_signal_raises(self):
+        with pytest.raises(KeyboardInterrupt):
+            with graceful_stop() as stop:
+                os.kill(os.getpid(), signal.SIGINT)
+                assert stop.is_set()
+                os.kill(os.getpid(), signal.SIGINT)
+
+    def test_sigterm_also_drains(self):
+        with graceful_stop() as stop:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert stop.is_set()
+
+    def test_manual_request(self):
+        stop = GracefulStop()
+        assert not stop.is_set()
+        stop.request()
+        assert stop.is_set()
+
+
+class TestExecuteUnitStillWorks:
+    def test_execute_unit_roundtrip(self):
+        result = execute_unit(_echo_worker, _units(1)[0])
+        assert result.ok and result.value == {"value": 0}
