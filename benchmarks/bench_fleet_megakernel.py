@@ -1,0 +1,186 @@
+"""Megakernel campaign benchmark: per-condition fleet vs shared-memory grid.
+
+Times a 10k-chip characterization sweep (3 vendors, ``--chips-per-vendor``
+each, 30 log-spaced intervals plus a second temperature) through the fleet
+dispatch layer twice:
+
+* **fleet** -- the PR 5 path: per-condition ``FleetProfiler.run`` calls,
+  every worker unit rebuilding its population from payload samples
+  (``shared_population=False, megakernel=False``); and
+* **megakernel** -- populations built once into a ``multiprocessing.shared_
+  memory`` struct-of-arrays segment that workers attach to by name, with
+  the whole (interval x temperature x pattern) loop fused into one
+  ``FleetProfiler.run_grid`` numpy pass per unit
+  (``shared_population=True, megakernel=True``).
+
+Both modes must produce byte-identical ``CampaignSummary`` objects -- the
+megakernel is draw-for-draw equivalent to the sequential walk, and the
+identity is asserted every round.  The script exits non-zero on divergence
+or when the measured speedup falls below ``--min-speedup``.
+
+Emits ``BENCH_fleet_megakernel.json`` at the repository root plus a
+human-readable report under ``benchmarks/results/``.
+
+Run standalone (CI uses ``--rounds 1 --min-speedup 3.0``)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_megakernel.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.campaign import CharacterizationCampaign  # noqa: E402
+from repro.dram.geometry import ChipGeometry  # noqa: E402
+
+# A 1/1024-Gbit geometry keeps the weak tail ~50 cells per chip, so the
+# benchmark isolates the scheduling/dispatch layers the megakernel fuses
+# (the per-cell numpy work is identical in both modes and would otherwise
+# drown the comparison at 10k chips).
+GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0 / 1024.0)
+SEED = 368
+ITERATIONS = 3
+INTERVALS_S = tuple(round(float(x), 6) for x in np.geomspace(0.064, 2.048, 30))
+TEMPERATURES_C = (45.0, 55.0)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", 0)) or (os.cpu_count() or 1)
+DEFAULT_OUT = REPO_ROOT / "BENCH_fleet_megakernel.json"
+REPORT_PATH = REPO_ROOT / "benchmarks" / "results" / "fleet_megakernel.txt"
+
+
+def run_campaign(chips_per_vendor: int, chips_per_unit: int, megakernel: bool):
+    campaign = CharacterizationCampaign(
+        chips_per_vendor=chips_per_vendor,
+        geometry=GEOMETRY,
+        iterations=ITERATIONS,
+        seed=SEED,
+    )
+    return campaign.run(
+        intervals_s=INTERVALS_S,
+        temperatures_c=TEMPERATURES_C,
+        backend="process" if WORKERS > 1 else "serial",
+        workers=WORKERS,
+        chips_per_unit=chips_per_unit,
+        shared_population=megakernel,
+        megakernel=megakernel,
+    )
+
+
+def run_benchmark(rounds: int, chips_per_vendor: int, chips_per_unit: int):
+    """Best-of-``rounds`` wall time per mode, identity-checked every round.
+
+    Rounds interleave the two modes so CPU frequency or load drift cannot
+    bias one of them.  Every chip's measurement is a pure function of
+    ``(seed, chip_id)``, so there is no cross-round state to warm up.
+    """
+    best = {"fleet": float("inf"), "megakernel": float("inf")}
+    summaries = {}
+    equivalent = True
+    for _ in range(rounds):
+        for name, mk in (("fleet", False), ("megakernel", True)):
+            start = time.perf_counter()
+            summaries[name] = run_campaign(chips_per_vendor, chips_per_unit, mk)
+            best[name] = min(best[name], time.perf_counter() - start)
+        equivalent = equivalent and summaries["fleet"] == summaries["megakernel"]
+    return best["fleet"], best["megakernel"], equivalent, summaries["fleet"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=1, help="timing rounds per mode (best-of)")
+    parser.add_argument(
+        "--chips-per-vendor", type=int, default=3334, dest="chips_per_vendor",
+        help="population per vendor (3 vendors; the default gives 10,002 chips)",
+    )
+    parser.add_argument(
+        "--chips-per-unit", type=int, default=300, dest="chips_per_unit",
+        help="fleet chunk size for both modes",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero if megakernel/fleet speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    n_chips = 3 * args.chips_per_vendor
+    fleet_s, mk_s, equivalent, summary = run_benchmark(
+        args.rounds, args.chips_per_vendor, args.chips_per_unit
+    )
+    speedup = fleet_s / mk_s
+
+    result = {
+        "benchmark": "fleet_megakernel",
+        "config": {
+            "chips": n_chips,
+            "chips_per_vendor": args.chips_per_vendor,
+            "capacity_gigabits": GEOMETRY.capacity_gigabits,
+            "intervals_s": list(INTERVALS_S),
+            "temperatures_c": list(TEMPERATURES_C),
+            "iterations": ITERATIONS,
+            "seed": SEED,
+            "workers": WORKERS,
+            "chips_per_unit": args.chips_per_unit,
+            "rounds": args.rounds,
+        },
+        "fleet": {
+            "seconds": fleet_s,
+            "chips_per_s": n_chips / fleet_s,
+        },
+        "megakernel": {
+            "seconds": mk_s,
+            "chips_per_s": n_chips / mk_s,
+        },
+        "speedup": speedup,
+        "equivalent": equivalent,
+        "measured_chips": summary.n_chips,
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+
+    report = "\n".join(
+        [
+            "Megakernel campaign: per-condition fleet vs shared-memory grid",
+            f"  workload    : {n_chips} chips (3 vendors x {args.chips_per_vendor}), "
+            f"{GEOMETRY.capacity_gigabits:g} Gbit each, "
+            f"{len(INTERVALS_S)} intervals + {len(TEMPERATURES_C) - 1} extra temperature, "
+            f"{ITERATIONS} iterations",
+            f"  execution   : {WORKERS} workers, fleet chunks of {args.chips_per_unit}",
+            f"  fleet       : {fleet_s:.3f}s  ({n_chips / fleet_s:,.1f} chips/s)",
+            f"  megakernel  : {mk_s:.3f}s  ({n_chips / mk_s:,.1f} chips/s)",
+            f"  speedup     : {speedup:.2f}x",
+            f"  byte-identical summaries: {equivalent}",
+            f"  json        : {args.out}",
+        ]
+    )
+    REPORT_PATH.parent.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(report + "\n")
+    print(report)
+
+    if not equivalent:
+        print(
+            "FAIL: megakernel campaign summary differs from the fleet summary",
+            file=sys.stderr,
+        )
+        return 1
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

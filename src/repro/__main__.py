@@ -144,6 +144,8 @@ def cmd_campaign(args) -> int:
             resume=args.resume,
             progress=progress,
             chips_per_unit=args.chips_per_unit,
+            shared_population=False if args.no_shared_population else None,
+            megakernel=not args.no_megakernel,
             should_stop=stop.is_set,
         )
     print(summary.to_text())
@@ -268,6 +270,16 @@ def main(argv=None) -> int:
         help="fleet-batch size: ship chips to workers in chunks of this "
              "many, evaluating each chunk with the fused fleet kernel "
              "(>1 enables batching; results are byte-identical)",
+    )
+    p_camp.add_argument(
+        "--no-shared-population", action="store_true", dest="no_shared_population",
+        help="disable the shared-memory population segment on the fleet "
+             "path (workers pickle per-chip samples instead; byte-identical)",
+    )
+    p_camp.add_argument(
+        "--no-megakernel", action="store_true", dest="no_megakernel",
+        help="disable the fused condition-grid megakernel in fleet workers "
+             "and sweep conditions one at a time (byte-identical)",
     )
     p_camp.add_argument(
         "--progress", action="store_true",

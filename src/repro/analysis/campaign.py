@@ -25,6 +25,14 @@ import numpy as np
 
 from .. import rng as rng_mod
 from ..dram.geometry import ChipGeometry
+from ..dram.shm import (
+    SharedPopulationStore,
+    build_population_samples,
+    chip_sample_spec,
+    cleanup_stale_segment,
+    remove_sidecar,
+    write_sidecar,
+)
 from ..dram.vendor import VENDORS, vendor_by_name
 from ..errors import ConfigurationError
 from ..runner import (
@@ -37,6 +45,8 @@ from ..runner import (
     fleet_dispatch,
     measure_chip,
 )
+from ..runner.campaign import TREFI_HEADROOM
+from ..runner.executors import ProcessPoolBackend, backend_from_spec
 from .characterization import DEFAULT_CHAR_GEOMETRY
 from .report import ascii_table
 
@@ -204,6 +214,8 @@ class CharacterizationCampaign:
         max_retries: int = 1,
         progress: Optional[ProgressCallback] = None,
         chips_per_unit: Optional[int] = None,
+        shared_population: Optional[bool] = None,
+        megakernel: bool = True,
         should_stop: Optional[Callable[[], bool]] = None,
         observability: Optional[object] = None,
     ) -> CampaignSummary:
@@ -230,6 +242,25 @@ class CharacterizationCampaign:
         -- fleet and per-chip runs can resume each other's run
         directories.  ``None``/1 keeps the per-chip path.
 
+        ``shared_population`` moves the fleet path's weak-cell populations
+        into one ``multiprocessing.shared_memory`` struct-of-arrays segment
+        built once per run: workers attach zero-copy views by segment name
+        instead of redrawing every chip's tail per chunk.  Defaults to on
+        whenever the fleet path is active; explicit ``True`` with
+        ``chips_per_unit`` <= 1 is refused (per-chip workers rebuild from
+        coordinates and never attach).  The campaign owns the segment's
+        lifetime: it is unlinked in a ``finally`` (normal completion,
+        cooperative cancel, and exceptions alike), and a ``shm.json``
+        sidecar in the run directory lets the next open of that directory
+        reclaim the segment a SIGKILLed run left behind.  Results are
+        byte-identical with the knob on or off, so it is excluded from the
+        campaign fingerprint.
+
+        ``megakernel`` fuses each worker's per-(interval, temperature)
+        profiling loop into whole-condition-grid numpy passes
+        (:meth:`repro.core.fleetprof.FleetProfiler.run_grid`); byte-
+        identical to the sequential loop and likewise fingerprint-exempt.
+
         ``should_stop`` plugs a cooperative-cancellation probe into the
         engine (graceful SIGINT/SIGTERM, the service's cancel endpoint):
         in-flight chips drain and persist, the manifest is marked
@@ -246,11 +277,18 @@ class CharacterizationCampaign:
             raise ConfigurationError(
                 f"chips_per_unit must be positive, got {chips_per_unit!r}"
             )
-        dispatch = (
-            fleet_dispatch(chips_per_unit)
-            if chips_per_unit is not None and chips_per_unit > 1
-            else None
-        )
+        backend = backend_from_spec(backend, workers=workers)
+        fleet_active = chips_per_unit is not None and chips_per_unit > 1
+        if shared_population and not fleet_active:
+            raise ConfigurationError(
+                "shared_population requires the fleet path (chips_per_unit > 1); "
+                "per-chip workers rebuild from coordinates and never attach"
+            )
+        use_shm = fleet_active if shared_population is None else bool(shared_population)
+        # Reclaim the segment a SIGKILLed prior occupant of this run
+        # directory may have left behind -- before creating our own.
+        if run_dir is not None:
+            cleanup_stale_segment(run_dir)
         vendor_names = tuple(VENDORS)
         units = build_chip_units(
             chips_per_vendor=self.chips_per_vendor,
@@ -281,6 +319,29 @@ class CharacterizationCampaign:
             "vendors": list(vendor_names),
             "n_units": len(units),
         }
+        shm_store: Optional[SharedPopulationStore] = None
+        dispatch = None
+        if fleet_active:
+            shm_descriptor = None
+            if use_shm:
+                max_trefi_s = max(float(t) for t in intervals_s) * TREFI_HEADROOM
+                specs = [chip_sample_spec(u.payload, max_trefi_s) for u in units]
+                pool = backend if isinstance(backend, ProcessPoolBackend) else None
+                samples = build_population_samples(
+                    specs,
+                    executor=pool.executor if pool is not None else None,
+                    workers=pool.workers if pool is not None else None,
+                )
+                shm_store = SharedPopulationStore.create(samples)
+                del samples
+                if run_dir is not None:
+                    write_sidecar(run_dir, shm_store.segment_name)
+                shm_descriptor = shm_store.descriptor()
+            dispatch = fleet_dispatch(
+                chips_per_unit,
+                shm=shm_descriptor,
+                megakernel=bool(megakernel),
+            )
         engine = RunnerEngine(
             backend=backend,
             workers=workers,
@@ -291,7 +352,16 @@ class CharacterizationCampaign:
             observability=observability,  # type: ignore[arg-type]
             should_stop=should_stop,
         )
-        report = engine.run(measure_chip, units, manifest, dispatch=dispatch)
+        try:
+            report = engine.run(measure_chip, units, manifest, dispatch=dispatch)
+        finally:
+            # The campaign owns the segment: completion, cooperative
+            # cancel, and exceptions all unlink it here.  Only kill -9
+            # escapes, which the sidecar reclaims on the next open.
+            if shm_store is not None:
+                shm_store.unlink()
+                if run_dir is not None:
+                    remove_sidecar(run_dir)
         counts, temp_counts = aggregate_chip_results(report.results.values())
 
         # The Eq-1 fit is only meaningful across distinct temperatures.

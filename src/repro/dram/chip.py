@@ -34,7 +34,7 @@ from .cell import WeakCellPopulation
 from .commands import Command, CommandTrace
 from .dpd import DPDModel
 from .geometry import ChipGeometry
-from .retention import RetentionSampler
+from .retention import RetentionSampler, WeakCellSample
 from .timing import pattern_io_seconds
 from .vendor import VENDOR_B, VendorModel
 from .vrt import VRTProcess
@@ -47,6 +47,63 @@ DEFAULT_GEOMETRY = ChipGeometry.from_capacity_gigabits(1.0)
 #: that two chips sharing (vendor, geometry, seed, chip_id, max_trefi_s) have
 #: identical populations regardless of their per-instance temperature limits.
 MAX_SUPPORTED_TEMPERATURE_C = 60.0
+
+
+def effective_vendor(vendor: VendorModel, seed: int, chip_id: int) -> VendorModel:
+    """The vendor model with this chip's process-variation jitter applied.
+
+    Chip-to-chip process variation: each physical chip gets its own
+    retention-tail median, deterministically derived from (seed, chip_id,
+    vendor) so same-configuration chips stay reproducible.  This is the
+    exact draw :class:`SimulatedDRAMChip` makes at construction, factored
+    out so population builders (the shared-memory store) can replicate it
+    bit for bit without constructing a chip.
+    """
+    if vendor.chip_to_chip_ln_sigma > 0.0:
+        jitter = float(
+            rng_mod.derive(seed, "chip-variation", chip_id, vendor.name).normal(
+                0.0, vendor.chip_to_chip_ln_sigma
+            )
+        )
+        vendor = dataclasses.replace(
+            vendor, retention_ln_median=vendor.retention_ln_median + jitter
+        )
+    return vendor
+
+
+def weak_cell_horizon_s(vendor: VendorModel, max_trefi_s: float) -> float:
+    """Weak-tail sampling horizon in reference-temperature space.
+
+    Hotter operation shrinks retention times, pulling more of the tail below
+    ``max_trefi_s``.  The headroom always extends to the hard temperature cap
+    (not any per-instance limit) so the population depends only on
+    (vendor, geometry, seed, chip_id, max_trefi_s).
+    """
+    headroom = math.exp(
+        vendor.retention_temp_coeff
+        * (MAX_SUPPORTED_TEMPERATURE_C - REFERENCE_TEMPERATURE_C)
+    )
+    return max_trefi_s * headroom
+
+
+def sample_weak_cells(
+    vendor: VendorModel,
+    geometry: ChipGeometry,
+    seed: int,
+    chip_id: int,
+    max_trefi_s: float,
+) -> WeakCellSample:
+    """Draw the weak-cell population chip construction would draw.
+
+    Byte-identical to the sample :class:`SimulatedDRAMChip` builds in its
+    constructor under the same arguments: same jittered vendor, same derived
+    ``(seed, "retention", chip_id)`` stream, same horizon.  Passing the
+    result back through the constructor's ``sample`` parameter skips the
+    (re)draw without changing any downstream value.
+    """
+    vendor = effective_vendor(vendor, seed, chip_id)
+    sampler = RetentionSampler(vendor, rng_mod.derive(seed, "retention", chip_id))
+    return sampler.sample(geometry.capacity_bits, weak_cell_horizon_s(vendor, max_trefi_s))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,6 +162,13 @@ class SimulatedDRAMChip:
         Enable the memoized marginal-band failure evaluation in
         :class:`~repro.dram.cell.WeakCellPopulation` (byte-identical to the
         reference path); ``None`` resolves the process-wide default.
+    sample:
+        A prebuilt weak-cell population, exactly what
+        :func:`sample_weak_cells` returns for the same (vendor, geometry,
+        seed, chip_id, max_trefi_s) -- e.g. zero-copy views into a
+        :class:`~repro.dram.shm.SharedPopulationStore` segment.  Skips the
+        constructor's retention draw (that derived stream is consumed by
+        nothing else, so every other chip stream is unchanged).
     """
 
     def __init__(
@@ -118,6 +182,7 @@ class SimulatedDRAMChip:
         max_temperature_c: float = MAX_SUPPORTED_TEMPERATURE_C,
         temperature_c: float = REFERENCE_TEMPERATURE_C,
         fast_path: Optional[bool] = None,
+        sample: Optional[WeakCellSample] = None,
     ) -> None:
         if max_trefi_s <= 0.0:
             raise ConfigurationError(f"max_trefi_s must be positive, got {max_trefi_s!r}")
@@ -130,16 +195,7 @@ class SimulatedDRAMChip:
             raise ConfigurationError(
                 f"initial temperature {temperature_c!r} exceeds max_temperature_c"
             )
-        # Chip-to-chip process variation: each physical chip gets its own
-        # retention-tail median, deterministically derived from (seed,
-        # chip_id, vendor) so same-configuration chips stay reproducible.
-        if vendor.chip_to_chip_ln_sigma > 0.0:
-            jitter = float(
-                rng_mod.derive(seed, "chip-variation", chip_id, vendor.name).normal(
-                    0.0, vendor.chip_to_chip_ln_sigma
-                )
-            )
-            vendor = dataclasses.replace(vendor, retention_ln_median=vendor.retention_ln_median + jitter)
+        vendor = effective_vendor(vendor, seed, chip_id)
         self.vendor = vendor
         self.geometry = geometry
         self.chip_id = int(chip_id)
@@ -153,19 +209,11 @@ class SimulatedDRAMChip:
         self._external_clock = clock is not None
         self._fast_path = fast_path
 
-        # Weak-tail horizon in reference-temperature space: hotter operation
-        # shrinks retention times, pulling more of the tail below max_trefi.
-        # The headroom always extends to the hard temperature cap (not the
-        # per-instance limit) so the population depends only on
-        # (vendor, geometry, seed, chip_id, max_trefi_s).
-        headroom = math.exp(
-            vendor.retention_temp_coeff
-            * (MAX_SUPPORTED_TEMPERATURE_C - REFERENCE_TEMPERATURE_C)
-        )
-        self._weak_horizon_s = max_trefi_s * headroom
+        self._weak_horizon_s = weak_cell_horizon_s(vendor, max_trefi_s)
 
-        sampler = RetentionSampler(vendor, rng_mod.derive(seed, "retention", chip_id))
-        sample = sampler.sample(geometry.capacity_bits, self._weak_horizon_s)
+        if sample is None:
+            sampler = RetentionSampler(vendor, rng_mod.derive(seed, "retention", chip_id))
+            sample = sampler.sample(geometry.capacity_bits, self._weak_horizon_s)
         dpd = DPDModel(
             susceptibility=sample.susceptibility,
             rng=rng_mod.derive(seed, "dpd", chip_id),

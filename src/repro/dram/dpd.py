@@ -59,6 +59,7 @@ class DPDModel:
         if np.any(susceptibility < 0.0) or np.any(susceptibility >= 1.0):
             raise ConfigurationError("susceptibilities must lie in [0, 1)")
         self._susceptibility = np.asarray(susceptibility, dtype=np.float64)
+        self._n_cells = len(self._susceptibility)
         self._rng = rng
         self._random_cap = float(random_alignment_cap)
         self._cached: Dict[str, np.ndarray] = {}
@@ -76,7 +77,7 @@ class DPDModel:
 
     @property
     def n_cells(self) -> int:
-        return len(self._susceptibility)
+        return self._n_cells
 
     @property
     def susceptibility(self) -> np.ndarray:
@@ -188,11 +189,86 @@ class DPDModel:
 
     def excite(self, pattern: DataPattern) -> "tuple[np.ndarray, np.ndarray]":
         """One write's DPD state: (alignment, stress mask), fresh draws for
-        stochastic patterns."""
+        stochastic patterns.
+
+        The stochastic branch inlines :meth:`alignment` and
+        :meth:`stress_mask` (same draws, same ufuncs, same cache stores --
+        only the call frames and dispatch are gone): it runs once per write
+        on the profiling hot path, where the per-call overhead is comparable
+        to the draws themselves on small weak tails.
+        """
+        if pattern.stochastic:
+            rng = self._rng
+            a, b = pattern.alignment_beta
+            if a == 2.0 and b == 2.0:
+                # Median-of-three uniforms == Beta(2, 2); see _draw_beta.
+                # Pure selection -- an in-place column sort picks the exact
+                # same middle element as the min/max formula, in one call.
+                u = rng.random((3, self._n_cells))
+                u.sort(axis=0)
+                draw = u[1]
+            else:
+                draw = rng.beta(a, b, size=self._n_cells)
+            np.multiply(draw, self._random_cap, out=draw)
+            self._cached[pattern.key] = draw
+            if self._orientation is None:
+                return draw, np.ones(self._n_cells)
+            if pattern.name == "random":
+                # bits_at()'s random branch, minus the name dispatch: one
+                # uniform per cell thresholded at 1/2 (exactly
+                # Bernoulli(1/2), same stream consumption as bits_at).  For
+                # the inverted pattern the stored bit is ``1 - data``, and
+                # with bits in {0, 1} the mask ``(1 - data) == orientation``
+                # is exactly ``data != orientation``.  Comparing straight
+                # into a float64 ``out`` fuses the compare and the
+                # bool-to-float cast into one ufunc pass (True -> 1.0,
+                # False -> 0.0 -- the exact values .astype(float) yields).
+                data = rng.random(self._n_cells) < 0.5
+                mask = np.empty(self._n_cells, dtype=np.float64)
+                if pattern.inverted:
+                    np.not_equal(data, self._orientation, out=mask)
+                else:
+                    np.equal(data, self._orientation, out=mask)
+            else:
+                bits = pattern.bits_at(
+                    self._rows, self._cols, self._bits_per_row, rng
+                )
+                mask = (bits == self._orientation).astype(float)
+            self._stress_cached[pattern.key] = mask
+            return draw, mask
         return (
             self.alignment(pattern, fresh=True),
             self.stress_mask(pattern, fresh=True),
         )
+
+    def excite_random_raw(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Raw uniforms for one random-pattern write (fleet batching).
+
+        Consumes this chip's DPD stream exactly like the random branch of
+        :meth:`excite`: one ``random(4n)`` call fills the identical doubles
+        the ``(3, n)`` median draw plus the ``(n,)`` bit draw would (the
+        generator fills arrays element by element from the same double
+        sequence regardless of chunking).  The caller runs the shared
+        post-processing -- column median, cap multiply, bit threshold,
+        orientation compare -- over the stacked fleet and commits each
+        chip's slice via :meth:`commit_random_write`.  Requires orientation
+        modeling (without it :meth:`excite` draws no bits, so the raw
+        consumption would differ).
+        """
+        if self._orientation is None:
+            raise ProfilingError(
+                "excite_random_raw requires orientation modeling; use excite()"
+            )
+        if out is not None:
+            return self._rng.random(out=out)
+        return self._rng.random(4 * self._n_cells)
+
+    def commit_random_write(
+        self, pattern: DataPattern, alignment: np.ndarray, stress: np.ndarray
+    ) -> None:
+        """Store one write's batched DPD state (see :meth:`excite_random_raw`)."""
+        self._cached[pattern.key] = alignment
+        self._stress_cached[pattern.key] = stress
 
     def effective_retention(self, mu_wc_s: np.ndarray, alignment: np.ndarray) -> np.ndarray:
         """Per-cell effective retention times under the given alignment."""

@@ -87,7 +87,11 @@ class FleetPopulation:
     failure masks :meth:`sample_failures` returns).
     """
 
-    def __init__(self, populations: Sequence[WeakCellPopulation]) -> None:
+    def __init__(
+        self,
+        populations: Sequence[WeakCellPopulation],
+        backing: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
         members = tuple(populations)
         if not members:
             raise ConfigurationError("a fleet population needs at least one member")
@@ -96,12 +100,25 @@ class FleetPopulation:
         self._lengths = lengths
         self._offsets = np.zeros(len(members) + 1, dtype=np.int64)
         np.cumsum(lengths, out=self._offsets[1:])
-        self._mu_wc = np.concatenate([p.mu_wc_s for p in members])
-        self._sigma = np.concatenate([p.sigma_s for p in members])
-        self._susceptibility = np.concatenate(
-            [p.dpd.susceptibility for p in members]
-        )
         self._n_total = int(self._offsets[-1])
+        if backing is not None:
+            # Zero-copy: the members' per-chip arrays are adjacent slices of
+            # one shared-memory segment, so the concatenated arrays already
+            # exist -- ``backing`` hands them over without a copy.  Values
+            # (and therefore results) are identical to concatenation.
+            if any(len(backing[k]) != self._n_total for k in ("mu_wc_s", "sigma_s", "susceptibility")):
+                raise ConfigurationError(
+                    "fleet backing arrays do not cover the member populations"
+                )
+            self._mu_wc = backing["mu_wc_s"]
+            self._sigma = backing["sigma_s"]
+            self._susceptibility = backing["susceptibility"]
+        else:
+            self._mu_wc = np.concatenate([p.mu_wc_s for p in members])
+            self._sigma = np.concatenate([p.sigma_s for p in members])
+            self._susceptibility = np.concatenate(
+                [p.dpd.susceptibility for p in members]
+            )
         # (1 - s) is a loop invariant of the effective-retention expression;
         # dividing by the precomputed array is the same IEEE divide as
         # dividing by the expression, so bits are unchanged.
@@ -197,8 +214,11 @@ class FleetPopulation:
         return np.divide(tmp, self._one_minus_s, out=tmp)
 
     def _concat_optional(
-        self, arrays: Sequence[Optional[np.ndarray]]
+        self, arrays: "Sequence[Optional[np.ndarray]] | np.ndarray"
     ) -> Optional[np.ndarray]:
+        if isinstance(arrays, np.ndarray):
+            # Already stacked over the fleet (megakernel batched rows).
+            return arrays
         present = [a is not None for a in arrays]
         if not any(present):
             return None
@@ -309,17 +329,19 @@ class FleetPopulation:
             )
         return self._sample_banded(exposure_s, scales, alignments, stresseds, rngs)
 
-    def _sample_deterministic(
+    def deterministic_p(
         self,
         exposure_s: float,
         scales: Tuple[float, ...],
         pattern_key: str,
         alignments: Sequence[np.ndarray],
         stresseds: Sequence[Optional[np.ndarray]],
-        rngs: Sequence[np.random.Generator],
     ) -> np.ndarray:
-        """Memoized fused probability-vector sampling (deterministic
-        patterns): the fleet analogue of ``_sample_deterministic_fast``."""
+        """The fused per-cell failure-probability vector for a deterministic
+        pattern at one exposure, memoized and pinned to the exact per-chip
+        alignment/stress arrays.  Comparing chip-ordered uniforms against it
+        is one read-out; the megakernel stacks these vectors row-wise to
+        evaluate a whole condition grid per chip in one compare."""
         state = self._pattern_state(pattern_key, scales, alignments)
         key = float(exposure_s)
         entry = state.p_by_exposure.get(key)
@@ -336,7 +358,51 @@ class FleetPopulation:
                 state.p_by_exposure.clear()
             entry = (tuple(stresseds), p)
             state.p_by_exposure[key] = entry
-        return self._draw_uniforms(rngs) < entry[1]
+        return entry[1]
+
+    def deterministic_p_grid(
+        self,
+        exposures_s: Sequence[float],
+        scales: Tuple[float, ...],
+        pattern_key: str,
+        alignments: Sequence[np.ndarray],
+        stresseds: Sequence[Optional[np.ndarray]],
+    ) -> np.ndarray:
+        """Stacked :meth:`deterministic_p` rows for many exposures at once.
+
+        Returns a ``(len(exposures_s), n_total)`` matrix whose row ``k`` is
+        bit-equal to ``deterministic_p(exposures_s[k], ...)``: the z
+        pipeline and ndtr are elementwise ufuncs, so evaluating them on a
+        broadcast matrix applies the identical scalar operation to the
+        identical operands.  One ndtr call amortizes the per-row dispatch
+        overhead the megakernel would otherwise pay once per read (row
+        exposures are distinct floats -- each accumulates its own clock
+        error -- so the per-exposure memo cannot help there).
+        """
+        state = self._pattern_state(pattern_key, scales, alignments)
+        p = np.subtract(
+            np.asarray(exposures_s, dtype=np.float64)[:, None], state.mu_eff
+        )
+        np.divide(p, state.sigma_eff, out=p)
+        ndtr(p, out=p)
+        stressed = self._concat_stressed(pattern_key, stresseds)
+        if stressed is not None:
+            np.multiply(p, stressed, out=p)
+        return p
+
+    def _sample_deterministic(
+        self,
+        exposure_s: float,
+        scales: Tuple[float, ...],
+        pattern_key: str,
+        alignments: Sequence[np.ndarray],
+        stresseds: Sequence[Optional[np.ndarray]],
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Memoized fused probability-vector sampling (deterministic
+        patterns): the fleet analogue of ``_sample_deterministic_fast``."""
+        p = self.deterministic_p(exposure_s, scales, pattern_key, alignments, stresseds)
+        return self._draw_uniforms(rngs) < p
 
     def _sample_banded(
         self,
@@ -345,11 +411,21 @@ class FleetPopulation:
         alignments: Sequence[np.ndarray],
         stresseds: Sequence[Optional[np.ndarray]],
         rngs: Sequence[np.random.Generator],
+        u: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Fused Chernoff-cut sampling (stochastic patterns): the fleet
-        analogue of ``_sample_banded_fast``, candidates gathered globally."""
+        analogue of ``_sample_banded_fast``, candidates gathered globally.
+
+        ``u`` optionally supplies the chip-ordered uniforms (the megakernel
+        gathers them from per-chip block draws -- value-identical to the
+        per-read draw, so the compare is unchanged); without it each chip's
+        read generator is consumed in fleet order as usual."""
         scale_cells = self._scale_cells(scales)
-        alignment = np.concatenate(alignments)
+        alignment = (
+            alignments
+            if isinstance(alignments, np.ndarray)
+            else np.concatenate(alignments)
+        )
         # Stage the whole z pipeline through the two scratch buffers: each
         # step is the ufunc the operator expression would invoke, applied
         # in the same order, so the bits are unchanged.
@@ -357,7 +433,8 @@ class FleetPopulation:
         np.multiply(mu_eff, scale_cells, out=mu_eff)
         z = np.subtract(exposure_s, mu_eff, out=self._z)
         np.divide(z, self._sigma_eff(scales), out=z)
-        u = self._draw_uniforms(rngs)
+        if u is None:
+            u = self._draw_uniforms(rngs)
         # Clamp the exponent exactly like the per-chip path: deep-tail
         # cells would otherwise push exp() into the subnormal slow path.
         # ``-0.5 * z * z`` associates left, so stage it as (-0.5 * z) * z;
@@ -391,7 +468,11 @@ class ChipFleet:
     when the chips traverse identical clock trajectories.
     """
 
-    def __init__(self, chips: Sequence["SimulatedDRAMChip"]) -> None:
+    def __init__(
+        self,
+        chips: Sequence["SimulatedDRAMChip"],
+        backing: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
         members = tuple(chips)
         if not members:
             raise ConfigurationError("a chip fleet needs at least one chip")
@@ -409,7 +490,9 @@ class ChipFleet:
                     f"{chip.max_trefi_s!r} vs {max_trefi!r}"
                 )
         self.chips = members
-        self.population = FleetPopulation([chip.population for chip in members])
+        self.population = FleetPopulation(
+            [chip.population for chip in members], backing=backing
+        )
         self._io_seconds = members[0].pattern_io_seconds
         self._max_trefi_s = max_trefi
 

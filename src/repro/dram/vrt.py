@@ -138,6 +138,57 @@ class VRTProcess:
             )
         self._time_s = time_s
 
+    def advance_schedule(
+        self,
+        times_s: "np.ndarray",
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+    ) -> bool:
+        """Try to advance through a whole ascending schedule in one draw.
+
+        Equivalent to ``for t in times_s: advance_to(t, temperature_c)``
+        *when no episode arrives anywhere in the schedule* -- by far the
+        common case (most chips see zero episodes over an entire campaign
+        grid).  The arrival counts for every positive-length segment are
+        drawn as one vectorized Poisson call, which consumes the generator
+        stream exactly as the equivalent sequence of scalar draws would;
+        zero-length segments draw nothing, exactly like
+        :meth:`advance_to`'s early return.
+
+        Returns ``True`` after committing (time advanced to the last entry,
+        generator state identical to the sequential walk).  If any segment
+        would produce an arrival, the generator state is restored untouched
+        and ``False`` is returned: the caller must replay the schedule with
+        per-step :meth:`advance_to` calls, interleaving its queries, to
+        reproduce the sequential episode bookkeeping bit for bit.
+        """
+        times = np.asarray(times_s, dtype=np.float64)
+        if times.size == 0:
+            return True
+        if times[0] < self._time_s or np.any(np.diff(times) < 0.0):
+            raise ConfigurationError(
+                f"cannot advance VRT process backwards through schedule "
+                f"(from {self._time_s})"
+            )
+        dts = np.diff(np.concatenate(([self._time_s], times)))
+        dts = dts[dts > 0.0]
+        if dts.size == 0:
+            self._time_s = float(times[-1])
+            return True
+        rate_per_hour = self._rate_memo.get(temperature_c)
+        if rate_per_hour is None:
+            rate_per_hour = self._vendor.vrt_arrival_rate_per_hour(
+                self._horizon_s, self._capacity_gbit, temperature_c
+            )
+            self._rate_memo[temperature_c] = rate_per_hour
+        expected = rate_per_hour * dts / _SECONDS_PER_HOUR
+        state = self._rng.bit_generator.state
+        counts = self._rng.poisson(expected)
+        if counts.any():
+            self._rng.bit_generator.state = state
+            return False
+        self._time_s = float(times[-1])
+        return True
+
     def _all_episodes(self) -> _EpisodeBlock:
         if self._blocks:
             merged = _EpisodeBlock(

@@ -90,6 +90,7 @@ class TestBed:
         max_trefi_s: float = 2.6,
         max_temperature_c: float = 60.0,
         fast_path: Optional[bool] = None,
+        sample=None,
     ) -> "TestBed":
         """Build a one-chip testbed for the chip with global id ``chip_id``.
 
@@ -98,6 +99,10 @@ class TestBed:
         :meth:`placement_offset`, so the construction is independent of any
         other chip -- the basis for decomposing a campaign into per-chip
         work units that can run anywhere, in any order.
+
+        ``sample`` optionally supplies the chip's prebuilt weak-cell
+        population (e.g. shared-memory views); it must be exactly what
+        :func:`repro.dram.chip.sample_weak_cells` returns for this chip.
         """
         bed = cls(seed=seed)
         bed.add_chip(
@@ -110,6 +115,7 @@ class TestBed:
                 max_trefi_s=max_trefi_s,
                 max_temperature_c=max_temperature_c,
                 fast_path=fast_path,
+                sample=sample,
             ),
             placement_offset=cls.placement_offset(seed, chip_id),
         )
@@ -211,12 +217,16 @@ class FleetBed:
         max_trefi_s: float = 2.6,
         max_temperature_c: float = 60.0,
         fast_path: Optional[bool] = None,
+        samples: Optional[Dict[int, object]] = None,
     ) -> "FleetBed":
         """Build one single-chip bed per ``(chip_id, vendor)`` member.
 
         Each member bed comes from :meth:`TestBed.build_single` with the
         shared ``seed``, so every chip -- population, VRT, placement offset
         -- is the exact chip an independent per-chip worker would build.
+
+        ``samples`` optionally maps chip ids to prebuilt weak-cell samples
+        (shared-memory views); missing chips fall back to drawing their own.
         """
         return cls(
             [
@@ -228,6 +238,7 @@ class FleetBed:
                     max_trefi_s=max_trefi_s,
                     max_temperature_c=max_temperature_c,
                     fast_path=fast_path,
+                    sample=None if samples is None else samples.get(chip_id),
                 )
                 for chip_id, vendor in members
             ]

@@ -37,6 +37,7 @@ from ..core.bruteforce import BruteForceProfiler
 from ..core.fleetprof import FleetProfiler
 from ..dram.fleet import ChipFleet
 from ..dram.geometry import ChipGeometry
+from ..dram.shm import SharedPopulationStore
 from ..dram.vendor import VENDORS, vendor_by_name
 from ..errors import ConfigurationError
 from ..infra.testbed import FleetBed, TestBed
@@ -192,7 +193,10 @@ def measure_chip(payload: Mapping[str, Any]) -> Dict[str, Any]:
 
 
 def build_fleet_units(
-    units: Sequence[WorkUnit], chips_per_unit: int
+    units: Sequence[WorkUnit],
+    chips_per_unit: int,
+    shm: Optional[Mapping[str, Any]] = None,
+    megakernel: Optional[bool] = None,
 ) -> Tuple[WorkUnit, ...]:
     """Pack consecutive per-chip units into fleet transport chunks.
 
@@ -203,6 +207,14 @@ def build_fleet_units(
     from the member ids but are *transient* -- they never reach the result
     store (the engine expands chunks back to per-chip rows before
     persisting), so any chunk size can resume any run directory.
+
+    ``shm`` is a :meth:`~repro.dram.shm.SharedPopulationStore.descriptor`;
+    each chunk gets the descriptor narrowed to its own member chips, so a
+    worker attaches to the run's shared segment instead of redrawing (or
+    unpickling) weak-cell populations.  ``megakernel`` (when not ``None``)
+    rides along as the worker's condition-grid fusion switch.  Both are
+    execution knobs only: payload-wise the member units -- and therefore
+    the per-chip results and resume fingerprints -- are unchanged.
     """
     if chips_per_unit <= 0:
         raise ConfigurationError(
@@ -215,19 +227,33 @@ def build_fleet_units(
                 f"fleet chunks are built from {CHIP_UNIT_KIND!r} units; "
                 f"got kind {unit.kind!r}"
             )
+    shm_chips = dict(shm["chips"]) if shm is not None else None
     chunks: List[WorkUnit] = []
     for start in range(0, len(units), chips_per_unit):
         chunk = units[start : start + chips_per_unit]
+        payload: Dict[str, Any] = {
+            "members": [
+                {"unit_id": u.unit_id, "payload": dict(u.payload)} for u in chunk
+            ]
+        }
+        if shm is not None:
+            payload["shm"] = {
+                "segment": str(shm["segment"]),
+                "total": int(shm["total"]),
+                "chips": {
+                    str(u.payload["chip_id"]): list(
+                        shm_chips[str(u.payload["chip_id"])]
+                    )
+                    for u in chunk
+                },
+            }
+        if megakernel is not None:
+            payload["megakernel"] = bool(megakernel)
         chunks.append(
             WorkUnit(
                 unit_id=f"fleet-{chunk[0].unit_id}-{chunk[-1].unit_id}",
                 kind=FLEET_UNIT_KIND,
-                payload={
-                    "members": [
-                        {"unit_id": u.unit_id, "payload": dict(u.payload)}
-                        for u in chunk
-                    ]
-                },
+                payload=payload,
             )
         )
     return tuple(chunks)
@@ -268,6 +294,23 @@ def measure_fleet(payload: Mapping[str, Any]) -> Dict[str, Any]:
     ``{"chips": [{"unit_id", "value"}, ...]}`` in member order, where each
     ``value`` is byte-identical to the member's :func:`measure_chip`
     return.
+
+    Two optional chunk-level keys change *how*, never *what*:
+
+    ``payload["shm"]``
+        Shared-memory descriptor from :func:`build_fleet_units`.  The
+        worker attaches to the run's population segment, builds every chip
+        on zero-copy views, and (when the chunk's chips are contiguous in
+        the segment) hands the stacked arrays to the fleet without
+        concatenating.  The segment is attached read-only for the duration
+        of the call and never unlinked here -- the campaign owns the
+        segment's lifetime.
+
+    ``payload["megakernel"]``
+        Condition-grid fusion switch (default on): the base-temperature
+        interval sweep collapses into one
+        :meth:`~repro.core.fleetprof.FleetProfiler.run_grid` pass, and each
+        remaining temperature point into another.
     """
     members = list(payload["members"])
     if not members:
@@ -277,52 +320,81 @@ def measure_fleet(payload: Mapping[str, Any]) -> Dict[str, Any]:
     intervals = [float(t) for t in first["intervals_s"]]
     temperatures = [float(t) for t in first["temperatures_c"]]
     fast_path = first.get("fast_path")
-    bed = FleetBed.build(
-        members=[
-            (int(m["payload"]["chip_id"]), vendor_by_name(str(m["payload"]["vendor"])))
-            for m in members
-        ],
-        geometry=geometry,
-        seed=int(first["seed"]),
-        max_trefi_s=max(intervals) * TREFI_HEADROOM,
-        fast_path=None if fast_path is None else bool(fast_path),
-    )
-    fleet = ChipFleet(bed.chips)
-    profiler = FleetProfiler(iterations=int(first["iterations"]))
+    megakernel = bool(payload.get("megakernel", True))
+    chip_ids = [int(m["payload"]["chip_id"]) for m in members]
 
-    base_temp = temperatures[0]
-    bed.set_ambient(base_temp)
-    interval_failures: List[List[List[float]]] = [[] for _ in members]
-    for trefi in intervals:
-        results = profiler.run(fleet, Conditions(trefi=trefi, temperature=base_temp))
-        for i, result in enumerate(results):
-            interval_failures[i].append([trefi, float(len(result))])
+    store: Optional[SharedPopulationStore] = None
+    samples = None
+    backing = None
+    if payload.get("shm") is not None:
+        store = SharedPopulationStore.attach(payload["shm"])
+        samples = {chip_id: store.sample(chip_id) for chip_id in chip_ids}
+        backing = store.fleet_backing(chip_ids)
+    try:
+        bed = FleetBed.build(
+            members=[
+                (chip_id, vendor_by_name(str(m["payload"]["vendor"])))
+                for chip_id, m in zip(chip_ids, members)
+            ],
+            geometry=geometry,
+            seed=int(first["seed"]),
+            max_trefi_s=max(intervals) * TREFI_HEADROOM,
+            fast_path=None if fast_path is None else bool(fast_path),
+            samples=samples,
+        )
+        fleet = ChipFleet(bed.chips, backing=backing)
+        profiler = FleetProfiler(iterations=int(first["iterations"]))
 
-    top = max(intervals)
-    temperature_failures: List[List[List[float]]] = []
-    for rows in interval_failures:
-        top_count = next(count for trefi, count in rows if trefi == top)
-        temperature_failures.append([[base_temp, top_count]])
-    for temperature in temperatures[1:]:
-        bed.set_ambient(temperature)
-        results = profiler.run(fleet, Conditions(trefi=top, temperature=temperature))
-        for i, result in enumerate(results):
-            temperature_failures[i].append([temperature, float(len(result))])
+        base_temp = temperatures[0]
+        bed.set_ambient(base_temp)
+        interval_failures: List[List[List[float]]] = [[] for _ in members]
+        grid = [Conditions(trefi=t, temperature=base_temp) for t in intervals]
+        for ci, results in enumerate(
+            profiler.run_grid(fleet, grid, megakernel=megakernel)
+        ):
+            for i, result in enumerate(results):
+                interval_failures[i].append([intervals[ci], float(len(result))])
 
-    return {
-        "chips": [
-            {
-                "unit_id": member["unit_id"],
-                "value": {
-                    "chip_id": int(member["payload"]["chip_id"]),
-                    "vendor": str(member["payload"]["vendor"]),
-                    "interval_failures": interval_failures[i],
-                    "temperature_failures": temperature_failures[i],
-                },
-            }
-            for i, member in enumerate(members)
-        ]
-    }
+        top = max(intervals)
+        temperature_failures: List[List[List[float]]] = []
+        for rows in interval_failures:
+            top_count = next(count for trefi, count in rows if trefi == top)
+            temperature_failures.append([[base_temp, top_count]])
+        for temperature in temperatures[1:]:
+            bed.set_ambient(temperature)
+            (results,) = profiler.run_grid(
+                fleet,
+                [Conditions(trefi=top, temperature=temperature)],
+                megakernel=megakernel,
+            )
+            for i, result in enumerate(results):
+                temperature_failures[i].append([temperature, float(len(result))])
+
+        return {
+            "chips": [
+                {
+                    "unit_id": member["unit_id"],
+                    "value": {
+                        "chip_id": chip_ids[i],
+                        "vendor": str(member["payload"]["vendor"]),
+                        "interval_failures": interval_failures[i],
+                        "temperature_failures": temperature_failures[i],
+                    },
+                }
+                for i, member in enumerate(members)
+            ]
+        }
+    finally:
+        if store is not None:
+            # Drop our view-holding locals, then detach (never unlink --
+            # the campaign owns the segment).  Detaching is best-effort:
+            # any surviving view keeps the mapping alive until collected.
+            del samples, backing
+            try:
+                del bed, fleet
+            except UnboundLocalError:
+                pass
+            store.close()
 
 
 def expand_fleet_result(
@@ -370,16 +442,26 @@ def expand_fleet_result(
     )
 
 
-def fleet_dispatch(chips_per_unit: int) -> UnitDispatch:
+def fleet_dispatch(
+    chips_per_unit: int,
+    shm: Optional[Mapping[str, Any]] = None,
+    megakernel: Optional[bool] = None,
+) -> UnitDispatch:
     """A :class:`~repro.runner.engine.UnitDispatch` that ships chips to
-    workers in fleet chunks of ``chips_per_unit``."""
+    workers in fleet chunks of ``chips_per_unit``.
+
+    ``shm`` (a shared-population segment descriptor) and ``megakernel``
+    propagate to every chunk payload -- see :func:`build_fleet_units`.
+    """
     if chips_per_unit <= 0:
         raise ConfigurationError(
             f"chips_per_unit must be positive, got {chips_per_unit!r}"
         )
 
     def group(pending: Tuple[WorkUnit, ...]) -> Tuple[WorkUnit, ...]:
-        return build_fleet_units(pending, chips_per_unit)
+        return build_fleet_units(
+            pending, chips_per_unit, shm=shm, megakernel=megakernel
+        )
 
     return UnitDispatch(worker=measure_fleet, group=group, expand=expand_fleet_result)
 

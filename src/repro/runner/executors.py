@@ -136,14 +136,19 @@ def default_worker_count() -> int:
     Respects the process's CPU *affinity* where the platform exposes it
     (``len(os.sched_getaffinity(0))``) -- a containerized CI runner pinned
     to 2 of a host's 64 cores gets 2 workers, not 64 -- falling back to
-    ``os.cpu_count()`` elsewhere.
+    ``os.cpu_count()`` on platforms without the call (macOS, Windows), when
+    it errors, or when it reports an empty mask.  Always returns a positive
+    count: ``os.cpu_count()`` itself may return ``None`` on exotic
+    platforms, and a 0/None here would blow up pool construction.
     """
     sched_getaffinity = getattr(os, "sched_getaffinity", None)
     if sched_getaffinity is not None:
         try:
-            return len(sched_getaffinity(0)) or 1
-        except OSError:  # pragma: no cover - platform quirk fallback
-            pass
+            count = len(sched_getaffinity(0))
+        except (OSError, ValueError):  # pragma: no cover - platform quirk
+            count = 0
+        if count > 0:
+            return count
     return os.cpu_count() or 1
 
 

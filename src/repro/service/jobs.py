@@ -96,6 +96,13 @@ class CampaignJobSpec:
     #: Submission-window size for this job's share of the shared pool;
     #: ``None`` uses the manager's pool width.
     workers: Optional[int] = None
+    #: Shared-memory population segment for the fleet path (``None`` =
+    #: on whenever ``chips_per_unit`` > 1).  Execution knob only --
+    #: byte-identical results either way.
+    shared_population: Optional[bool] = None
+    #: Condition-grid megakernel fusion in fleet workers.  Execution knob
+    #: only -- byte-identical results either way.
+    megakernel: bool = True
 
     def __post_init__(self) -> None:
         if self.chips_per_vendor <= 0:
@@ -114,6 +121,12 @@ class CampaignJobSpec:
             raise ConfigurationError("max_retries must be non-negative")
         if self.workers is not None and self.workers <= 0:
             raise ConfigurationError("workers must be positive")
+        if self.shared_population and (
+            self.chips_per_unit is None or self.chips_per_unit <= 1
+        ):
+            raise ConfigurationError(
+                "shared_population requires chips_per_unit > 1 (the fleet path)"
+            )
 
     # ------------------------------------------------------------------
     def to_json_dict(self) -> Dict[str, Any]:
@@ -128,6 +141,8 @@ class CampaignJobSpec:
             "max_retries": self.max_retries,
             "fast_path": self.fast_path,
             "workers": self.workers,
+            "shared_population": self.shared_population,
+            "megakernel": self.megakernel,
         }
 
     @classmethod
@@ -160,6 +175,10 @@ class CampaignJobSpec:
                 kwargs[key] = int(data[key])
         if data.get("fast_path") is not None:
             kwargs["fast_path"] = bool(data["fast_path"])
+        if data.get("shared_population") is not None:
+            kwargs["shared_population"] = bool(data["shared_population"])
+        if "megakernel" in data:
+            kwargs["megakernel"] = bool(data["megakernel"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------------

@@ -456,6 +456,8 @@ class JobManager:
             max_retries=spec.max_retries,
             progress=progress,
             chips_per_unit=spec.chips_per_unit,
+            shared_population=spec.shared_population,
+            megakernel=spec.megakernel,
             should_stop=job.stop.is_set,
             observability=layer,
         )
