@@ -12,6 +12,9 @@ Examples::
     python -m repro obs runs/campaign
     python -m repro obs runs/campaign --export prometheus
     python -m repro obs --compare runs/campaign-a runs/campaign-b
+    python -m repro obs --compare runs/r1 runs/r2 runs/r3 --export html
+    python -m repro lake compact runs/campaign-a runs/campaign-b --lake lake
+    python -m repro lake query --lake lake --report trend --vendor A
 """
 
 from __future__ import annotations
@@ -188,11 +191,32 @@ def cmd_obs(args) -> int:
     from pathlib import Path
 
     if args.compare:
-        run_a, run_b = (analyze.load_run(d) for d in args.compare)
-        print(analyze.compare_runs(run_a, run_b))
+        # Both spellings work: `obs --compare A B [C ...]` and
+        # `obs A --compare B [C ...]` (positional dir = baseline).
+        dirs = ([args.run_dir] if args.run_dir else []) + list(args.compare)
+        if len(dirs) < 2:
+            print(
+                "error: --compare needs at least two run directories",
+                file=sys.stderr,
+            )
+            return 2
+        runs = [analyze.load_run(d) for d in dirs]
+        if args.export:
+            if args.export != "html":
+                print(
+                    "error: --compare exports support only --export html",
+                    file=sys.stderr,
+                )
+                return 2
+            out = Path(args.out) if args.out else runs[0].run_dir / "compare.html"
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(analyze.comparison_html(runs), encoding="utf-8")
+            print(f"wrote {out}")
+            return 0
+        print(analyze.compare_runs(runs[0], runs[1], *runs[2:]))
         return 0
     if args.run_dir is None:
-        print("error: pass a run directory or --compare RUN_A RUN_B", file=sys.stderr)
+        print("error: pass a run directory or --compare RUN_A RUN_B ...", file=sys.stderr)
         return 2
     run = analyze.load_run(args.run_dir)
     if args.export:
@@ -203,6 +227,55 @@ def cmd_obs(args) -> int:
         print(f"wrote {out}")
         return 0
     print(analyze.summarize_run(run))
+    return 0
+
+
+def cmd_lake(args) -> int:
+    import json
+
+    from . import lake as lake_mod
+
+    lake = lake_mod.ResultLake(args.lake)
+    if args.lake_command == "compact":
+        if args.run_id is not None and len(args.run_dirs) != 1:
+            print(
+                "error: --run-id only applies to a single run directory",
+                file=sys.stderr,
+            )
+            return 2
+        for run_dir in args.run_dirs:
+            report = lake.compact_run_dir(run_dir, run_id=args.run_id)
+            line = (
+                f"compacted {run_dir} -> {report.segment} "
+                f"({report.units} units, {report.observations} observations, "
+                f"{report.events} events"
+            )
+            if report.skipped_lines:
+                line += f", {report.skipped_lines} unparseable lines skipped"
+            print(line + ")")
+        return 0
+
+    # query
+    if args.report == "summary":
+        if not args.runs or len(args.runs) != 1:
+            print(
+                "error: --report summary needs exactly one --runs run id",
+                file=sys.stderr,
+            )
+            return 2
+        summary = lake_mod.summary_from_lake(lake, args.runs[0])
+        print(json.dumps(summary, sort_keys=True, indent=None if args.json else 2))
+        return 0
+    kwargs = {"run_ids": args.runs}
+    if args.report == "trend":
+        kwargs.update(vendor=args.vendor, kind=args.kind or "interval")
+    elif args.report == "contour":
+        kwargs.update(kind=args.kind or "temperature")
+    report = lake_mod.REPORTS[args.report](lake, **kwargs)
+    if args.json:
+        print(json.dumps({k: v for k, v in report.items() if k != "text"}, sort_keys=True))
+    else:
+        print(report["text"])
     return 0
 
 
@@ -332,8 +405,10 @@ def main(argv=None) -> int:
         help="run directory to summarize (results.jsonl + events.jsonl + metrics.json)",
     )
     p_obs.add_argument(
-        "--compare", nargs=2, metavar=("RUN_A", "RUN_B"), default=None,
-        help="compare two run directories (A = baseline) instead of summarizing one",
+        "--compare", nargs="+", metavar="RUN_DIR", default=None,
+        help="compare two or more run directories (first = baseline) instead "
+             "of summarizing one; combine with --export html for the "
+             "comparison dashboard",
     )
     p_obs.add_argument(
         "--export", choices=["prometheus", "chrome-trace", "html"], default=None,
@@ -344,6 +419,61 @@ def main(argv=None) -> int:
         help="export output path (default: a standard name inside the run dir)",
     )
     p_obs.set_defaults(func=cmd_obs)
+
+    p_lake = sub.add_parser(
+        "lake", help="columnar result lake: compact run dirs, query across runs"
+    )
+    lake_sub = p_lake.add_subparsers(dest="lake_command", required=True)
+    p_compact = lake_sub.add_parser(
+        "compact", help="stream run directories into columnar lake segments"
+    )
+    p_compact.add_argument(
+        "run_dirs", nargs="+", metavar="RUN_DIR",
+        help="run directories (results.jsonl [+ events.jsonl]) to compact",
+    )
+    p_compact.add_argument(
+        "--lake", required=True,
+        help="lake directory (catalog lake.json + runs/*.npz segments)",
+    )
+    p_compact.add_argument(
+        "--run-id", default=None, dest="run_id",
+        help="catalog id for the run (single RUN_DIR only; default: the "
+             "directory name, sanitized)",
+    )
+    p_compact.set_defaults(func=cmd_lake)
+    p_query = lake_sub.add_parser(
+        "query", help="cross-run reports over compacted segments"
+    )
+    p_query.add_argument(
+        "--lake", required=True,
+        help="lake directory to query",
+    )
+    p_query.add_argument(
+        "--report", default="runs",
+        choices=["runs", "trend", "contour", "longevity", "summary"],
+        help="runs: catalog inventory; trend: per-(run, vendor, condition) "
+             "failure means; contour: vendor x condition grid pooled across "
+             "runs; longevity: per-vendor drift across rounds; summary: one "
+             "run's canonical JSON summary (byte-identical to the JSONL path)",
+    )
+    p_query.add_argument(
+        "--runs", nargs="+", default=None, metavar="RUN_ID",
+        help="restrict to these catalog run ids (default: every run)",
+    )
+    p_query.add_argument(
+        "--vendor", default=None,
+        help="trend report: restrict to one vendor",
+    )
+    p_query.add_argument(
+        "--kind", default=None, choices=["interval", "temperature"],
+        help="observation axis (default: interval for trend, temperature "
+             "for contour)",
+    )
+    p_query.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of a text table",
+    )
+    p_query.set_defaults(func=cmd_lake)
 
     args = parser.parse_args(argv)
     try:

@@ -318,6 +318,10 @@ class CharacterizationCampaign:
             "temperatures_c": [float(t) for t in temperatures_c],
             "vendors": list(vendor_names),
             "n_units": len(units),
+            # Not part of the fingerprint (older run dirs lack it): the
+            # lake's analytics layer uses it to turn raw failure counts
+            # into per-bit failure rates.
+            "capacity_bits": int(self.geometry.capacity_bits),
         }
         shm_store: Optional[SharedPopulationStore] = None
         dispatch = None

@@ -1,0 +1,381 @@
+"""Columnar (struct-of-arrays) encoding of campaign result rows.
+
+One compacted run is a single ``.npz`` archive holding aligned numpy
+arrays -- the lake's on-disk unit.  The layout is two tables plus a small
+event digest:
+
+**Unit table** (one row per *final* work unit, later JSONL rows win)
+    ``unit_id`` (unicode), ``status`` (0 ok / 1 failed), ``attempts``,
+    ``elapsed_s``, ``value_kind``, ``chip_id``, ``vendor_idx`` (index into
+    the per-run ``vendors`` string table), ``value_json`` (fallback
+    payload), ``error_type`` / ``error_message`` / ``error_traceback``.
+
+**Observation table** (one row per ``[condition, failures]`` measurement
+pair of a chip-encoded unit, in the unit's list order)
+    ``obs_unit_idx`` (index into the unit table), ``obs_kind``
+    (0 interval-sweep / 1 temperature-scaling), ``obs_condition``
+    (tREFI seconds or degrees C), ``obs_failures``.
+
+**Event digest** (from ``events.jsonl`` when present)
+    ``event_name_idx`` (index into ``event_names``), ``event_ts`` --
+    enough to recompute throughput windows without keeping the full log.
+
+The chip-measurement value produced by :func:`repro.runner.measure_chip`
+-- ``{"chip_id", "vendor", "interval_failures", "temperature_failures"}``
+-- is exploded into the observation table; any other ``ok`` value is kept
+verbatim as canonical JSON in ``value_json``.  The encoding is *exact*:
+:func:`decode_results` reproduces byte-for-byte the rows
+:meth:`repro.runner.store.ResultStore.load_results` would return, which is
+what makes every summary derived from the lake byte-identical to one
+derived from the source JSONL.  To guarantee that, a value is only
+chip-encoded when its floats are genuine JSON floats (``20.0``, not
+``20``) -- anything looser falls back to the JSON column.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zipfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..runner.units import STATUS_FAILED, STATUS_OK, UnitFailure, UnitResult
+
+#: On-disk schema stamp; bump on any layout change so old readers refuse
+#: new archives (and vice versa) instead of misreading them.
+LAKE_SCHEMA = 1
+
+#: ``status`` column values.
+STATUS_CODE = {STATUS_OK: 0, STATUS_FAILED: 1}
+STATUS_NAME = {code: name for name, code in STATUS_CODE.items()}
+
+#: ``value_kind`` column values.
+VALUE_CHIP = 0  #: exploded into the observation table
+VALUE_JSON = 1  #: kept verbatim in ``value_json``
+VALUE_NONE = 2  #: failed row, no value
+
+#: ``obs_kind`` column values.
+KIND_INTERVAL = 0
+KIND_TEMPERATURE = 1
+KIND_CODE = {"interval": KIND_INTERVAL, "temperature": KIND_TEMPERATURE}
+
+#: Keys of a chip-measurement value (``repro.runner.measure_chip``).
+_CHIP_VALUE_KEYS = frozenset(
+    ("chip_id", "vendor", "interval_failures", "temperature_failures")
+)
+
+
+def _chip_encodable(value: Any) -> bool:
+    """Can ``value`` round-trip exactly through the observation table?"""
+    if not isinstance(value, dict) or set(value) != _CHIP_VALUE_KEYS:
+        return False
+    if type(value["chip_id"]) is not int or not isinstance(value["vendor"], str):
+        return False
+    for key in ("interval_failures", "temperature_failures"):
+        pairs = value[key]
+        if not isinstance(pairs, list):
+            return False
+        for pair in pairs:
+            if not (isinstance(pair, list) and len(pair) == 2):
+                return False
+            # JSON floats only: an int here (``20`` vs ``20.0``) would not
+            # survive the float64 round trip byte-identically.
+            if type(pair[0]) is not float or type(pair[1]) is not float:
+                return False
+    return True
+
+
+def _str_array(values: Sequence[str]) -> np.ndarray:
+    return np.array(list(values), dtype="<U1") if not values else np.array(list(values))
+
+
+@dataclass
+class RunColumns:
+    """One compacted run's aligned column arrays."""
+
+    # -- unit table ----------------------------------------------------
+    unit_id: np.ndarray = field(default_factory=lambda: _str_array([]))
+    status: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
+    attempts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    elapsed_s: np.ndarray = field(default_factory=lambda: np.zeros(0, np.float64))
+    value_kind: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
+    chip_id: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    vendor_idx: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    value_json: np.ndarray = field(default_factory=lambda: _str_array([]))
+    error_type: np.ndarray = field(default_factory=lambda: _str_array([]))
+    error_message: np.ndarray = field(default_factory=lambda: _str_array([]))
+    error_traceback: np.ndarray = field(default_factory=lambda: _str_array([]))
+    #: Per-run vendor string table (``vendor_idx`` indexes into it).
+    vendors: np.ndarray = field(default_factory=lambda: _str_array([]))
+    # -- observation table ---------------------------------------------
+    obs_unit_idx: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    obs_kind: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
+    obs_condition: np.ndarray = field(default_factory=lambda: np.zeros(0, np.float64))
+    obs_failures: np.ndarray = field(default_factory=lambda: np.zeros(0, np.float64))
+    # -- event digest ---------------------------------------------------
+    event_names: np.ndarray = field(default_factory=lambda: _str_array([]))
+    event_name_idx: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    event_ts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.float64))
+
+    @property
+    def n_units(self) -> int:
+        return int(self.unit_id.shape[0])
+
+    @property
+    def n_observations(self) -> int:
+        return int(self.obs_condition.shape[0])
+
+    @property
+    def n_events(self) -> int:
+        return int(self.event_ts.shape[0])
+
+    #: chip vendor name per observation row (fancy-indexed view).
+    def obs_vendor_idx(self) -> np.ndarray:
+        return self.vendor_idx[self.obs_unit_idx]
+
+    def obs_chip_id(self) -> np.ndarray:
+        return self.chip_id[self.obs_unit_idx]
+
+
+def encode_results(
+    results: Mapping[str, Mapping[str, Any]],
+    events: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> RunColumns:
+    """Encode folded result rows (unit_id -> final JSON row) into columns.
+
+    Rows are laid out in sorted ``unit_id`` order, which erases the
+    append/completion order exactly like the campaign's own aggregation --
+    two compactions of the same logical run produce identical archives.
+    """
+    cols = RunColumns()
+    ordered = sorted(results.items())
+    vendors: List[str] = []
+    vendor_of: Dict[str, int] = {}
+
+    unit_id: List[str] = []
+    status: List[int] = []
+    attempts: List[int] = []
+    elapsed: List[float] = []
+    value_kind: List[int] = []
+    chip_id: List[int] = []
+    vendor_idx: List[int] = []
+    value_json: List[str] = []
+    err_type: List[str] = []
+    err_message: List[str] = []
+    err_traceback: List[str] = []
+    obs_unit: List[int] = []
+    obs_kind: List[int] = []
+    obs_cond: List[float] = []
+    obs_fail: List[float] = []
+
+    for index, (uid, row) in enumerate(ordered):
+        row_status = str(row.get("status", ""))
+        if row_status not in STATUS_CODE:
+            raise ConfigurationError(
+                f"cannot compact unit {uid!r}: unknown status {row_status!r}"
+            )
+        unit_id.append(str(uid))
+        status.append(STATUS_CODE[row_status])
+        attempts.append(int(row.get("attempts", 1)))
+        elapsed.append(float(row.get("elapsed_s", 0.0)))
+        error = row.get("error") or {}
+        err_type.append(str(error.get("type", "")) if error else "")
+        err_message.append(str(error.get("message", "")) if error else "")
+        err_traceback.append(str(error.get("traceback", "")) if error else "")
+
+        value = row.get("value")
+        if row_status == STATUS_FAILED:
+            value_kind.append(VALUE_NONE)
+            chip_id.append(-1)
+            vendor_idx.append(-1)
+            value_json.append("")
+        elif _chip_encodable(value):
+            value_kind.append(VALUE_CHIP)
+            chip_id.append(int(value["chip_id"]))
+            vendor = str(value["vendor"])
+            if vendor not in vendor_of:
+                vendor_of[vendor] = len(vendors)
+                vendors.append(vendor)
+            vendor_idx.append(vendor_of[vendor])
+            value_json.append("")
+            for kind_code, key in (
+                (KIND_INTERVAL, "interval_failures"),
+                (KIND_TEMPERATURE, "temperature_failures"),
+            ):
+                for condition, failures in value[key]:
+                    obs_unit.append(index)
+                    obs_kind.append(kind_code)
+                    obs_cond.append(float(condition))
+                    obs_fail.append(float(failures))
+        else:
+            value_kind.append(VALUE_JSON)
+            chip_id.append(-1)
+            vendor_idx.append(-1)
+            value_json.append(json.dumps(value, sort_keys=True))
+
+    cols.unit_id = _str_array(unit_id)
+    cols.status = np.array(status, np.uint8)
+    cols.attempts = np.array(attempts, np.int64)
+    cols.elapsed_s = np.array(elapsed, np.float64)
+    cols.value_kind = np.array(value_kind, np.uint8)
+    cols.chip_id = np.array(chip_id, np.int64)
+    cols.vendor_idx = np.array(vendor_idx, np.int64)
+    cols.value_json = _str_array(value_json)
+    cols.error_type = _str_array(err_type)
+    cols.error_message = _str_array(err_message)
+    cols.error_traceback = _str_array(err_traceback)
+    cols.vendors = _str_array(vendors)
+    cols.obs_unit_idx = np.array(obs_unit, np.int64)
+    cols.obs_kind = np.array(obs_kind, np.uint8)
+    cols.obs_condition = np.array(obs_cond, np.float64)
+    cols.obs_failures = np.array(obs_fail, np.float64)
+
+    if events:
+        names: List[str] = []
+        name_of: Dict[str, int] = {}
+        name_idx: List[int] = []
+        stamps: List[float] = []
+        for event in events:
+            name = str(event.get("event", ""))
+            ts = event.get("ts")
+            if not name or ts is None:
+                continue
+            if name not in name_of:
+                name_of[name] = len(names)
+                names.append(name)
+            name_idx.append(name_of[name])
+            stamps.append(float(ts))
+        cols.event_names = _str_array(names)
+        cols.event_name_idx = np.array(name_idx, np.int64)
+        cols.event_ts = np.array(stamps, np.float64)
+    return cols
+
+
+def decode_results(cols: RunColumns) -> Dict[str, UnitResult]:
+    """Rebuild the exact :meth:`ResultStore.load_results` mapping.
+
+    The returned objects compare equal to -- and ``to_json_dict``-dump
+    byte-identically with -- the rows parsed straight from the source
+    ``results.jsonl``.
+    """
+    results: Dict[str, UnitResult] = {}
+    # Group observation rows by unit in one pass (they are stored in
+    # per-unit list order, so a simple bucket append reconstructs the
+    # original pair lists).
+    interval_pairs: Dict[int, List[List[float]]] = {}
+    temperature_pairs: Dict[int, List[List[float]]] = {}
+    for unit_index, kind, condition, failures in zip(
+        cols.obs_unit_idx.tolist(),
+        cols.obs_kind.tolist(),
+        cols.obs_condition.tolist(),
+        cols.obs_failures.tolist(),
+    ):
+        bucket = interval_pairs if kind == KIND_INTERVAL else temperature_pairs
+        bucket.setdefault(unit_index, []).append([condition, failures])
+
+    for index in range(cols.n_units):
+        uid = str(cols.unit_id[index])
+        code = int(cols.status[index])
+        kind = int(cols.value_kind[index])
+        attempts = int(cols.attempts[index])
+        elapsed = float(cols.elapsed_s[index])
+        if code == STATUS_CODE[STATUS_FAILED]:
+            results[uid] = UnitResult(
+                unit_id=uid,
+                status=STATUS_FAILED,
+                error=UnitFailure(
+                    type=str(cols.error_type[index]),
+                    message=str(cols.error_message[index]),
+                    traceback=str(cols.error_traceback[index]),
+                ),
+                attempts=attempts,
+                elapsed_s=elapsed,
+            )
+            continue
+        if kind == VALUE_CHIP:
+            value: Any = {
+                "chip_id": int(cols.chip_id[index]),
+                "vendor": str(cols.vendors[int(cols.vendor_idx[index])]),
+                "interval_failures": interval_pairs.get(index, []),
+                "temperature_failures": temperature_pairs.get(index, []),
+            }
+        else:
+            value = json.loads(str(cols.value_json[index]))
+        results[uid] = UnitResult(
+            unit_id=uid,
+            status=STATUS_OK,
+            value=value,
+            attempts=attempts,
+            elapsed_s=elapsed,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# npz persistence
+# ----------------------------------------------------------------------
+_ARRAY_FIELDS = (
+    "unit_id",
+    "status",
+    "attempts",
+    "elapsed_s",
+    "value_kind",
+    "chip_id",
+    "vendor_idx",
+    "value_json",
+    "error_type",
+    "error_message",
+    "error_traceback",
+    "vendors",
+    "obs_unit_idx",
+    "obs_kind",
+    "obs_condition",
+    "obs_failures",
+    "event_names",
+    "event_name_idx",
+    "event_ts",
+)
+
+
+def save_columns(cols: RunColumns, path: Union[str, os.PathLike]) -> pathlib.Path:
+    """Write one run's columns durably (temp file + atomic replace)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + ".tmp")
+    arrays = {name: getattr(cols, name) for name in _ARRAY_FIELDS}
+    arrays["schema"] = np.array([LAKE_SCHEMA], np.int64)
+    with open(tmp_path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_columns(path: Union[str, os.PathLike]) -> RunColumns:
+    """Read one run's columns back, refusing unknown schema versions."""
+    path = pathlib.Path(path)
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ConfigurationError(f"cannot read lake segment {path}: {exc}") from exc
+    with archive:
+        schema = int(archive["schema"][0]) if "schema" in archive else None
+        if schema != LAKE_SCHEMA:
+            raise ConfigurationError(
+                f"{path} carries lake schema {schema!r}; this reader "
+                f"understands schema {LAKE_SCHEMA} -- recompact the run"
+            )
+        cols = RunColumns()
+        for name in _ARRAY_FIELDS:
+            if name not in archive:
+                raise ConfigurationError(
+                    f"{path} is missing column {name!r}; recompact the run"
+                )
+            setattr(cols, name, archive[name])
+        return cols

@@ -165,7 +165,10 @@ def _fmt_delta(a: Optional[float], b: Optional[float]) -> str:
         return "-"
     if a == 0.0:
         return "-" if b == 0.0 else "+inf"
-    change = (b - a) / a * 100.0
+    # Normalize by |baseline| so the sign always means "b grew" / "b
+    # shrank": with a plain ``/ a`` a negative baseline flips the sign
+    # (a=-10 -> b=-5 is an increase, but (b-a)/a reads -50%).
+    change = (b - a) / abs(a) * 100.0
     return f"{change:+.1f}%"
 
 
@@ -173,12 +176,26 @@ def _fmt_delta(a: Optional[float], b: Optional[float]) -> str:
 # Derived views
 # ----------------------------------------------------------------------
 def unit_latency_stats(run: RunData) -> Dict[str, Optional[float]]:
-    """Latency distribution over the final row of every unit."""
-    elapsed = [float(r.get("elapsed_s", 0.0)) for r in run.results.values()]
+    """Latency distribution over the final row of every *timed* unit.
+
+    Rows without an ``elapsed_s`` field (hand-written fixtures, foreign
+    producers) are excluded and counted under ``untimed`` -- folding them
+    in as ``0.0`` would silently drag every percentile and the mean
+    toward zero.
+    """
+    elapsed: List[float] = []
+    untimed = 0
+    for row in run.results.values():
+        value = row.get("elapsed_s")
+        if value is None:
+            untimed += 1
+        else:
+            elapsed.append(float(value))
     if not elapsed:
-        return {"count": 0}
+        return {"count": 0, "untimed": untimed}
     return {
         "count": len(elapsed),
+        "untimed": untimed,
         "mean": sum(elapsed) / len(elapsed),
         "p50": percentile(elapsed, 0.50),
         "p95": percentile(elapsed, 0.95),
@@ -276,11 +293,13 @@ def summarize_run(run: RunData, timeline_limit: int = 20) -> str:
 
     stats = unit_latency_stats(run)
     if stats.get("count"):
+        untimed = stats.get("untimed") or 0
         lines.append(
             "unit latency : "
             f"mean {_fmt_seconds(stats['mean'])} | p50 {_fmt_seconds(stats['p50'])} | "
             f"p95 {_fmt_seconds(stats['p95'])} | p99 {_fmt_seconds(stats['p99'])} | "
             f"max {_fmt_seconds(stats['max'])}"
+            + (f" | {untimed} untimed rows skipped" if untimed else "")
         )
     rate = throughput_units_per_s(run)
     if rate is not None:
@@ -344,56 +363,88 @@ def summarize_run(run: RunData, timeline_limit: int = 20) -> str:
     return "\n".join(lines)
 
 
-def compare_runs(run_a: RunData, run_b: RunData) -> str:
-    """Run-over-run comparison for regression checks (A = baseline)."""
-    lines = [
-        "== run comparison ==",
-        f"A: {run_a.run_dir}",
-        f"B: {run_b.run_dir}",
-    ]
-    fp_a = str(run_a.manifest.get("fingerprint", ""))
-    fp_b = str(run_b.manifest.get("fingerprint", ""))
-    if fp_a and fp_b:
-        verdict = "identical" if fp_a == fp_b else "DIFFERENT"
+def _run_labels(count: int) -> List[str]:
+    """Short run labels: A, B, C, ... then R26, R27, ... past the alphabet."""
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    return [alphabet[i] if i < len(alphabet) else f"R{i}" for i in range(count)]
+
+
+def compare_runs(run_a: RunData, run_b: RunData, *more: RunData) -> str:
+    """Run-over-run comparison for regression checks (A = baseline).
+
+    Accepts any number of runs beyond the first two; every delta is
+    reported against run A, so a longitudinal sweep reads as "how far has
+    each later round drifted from the baseline round".  With exactly two
+    runs the output is the classic A-vs-B report.
+    """
+    runs = [run_a, run_b, *more]
+    labels = _run_labels(len(runs))
+    lines = ["== run comparison =="]
+    lines.extend(f"{label}: {run.run_dir}" for label, run in zip(labels, runs))
+
+    fingerprints = [str(run.manifest.get("fingerprint", "")) for run in runs]
+    if all(fingerprints):
+        verdict = "identical" if len(set(fingerprints)) == 1 else "DIFFERENT"
         lines.append(f"campaign fingerprints: {verdict}")
 
-    ok_a = sum(1 for r in run_a.results.values() if r.get("status") == "ok")
-    ok_b = sum(1 for r in run_b.results.values() if r.get("status") == "ok")
+    ok_counts = [
+        sum(1 for r in run.results.values() if r.get("status") == "ok")
+        for run in runs
+    ]
     lines.append(
-        f"units ok     : A {ok_a}/{len(run_a.results)} | B {ok_b}/{len(run_b.results)}"
+        "units ok     : "
+        + " | ".join(
+            f"{label} {ok}/{len(run.results)}"
+            for label, ok, run in zip(labels, ok_counts, runs)
+        )
     )
 
-    stats_a, stats_b = unit_latency_stats(run_a), unit_latency_stats(run_b)
-    if stats_a.get("count") and stats_b.get("count"):
-        lines.append("unit latency : A -> B (delta)")
+    stats = [unit_latency_stats(run) for run in runs]
+    if all(s.get("count") for s in stats):
+        lines.append(f"unit latency : {' -> '.join(labels)} (delta)")
         for key in ("mean", "p50", "p95", "p99", "max"):
+            values = [s[key] for s in stats]
+            deltas = ", ".join(_fmt_delta(values[0], v) for v in values[1:])
             lines.append(
-                f"  {key:<4}: {_fmt_seconds(stats_a[key])} -> {_fmt_seconds(stats_b[key])} "
-                f"({_fmt_delta(stats_a[key], stats_b[key])})"
+                f"  {key:<4}: {' -> '.join(_fmt_seconds(v) for v in values)} "
+                f"({deltas})"
             )
-    rate_a, rate_b = throughput_units_per_s(run_a), throughput_units_per_s(run_b)
-    if rate_a is not None and rate_b is not None:
+    rates = [throughput_units_per_s(run) for run in runs]
+    if all(rate is not None for rate in rates):
+        deltas = ", ".join(_fmt_delta(rates[0], rate) for rate in rates[1:])
         lines.append(
-            f"throughput   : {rate_a:.2f} -> {rate_b:.2f} units/s "
-            f"({_fmt_delta(rate_a, rate_b)})"
+            f"throughput   : {' -> '.join(f'{rate:.2f}' for rate in rates)} "
+            f"units/s ({deltas})"
         )
 
-    totals_a, totals_b = counter_totals(run_a), counter_totals(run_b)
-    shared = sorted(set(totals_a) & set(totals_b))
+    totals = [counter_totals(run) for run in runs]
+    shared = sorted(set.intersection(*(set(t) for t in totals)))
     if shared:
-        lines.append("counters     : A -> B (delta)")
+        lines.append(f"counters     : {' -> '.join(labels)} (delta)")
         for name in shared:
+            values = [t[name] for t in totals]
+            deltas = ", ".join(_fmt_delta(values[0], v) for v in values[1:])
             lines.append(
-                f"  {name}: {totals_a[name]:g} -> {totals_b[name]:g} "
-                f"({_fmt_delta(totals_a[name], totals_b[name])})"
+                f"  {name}: {' -> '.join(f'{v:g}' for v in values)} ({deltas})"
             )
-    only_a = sorted(set(totals_a) - set(totals_b))
-    only_b = sorted(set(totals_b) - set(totals_a))
-    if only_a:
-        lines.append(f"counters only in A: {', '.join(only_a)}")
-    if only_b:
-        lines.append(f"counters only in B: {', '.join(only_b)}")
+    for label, own in zip(labels, totals):
+        others = set().union(*(set(t) for t in totals if t is not own))
+        only = sorted(set(own) - others)
+        if only:
+            lines.append(f"counters only in {label}: {', '.join(only)}")
     return "\n".join(lines)
+
+
+def _fmt_series_number(value: Any) -> str:
+    """``%g`` for numbers, ``-`` for a missing field in a partial series.
+
+    A hand-edited or truncated ``metrics.json`` can carry series rows
+    without ``value``/``total``; the HTML export must render them as
+    gaps, not crash on ``f"{None:g}"``.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value:g}"
+    return "-"
 
 
 def to_html(run: RunData) -> str:
@@ -404,11 +455,12 @@ def to_html(run: RunData) -> str:
         labels = ",".join(f"{k}={v}" for k, v in sorted(series.get("labels", {}).items()))
         if series.get("kind") == "histogram":
             value = (
-                f"count={series.get('count')} total={series.get('total'):g} "
+                f"count={series.get('count')} "
+                f"total={_fmt_series_number(series.get('total'))} "
                 f"p50={series.get('p50')} p95={series.get('p95')} p99={series.get('p99')}"
             )
         else:
-            value = f"{series.get('value'):g}"
+            value = _fmt_series_number(series.get("value"))
         rows.append(
             "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>".format(
                 html_mod.escape(str(series.get("kind"))),
@@ -441,6 +493,69 @@ th {{ background: #f6f8fa; }}
 <pre>{summary}</pre>
 <h2>Metric series</h2>
 {metrics_table}
+</body>
+</html>
+"""
+
+
+def comparison_html(runs: Sequence[RunData]) -> str:
+    """Self-contained HTML rendering of an N-run comparison.
+
+    The text report from :func:`compare_runs` is embedded verbatim, and
+    the shared counters get a proper table -- one column per run plus a
+    delta-vs-baseline column -- so a longitudinal sweep across many
+    compacted rounds reads at a glance.
+    """
+    if len(runs) < 2:
+        raise ConfigurationError("comparison_html needs at least two runs")
+    labels = _run_labels(len(runs))
+    report = html_mod.escape(compare_runs(runs[0], runs[1], *runs[2:]))
+    totals = [counter_totals(run) for run in runs]
+    names = sorted(set().union(*(set(t) for t in totals)))
+    rows: List[str] = []
+    for name in names:
+        values = [t.get(name) for t in totals]
+        cells = "".join(
+            f"<td>{html_mod.escape(_fmt_series_number(v))}</td>" for v in values
+        )
+        delta = _fmt_delta(values[0], values[-1])
+        rows.append(
+            f"<tr><td>{html_mod.escape(name)}</td>{cells}"
+            f"<td>{html_mod.escape(delta)}</td></tr>"
+        )
+    header = "".join(f"<th>{label}</th>" for label in labels)
+    counters_table = (
+        f"<table><thead><tr><th>counter</th>{header}"
+        f"<th>{labels[0]}&rarr;{labels[-1]}</th></tr></thead><tbody>"
+        + "\n".join(rows)
+        + "</tbody></table>"
+        if rows
+        else "<p>No shared counters recorded across these runs.</p>"
+    )
+    run_list = "".join(
+        f"<li><code>{html_mod.escape(label)}</code>: "
+        f"{html_mod.escape(str(run.run_dir))}</li>"
+        for label, run in zip(labels, runs)
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro run comparison ({len(runs)} runs)</title>
+<style>
+body {{ font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2rem; }}
+pre {{ background: #f6f8fa; padding: 1rem; border-radius: 6px; }}
+table {{ border-collapse: collapse; margin-top: 1rem; }}
+th, td {{ border: 1px solid #d0d7de; padding: 0.25rem 0.6rem; text-align: left; }}
+th {{ background: #f6f8fa; }}
+</style>
+</head>
+<body>
+<h1>Run comparison</h1>
+<ul>{run_list}</ul>
+<pre>{report}</pre>
+<h2>Counters</h2>
+{counters_table}
 </body>
 </html>
 """

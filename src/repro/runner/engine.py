@@ -147,6 +147,13 @@ class RunnerEngine:
         Explicit :class:`repro.obs.Observability` instance to record
         into.  ``None`` (the default) uses the process-wide layer when
         :func:`repro.obs.enabled` says it is on, else records nothing.
+    store:
+        Explicit result-store instance (anything implementing the
+        :class:`~repro.runner.store.ResultStore` interface, e.g.
+        :class:`repro.lake.LakeStore` to persist straight into a columnar
+        lake).  When given, ``run_dir``/``resume`` construction is
+        bypassed -- the engine opens, appends to, and closes the injected
+        store instead.
     should_stop:
         Cooperative-cancellation probe (``() -> bool``).  Once it reads
         ``True`` the backend stops dispatching new units but *drains*
@@ -168,11 +175,17 @@ class RunnerEngine:
         progress: Optional[ProgressCallback] = None,
         observability: Optional["obs_mod.Observability"] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        store: Optional[Any] = None,
     ) -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
+        if store is not None and run_dir is not None:
+            raise ConfigurationError(
+                "pass either run_dir or an explicit store, not both"
+            )
         self.backend = backend_from_spec(backend, workers=workers)
         self.run_dir = run_dir
+        self.store = store
         self.resume = bool(resume)
         self.max_retries = int(max_retries)
         self.progress = progress
@@ -210,8 +223,13 @@ class RunnerEngine:
         """
         units = tuple(units)
         check_unique_ids(units)
-        store: Union[ResultStore, NullStore]
-        store = ResultStore(self.run_dir) if self.run_dir is not None else NullStore()
+        store: Any
+        if self.store is not None:
+            store = self.store
+        elif self.run_dir is not None:
+            store = ResultStore(self.run_dir)
+        else:
+            store = NullStore()
         store.open(manifest, resume=self.resume)
         # A crash (or kill -9) leaves the manifest saying "running" -- the
         # truthful signal that the directory holds a resumable frontier.
@@ -230,7 +248,10 @@ class RunnerEngine:
             }
             pending = tuple(u for u in units if u.unit_id not in satisfied)
 
-            tracker = ProgressTracker(total=len(pending))
+            # The tracker sees the *full plan*: resume-skipped units enter
+            # via note_skipped, so the rendered denominator is stable
+            # across relaunches while remaining/ETA cover only real work.
+            tracker = ProgressTracker(total=len(units))
             tracker.note_skipped(len(satisfied))
             tracker.start()
             if active is not None:
@@ -315,7 +336,7 @@ class RunnerEngine:
             interrupted = (
                 self.should_stop is not None
                 and self.should_stop()
-                and tracker.completed < tracker.total
+                and tracker.remaining > 0
             )
             stats = RunStats(
                 total=len(units),

@@ -29,8 +29,13 @@ class ProgressTracker:
     Parameters
     ----------
     total:
-        Number of units the run will execute (excluding resume-skipped
-        units, which are recorded separately via :meth:`note_skipped`).
+        Number of units in the *full plan*, including any satisfied from
+        the result store on resume (recorded via :meth:`note_skipped`).
+        Keeping the plan size stable across resumes is what lets a
+        progress consumer (CLI line, service ``progress`` dict) show the
+        same denominator on every relaunch; :attr:`remaining` subtracts
+        both executed and skipped units, so the ETA covers only work that
+        will actually run.
     alpha:
         EWMA weight of the newest inter-completion gap; 0 < alpha <= 1.
     clock:
@@ -90,7 +95,14 @@ class ProgressTracker:
 
     @property
     def remaining(self) -> int:
-        return max(0, self.total - self.completed)
+        """Units still to execute: the plan minus observed completions
+        *and* resume-skipped units.
+
+        Skipped units were satisfied from the result store -- no worker
+        will ever run them -- so counting them as pending would inflate
+        both ``remaining`` and the ETA on every resumed run.
+        """
+        return max(0, self.total - self.completed - self.skipped)
 
     @property
     def throughput_units_per_s(self) -> Optional[float]:
@@ -122,11 +134,13 @@ class ProgressTracker:
     def render(self) -> str:
         """One status line: counts, failures, throughput, ETA.
 
-        The bracketed fraction counts *successes* only -- a run with 50
-        failures must not render as fully completed -- and failures are
+        The bracketed fraction counts units that need no further work --
+        successes plus resume-skipped units, over the full plan -- so a
+        resumed run picks up at the fraction it left off at.  A run with
+        50 failures must not render as fully completed; failures are
         reported as their own distinct part.
         """
-        parts = [f"[{self.succeeded}/{self.total}]"]
+        parts = [f"[{self.succeeded + self.skipped}/{self.total}]"]
         if self.skipped:
             parts.append(f"{self.skipped} resumed")
         if self.failed:

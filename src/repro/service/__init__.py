@@ -52,7 +52,7 @@ from .jobs import (
     validate_tenant,
 )
 from .ledger import LEDGER_NAME, JobLedger
-from .manager import SUMMARY_NAME, Job, JobManager
+from .manager import LAKE_DIR_NAME, SUMMARY_NAME, Job, JobManager
 
 __all__ = [
     "ALL_STATES",
@@ -71,6 +71,7 @@ __all__ = [
     "QueueFullError",
     "RESUMABLE_STATES",
     "RUNNING",
+    "LAKE_DIR_NAME",
     "SUMMARY_NAME",
     "ServiceClient",
     "ServiceConfig",

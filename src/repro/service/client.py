@@ -98,6 +98,26 @@ class ServiceClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/v1/jobs/{quote(job_id)}")
 
+    def lake_report(
+        self,
+        tenant: str,
+        report: str = "runs",
+        vendor: Optional[str] = None,
+        kind: Optional[str] = None,
+        runs: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """Cross-run lake analytics over the tenant's finished jobs."""
+        params: Dict[str, str] = {"report": report}
+        if vendor:
+            params["vendor"] = vendor
+        if kind:
+            params["kind"] = kind
+        if runs:
+            params["runs"] = ",".join(runs)
+        return self._request(
+            "GET", f"/v1/tenants/{quote(tenant)}/lake?" + urlencode(params)
+        )
+
     # ------------------------------------------------------------------
     def events(
         self, job_id: str, timeout: Optional[float] = None

@@ -12,6 +12,9 @@ GET    ``/v1/jobs/{id}``            Job status + EWMA progress / ETA
 GET    ``/v1/jobs/{id}/events``     Live chunked JSONL event stream
 GET    ``/v1/jobs/{id}/result``     Final campaign summary (done jobs only)
 DELETE ``/v1/jobs/{id}``            Cooperative cancel (partials persisted)
+GET    ``/v1/tenants/{t}/lake``     Cross-run lake analytics over the tenant's
+                                    finished jobs (``?report=``, ``?vendor=``,
+                                    ``?kind=``, ``?runs=id1,id2``)
 GET    ``/v1/healthz``              Liveness + queue depth
 ====== ============================ ===========================================
 
@@ -41,6 +44,7 @@ from .manager import JobManager
 
 _MAX_BODY = 1 << 20  # 1 MiB is generous for a campaign spec
 _JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9._-]+)(/events|/result)?$")
+_TENANT_LAKE_PATH = re.compile(r"^/v1/tenants/([A-Za-z0-9._-]+)/lake$")
 
 _REASONS = {
     200: "OK",
@@ -164,6 +168,20 @@ class ServiceProtocol:
                 )
             else:
                 raise _HttpError(405, f"{method} not allowed on {path}")
+            return
+        lake_match = _TENANT_LAKE_PATH.match(path)
+        if lake_match is not None:
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            runs_param = (query.get("runs") or [None])[0]
+            payload = await self.manager.lake_report(
+                lake_match.group(1),
+                report=(query.get("report") or ["runs"])[0],
+                vendor=(query.get("vendor") or [None])[0],
+                kind=(query.get("kind") or [None])[0],
+                runs=runs_param.split(",") if runs_param else None,
+            )
+            await self._send_json(writer, 200, payload)
             return
         match = _JOB_PATH.match(path)
         if match is None:

@@ -78,6 +78,10 @@ from .ledger import LEDGER_NAME, JobLedger
 #: Byte-identical summary snapshot written into each completed job's run dir.
 SUMMARY_NAME = "summary.json"
 
+#: Per-tenant columnar lake directory under ``<root>/<tenant>/`` (job ids
+#: are always ``job-NNNNNN``, so the name can never collide with a run dir).
+LAKE_DIR_NAME = "lake"
+
 
 class Job:
     """Runtime state wrapped around one :class:`JobRecord`."""
@@ -330,6 +334,86 @@ class JobManager:
                 except json.JSONDecodeError:
                     continue  # torn tail
         return rows, None
+
+    # ------------------------------------------------------------------
+    # Cross-run lake analytics
+    # ------------------------------------------------------------------
+    def tenant_lake_root(self, tenant: str) -> pathlib.Path:
+        return self.root / tenant / LAKE_DIR_NAME
+
+    async def lake_report(
+        self,
+        tenant: str,
+        report: str = "runs",
+        vendor: Optional[str] = None,
+        kind: Optional[str] = None,
+        runs: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """Cross-run analytics over one tenant's finished jobs.
+
+        Every terminal job with a persisted ``results.jsonl`` is
+        (re)compacted into the tenant's columnar lake -- recompaction is
+        idempotent and refreshes runs that were resumed since the last
+        query -- and then one report from :data:`repro.lake.REPORTS`
+        (or ``summary``, the canonical single-run summary that is
+        byte-identical to the JSONL-derived one) runs over it.  Live jobs
+        are excluded: their run dirs are still being appended to.
+
+        The job list is snapshotted on the event loop; compaction and the
+        columnar query run in a worker thread.
+        """
+        validate_tenant(tenant)
+        eligible = [
+            (job.job_id, self._run_dir(tenant, job.job_id))
+            for job in list(self._jobs.values())
+            if job.tenant == tenant and job.record.terminal
+        ]
+        return await asyncio.to_thread(
+            self._lake_report_blocking, tenant, eligible, report, vendor, kind, runs
+        )
+
+    def _lake_report_blocking(
+        self,
+        tenant: str,
+        eligible: List[Any],
+        report: str,
+        vendor: Optional[str],
+        kind: Optional[str],
+        runs: Optional[List[str]],
+    ) -> Dict[str, Any]:
+        from ..lake import REPORTS, ResultLake, summary_from_lake
+        from ..runner.store import RESULTS_NAME
+
+        lake = ResultLake(self.tenant_lake_root(tenant))
+        compacted: List[str] = []
+        for job_id, run_dir in eligible:
+            if not (run_dir / RESULTS_NAME).exists():
+                continue
+            lake.compact_run_dir(run_dir, run_id=job_id)
+            compacted.append(job_id)
+        if report == "summary":
+            if not runs or len(runs) != 1:
+                raise ConfigurationError(
+                    "the summary report needs exactly one run id (runs=[job_id])"
+                )
+            return {
+                "tenant": tenant,
+                "compacted": compacted,
+                "report": "summary",
+                "summary": summary_from_lake(lake, runs[0]),
+            }
+        if report not in REPORTS:
+            raise ConfigurationError(
+                f"unknown lake report {report!r}; expected one of "
+                f"{', '.join(sorted(REPORTS))}, summary"
+            )
+        kwargs: Dict[str, Any] = {"run_ids": runs}
+        if report == "trend":
+            kwargs.update(vendor=vendor, kind=kind or "interval")
+        elif report == "contour":
+            kwargs.update(kind=kind or "temperature")
+        payload = REPORTS[report](lake, **kwargs)
+        return {"tenant": tenant, "compacted": compacted, **payload}
 
     # ------------------------------------------------------------------
     # Scheduling

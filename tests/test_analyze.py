@@ -1,0 +1,206 @@
+"""Analyzer correctness sweep: statistics helpers and export robustness.
+
+Regression coverage for the observability analyzer:
+
+* ``percentile`` edge cases (extreme quantiles, two samples, duplicates).
+* ``_fmt_delta`` sign handling with a negative baseline.
+* ``unit_latency_stats`` excluding rows without ``elapsed_s`` instead of
+  folding them in as 0.0.
+* ``to_html`` rendering partial metric series (missing ``value`` /
+  ``total``) as gaps instead of crashing on ``f"{None:g}"``.
+* N-run ``compare_runs`` / ``comparison_html``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.analyze import (
+    RunData,
+    _fmt_delta,
+    _fmt_series_number,
+    _run_labels,
+    compare_runs,
+    comparison_html,
+    load_run,
+    percentile,
+    summarize_run,
+    to_html,
+    unit_latency_stats,
+)
+
+
+def _write_run(tmp_path, name, rows, metrics=None):
+    run_dir = tmp_path / name
+    run_dir.mkdir()
+    with open(run_dir / "results.jsonl", "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    if metrics is not None:
+        (run_dir / "metrics.json").write_text(
+            json.dumps(metrics, sort_keys=True), encoding="utf-8"
+        )
+    return load_run(run_dir)
+
+
+def _ok_row(unit_id, elapsed=1.0):
+    row = {"unit_id": unit_id, "status": "ok", "attempts": 1, "value": None}
+    if elapsed is not None:
+        row["elapsed_s"] = elapsed
+    return row
+
+
+class TestPercentile:
+    def test_empty_returns_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_extreme_quantiles_hit_min_and_max(self):
+        values = [9.0, 1.0, 5.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+    def test_single_sample_any_quantile(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_two_samples_interpolate(self):
+        assert percentile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+        assert percentile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+        assert percentile([0.0, 10.0], 0.0) == 0.0
+        assert percentile([0.0, 10.0], 1.0) == 10.0
+
+    def test_duplicates(self):
+        assert percentile([4.0, 4.0, 4.0, 4.0], 0.37) == 4.0
+        # Interpolating between a duplicate pair stays on the plateau.
+        assert percentile([1.0, 2.0, 2.0, 3.0], 0.5) == pytest.approx(2.0)
+
+    def test_unsorted_input(self):
+        assert percentile([30.0, 10.0, 20.0], 0.5) == 20.0
+
+
+class TestFmtDelta:
+    def test_missing_values(self):
+        assert _fmt_delta(None, 1.0) == "-"
+        assert _fmt_delta(1.0, None) == "-"
+
+    def test_zero_baseline(self):
+        assert _fmt_delta(0.0, 0.0) == "-"
+        assert _fmt_delta(0.0, 3.0) == "+inf"
+
+    def test_positive_baseline(self):
+        assert _fmt_delta(10.0, 15.0) == "+50.0%"
+        assert _fmt_delta(10.0, 5.0) == "-50.0%"
+
+    def test_negative_baseline_sign_means_growth(self):
+        # -10 -> -5 is an increase; normalizing by |a| keeps the sign
+        # honest (a plain (b-a)/a would read -50%).
+        assert _fmt_delta(-10.0, -5.0) == "+50.0%"
+        assert _fmt_delta(-10.0, -15.0) == "-50.0%"
+        assert _fmt_delta(-10.0, 0.0) == "+100.0%"
+
+
+class TestUnitLatencyStats:
+    def test_untimed_rows_excluded_not_zeroed(self, tmp_path):
+        run = _write_run(
+            tmp_path,
+            "run",
+            [
+                _ok_row("u-0", 4.0),
+                _ok_row("u-1", 6.0),
+                _ok_row("u-2", elapsed=None),
+                _ok_row("u-3", elapsed=None),
+            ],
+        )
+        stats = unit_latency_stats(run)
+        assert stats["count"] == 2
+        assert stats["untimed"] == 2
+        # Folding the two untimed rows in as 0.0 would read mean=2.5.
+        assert stats["mean"] == pytest.approx(5.0)
+        assert stats["p50"] == pytest.approx(5.0)
+        assert stats["max"] == 6.0
+
+    def test_all_untimed(self, tmp_path):
+        run = _write_run(tmp_path, "run", [_ok_row("u-0", None)])
+        assert unit_latency_stats(run) == {"count": 0, "untimed": 1}
+
+    def test_summary_reports_skipped_count(self, tmp_path):
+        run = _write_run(
+            tmp_path, "run", [_ok_row("u-0", 1.0), _ok_row("u-1", None)]
+        )
+        assert "1 untimed rows skipped" in summarize_run(run)
+
+
+class TestHtmlExport:
+    def test_partial_series_render_as_gaps(self, tmp_path):
+        metrics = {
+            "schema": 1,
+            "series": [
+                {"kind": "gauge", "name": "queue_depth"},  # no "value"
+                {"kind": "counter", "name": "chip.commands", "value": 12.5},
+                {  # histogram without "total"
+                    "kind": "histogram",
+                    "name": "unit.elapsed_s",
+                    "count": 3,
+                    "p50": 1.0,
+                    "p95": 2.0,
+                    "p99": 2.0,
+                },
+            ],
+        }
+        run = _write_run(tmp_path, "run", [_ok_row("u-0")], metrics=metrics)
+        html = to_html(run)  # regression: used to raise TypeError on :g
+        assert "<td>-</td>" in html
+        assert "total=- " in html
+        assert "12.5" in html
+
+    def test_fmt_series_number(self):
+        assert _fmt_series_number(2.0) == "2"
+        assert _fmt_series_number(0.125) == "0.125"
+        assert _fmt_series_number(None) == "-"
+        assert _fmt_series_number("nope") == "-"
+        assert _fmt_series_number(True) == "-"
+
+
+class TestMultiRunCompare:
+    def _three_runs(self, tmp_path):
+        runs = []
+        for i in range(3):
+            metrics = {
+                "schema": 1,
+                "series": [
+                    {
+                        "kind": "counter",
+                        "name": "chip.commands",
+                        "value": 10.0 * (i + 1),
+                    }
+                ],
+            }
+            runs.append(
+                _write_run(
+                    tmp_path,
+                    f"run-{i}",
+                    [_ok_row("u-0", 1.0 + i)],
+                    metrics=metrics,
+                )
+            )
+        return runs
+
+    def test_run_labels(self):
+        assert _run_labels(3) == ["A", "B", "C"]
+        assert _run_labels(27)[-1] == "R26"
+
+    def test_compare_three_runs_deltas_vs_baseline(self, tmp_path):
+        report = compare_runs(*self._three_runs(tmp_path))
+        assert "C: " in report
+        assert "chip.commands: 10 -> 20 -> 30 (+100.0%, +200.0%)" in report
+
+    def test_comparison_html(self, tmp_path):
+        runs = self._three_runs(tmp_path)
+        html = comparison_html(runs)
+        assert "A&rarr;C" in html
+        assert "chip.commands" in html
+        with pytest.raises(ConfigurationError):
+            comparison_html(runs[:1])

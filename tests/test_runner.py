@@ -312,11 +312,36 @@ class TestProgress:
         assert "[4/10]" in rendered and "0.50 units/s" in rendered
 
     def test_failed_and_skipped_counts(self):
-        tracker = ProgressTracker(total=2, clock=lambda: 0.0)
+        tracker = ProgressTracker(total=5, clock=lambda: 0.0)
         tracker.note_skipped(3)
         tracker.update(UnitResult("u", "failed", error=UnitFailure("E", "m", "t")))
         assert tracker.failed == 1 and tracker.skipped == 3
-        assert "3 resumed" in tracker.render() and "1 failed" in tracker.render()
+        assert tracker.remaining == 1  # 5 planned - 3 resumed - 1 executed
+        rendered = tracker.render()
+        assert "3 resumed" in rendered and "1 failed" in rendered
+        assert "[3/5]" in rendered  # resumed units count toward the numerator
+
+    def test_resume_skips_shrink_remaining_and_eta(self):
+        # Regression: `remaining` (and therefore the ETA) used to ignore
+        # note_skipped, so a resumed run reported the already-persisted
+        # units as still outstanding and inflated the ETA.
+        now = [0.0]
+        tracker = ProgressTracker(total=10, alpha=0.5, clock=lambda: now[0])
+        tracker.start()
+        tracker.note_skipped(6)
+        assert tracker.remaining == 4
+        ok = UnitResult("u", "ok", value=None)
+        for _ in range(2):
+            now[0] += 2.0
+            tracker.update(ok)
+        assert tracker.remaining == 2
+        assert tracker.eta_seconds == pytest.approx(4.0)
+        assert "[8/10]" in tracker.render()
+        for _ in range(2):
+            now[0] += 2.0
+            tracker.update(ok)
+        assert tracker.remaining == 0
+        assert tracker.eta_seconds == pytest.approx(0.0)
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
