@@ -9,6 +9,7 @@ Examples::
     python -m repro campaign --chips-per-vendor 8 --workers 4 \
         --run-dir runs/campaign --resume --progress --metrics
     python -m repro serve --root runs/service --port 8787
+    python -m repro top --port 8787
     python -m repro obs runs/campaign
     python -m repro obs runs/campaign --export prometheus
     python -m repro obs --compare runs/campaign-a runs/campaign-b
@@ -184,6 +185,17 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:  # pragma: no cover - second Ctrl-C
         return 130
     return 0
+
+
+def cmd_top(args) -> int:
+    from .obs.top import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        interval_s=args.interval,
+        once=args.once,
+    )
 
 
 def cmd_obs(args) -> int:
@@ -396,6 +408,21 @@ def main(argv=None) -> int:
         help="do not re-adopt unfinished jobs from the ledger on startup",
     )
     p_srv.set_defaults(func=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a running campaign service"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=8787)
+    p_top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between redraws (default 1.0)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (scriptable mode)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     p_obs = sub.add_parser(
         "obs", help="analyze a campaign run directory's recorded telemetry"

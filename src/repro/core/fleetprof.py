@@ -160,18 +160,25 @@ class FleetProfiler:
         byte-identical (results, traces, clocks, generator states, chip
         state) to ``tuple(self.run(fleet, c) for c in conditions_grid)``.
 
-        With ``megakernel=True`` (and observability off -- per-command
-        telemetry needs the command fan-out), the whole grid collapses into
-        one pass: the command schedule is replayed once on scalars (every
-        chip traverses the identical clock trajectory, so the per-step
-        times, exposures, and trace records are shared), DPD excitation
-        draws run only where the sequential path actually draws, VRT
-        arrival checks batch into one vectorized Poisson per chip (falling
-        back to the exact interleaved replay for the rare chip that draws
-        an episode), and every read's uniforms and probability rows stack
+        With ``megakernel=True``, the whole grid collapses into one pass:
+        the command schedule is replayed once on scalars (every chip
+        traverses the identical clock trajectory, so the per-step times,
+        exposures, and trace records are shared), DPD excitation draws
+        run only where the sequential path actually draws, VRT arrival
+        checks batch into one vectorized Poisson per chip (falling back
+        to the exact interleaved replay for the rare chip that draws an
+        episode), and every read's uniforms and probability rows stack
         into per-chip block compares.  Each transformation is draw-for-draw
         equivalent to the sequential walk, which is what keeps the output
         bit-equal.
+
+        With observability enabled, the fused pass records phase-level
+        ``kernel.*`` spans (schedule replay, DPD excitation, VRT, read
+        compare, commit) -- wall-clock observation only, so fused results
+        stay bit-equal with instrumentation on or off.  Per-*command*
+        telemetry needs the sequential command fan-out: pass
+        ``megakernel=False`` to trade the fused speed for the exact
+        per-command counter/event stream.
 
         The only observable deviation is error *timing*: every condition's
         interval is validated up front, so an invalid grid entry raises
@@ -187,7 +194,7 @@ class FleetProfiler:
                 )
         if not conditions_grid:
             return ()
-        if not megakernel or obs.enabled():
+        if not megakernel:
             return tuple(self.run(fleet, c) for c in conditions_grid)
         return self._run_grid_fused(fleet, conditions_grid)
 
@@ -214,62 +221,63 @@ class FleetProfiler:
         # the floating-point expressions the lockstep command methods
         # evaluate, in the same order, so every value is bit-equal.
         # ------------------------------------------------------------------
-        steps: List[_ReadStep] = []
-        records: List[CommandRecord] = []
-        vrt_times: List[float] = []
-        for ci, conditions in enumerate(conditions_grid):
-            trefi = conditions.trefi
-            for _ in range(self.iterations):
-                for pattern in self.patterns:
-                    t = t + io
-                    t_write = t
-                    t = t + trefi
-                    t_wait = t
-                    exposure = t_wait - t_write
-                    # Tolerate float accumulation error at the exact boundary.
-                    if exposure > max_trefi * (1.0 + 1e-9):
-                        raise ConfigurationError(
-                            f"exposure {exposure:.3f}s exceeds max_trefi_s={max_trefi!r}; "
-                            "construct the chip with a larger max_trefi_s"
+        with obs.span("kernel.schedule_replay", chips=n_chips, conditions=len(conditions_grid)):
+            steps: List[_ReadStep] = []
+            records: List[CommandRecord] = []
+            vrt_times: List[float] = []
+            for ci, conditions in enumerate(conditions_grid):
+                trefi = conditions.trefi
+                for _ in range(self.iterations):
+                    for pattern in self.patterns:
+                        t = t + io
+                        t_write = t
+                        t = t + trefi
+                        t_wait = t
+                        exposure = t_wait - t_write
+                        # Tolerate float accumulation error at the exact boundary.
+                        if exposure > max_trefi * (1.0 + 1e-9):
+                            raise ConfigurationError(
+                                f"exposure {exposure:.3f}s exceeds max_trefi_s={max_trefi!r}; "
+                                "construct the chip with a larger max_trefi_s"
+                            )
+                        t = t + io
+                        t_read = t
+                        steps.append(
+                            _ReadStep(
+                                cond=ci,
+                                pattern=pattern,
+                                exposure_s=exposure,
+                                t_write=t_write,
+                                t_wait=t_wait,
+                                t_read=t_read,
+                            )
                         )
-                    t = t + io
-                    t_read = t
-                    steps.append(
-                        _ReadStep(
-                            cond=ci,
-                            pattern=pattern,
-                            exposure_s=exposure,
-                            t_write=t_write,
-                            t_wait=t_wait,
-                            t_read=t_read,
+                        records.append(
+                            CommandRecord(
+                                time=t_write,
+                                command=Command.WRITE_PATTERN,
+                                detail=pattern.key,
+                            )
                         )
-                    )
-                    records.append(
-                        CommandRecord(
-                            time=t_write,
-                            command=Command.WRITE_PATTERN,
-                            detail=pattern.key,
+                        records.append(
+                            CommandRecord(time=t_write, command=Command.REFRESH_DISABLE)
                         )
-                    )
-                    records.append(
-                        CommandRecord(time=t_write, command=Command.REFRESH_DISABLE)
-                    )
-                    records.append(
-                        CommandRecord(
-                            time=t_wait, command=Command.WAIT, detail=f"{trefi:.6f}s"
+                        records.append(
+                            CommandRecord(
+                                time=t_wait, command=Command.WAIT, detail=f"{trefi:.6f}s"
+                            )
                         )
-                    )
-                    records.append(
-                        CommandRecord(time=t_wait, command=Command.REFRESH_ENABLE)
-                    )
-                    records.append(
-                        CommandRecord(
-                            time=t_read,
-                            command=Command.READ_COMPARE,
-                            detail=f"exposure={exposure:.6f}s",
+                        records.append(
+                            CommandRecord(time=t_wait, command=Command.REFRESH_ENABLE)
                         )
-                    )
-                    vrt_times.extend((t_write, t_wait, t_read))
+                        records.append(
+                            CommandRecord(
+                                time=t_read,
+                                command=Command.READ_COMPARE,
+                                detail=f"exposure={exposure:.6f}s",
+                            )
+                        )
+                        vrt_times.extend((t_write, t_wait, t_read))
         t_final = t
         n_rows = len(steps)
 
@@ -282,70 +290,71 @@ class FleetProfiler:
         # including the object identities the fleet caches pin on.
         # Stochastic patterns redraw every write, exactly like the walk.
         # ------------------------------------------------------------------
-        align_rows: List[object] = [None] * n_rows
-        stress_rows: List[object] = [None] * n_rows
-        det_cache: Dict[str, Tuple[tuple, tuple]] = {}
-        segments = [population.segment(i) for i in range(n_chips)]
-        spaces = [population.member_indices(i) for i in range(n_chips)]
-        dpds = tuple(chip.population.dpd for chip in chips)
-        excites = tuple(d.excite for d in dpds)
-        # The standard random pattern family batches across the fleet: one
-        # raw-uniform draw per chip (``random(4n)`` fills the identical
-        # doubles the per-chip ``(3, n)`` median draw plus ``(n,)`` bit
-        # draw would), then the column median, cap multiply, bit threshold,
-        # and orientation compare run once over the stacked tails --
-        # elementwise per cell, so each chip's slice is bit-equal to its
-        # own excite() call.  Exotic stochastic patterns (non-Beta(2,2) or
-        # non-random families) keep the per-chip path.
-        batch_ok = all(d.models_orientation for d in dpds)
-        if batch_ok:
-            caps_cells = np.repeat(
-                [d._random_cap for d in dpds],
-                [end - start for start, end in segments],
-            )
-            orientation_cells = np.concatenate([d._orientation for d in dpds])
-            raw_bufs = [
-                np.empty(4 * (end - start)) for start, end in segments
-            ]
-            u3 = np.empty((3, n_total), dtype=np.float64)
-            bits_u = np.empty(n_total, dtype=np.float64)
-            data_bits = np.empty(n_total, dtype=bool)
-        batched_last: Dict[str, int] = {}
-        for r, step in enumerate(steps):
-            pattern = step.pattern
-            if pattern.stochastic:
-                if (
-                    batch_ok
-                    and pattern.name == "random"
-                    and pattern.alignment_beta == (2.0, 2.0)
-                ):
-                    for i in range(n_chips):
-                        start, end = segments[i]
-                        n = end - start
-                        raw = dpds[i].excite_random_raw(out=raw_bufs[i])
-                        u3[:, start:end] = raw[: 3 * n].reshape(3, n)
-                        bits_u[start:end] = raw[3 * n :]
-                    u3.sort(axis=0)
-                    draw = np.multiply(u3[1], caps_cells)
-                    np.less(bits_u, 0.5, out=data_bits)
-                    mask = np.empty(n_total, dtype=np.float64)
-                    if pattern.inverted:
-                        np.not_equal(data_bits, orientation_cells, out=mask)
+        with obs.span("kernel.dpd_excite", chips=n_chips, rows=n_rows):
+            align_rows: List[object] = [None] * n_rows
+            stress_rows: List[object] = [None] * n_rows
+            det_cache: Dict[str, Tuple[tuple, tuple]] = {}
+            segments = [population.segment(i) for i in range(n_chips)]
+            spaces = [population.member_indices(i) for i in range(n_chips)]
+            dpds = tuple(chip.population.dpd for chip in chips)
+            excites = tuple(d.excite for d in dpds)
+            # The standard random pattern family batches across the fleet: one
+            # raw-uniform draw per chip (``random(4n)`` fills the identical
+            # doubles the per-chip ``(3, n)`` median draw plus ``(n,)`` bit
+            # draw would), then the column median, cap multiply, bit threshold,
+            # and orientation compare run once over the stacked tails --
+            # elementwise per cell, so each chip's slice is bit-equal to its
+            # own excite() call.  Exotic stochastic patterns (non-Beta(2,2) or
+            # non-random families) keep the per-chip path.
+            batch_ok = all(d.models_orientation for d in dpds)
+            if batch_ok:
+                caps_cells = np.repeat(
+                    [d._random_cap for d in dpds],
+                    [end - start for start, end in segments],
+                )
+                orientation_cells = np.concatenate([d._orientation for d in dpds])
+                raw_bufs = [
+                    np.empty(4 * (end - start)) for start, end in segments
+                ]
+                u3 = np.empty((3, n_total), dtype=np.float64)
+                bits_u = np.empty(n_total, dtype=np.float64)
+                data_bits = np.empty(n_total, dtype=bool)
+            batched_last: Dict[str, int] = {}
+            for r, step in enumerate(steps):
+                pattern = step.pattern
+                if pattern.stochastic:
+                    if (
+                        batch_ok
+                        and pattern.name == "random"
+                        and pattern.alignment_beta == (2.0, 2.0)
+                    ):
+                        for i in range(n_chips):
+                            start, end = segments[i]
+                            n = end - start
+                            raw = dpds[i].excite_random_raw(out=raw_bufs[i])
+                            u3[:, start:end] = raw[: 3 * n].reshape(3, n)
+                            bits_u[start:end] = raw[3 * n :]
+                        u3.sort(axis=0)
+                        draw = np.multiply(u3[1], caps_cells)
+                        np.less(bits_u, 0.5, out=data_bits)
+                        mask = np.empty(n_total, dtype=np.float64)
+                        if pattern.inverted:
+                            np.not_equal(data_bits, orientation_cells, out=mask)
+                        else:
+                            np.equal(data_bits, orientation_cells, out=mask)
+                        align_rows[r] = draw
+                        stress_rows[r] = mask
+                        batched_last[pattern.key] = r
                     else:
-                        np.equal(data_bits, orientation_cells, out=mask)
-                    align_rows[r] = draw
-                    stress_rows[r] = mask
-                    batched_last[pattern.key] = r
+                        align_rows[r], stress_rows[r] = zip(
+                            *[excite(pattern) for excite in excites]
+                        )
                 else:
-                    align_rows[r], stress_rows[r] = zip(
-                        *[excite(pattern) for excite in excites]
-                    )
-            else:
-                entry = det_cache.get(pattern.key)
-                if entry is None:
-                    entry = tuple(zip(*[excite(pattern) for excite in excites]))
-                    det_cache[pattern.key] = entry
-                align_rows[r], stress_rows[r] = entry
+                    entry = det_cache.get(pattern.key)
+                    if entry is None:
+                        entry = tuple(zip(*[excite(pattern) for excite in excites]))
+                        det_cache[pattern.key] = entry
+                    align_rows[r], stress_rows[r] = entry
 
         # ------------------------------------------------------------------
         # VRT: one vectorized arrival check per chip covers the whole grid.
@@ -355,23 +364,24 @@ class FleetProfiler:
         # A chip that would draw an episode replays the schedule with the
         # sequential advance/query interleaving, bit for bit.
         # ------------------------------------------------------------------
-        schedule = np.asarray(vrt_times, dtype=np.float64)
-        vrt_hits: Dict[int, List[Tuple[int, np.ndarray]]] = {}
-        for i, chip in enumerate(chips):
-            if chip.vrt.advance_schedule(schedule, chip._temperature_c):
-                if chip.vrt.episode_count:
+        with obs.span("kernel.vrt", chips=n_chips):
+            schedule = np.asarray(vrt_times, dtype=np.float64)
+            vrt_hits: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+            for i, chip in enumerate(chips):
+                if chip.vrt.advance_schedule(schedule, chip._temperature_c):
+                    if chip.vrt.episode_count:
+                        for r, step in enumerate(steps):
+                            cells = chip.vrt.failing_cells(step.t_read, step.exposure_s)
+                            if len(cells):
+                                vrt_hits.setdefault(r, []).append((i, cells))
+                else:
                     for r, step in enumerate(steps):
+                        chip.vrt.advance_to(step.t_write, chip._temperature_c)
+                        chip.vrt.advance_to(step.t_wait, chip._temperature_c)
+                        chip.vrt.advance_to(step.t_read, chip._temperature_c)
                         cells = chip.vrt.failing_cells(step.t_read, step.exposure_s)
                         if len(cells):
                             vrt_hits.setdefault(r, []).append((i, cells))
-            else:
-                for r, step in enumerate(steps):
-                    chip.vrt.advance_to(step.t_write, chip._temperature_c)
-                    chip.vrt.advance_to(step.t_wait, chip._temperature_c)
-                    chip.vrt.advance_to(step.t_read, chip._temperature_c)
-                    cells = chip.vrt.failing_cells(step.t_read, step.exposure_s)
-                    if len(cells):
-                        vrt_hits.setdefault(r, []).append((i, cells))
 
         # ------------------------------------------------------------------
         # Fused read evaluation, blocked to cap uniform memory.  Per block:
@@ -383,88 +393,89 @@ class FleetProfiler:
         # chip-ordered uniforms out of the same blocks and go through the
         # fleet's Chernoff-banded sampler unchanged.
         # ------------------------------------------------------------------
-        scales = tuple(
-            float(chip.population.retention_scale(chip._temperature_c))
-            for chip in chips
-        )
-        rows_per_block = max(
-            1, int(_MEGAKERNEL_UNIFORM_CAP_BYTES // max(1, n_total * 8))
-        )
-        discovered = [np.zeros(n_total, dtype=bool) for _ in conditions_grid]
-        for b0 in range(0, n_rows, rows_per_block):
-            b1 = min(b0 + rows_per_block, n_rows)
-            nb = b1 - b0
-            block = steps[b0:b1]
-            # Column-major: each chip's segment of the uniform matrix (and
-            # the matching probability columns) is then one contiguous run,
-            # so the per-chip draws land with plain memcpys instead of
-            # row-strided scatter writes, and the any(axis=0) reduction
-            # walks contiguous columns.  Values are order-independent.
-            P = np.empty((nb, n_total), dtype=np.float64, order="F")
-            stoch_local: List[int] = []
-            det_local: Dict[str, List[int]] = {}
-            for j, step in enumerate(block):
-                if step.pattern.stochastic:
-                    stoch_local.append(j)
-                    P[j] = 0.0
-                elif step.exposure_s > 0.0:
-                    det_local.setdefault(step.pattern.key, []).append(j)
-                else:
-                    # Zero exposures keep an all-zero row: the sequential
-                    # path short-circuits to "no failures" there (while
-                    # still consuming the uniforms, as the block draw does).
-                    P[j] = 0.0
-            has_det = bool(det_local)
-            for key, rows in det_local.items():
-                # All of a deterministic pattern's rows share one cached
-                # alignment/stress draw, so the whole group stacks into one
-                # ndtr pass (row-for-row bit-equal to deterministic_p).
-                aligns, stresses = det_cache[key]
-                P[np.asarray(rows, dtype=np.intp)] = population.deterministic_p_grid(
-                    [block[j].exposure_s for j in rows],
-                    scales,
-                    key,
-                    aligns,
-                    stresses,
-                )
-            # One chip-ordered uniform matrix covers the block: each chip's
-            # (rows x tail) draw partitions its read stream exactly like the
-            # per-read draws, and stacking the segments side by side lets
-            # the deterministic compare and the stochastic row gathers run
-            # on views instead of per-chip loops.
-            u_all = np.empty((nb, n_total), dtype=np.float64, order="F")
-            for i, chip in enumerate(chips):
-                start, end = segments[i]
-                if end > start:
-                    u_all[:, start:end] = chip.read_rng.random((nb, end - start))
-            if has_det:
-                cmp = u_all < P
-                # Rows arrive grouped by condition (the schedule walks the
-                # grid in order), so each condition owns a contiguous row
-                # range.  Stochastic and zero-exposure rows keep their
-                # all-zero P row -- they contribute nothing to the compare
-                # -- which lets the reduction run on plain slices.
-                lo = 0
-                for hi in range(1, nb + 1):
-                    if hi == nb or block[hi].cond != block[lo].cond:
-                        discovered[block[lo].cond] |= cmp[lo:hi].any(axis=0)
-                        lo = hi
-            for j in stoch_local:
-                step = block[j]
-                if step.exposure_s == 0.0:
-                    continue
-                mask = population._sample_banded(
-                    step.exposure_s,
-                    scales,
-                    align_rows[b0 + j],
-                    stress_rows[b0 + j],
-                    (),
-                    # Rows of the column-major matrix are strided; the
-                    # banded sampler runs several elementwise passes over
-                    # u, so one contiguous copy up front is cheaper.
-                    u=np.ascontiguousarray(u_all[j]),
-                )
-                discovered[step.cond] |= mask
+        with obs.span("kernel.read_compare", chips=n_chips, rows=n_rows):
+            scales = tuple(
+                float(chip.population.retention_scale(chip._temperature_c))
+                for chip in chips
+            )
+            rows_per_block = max(
+                1, int(_MEGAKERNEL_UNIFORM_CAP_BYTES // max(1, n_total * 8))
+            )
+            discovered = [np.zeros(n_total, dtype=bool) for _ in conditions_grid]
+            for b0 in range(0, n_rows, rows_per_block):
+                b1 = min(b0 + rows_per_block, n_rows)
+                nb = b1 - b0
+                block = steps[b0:b1]
+                # Column-major: each chip's segment of the uniform matrix (and
+                # the matching probability columns) is then one contiguous run,
+                # so the per-chip draws land with plain memcpys instead of
+                # row-strided scatter writes, and the any(axis=0) reduction
+                # walks contiguous columns.  Values are order-independent.
+                P = np.empty((nb, n_total), dtype=np.float64, order="F")
+                stoch_local: List[int] = []
+                det_local: Dict[str, List[int]] = {}
+                for j, step in enumerate(block):
+                    if step.pattern.stochastic:
+                        stoch_local.append(j)
+                        P[j] = 0.0
+                    elif step.exposure_s > 0.0:
+                        det_local.setdefault(step.pattern.key, []).append(j)
+                    else:
+                        # Zero exposures keep an all-zero row: the sequential
+                        # path short-circuits to "no failures" there (while
+                        # still consuming the uniforms, as the block draw does).
+                        P[j] = 0.0
+                has_det = bool(det_local)
+                for key, rows in det_local.items():
+                    # All of a deterministic pattern's rows share one cached
+                    # alignment/stress draw, so the whole group stacks into one
+                    # ndtr pass (row-for-row bit-equal to deterministic_p).
+                    aligns, stresses = det_cache[key]
+                    P[np.asarray(rows, dtype=np.intp)] = population.deterministic_p_grid(
+                        [block[j].exposure_s for j in rows],
+                        scales,
+                        key,
+                        aligns,
+                        stresses,
+                    )
+                # One chip-ordered uniform matrix covers the block: each chip's
+                # (rows x tail) draw partitions its read stream exactly like the
+                # per-read draws, and stacking the segments side by side lets
+                # the deterministic compare and the stochastic row gathers run
+                # on views instead of per-chip loops.
+                u_all = np.empty((nb, n_total), dtype=np.float64, order="F")
+                for i, chip in enumerate(chips):
+                    start, end = segments[i]
+                    if end > start:
+                        u_all[:, start:end] = chip.read_rng.random((nb, end - start))
+                if has_det:
+                    cmp = u_all < P
+                    # Rows arrive grouped by condition (the schedule walks the
+                    # grid in order), so each condition owns a contiguous row
+                    # range.  Stochastic and zero-exposure rows keep their
+                    # all-zero P row -- they contribute nothing to the compare
+                    # -- which lets the reduction run on plain slices.
+                    lo = 0
+                    for hi in range(1, nb + 1):
+                        if hi == nb or block[hi].cond != block[lo].cond:
+                            discovered[block[lo].cond] |= cmp[lo:hi].any(axis=0)
+                            lo = hi
+                for j in stoch_local:
+                    step = block[j]
+                    if step.exposure_s == 0.0:
+                        continue
+                    mask = population._sample_banded(
+                        step.exposure_s,
+                        scales,
+                        align_rows[b0 + j],
+                        stress_rows[b0 + j],
+                        (),
+                        # Rows of the column-major matrix are strided; the
+                        # banded sampler runs several elementwise passes over
+                        # u, so one contiguous copy up front is cheaper.
+                        u=np.ascontiguousarray(u_all[j]),
+                    )
+                    discovered[step.cond] |= mask
 
         # Fold VRT hits into their step's condition.
         extras: List[List[Set[int]]] = [
@@ -487,34 +498,35 @@ class FleetProfiler:
         # store per stochastic pattern (earlier writes' entries are
         # overwritten by later ones in the sequential walk, so only the
         # last row per key is observable).
-        for key, r in batched_last.items():
-            pattern = steps[r].pattern
-            draw = align_rows[r]
-            mask = stress_rows[r]
-            for i in range(n_chips):
-                start, end = segments[i]
-                dpds[i].commit_random_write(
-                    pattern, draw[start:end], mask[start:end]
-                )
+        with obs.span("kernel.commit", chips=n_chips):
+            for key, r in batched_last.items():
+                pattern = steps[r].pattern
+                draw = align_rows[r]
+                mask = stress_rows[r]
+                for i in range(n_chips):
+                    start, end = segments[i]
+                    dpds[i].commit_random_write(
+                        pattern, draw[start:end], mask[start:end]
+                    )
 
-        last = steps[-1]
-        last_aligns = align_rows[-1]
-        last_stresses = stress_rows[-1]
-        last_stacked = isinstance(last_aligns, np.ndarray)
-        for i, chip in enumerate(chips):
-            chip.clock._now = t_final
-            chip.trace.records.extend(records)
-            chip._pattern = last.pattern
-            if last_stacked:
-                start, end = segments[i]
-                chip._alignment = last_aligns[start:end]
-                chip._stressed = last_stresses[start:end]
-            else:
-                chip._alignment = last_aligns[i]
-                chip._stressed = last_stresses[i]
-            chip._refresh_enabled = True
-            chip._disable_time = None
-            chip._frozen_exposure = 0.0
+            last = steps[-1]
+            last_aligns = align_rows[-1]
+            last_stresses = stress_rows[-1]
+            last_stacked = isinstance(last_aligns, np.ndarray)
+            for i, chip in enumerate(chips):
+                chip.clock._now = t_final
+                chip.trace.records.extend(records)
+                chip._pattern = last.pattern
+                if last_stacked:
+                    start, end = segments[i]
+                    chip._alignment = last_aligns[start:end]
+                    chip._stressed = last_stresses[start:end]
+                else:
+                    chip._alignment = last_aligns[i]
+                    chip._stressed = last_stresses[i]
+                chip._refresh_enabled = True
+                chip._disable_time = None
+                chip._frozen_exposure = 0.0
 
         out = []
         chip_ids = [chip.chip_id for chip in chips]

@@ -53,8 +53,11 @@ from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+import threading
+
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 from .chip import sample_weak_cells
 from .geometry import ChipGeometry
@@ -81,6 +84,30 @@ SIDECAR_NAME = "shm.json"
 #: raise an unraisable BufferError) from ever running; the mappings last
 #: until process exit, exactly the documented best-effort cost model.
 _PINNED_MAPPINGS: List[shared_memory.SharedMemory] = []
+
+#: Segments this process currently has mapped (name -> buffer bytes).
+#: Purely observational accounting behind :func:`active_segment_stats`:
+#: the service's health endpoint and live metrics plane report it, and
+#: since campaign segments are created in the manager process (the job
+#: executor thread), the manager's own table covers every tenant.
+_ACTIVE_SEGMENTS: Dict[str, int] = {}
+_ACTIVE_LOCK = threading.Lock()
+
+
+def _note_mapped(name: str, nbytes: int) -> None:
+    with _ACTIVE_LOCK:
+        _ACTIVE_SEGMENTS[name] = int(nbytes)
+
+
+def _note_unmapped(name: str) -> None:
+    with _ACTIVE_LOCK:
+        _ACTIVE_SEGMENTS.pop(name, None)
+
+
+def active_segment_stats() -> Tuple[int, int]:
+    """(count, total bytes) of segments currently mapped by this process."""
+    with _ACTIVE_LOCK:
+        return len(_ACTIVE_SEGMENTS), sum(_ACTIVE_SEGMENTS.values())
 
 
 def new_segment_name() -> str:
@@ -163,25 +190,38 @@ class SharedPopulationStore:
             start += len(sample)
         total = start
         itemsize = sum(dtype.itemsize for _name, dtype in _FIELDS)
-        shm = shared_memory.SharedMemory(
-            create=True,
-            size=max(1, total * itemsize),
-            name=name if name is not None else new_segment_name(),
-        )
-        _disown(shm)
-        offset = 0
-        for field, dtype in _FIELDS:
-            arr = np.frombuffer(shm.buf, dtype=dtype, count=total, offset=offset)
-            for (chip_id, sample), (chip_start, length) in zip(ordered, chips.values()):
-                arr[chip_start : chip_start + length] = getattr(sample, field)
-            offset += total * dtype.itemsize
+        nbytes = max(1, total * itemsize)
+        with obs.span("shm.pack", chips=len(chips), cells=total, bytes=nbytes):
+            shm = shared_memory.SharedMemory(
+                create=True,
+                size=nbytes,
+                name=name if name is not None else new_segment_name(),
+            )
+            _disown(shm)
+            offset = 0
+            for field, dtype in _FIELDS:
+                arr = np.frombuffer(shm.buf, dtype=dtype, count=total, offset=offset)
+                for (chip_id, sample), (chip_start, length) in zip(
+                    ordered, chips.values()
+                ):
+                    arr[chip_start : chip_start + length] = getattr(sample, field)
+                offset += total * dtype.itemsize
+        _note_mapped(shm.name, shm.buf.nbytes)
         return cls(shm, chips, owner=True)
 
     @classmethod
     def attach(cls, descriptor: Mapping[str, Any]) -> "SharedPopulationStore":
         """Attach to an existing segment from its JSON descriptor."""
-        shm = shared_memory.SharedMemory(name=str(descriptor["segment"]), create=False)
-        _disown(shm)
+        with obs.span(
+            "shm.attach",
+            segment=str(descriptor.get("segment")),
+            chips=len(descriptor.get("chips", ())),
+        ):
+            shm = shared_memory.SharedMemory(
+                name=str(descriptor["segment"]), create=False
+            )
+            _disown(shm)
+        _note_mapped(shm.name, shm.buf.nbytes)
         chips = {
             int(chip_id): (int(start), int(length))
             for chip_id, (start, length) in descriptor["chips"].items()
@@ -278,6 +318,7 @@ class SharedPopulationStore:
             return
         self._shm = None
         self._fields.clear()
+        _note_unmapped(shm.name)
         try:
             shm.close()
         except BufferError:
@@ -373,21 +414,23 @@ def build_population_samples(
         return {}
     parallel = executor is not None or (workers is not None and workers > 1)
     if not parallel or len(specs) < 8:
-        return {int(s["chip_id"]): _sample_from_spec(s) for s in specs}
+        with obs.span("shm.build_samples", chips=len(specs), mode="serial"):
+            return {int(s["chip_id"]): _sample_from_spec(s) for s in specs}
     pool_size = workers if workers is not None and workers > 1 else (os.cpu_count() or 1)
     # ~4 chunks per worker amortizes submission overhead while keeping the
     # tail of the last chunks short.
     chunk = max(1, len(specs) // (4 * pool_size) + 1)
     chunks = [specs[i : i + chunk] for i in range(0, len(specs), chunk)]
     samples: Dict[int, WeakCellSample] = {}
-    if executor is not None:
-        results = executor.map(_sample_spec_chunk, chunks)
-        for batch in results:
-            samples.update(batch)
-    else:
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            for batch in pool.map(_sample_spec_chunk, chunks):
+    with obs.span("shm.build_samples", chips=len(specs), mode="pooled"):
+        if executor is not None:
+            results = executor.map(_sample_spec_chunk, chunks)
+            for batch in results:
                 samples.update(batch)
+        else:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                for batch in pool.map(_sample_spec_chunk, chunks):
+                    samples.update(batch)
     return samples
 
 

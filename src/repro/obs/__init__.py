@@ -58,9 +58,10 @@ from .export import (
     to_openmetrics,
     write_metrics_json,
 )
+from .context import TraceContext, new_span_id, new_trace_id
 from .metrics import DEFAULT_BUCKET_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
 from .report import render_report
-from .tracing import Tracer
+from .tracing import SpanHandle, Tracer
 
 __all__ = [
     "BufferedEventSink",
@@ -73,9 +74,13 @@ __all__ = [
     "MetricsRegistry",
     "NullEventSink",
     "Observability",
+    "SpanHandle",
     "TeeEventSink",
+    "TraceContext",
     "Tracer",
     "capture",
+    "new_span_id",
+    "new_trace_id",
     "load_metrics_json",
     "to_chrome_trace",
     "to_openmetrics",
@@ -209,7 +214,17 @@ def enable(events_path: Optional[Union[str, os.PathLike]] = None) -> Observabili
     global _ENABLED
     _ENABLED = True
     if events_path is not None:
-        _DEFAULT.set_sink(JsonlEventSink(events_path))
+        sink = JsonlEventSink(events_path)
+        previous = _DEFAULT.sink
+        if getattr(previous, "tee_through", False):
+            # The displaced sink must keep receiving (a capture buffer, a
+            # service broadcast): fan out instead of replacing.  No
+            # set_sink here -- it would close `previous`, which stays live.
+            installed = TeeEventSink(sink, previous)
+            _DEFAULT.sink = installed
+            _DEFAULT.tracer.sink = installed
+        else:
+            _DEFAULT.set_sink(sink)
     return _DEFAULT
 
 
@@ -239,15 +254,33 @@ def capture() -> Iterator[Observability]:
 
     Capture is pure observation -- it swaps observability state only, never
     simulation state -- so it preserves the zero-perturbation contract.
+
+    Nested ``enable(events_path=...)`` inside the capture block targets
+    the *fresh* instance (enable hits whatever the process default is --
+    here, the capture layer) and tees through the buffer, so events land
+    in both the file and ``layer.sink.events``.  On exit the buffer is
+    re-installed and any displaced file sink is closed, so the shipment
+    read works and the pre-capture sink handle comes back untouched.
     """
     global _DEFAULT, _ENABLED
     previous = (_DEFAULT, _ENABLED)
-    fresh = Observability(sink=BufferedEventSink())
+    buffer = BufferedEventSink()
+    fresh = Observability(sink=buffer)
     _DEFAULT, _ENABLED = fresh, True
     try:
         yield fresh
     finally:
         _DEFAULT, _ENABLED = previous
+        displaced = fresh.sink
+        if displaced is not buffer:
+            # A nested enable/set_sink displaced the capture buffer; put
+            # it back and close what was installed (tee members too --
+            # TeeEventSink.close deliberately closes nothing itself).
+            fresh.sink = buffer
+            fresh.tracer.sink = buffer
+            for member in getattr(displaced, "sinks", (displaced,)):
+                if member is not buffer:
+                    member.close()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,103 @@
+"""Trace context: correlation identity for spans across process hops.
+
+A :class:`TraceContext` names one causal tree -- typically one service
+request / one campaign job -- with a ``trace_id``, plus the ``span_id``
+of the remote parent span when the context crosses a boundary (HTTP
+request -> job, engine dispatch -> pool worker).  The :class:`Tracer`
+carries at most one context; when it is set, every span closed under it
+is stamped with ``trace_id`` / ``span_id`` / ``parent_id`` so merged
+event logs (parent run + worker telemetry replay) reconstruct a single
+correlated tree per trace.
+
+Identifier generation never touches simulation randomness: trace ids
+come from :func:`os.urandom` and span ids from a per-process random
+prefix plus a monotonically increasing counter (cheap -- no syscall per
+span).  Both are opaque hex strings; uniqueness within a trace is all
+that is required.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["TraceContext", "new_span_id", "new_trace_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace identifier (32 hex chars)."""
+    return os.urandom(16).hex()
+
+
+#: Span ids are ``<8-hex process prefix><8-hex counter>``.  The prefix is
+#: drawn once per process so ids minted in pool workers cannot collide
+#: with the parent's; the counter keeps the per-span cost to one
+#: ``next()`` call.  After fork the child re-seeds lazily (prefix keyed
+#: by pid) so forked workers do not share the parent's prefix.
+_PREFIX_LOCK = threading.Lock()
+_PREFIX_PID: Optional[int] = None
+_PREFIX: str = ""
+_COUNTER = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span identifier (16 hex chars), unique per process."""
+    global _PREFIX_PID, _PREFIX, _COUNTER
+    pid = os.getpid()
+    if pid != _PREFIX_PID:
+        with _PREFIX_LOCK:
+            if pid != _PREFIX_PID:
+                _PREFIX = os.urandom(4).hex()
+                _COUNTER = itertools.count(1)
+                _PREFIX_PID = pid
+    return f"{_PREFIX}{next(_COUNTER):08x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One trace's identity: ``trace_id`` plus the remote parent span.
+
+    ``span_id`` is the id of the span *on the other side of the boundary
+    this context crossed* (the server's request span, the engine's run
+    span) -- root spans opened under this context adopt it as their
+    ``parent_id``.  ``None`` means the trace has no parent yet: the first
+    span opened under the context becomes the root of the tree.
+    """
+
+    trace_id: str
+    span_id: Optional[str] = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        return cls(trace_id=new_trace_id())
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context a callee on the far side of a boundary should adopt."""
+        return TraceContext(trace_id=self.trace_id, span_id=span_id)
+
+    # -- wire format ----------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"trace_id": self.trace_id}
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> Optional["TraceContext"]:
+        """Rebuild a context from its wire form; ``None`` when unusable.
+
+        Tolerant by design: a missing or malformed context must never
+        fail a work unit -- the unit simply runs untraced.
+        """
+        if not isinstance(payload, Mapping):
+            return None
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        span_id = payload.get("span_id")
+        if span_id is not None and not isinstance(span_id, str):
+            span_id = None
+        return cls(trace_id=trace_id, span_id=span_id)

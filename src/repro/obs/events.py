@@ -145,7 +145,14 @@ class BufferedEventSink(ListEventSink):
     parent replays them into its own sink -- the preserved ``ts`` keeps
     the merged event log truthful about when things really happened in
     the worker.
+
+    ``tee_through`` marks the buffer as a sink that must keep receiving
+    when displaced (by ``sink_to`` or a nested ``enable(events_path=...)``
+    inside ``obs.capture``): the telemetry shipment reads the buffer at
+    capture exit, so silently diverting its stream would lose events.
     """
+
+    tee_through = True
 
     def emit(self, event: str, **fields: Any) -> None:
         row: dict = {"event": event, "ts": time.time()}

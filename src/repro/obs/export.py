@@ -130,16 +130,31 @@ def to_openmetrics(snapshot: Sequence[Mapping[str, Any]]) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: Synthetic process id of the coordinating (parent) process in Chrome
+#: traces; worker processes get 2, 3, ... in order of first appearance.
+_PARENT_PID = 1
+
+
 def to_chrome_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
     """Render event-log rows as a Chrome trace-event JSON object.
 
     ``span`` rows (as emitted by :class:`~repro.obs.tracing.Tracer`) carry
     their *end* wall-clock ``ts`` and ``elapsed_s``; they become complete
     ("X") slices starting at ``ts - elapsed_s``.  Every other row becomes
-    an instant ("i") event.  Rows are laid out on one thread lane per work
-    unit (``unit_id``), with runner-level rows on the ``run`` lane, and
-    all timestamps are rebased to the earliest start so the trace opens at
-    t=0.  Load the result in Perfetto or ``chrome://tracing``.
+    an instant ("i") event.
+
+    Lanes mirror the real process topology: rows that carry a
+    ``worker_pid`` (stamped by the engine's telemetry replay) land on a
+    synthetic per-worker ``pid`` lane -- one process group per pool
+    worker, labelled ``worker <os pid>`` -- while parent-side rows stay on
+    the coordinator's lane (pid 1).  Within each process group, rows are
+    laid out on one thread lane per work unit (``unit_id``), with
+    runner-level rows on the ``run`` lane.  Trace-context ids
+    (``trace_id`` / ``span_id`` / ``parent_id``) ride through into each
+    event's ``args`` untouched, so a correlated tree can be reconstructed
+    from the exported file alone.  All timestamps are rebased to the
+    earliest start so the trace opens at t=0.  Load the result in
+    Perfetto or ``chrome://tracing``.
     """
     rows = [dict(row) for row in events if row.get("event")]
     starts: List[float] = []
@@ -150,20 +165,38 @@ def to_chrome_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
         starts.append(ts)
     base = min(starts) if starts else 0.0
 
-    lanes: Dict[str, int] = {}
+    pids: Dict[Any, int] = {}
+    lanes: Dict[tuple, int] = {}
     trace_events: List[Dict[str, Any]] = []
 
-    def lane(row: Mapping[str, Any]) -> int:
-        key = str(row.get("unit_id", "run"))
+    def process(row: Mapping[str, Any]) -> int:
+        worker_pid = row.get("worker_pid")
+        if worker_pid is None:
+            return _PARENT_PID
+        if worker_pid not in pids:
+            pids[worker_pid] = _PARENT_PID + 1 + len(pids)
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[worker_pid],
+                    "tid": 0,
+                    "args": {"name": f"worker {worker_pid}"},
+                }
+            )
+        return pids[worker_pid]
+
+    def lane(pid: int, row: Mapping[str, Any]) -> int:
+        key = (pid, str(row.get("unit_id", "run")))
         if key not in lanes:
             lanes[key] = len(lanes)
             trace_events.append(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": lanes[key],
-                    "args": {"name": key},
+                    "args": {"name": key[1]},
                 }
             )
         return lanes[key]
@@ -176,6 +209,7 @@ def to_chrome_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
             for k, v in row.items()
             if k not in ("event", "ts", "seq", "name", "elapsed_s")
         }
+        pid = process(row)
         if row["event"] == "span":
             trace_events.append(
                 {
@@ -184,8 +218,8 @@ def to_chrome_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
                     "ph": "X",
                     "ts": (start - base) * 1e6,
                     "dur": float(row.get("elapsed_s", 0.0)) * 1e6,
-                    "pid": 1,
-                    "tid": lane(row),
+                    "pid": pid,
+                    "tid": lane(pid, row),
                     "args": args,
                 }
             )
@@ -197,8 +231,8 @@ def to_chrome_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
                     "ph": "i",
                     "s": "t",
                     "ts": (start - base) * 1e6,
-                    "pid": 1,
-                    "tid": lane(row),
+                    "pid": pid,
+                    "tid": lane(pid, row),
                     "args": args,
                 }
             )
@@ -232,7 +266,12 @@ def write_metrics_json(
 
 
 def load_metrics_json(path: Union[str, os.PathLike]) -> Dict[str, Any]:
-    """Read a ``metrics.json`` back; refuses corruption with a clear error."""
+    """Read a ``metrics.json`` back; refuses corruption with a clear error.
+
+    A schema-version mismatch is refused with guidance (rather than a
+    downstream ``KeyError``): snapshots written by a different tool
+    version must be regenerated, not half-parsed.
+    """
     path = pathlib.Path(path)
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
@@ -240,4 +279,11 @@ def load_metrics_json(path: Union[str, os.PathLike]) -> Dict[str, Any]:
         raise ConfigurationError(f"cannot read metrics snapshot {path}: {exc}") from exc
     if not isinstance(payload, dict) or "series" not in payload:
         raise ConfigurationError(f"{path} does not hold a metrics snapshot")
+    schema = payload.get("schema")
+    if schema != METRICS_JSON_SCHEMA:
+        raise ConfigurationError(
+            f"{path} has metrics.json schema {schema!r}, this version reads "
+            f"schema {METRICS_JSON_SCHEMA}; re-run the campaign with "
+            "--metrics (or `python -m repro serve`) to regenerate it"
+        )
     return payload

@@ -20,18 +20,47 @@ Closing a span feeds two outputs:
   depth, and elapsed seconds.
 
 Spans nest via a plain stack, so ``depth`` in the event log reconstructs
-the call tree.  Tracing reads the clock and writes observability state
-only -- it cannot perturb simulation results.
+the call tree.
+
+When the tracer carries a :class:`~repro.obs.context.TraceContext`
+(``tracer.context = TraceContext.new()``), every span additionally gets
+a ``span_id``, inherits its ``parent_id`` from the enclosing span (or
+the context's remote parent for root spans), and stamps all three ids
+into the ``span`` event -- the correlation substrate that lets merged
+parent+worker event logs render as one tree.  With no context attached
+the event shape is exactly the pre-context one (no id fields), so
+untraced runs stay byte-for-byte stable.
+
+``span`` yields a :class:`SpanHandle` when a context is active (callers
+that need to forward the id across a process boundary read
+``handle.span_id``) and ``None`` otherwise.  Tracing reads the clock and
+writes observability state only -- it cannot perturb simulation results.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator, List
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
 
+from .context import TraceContext, new_span_id
 from .events import NullEventSink
 from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SpanHandle:
+    """Identity of one open span, yielded by :meth:`Tracer.span`."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+
+    def context(self) -> TraceContext:
+        """The trace context a remote callee of this span should adopt."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
 
 class Tracer:
@@ -40,23 +69,46 @@ class Tracer:
     def __init__(self, metrics: MetricsRegistry, sink=None) -> None:
         self.metrics = metrics
         self.sink = sink if sink is not None else NullEventSink()
-        self._stack: List[str] = []
+        #: Optional trace identity; set it to stamp span ids onto events.
+        self.context: Optional[TraceContext] = None
+        # Stack frames are (name, span_id); span_id is None when the
+        # frame was opened without a context.
+        self._stack: List[Tuple[str, Optional[str]]] = []
 
     @property
     def depth(self) -> int:
         return len(self._stack)
 
     @contextmanager
-    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[SpanHandle]]:
         """Time one operation; record it as a histogram sample + event."""
-        self._stack.append(name)
+        ctx = self.context
+        handle: Optional[SpanHandle] = None
+        ids: dict = {}
+        if ctx is not None:
+            parent_id = self._stack[-1][1] if self._stack else ctx.span_id
+            span_id = new_span_id()
+            handle = SpanHandle(
+                name=name, trace_id=ctx.trace_id, span_id=span_id, parent_id=parent_id
+            )
+            ids = {"trace_id": ctx.trace_id, "span_id": span_id}
+            if parent_id is not None:
+                ids["parent_id"] = parent_id
+            self._stack.append((name, span_id))
+        else:
+            self._stack.append((name, None))
         started = time.perf_counter()
         try:
-            yield
+            yield handle
         finally:
             elapsed = time.perf_counter() - started
             self._stack.pop()
             self.metrics.histogram(f"span.{name}").observe(elapsed)
             self.sink.emit(
-                "span", name=name, elapsed_s=elapsed, depth=len(self._stack), **attrs
+                "span",
+                name=name,
+                elapsed_s=elapsed,
+                depth=len(self._stack),
+                **ids,
+                **attrs,
             )

@@ -42,6 +42,7 @@ snapshot lands durably as ``<run_dir>/metrics.json``, the input to the
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -277,6 +278,13 @@ class RunnerEngine:
                 chunk_by_id = {unit.unit_id: unit for unit in exec_units}
 
             results: Dict[str, UnitResult] = dict(satisfied)
+            # Root a trace for this run when no caller (e.g. a service
+            # request) handed one down, so spans correlate end-to-end on
+            # plain CLI runs too.  A self-rooted context is removed again
+            # at run end -- traces never bleed across runs sharing a layer.
+            if active is not None and active.tracer.context is None:
+                active.tracer.context = obs_mod.TraceContext.new()
+                stack.callback(setattr, active.tracer, "context", None)
             span = (
                 active.span("runner.run", backend=self.backend.name)
                 if active is not None
@@ -290,7 +298,15 @@ class RunnerEngine:
             if self.should_stop is not None:
                 backend_kwargs["should_stop"] = self.should_stop
             try:
-                with span:
+                with span as run_span:
+                    if run_span is not None and exec_units:
+                        # Stamp every dispatched unit with the run span's
+                        # context: worker-side spans parent to this run.
+                        trace_wire = run_span.context().to_json_dict()
+                        exec_units = tuple(
+                            dataclasses.replace(u, trace=trace_wire)
+                            for u in exec_units
+                        )
                     for raw in self.backend.run(
                         exec_worker,
                         exec_units,
@@ -392,16 +408,21 @@ class RunnerEngine:
 
         Metric snapshots merge with the registry's deterministic algebra;
         buffered worker events replay into the parent sink tagged with the
-        unit id (their worker-side ``ts`` is preserved -- the sink only
-        stamps fields the replay does not provide).
+        unit id and the worker's ``pid`` -- ``worker_pid`` is what the
+        Chrome-trace exporter keys its per-worker lanes on (their
+        worker-side ``ts`` is preserved; the sink only stamps fields the
+        replay does not provide).
         """
         telemetry = result.telemetry
         if not telemetry:
             return
         active.metrics.merge_snapshot(telemetry.get("metrics", []))
+        worker_pid = telemetry.get("pid")
         for row in telemetry.get("events", []):
             fields = {k: v for k, v in row.items() if k not in ("event", "seq")}
             fields.setdefault("unit_id", result.unit_id)
+            if worker_pid is not None:
+                fields.setdefault("worker_pid", worker_pid)
             active.emit(str(row.get("event", "worker.event")), **fields)
 
     @staticmethod

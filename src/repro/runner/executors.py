@@ -65,15 +65,38 @@ def execute_unit(
     With ``capture_telemetry`` the whole execution (retries included)
     records into an isolated observability layer whose snapshot is
     attached to the result as ``telemetry`` -- plain picklable dicts, so
-    it crosses the pool boundary intact.
+    it crosses the pool boundary intact.  When the unit carries a trace
+    context (stamped by the engine), the capture layer's tracer adopts
+    it, executes the unit under a ``unit.execute`` span parented to the
+    engine's run span, and the telemetry payload records this process's
+    ``pid`` so the parent can lay worker spans out on per-worker lanes.
     """
     if not capture_telemetry:
         return _execute_unit(worker, unit, max_retries)
     with obs_mod.capture() as layer:
-        result = _execute_unit(worker, unit, max_retries)
+        context = (
+            obs_mod.TraceContext.from_json_dict(unit.trace)
+            if unit.trace is not None
+            else None
+        )
+        if context is not None:
+            # Traced dispatch: adopt the engine's context and bracket the
+            # unit in a span so every unit contributes at least one
+            # correlated worker-side span.  Untraced units record exactly
+            # as before (no extra event), keeping legacy capture shapes.
+            layer.tracer.context = context
+            span = layer.span("unit.execute", unit_id=unit.unit_id, kind=unit.kind)
+        else:
+            span = contextlib.nullcontext()
+        with span:
+            result = _execute_unit(worker, unit, max_retries)
     return dataclasses.replace(
         result,
-        telemetry={"metrics": layer.snapshot(), "events": list(layer.sink.events)},
+        telemetry={
+            "metrics": layer.snapshot(),
+            "events": list(layer.sink.events),
+            "pid": os.getpid(),
+        },
     )
 
 

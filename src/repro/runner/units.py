@@ -40,11 +40,19 @@ class WorkUnit:
         Dispatch tag naming the worker family (``"chip-measurement"``).
     payload:
         JSON-serializable mapping handed verbatim to the worker function.
+    trace:
+        Optional trace-context wire dict (``{"trace_id", "span_id"}``)
+        stamped by the engine just before dispatch so worker-side spans
+        correlate with the submitting request.  Pure observability
+        metadata: excluded from equality, never fingerprinted, never
+        persisted -- two units differing only in ``trace`` are the same
+        unit.
     """
 
     unit_id: str
     kind: str
     payload: Mapping[str, Any] = field(default_factory=dict)
+    trace: Optional[Mapping[str, Any]] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.unit_id:

@@ -32,7 +32,7 @@ submitted over HTTP produces a summary byte-identical to
 """
 
 from .app import ServiceConfig, ServiceThread, run_service
-from .client import ServiceClient
+from .client import ServiceClient, ServiceHealth
 from .events import BroadcastEventSink
 from .jobs import (
     ALL_STATES,
@@ -76,6 +76,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceHealth",
     "ServiceThread",
     "TERMINAL_STATES",
     "UnknownJobError",

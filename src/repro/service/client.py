@@ -33,6 +33,51 @@ _ERROR_TYPES = {
 }
 
 
+class ServiceHealth(Dict[str, Any]):
+    """``GET /v1/healthz`` with typed accessors.
+
+    Still a plain ``dict`` (subscripting and JSON round-trips keep
+    working); the properties just name the extended fields.
+    """
+
+    @property
+    def status(self) -> str:
+        return str(self.get("status", ""))
+
+    @property
+    def queued(self) -> int:
+        return int(self.get("queued", 0))
+
+    @property
+    def running(self) -> int:
+        return int(self.get("running", 0))
+
+    @property
+    def pool_workers_busy(self) -> int:
+        return int((self.get("pool") or {}).get("workers_busy", 0))
+
+    @property
+    def pool_workers_total(self) -> int:
+        return int((self.get("pool") or {}).get("workers_total", 0))
+
+    @property
+    def ledger_lag_s(self) -> Optional[float]:
+        lag = self.get("ledger_lag_s")
+        return None if lag is None else float(lag)
+
+    @property
+    def shm_segments(self) -> int:
+        return int((self.get("shm") or {}).get("segments", 0))
+
+    @property
+    def shm_bytes(self) -> int:
+        return int((self.get("shm") or {}).get("bytes", 0))
+
+    @property
+    def jobs_by_state(self) -> Dict[str, int]:
+        return {str(k): int(v) for k, v in (self.get("jobs") or {}).items()}
+
+
 class ServiceClient:
     """One-connection-per-call client; safe to share across threads."""
 
@@ -48,20 +93,42 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout or self.timeout
         )
         try:
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
+            request_headers = dict(headers or {})
+            if body:
+                request_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=request_headers)
             response = conn.getresponse()
             data = response.read()
             decoded = json.loads(data.decode("utf-8")) if data else {}
             if response.status >= 400:
                 self._raise(response.status, decoded)
             return decoded
+        finally:
+            conn.close()
+
+    def _request_text(self, path: str, timeout: Optional[float] = None) -> str:
+        """GET a plain-text endpoint (errors still arrive as JSON)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(data.decode("utf-8")) if data else {}
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = {}
+                self._raise(response.status, decoded)
+            return data.decode("utf-8")
         finally:
             conn.close()
 
@@ -73,14 +140,28 @@ class ServiceClient:
         raise exc_type(message)
 
     # ------------------------------------------------------------------
-    def healthz(self) -> Dict[str, Any]:
-        return self._request("GET", "/v1/healthz")
+    def healthz(self) -> "ServiceHealth":
+        """Typed view over ``GET /v1/healthz`` (still a plain mapping)."""
+        return ServiceHealth(self._request("GET", "/v1/healthz"))
+
+    def metrics_text(self) -> str:
+        """The raw OpenMetrics exposition from ``GET /metrics``."""
+        return self._request_text("/metrics")
+
+    def job_metrics(self, job_id: str) -> Dict[str, Any]:
+        """Live per-job snapshot + EWMA rates (``live: false`` shell when
+        the job is not currently running)."""
+        return self._request("GET", f"/v1/jobs/{quote(job_id)}/metrics")
 
     def submit(
-        self, tenant: str, spec: Optional[Dict[str, Any]] = None
+        self,
+        tenant: str,
+        spec: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
+        headers = {"x-trace-id": trace_id} if trace_id else None
         return self._request(
-            "POST", "/v1/jobs", {"tenant": tenant, "spec": spec or {}}
+            "POST", "/v1/jobs", {"tenant": tenant, "spec": spec or {}}, headers=headers
         )
 
     def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:

@@ -11,12 +11,22 @@ GET    ``/v1/jobs``                 List jobs (``?tenant=`` filters)
 GET    ``/v1/jobs/{id}``            Job status + EWMA progress / ETA
 GET    ``/v1/jobs/{id}/events``     Live chunked JSONL event stream
 GET    ``/v1/jobs/{id}/result``     Final campaign summary (done jobs only)
+GET    ``/v1/jobs/{id}/metrics``    Live per-job snapshot + EWMA rates/series
 DELETE ``/v1/jobs/{id}``            Cooperative cancel (partials persisted)
 GET    ``/v1/tenants/{t}/lake``     Cross-run lake analytics over the tenant's
                                     finished jobs (``?report=``, ``?vendor=``,
                                     ``?kind=``, ``?runs=id1,id2``)
-GET    ``/v1/healthz``              Liveness + queue depth
+GET    ``/v1/healthz``              Liveness + queue depth + pool saturation,
+                                    ledger lag, shm segment usage
+GET    ``/metrics``                 OpenMetrics exposition of the live plane
 ====== ============================ ===========================================
+
+Trace propagation: ``POST /v1/jobs`` honours an incoming W3C
+``traceparent`` (or bare ``x-trace-id``) header -- the job's entire run
+then correlates under the caller's trace id; absent one, the manager
+mints a fresh root.  Every served request is also recorded into the live
+plane (per-route counters + latency histograms) with the *route
+template* as the label, never the raw path.
 
 Error mapping keeps service semantics on the wire:
 :class:`~repro.service.jobs.UnknownJobError` -> 404,
@@ -35,16 +45,24 @@ from __future__ import annotations
 import asyncio
 import json
 import re
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import ConfigurationError
+from ..obs import TraceContext
 from .jobs import CampaignJobSpec, QueueFullError, UnknownJobError
 from .manager import JobManager
 
 _MAX_BODY = 1 << 20  # 1 MiB is generous for a campaign spec
-_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9._-]+)(/events|/result)?$")
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9._-]+)(/events|/result|/metrics)?$")
 _TENANT_LAKE_PATH = re.compile(r"^/v1/tenants/([A-Za-z0-9._-]+)/lake$")
+
+#: W3C ``traceparent``: version - trace-id - parent-span-id - flags.
+_TRACEPARENT = re.compile(r"^[0-9a-f]{2}-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$")
+
+#: OpenMetrics exposition content type served by ``GET /metrics``.
+_OPENMETRICS_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 _REASONS = {
     200: "OK",
@@ -64,6 +82,32 @@ class _HttpError(Exception):
         super().__init__(message)
         self.status = status
         self.error_type = error_type
+
+
+def _route_template(path: str) -> str:
+    """Collapse a request path to its route template for metric labels
+    (bounded cardinality: job ids and tenants never become label values)."""
+    if path in ("/metrics", "/v1/healthz", "/v1/jobs"):
+        return path
+    match = _JOB_PATH.match(path)
+    if match is not None:
+        return "/v1/jobs/{id}" + (match.group(2) or "")
+    if _TENANT_LAKE_PATH.match(path) is not None:
+        return "/v1/tenants/{tenant}/lake"
+    return "unmatched"
+
+
+def _trace_from_headers(headers: Mapping[str, str]) -> Optional[TraceContext]:
+    """Incoming trace context: W3C ``traceparent`` first, then the simpler
+    ``x-trace-id`` (32 lowercase hex).  Malformed values are ignored --
+    propagation is best-effort, never a 4xx."""
+    parent = _TRACEPARENT.match(headers.get("traceparent", ""))
+    if parent is not None:
+        return TraceContext(trace_id=parent.group(1), span_id=parent.group(2))
+    trace_id = headers.get("x-trace-id", "")
+    if re.fullmatch(r"[0-9a-f]{32}", trace_id):
+        return TraceContext(trace_id=trace_id)
+    return None
 
 
 def _map_exception(exc: Exception) -> _HttpError:
@@ -88,22 +132,34 @@ class ServiceProtocol:
     async def handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        start = time.monotonic()
+        method: Optional[str] = None
+        route: Optional[str] = None
+        status: Optional[int] = None
         try:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, query, body = request
-            await self._dispatch(writer, method, path, query, body)
+            method, path, query, body, headers = request
+            route = _route_template(path)
+            status = await self._dispatch(writer, method, path, query, body, headers)
         except _HttpError as exc:
+            status = exc.status
             await self._send_error(writer, exc)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:  # noqa: BLE001 - connection isolation
+            mapped = _map_exception(exc)
+            status = mapped.status
             try:
-                await self._send_error(writer, _map_exception(exc))
+                await self._send_error(writer, mapped)
             except ConnectionError:
                 pass
         finally:
+            if method is not None and route is not None and status is not None:
+                self.manager.plane.note_request(
+                    method, route, status, time.monotonic() - start
+                )
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -112,7 +168,7 @@ class ServiceProtocol:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, list], bytes]]:
+    ) -> Optional[Tuple[str, str, Dict[str, list], bytes, Dict[str, str]]]:
         try:
             request_line = await reader.readline()
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -135,7 +191,7 @@ class ServiceProtocol:
             raise _HttpError(413, f"body exceeds {_MAX_BODY} bytes")
         body = await reader.readexactly(length) if length else b""
         split = urlsplit(target)
-        return method.upper(), split.path, parse_qs(split.query), body
+        return method.upper(), split.path, parse_qs(split.query), body, headers
 
     # ------------------------------------------------------------------
     async def _dispatch(
@@ -145,30 +201,24 @@ class ServiceProtocol:
         path: str,
         query: Dict[str, list],
         body: bytes,
-    ) -> None:
-        if path == "/v1/healthz" and method == "GET":
-            await self._send_json(
-                writer,
-                200,
-                {
-                    "status": "ok",
-                    "queued": self.manager.queued_count(),
-                    "running": len(self.manager._running),
-                },
+        headers: Dict[str, str],
+    ) -> int:
+        if path == "/metrics" and method == "GET":
+            return await self._send_text(
+                writer, 200, self.manager.plane.render_openmetrics(), _OPENMETRICS_TYPE
             )
-            return
+        if path == "/v1/healthz" and method == "GET":
+            return await self._send_json(writer, 200, self.manager.health())
         if path == "/v1/jobs":
             if method == "POST":
-                await self._submit(writer, body)
-            elif method == "GET":
+                return await self._submit(writer, body, headers)
+            if method == "GET":
                 tenant = (query.get("tenant") or [None])[0]
                 records = self.manager.jobs(tenant)
-                await self._send_json(
+                return await self._send_json(
                     writer, 200, {"jobs": [r.to_json_dict() for r in records]}
                 )
-            else:
-                raise _HttpError(405, f"{method} not allowed on {path}")
-            return
+            raise _HttpError(405, f"{method} not allowed on {path}")
         lake_match = _TENANT_LAKE_PATH.match(path)
         if lake_match is not None:
             if method != "GET":
@@ -181,8 +231,7 @@ class ServiceProtocol:
                 kind=(query.get("kind") or [None])[0],
                 runs=runs_param.split(",") if runs_param else None,
             )
-            await self._send_json(writer, 200, payload)
-            return
+            return await self._send_json(writer, 200, payload)
         match = _JOB_PATH.match(path)
         if match is None:
             raise _HttpError(404, f"no route for {path}")
@@ -190,20 +239,27 @@ class ServiceProtocol:
         if suffix == "/events":
             if method != "GET":
                 raise _HttpError(405, f"{method} not allowed on {path}")
-            await self._stream_events(writer, job_id)
-        elif suffix == "/result":
+            return await self._stream_events(writer, job_id)
+        if suffix == "/result":
             if method != "GET":
                 raise _HttpError(405, f"{method} not allowed on {path}")
-            await self._send_json(writer, 200, self.manager.result(job_id))
-        elif method == "GET":
-            await self._send_json(writer, 200, self.manager.job(job_id).to_json_dict())
-        elif method == "DELETE":
+            return await self._send_json(writer, 200, self.manager.result(job_id))
+        if suffix == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            return await self._send_json(writer, 200, self.manager.job_metrics(job_id))
+        if method == "GET":
+            return await self._send_json(
+                writer, 200, self.manager.job(job_id).to_json_dict()
+            )
+        if method == "DELETE":
             record = await self.manager.cancel(job_id)
-            await self._send_json(writer, 200, record.to_json_dict())
-        else:
-            raise _HttpError(405, f"{method} not allowed on {path}")
+            return await self._send_json(writer, 200, record.to_json_dict())
+        raise _HttpError(405, f"{method} not allowed on {path}")
 
-    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+    async def _submit(
+        self, writer: asyncio.StreamWriter, body: bytes, headers: Dict[str, str]
+    ) -> int:
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -217,10 +273,12 @@ class ServiceProtocol:
         if not isinstance(spec_data, dict):
             raise _HttpError(400, '"spec" must be a JSON object')
         spec = CampaignJobSpec.from_json_dict(spec_data)
-        record = await self.manager.submit(tenant, spec)
-        await self._send_json(writer, 201, record.to_json_dict())
+        record = await self.manager.submit(
+            tenant, spec, trace=_trace_from_headers(headers)
+        )
+        return await self._send_json(writer, 201, record.to_json_dict())
 
-    async def _stream_events(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+    async def _stream_events(self, writer: asyncio.StreamWriter, job_id: str) -> int:
         source, sink = self.manager.subscribe_events(job_id)
         headers = (
             "HTTP/1.1 200 OK\r\n"
@@ -248,6 +306,7 @@ class ServiceProtocol:
             await writer.drain()
         except (ConnectionError, OSError):
             pass  # client went away mid-stream
+        return 200
 
     @staticmethod
     async def _write_chunk(writer: asyncio.StreamWriter, row: Dict[str, Any]) -> None:
@@ -257,19 +316,34 @@ class ServiceProtocol:
 
     # ------------------------------------------------------------------
     @staticmethod
-    async def _send_json(
-        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
-    ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    async def _send_raw(
+        writer: asyncio.StreamWriter, status: int, body: bytes, content_type: str
+    ) -> int:
         reason = _REASONS.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
+        return status
+
+    @classmethod
+    async def _send_json(
+        cls, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    ) -> int:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return await cls._send_raw(writer, status, body, "application/json")
+
+    @classmethod
+    async def _send_text(
+        cls, writer: asyncio.StreamWriter, status: int, text: str, content_type: str
+    ) -> int:
+        return await cls._send_raw(
+            writer, status, text.encode("utf-8"), content_type
+        )
 
     async def _send_error(self, writer: asyncio.StreamWriter, exc: _HttpError) -> None:
         await self._send_json(

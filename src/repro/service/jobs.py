@@ -212,6 +212,9 @@ class JobRecord:
     finished_ts: Optional[float] = None
     error: Optional[str] = None
     run_dir: Optional[str] = None
+    #: Trace id correlating every span/event the job's run emits (carried
+    #: on the submission, or minted by the manager when absent).
+    trace_id: Optional[str] = None
     #: Latest EWMA progress snapshot from the engine's ProgressTracker.
     progress: Dict[str, Any] = field(default_factory=dict)
 
@@ -234,6 +237,7 @@ class JobRecord:
             "finished_ts": self.finished_ts,
             "error": self.error,
             "run_dir": self.run_dir,
+            "trace_id": self.trace_id,
             "progress": dict(self.progress),
         }
 

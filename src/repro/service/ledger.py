@@ -40,6 +40,10 @@ class JobLedger:
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = pathlib.Path(path)
         self._handle: Optional[TextIO] = None
+        #: Wall-clock time of the last flushed append (``None`` before the
+        #: first write).  The service's healthz derives its *ledger lag*
+        #: -- seconds since the last durable transition -- from this.
+        self.last_append_ts: Optional[float] = None
 
     # ------------------------------------------------------------------
     def append(
@@ -68,6 +72,7 @@ class JobLedger:
         row.update(extra)
         self._handle.write(json.dumps(row, sort_keys=True) + "\n")
         self._handle.flush()
+        self.last_append_ts = row["ts"]
 
     def close(self) -> None:
         if self._handle is not None:
@@ -123,6 +128,9 @@ class JobLedger:
         if previous is not None and "spec" not in row and "spec" in previous:
             row = dict(row)
             row["spec"] = previous["spec"]
+        if previous is not None and "trace_id" not in row and "trace_id" in previous:
+            row = dict(row)
+            row["trace_id"] = previous["trace_id"]
         if previous is not None and "created_ts" in previous:
             row.setdefault("created_ts", previous["created_ts"])
         elif previous is None:

@@ -48,10 +48,12 @@ import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Deque, Dict, List, Optional, Union
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
+from ..dram import shm as shm_mod
 from ..errors import ConfigurationError
-from ..obs import Observability
+from ..obs import Observability, TraceContext
+from ..obs.live import LivePlane
 from ..runner import (
     MANIFEST_NAME,
     STATUS_INTERRUPTED,
@@ -93,6 +95,7 @@ class Job:
         self.cancel_requested = False
         self.sink: Optional[BroadcastEventSink] = None
         self.summary_json: Optional[Dict[str, Any]] = None
+        self.trace: Optional[TraceContext] = None
 
     @property
     def job_id(self) -> str:
@@ -113,6 +116,7 @@ class JobManager:
         max_running: int = 2,
         max_queued: int = 64,
         resume: bool = True,
+        sample_interval_s: float = 1.0,
     ) -> None:
         if max_running <= 0:
             raise ConfigurationError("max_running must be positive")
@@ -122,12 +126,18 @@ class JobManager:
             pool_workers = default_worker_count()
         if pool_workers < 0:
             raise ConfigurationError("pool_workers must be non-negative")
+        if sample_interval_s <= 0:
+            raise ConfigurationError("sample_interval_s must be positive")
         self.root = pathlib.Path(root)
         self.pool_workers = int(pool_workers)
         self.max_running = int(max_running)
         self.max_queued = int(max_queued)
         self.resume = bool(resume)
+        self.sample_interval_s = float(sample_interval_s)
         self.ledger = JobLedger(self.root / LEDGER_NAME)
+        #: The live observability plane: HTTP request telemetry, sampled
+        #: service gauges, and every running job's metrics registry.
+        self.plane = LivePlane()
 
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._tenant_queues: Dict[str, Deque[str]] = {}
@@ -139,6 +149,7 @@ class JobManager:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._wake: Optional[asyncio.Event] = None
         self._scheduler: Optional[asyncio.Task] = None
+        self._sampler: Optional[asyncio.Task] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -154,6 +165,7 @@ class JobManager:
         if self.resume:
             self._adopt_ledger()
         self._scheduler = asyncio.create_task(self._schedule_loop())
+        self._sampler = asyncio.create_task(self._sample_loop())
         self._kick()
 
     async def shutdown(self) -> None:
@@ -165,6 +177,13 @@ class JobManager:
         Queued jobs simply stay ``queued`` in the ledger.
         """
         self._closed = True
+        if self._sampler is not None:
+            self._sampler.cancel()
+            try:
+                await self._sampler
+            except asyncio.CancelledError:
+                pass
+            self._sampler = None
         if self._scheduler is not None:
             self._scheduler.cancel()
             try:
@@ -190,6 +209,7 @@ class JobManager:
             spec = CampaignJobSpec.from_json_dict(spec_data)
             tenant = str(row["tenant"])
             state = str(row["state"])
+            trace_id = row.get("trace_id")
             record = JobRecord(
                 job_id=job_id,
                 tenant=tenant,
@@ -198,8 +218,12 @@ class JobManager:
                 created_ts=float(row.get("created_ts") or row.get("ts") or 0.0),
                 error=row.get("error"),
                 run_dir=str(self._run_dir(tenant, job_id)),
+                trace_id=str(trace_id) if trace_id else None,
             )
             job = Job(record, spec)
+            if record.trace_id:
+                # A resumed run continues under the original trace id.
+                job.trace = TraceContext(trace_id=record.trace_id)
             self._jobs[job_id] = job
             self._note_seq(job_id)
             if state in RESUMABLE_STATES:
@@ -238,7 +262,12 @@ class JobManager:
     def queued_count(self) -> int:
         return sum(len(q) for q in self._tenant_queues.values())
 
-    async def submit(self, tenant: str, spec: CampaignJobSpec) -> JobRecord:
+    async def submit(
+        self,
+        tenant: str,
+        spec: CampaignJobSpec,
+        trace: Optional[TraceContext] = None,
+    ) -> JobRecord:
         if self._closed:
             raise ConfigurationError("the job manager is shutting down")
         validate_tenant(tenant)
@@ -247,6 +276,11 @@ class JobManager:
                 f"job queue is full ({self.max_queued} queued); retry later"
             )
         job_id = self._allocate_job_id(tenant)
+        # Every job gets a trace root: either the caller's (propagated
+        # from the HTTP request) or a fresh one, so the run's spans and
+        # events all correlate under one trace id.
+        if trace is None:
+            trace = TraceContext.new()
         record = JobRecord(
             job_id=job_id,
             tenant=tenant,
@@ -254,13 +288,17 @@ class JobManager:
             state=QUEUED,
             created_ts=time.time(),
             run_dir=str(self._run_dir(tenant, job_id)),
+            trace_id=trace.trace_id,
         )
         job = Job(record, spec)
+        job.trace = trace
         # The sink exists from submission so an events subscriber attached
         # while the job is still queued sees the run live once it starts.
         job.sink = BroadcastEventSink(self._loop) if self._loop else None
         self._jobs[job_id] = job
-        self.ledger.append(job_id, tenant, QUEUED, spec=spec.to_json_dict())
+        self.ledger.append(
+            job_id, tenant, QUEUED, spec=spec.to_json_dict(), trace_id=trace.trace_id
+        )
         self._enqueue(job)
         self._kick()
         return record.snapshot()
@@ -334,6 +372,95 @@ class JobManager:
                 except json.JSONDecodeError:
                     continue  # torn tail
         return rows, None
+
+    # ------------------------------------------------------------------
+    # Live observability (the plane's gauge/sampler feed + healthz)
+    # ------------------------------------------------------------------
+    def _pool_stats(self) -> Tuple[int, int]:
+        """``(busy, total)`` pool workers.  *Busy* is each running job's
+        submission-window share (the worker slots it can occupy), capped
+        at the pool width -- the executor itself does not expose live
+        occupancy, and the window is the scheduling-relevant bound."""
+        total = self.pool_workers
+        if total == 0:  # serial mode: one in-thread "worker" per job
+            return len(self._running), 0
+        busy = 0
+        for job_id in self._running:
+            job = self._jobs.get(job_id)
+            share = job.spec.workers if job is not None and job.spec.workers else total
+            busy += share
+        return min(busy, total), total
+
+    def sample(self) -> None:
+        """One observation: push service gauges and per-job ring points.
+
+        The sampler task calls this every ``sample_interval_s``; tests
+        call it directly for deterministic snapshots.
+        """
+        busy, total = self._pool_stats()
+        segments, segment_bytes = shm_mod.active_segment_stats()
+        self.plane.set_service_gauges(
+            queue_depth=self.queued_count(),
+            jobs_running=len(self._running),
+            pool_workers_busy=busy,
+            pool_workers_total=total,
+            shm_segments=segments,
+            shm_segment_bytes=segment_bytes,
+        )
+        self.plane.sample_jobs()
+
+    async def _sample_loop(self) -> None:
+        while True:
+            self.sample()
+            await asyncio.sleep(self.sample_interval_s)
+
+    def health(self) -> Dict[str, Any]:
+        """The extended ``GET /v1/healthz`` body: liveness plus pool
+        saturation, ledger lag, shm usage, and job-state counts."""
+        busy, total = self._pool_stats()
+        segments, segment_bytes = shm_mod.active_segment_stats()
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.record.state] = states.get(job.record.state, 0) + 1
+        last_append = self.ledger.last_append_ts
+        return {
+            "status": "ok",
+            "queued": self.queued_count(),
+            "running": len(self._running),
+            "pool": {"workers_busy": busy, "workers_total": total},
+            "ledger_lag_s": (
+                max(0.0, time.time() - last_append)
+                if last_append is not None
+                else None
+            ),
+            "shm": {"segments": segments, "bytes": segment_bytes},
+            "jobs": states,
+        }
+
+    def job_metrics(self, job_id: str) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/{id}/metrics`` body.
+
+        Running jobs return their live registry snapshot plus EWMA rates,
+        latency percentiles, and sampled series (``live: true``); known
+        but not-running jobs return an empty shell so pollers can probe
+        before start and after finish without special-casing 4xx.
+        """
+        job = self._job(job_id)
+        live = self.plane.job_metrics(job_id)
+        if live is None:
+            live = {
+                "job_id": job_id,
+                "tenant": job.tenant,
+                "snapshot": [],
+                "rates": {},
+                "series": {},
+            }
+            live["live"] = False
+        else:
+            live["live"] = True
+        live["state"] = job.record.state
+        live["trace_id"] = job.record.trace_id
+        return live
 
     # ------------------------------------------------------------------
     # Cross-run lake analytics
@@ -518,6 +645,12 @@ class JobManager:
         else:
             backend = "serial"
         layer = Observability(sink=job.sink)
+        if job.trace is not None:
+            # The engine roots its run span under this context, stamps it
+            # onto every dispatched unit, and the workers adopt it -- one
+            # correlated tree per job, from HTTP submit to pool worker.
+            layer.tracer.context = job.trace
+        self.plane.register_job(job.job_id, job.tenant, layer)
 
         def progress(result, tracker):
             job.record.progress = {
@@ -530,21 +663,27 @@ class JobManager:
                 "eta_s": tracker.eta_seconds,
                 "elapsed_s": tracker.elapsed_seconds,
             }
+            self.plane.note_unit(job.job_id, result.elapsed_s, result.status)
 
-        summary = campaign.run(
-            intervals_s=spec.intervals_s,
-            temperatures_c=spec.temperatures_c,
-            backend=backend,
-            run_dir=str(run_dir),
-            resume=True,
-            max_retries=spec.max_retries,
-            progress=progress,
-            chips_per_unit=spec.chips_per_unit,
-            shared_population=spec.shared_population,
-            megakernel=spec.megakernel,
-            should_stop=job.stop.is_set,
-            observability=layer,
-        )
+        try:
+            summary = campaign.run(
+                intervals_s=spec.intervals_s,
+                temperatures_c=spec.temperatures_c,
+                backend=backend,
+                run_dir=str(run_dir),
+                resume=True,
+                max_retries=spec.max_retries,
+                progress=progress,
+                chips_per_unit=spec.chips_per_unit,
+                shared_population=spec.shared_population,
+                megakernel=spec.megakernel,
+                should_stop=job.stop.is_set,
+                observability=layer,
+            )
+        finally:
+            # Fold the job's final registry into the plane's cumulative
+            # completed pool so fleet counters never regress at job end.
+            self.plane.unregister_job(job.job_id)
         summary_json = summary.to_json_dict()
         if not (job.stop.is_set() and self._manifest_interrupted(job)):
             tmp = run_dir / (SUMMARY_NAME + ".tmp")
