@@ -18,6 +18,12 @@ megakernel is draw-for-draw equivalent to the sequential walk, and the
 identity is asserted every round.  The script exits non-zero on divergence
 or when the measured speedup falls below ``--min-speedup``.
 
+A ``--workers-list`` sweep then re-times the megakernel mode at each
+listed pool width, so the committed JSON records how the kernel scales
+with workers on the measuring host -- which is itself stamped (worker
+count, usable CPU cores, platform fingerprint) so results from different
+hosts are never mistaken for each other.
+
 Emits ``BENCH_fleet_megakernel.json`` at the repository root plus a
 human-readable report under ``benchmarks/results/``.
 
@@ -39,7 +45,9 @@ import numpy as np
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from benchutil import cpu_count, host_stamp  # noqa: E402
 from repro.analysis.campaign import CharacterizationCampaign  # noqa: E402
 from repro.dram.geometry import ChipGeometry  # noqa: E402
 
@@ -57,7 +65,10 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_fleet_megakernel.json"
 REPORT_PATH = REPO_ROOT / "benchmarks" / "results" / "fleet_megakernel.txt"
 
 
-def run_campaign(chips_per_vendor: int, chips_per_unit: int, megakernel: bool):
+def run_campaign(
+    chips_per_vendor: int, chips_per_unit: int, megakernel: bool, workers: int = 0
+):
+    workers = workers or WORKERS
     campaign = CharacterizationCampaign(
         chips_per_vendor=chips_per_vendor,
         geometry=GEOMETRY,
@@ -67,8 +78,8 @@ def run_campaign(chips_per_vendor: int, chips_per_unit: int, megakernel: bool):
     return campaign.run(
         intervals_s=INTERVALS_S,
         temperatures_c=TEMPERATURES_C,
-        backend="process" if WORKERS > 1 else "serial",
-        workers=WORKERS,
+        backend="process" if workers > 1 else "serial",
+        workers=workers,
         chips_per_unit=chips_per_unit,
         shared_population=megakernel,
         megakernel=megakernel,
@@ -112,6 +123,14 @@ def main(argv=None) -> int:
         default=0.0,
         help="exit non-zero if megakernel/fleet speedup falls below this",
     )
+    parser.add_argument(
+        "--workers-list",
+        type=lambda text: [int(w) for w in text.split(",") if w.strip()],
+        default=[1, 2, 4, 8],
+        dest="workers_list",
+        help="comma-separated pool widths to re-time the megakernel mode at "
+             "(empty string skips the sweep)",
+    )
     args = parser.parse_args(argv)
 
     n_chips = 3 * args.chips_per_vendor
@@ -120,8 +139,23 @@ def main(argv=None) -> int:
     )
     speedup = fleet_s / mk_s
 
+    worker_sweep = {}
+    for workers in args.workers_list:
+        start = time.perf_counter()
+        sweep_summary = run_campaign(
+            args.chips_per_vendor, args.chips_per_unit, True, workers=workers
+        )
+        elapsed = time.perf_counter() - start
+        worker_sweep[str(workers)] = {
+            "seconds": elapsed,
+            "chips_per_s": n_chips / elapsed,
+            "equivalent": sweep_summary == summary,
+        }
+        equivalent = equivalent and sweep_summary == summary
+
     result = {
         "benchmark": "fleet_megakernel",
+        "host": host_stamp(workers=WORKERS),
         "config": {
             "chips": n_chips,
             "chips_per_vendor": args.chips_per_vendor,
@@ -145,24 +179,30 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "equivalent": equivalent,
         "measured_chips": summary.n_chips,
+        "worker_sweep": worker_sweep,
     }
     args.out.write_text(json.dumps(result, indent=2) + "\n")
 
-    report = "\n".join(
-        [
-            "Megakernel campaign: per-condition fleet vs shared-memory grid",
-            f"  workload    : {n_chips} chips (3 vendors x {args.chips_per_vendor}), "
-            f"{GEOMETRY.capacity_gigabits:g} Gbit each, "
-            f"{len(INTERVALS_S)} intervals + {len(TEMPERATURES_C) - 1} extra temperature, "
-            f"{ITERATIONS} iterations",
-            f"  execution   : {WORKERS} workers, fleet chunks of {args.chips_per_unit}",
-            f"  fleet       : {fleet_s:.3f}s  ({n_chips / fleet_s:,.1f} chips/s)",
-            f"  megakernel  : {mk_s:.3f}s  ({n_chips / mk_s:,.1f} chips/s)",
-            f"  speedup     : {speedup:.2f}x",
-            f"  byte-identical summaries: {equivalent}",
-            f"  json        : {args.out}",
-        ]
-    )
+    report_lines = [
+        "Megakernel campaign: per-condition fleet vs shared-memory grid",
+        f"  workload    : {n_chips} chips (3 vendors x {args.chips_per_vendor}), "
+        f"{GEOMETRY.capacity_gigabits:g} Gbit each, "
+        f"{len(INTERVALS_S)} intervals + {len(TEMPERATURES_C) - 1} extra temperature, "
+        f"{ITERATIONS} iterations",
+        f"  host        : {cpu_count()} cores, {WORKERS} default workers, "
+        f"fleet chunks of {args.chips_per_unit}",
+        f"  fleet       : {fleet_s:.3f}s  ({n_chips / fleet_s:,.1f} chips/s)",
+        f"  megakernel  : {mk_s:.3f}s  ({n_chips / mk_s:,.1f} chips/s)",
+        f"  speedup     : {speedup:.2f}x",
+        f"  byte-identical summaries: {equivalent}",
+    ]
+    for workers, row in worker_sweep.items():
+        report_lines.append(
+            f"  megakernel @ {workers:>2} workers: {row['seconds']:.3f}s  "
+            f"({row['chips_per_s']:,.1f} chips/s)"
+        )
+    report_lines.append(f"  json        : {args.out}")
+    report = "\n".join(report_lines)
     REPORT_PATH.parent.mkdir(exist_ok=True)
     REPORT_PATH.write_text(report + "\n")
     print(report)

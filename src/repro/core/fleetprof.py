@@ -37,6 +37,37 @@ from ..patterns import STANDARD_PATTERNS, DataPattern
 #: partition the stream exactly like the per-read draws they replace.
 _MEGAKERNEL_UNIFORM_CAP_BYTES = 128 * 1024 * 1024
 
+#: Block size of the draw-and-discard fallback in
+#: :func:`advance_uniform_doubles` (bounds the scratch allocation).
+_ADVANCE_BLOCK = 1 << 18
+
+
+def advance_uniform_doubles(rng: np.random.Generator, count: int) -> None:
+    """Advance ``rng`` exactly as ``count`` uniform float64 draws would.
+
+    ``Generator.random(dtype=np.float64)`` consumes one 64-bit output of
+    the underlying bit generator per double, so for bit generators that
+    expose ``advance`` (PCG64, the :func:`repro.rng.derive` default) the
+    seek is O(1) state arithmetic instead of O(count) generation -- the
+    primitive :meth:`FleetProfiler.seek_grid` builds tile entry states
+    from.  A generator holding a buffered 32-bit half-word
+    (``has_uint32``) or lacking ``advance`` falls back to drawing and
+    discarding in bounded blocks: same stream position, just slower.
+    ``tests/test_tile_dispatch.py`` pins advance == draw equivalence.
+    """
+    remaining = int(count)
+    if remaining <= 0:
+        return
+    bit_generator = rng.bit_generator
+    advance = getattr(bit_generator, "advance", None)
+    if advance is not None and not bit_generator.state.get("has_uint32", 0):
+        advance(remaining)
+        return
+    while remaining:
+        block = min(remaining, _ADVANCE_BLOCK)
+        rng.random(block)
+        remaining -= block
+
 
 @dataclass(frozen=True)
 class _ReadStep:
@@ -153,6 +184,7 @@ class FleetProfiler:
         fleet: ChipFleet,
         conditions_grid: Sequence[Conditions],
         megakernel: bool = True,
+        tile: Optional[Tuple[int, int]] = None,
     ) -> Tuple[Tuple[FleetChipResult, ...], ...]:
         """Profile every chip at every condition of a grid, fused.
 
@@ -184,6 +216,146 @@ class FleetProfiler:
         interval is validated up front, so an invalid grid entry raises
         before any command executes instead of after the preceding entries
         ran (no partial state, same exception and message).
+
+        ``tile=(start, stop)`` restricts evaluation to the grid's
+        half-open condition slice ``[start, stop)``: conditions before
+        ``start`` are *seeked* past (:meth:`seek_grid` -- the exact
+        entry-state replay, no read evaluation), conditions in the slice
+        are evaluated, and conditions at ``stop`` and beyond are left
+        untouched.  Returned results cover only the slice, in slice
+        order, and each is bit-equal to the matching entry of a full
+        ``run_grid`` over the whole grid.
+        """
+        conditions_grid = tuple(conditions_grid)
+        for conditions in conditions_grid:
+            if conditions.trefi > fleet.max_trefi_s:
+                raise ProfilingError(
+                    f"profiling interval {conditions.trefi!r}s exceeds the fleet's "
+                    f"supported maximum of {fleet.max_trefi_s!r}s"
+                )
+        if tile is not None:
+            start, stop = int(tile[0]), int(tile[1])
+            if not 0 <= start <= stop <= len(conditions_grid):
+                raise ConfigurationError(
+                    f"tile {tile!r} out of range for a "
+                    f"{len(conditions_grid)}-condition grid"
+                )
+            if start:
+                self.seek_grid(fleet, conditions_grid[:start])
+            conditions_grid = conditions_grid[start:stop]
+        if not conditions_grid:
+            return ()
+        if not megakernel:
+            return tuple(self.run(fleet, c) for c in conditions_grid)
+        return self._run_grid_fused(fleet, conditions_grid)
+
+    def _replay_schedule(
+        self, fleet: ChipFleet, conditions_grid: Tuple[Conditions, ...], t: float
+    ) -> Tuple[List[_ReadStep], List[CommandRecord], List[float], float]:
+        """Scalar clock replay of a condition grid starting at time ``t``.
+
+        Returns ``(steps, records, vrt_times, t_final)`` -- every per-step
+        clock value, exposure, and shared trace record the lockstep
+        command methods would have produced, computed with the identical
+        floating-point expressions in the identical order (bit-equal).
+        Shared by the fused evaluator and :meth:`seek_grid`, which is what
+        guarantees a seek lands on exactly the clock trajectory the
+        evaluated prefix would have left behind.
+        """
+        io = fleet._io_seconds
+        max_trefi = fleet._max_trefi_s
+        steps: List[_ReadStep] = []
+        records: List[CommandRecord] = []
+        vrt_times: List[float] = []
+        for ci, conditions in enumerate(conditions_grid):
+            trefi = conditions.trefi
+            for _ in range(self.iterations):
+                for pattern in self.patterns:
+                    t = t + io
+                    t_write = t
+                    t = t + trefi
+                    t_wait = t
+                    exposure = t_wait - t_write
+                    # Tolerate float accumulation error at the exact boundary.
+                    if exposure > max_trefi * (1.0 + 1e-9):
+                        raise ConfigurationError(
+                            f"exposure {exposure:.3f}s exceeds max_trefi_s={max_trefi!r}; "
+                            "construct the chip with a larger max_trefi_s"
+                        )
+                    t = t + io
+                    t_read = t
+                    steps.append(
+                        _ReadStep(
+                            cond=ci,
+                            pattern=pattern,
+                            exposure_s=exposure,
+                            t_write=t_write,
+                            t_wait=t_wait,
+                            t_read=t_read,
+                        )
+                    )
+                    records.append(
+                        CommandRecord(
+                            time=t_write,
+                            command=Command.WRITE_PATTERN,
+                            detail=pattern.key,
+                        )
+                    )
+                    records.append(
+                        CommandRecord(time=t_write, command=Command.REFRESH_DISABLE)
+                    )
+                    records.append(
+                        CommandRecord(
+                            time=t_wait, command=Command.WAIT, detail=f"{trefi:.6f}s"
+                        )
+                    )
+                    records.append(
+                        CommandRecord(time=t_wait, command=Command.REFRESH_ENABLE)
+                    )
+                    records.append(
+                        CommandRecord(
+                            time=t_read,
+                            command=Command.READ_COMPARE,
+                            detail=f"exposure={exposure:.6f}s",
+                        )
+                    )
+                    vrt_times.extend((t_write, t_wait, t_read))
+        return steps, records, vrt_times, t
+
+    def seek_grid(
+        self, fleet: ChipFleet, conditions_grid: Sequence[Conditions]
+    ) -> None:
+        """Advance every chip's state *past* ``conditions_grid`` without
+        evaluating a single read.
+
+        After the call, each chip's clock, trace, refresh state, VRT
+        process, and every RNG stream sit exactly where a full
+        :meth:`run_grid` (or the sequential per-condition walk -- both are
+        draw-for-draw identical) over the grid would have left them, so a
+        subsequent ``run_grid`` over later conditions produces bit-equal
+        results.  This is the tile entry-state seek: a condition-tile
+        worker replays its prefix in O(schedule) scalar work plus O(1)
+        RNG stream arithmetic per chip, instead of re-running the
+        prefix's numpy evaluation.
+
+        Draw accounting per chip over the prefix:
+
+        * **read stream** -- ``steps x tail`` uniforms, advanced in one
+          :func:`advance_uniform_doubles` call;
+        * **DPD stream** -- deterministic patterns draw only on their
+          first-ever excitation (the real ``excite`` call here also fills
+          the model's cache, so the tile's evaluated conditions reuse it
+          without redrawing); standard stochastic writes cost exactly
+          ``4 x tail`` doubles each and collapse into one advance; exotic
+          stochastic patterns replay ``excite`` verbatim;
+        * **VRT stream** -- the same vectorized arrival check as the
+          fused pass (scalar replay fallback on an arrival), minus the
+          RNG-pure failing-cell queries.
+
+        The last write's pattern/alignment arrays are deliberately *not*
+        reconstructed: they are write-only state, unconditionally
+        overwritten by the next condition's first write before any read
+        can observe them.
         """
         conditions_grid = tuple(conditions_grid)
         for conditions in conditions_grid:
@@ -193,10 +365,76 @@ class FleetProfiler:
                     f"supported maximum of {fleet.max_trefi_s!r}s"
                 )
         if not conditions_grid:
-            return ()
-        if not megakernel:
-            return tuple(self.run(fleet, c) for c in conditions_grid)
-        return self._run_grid_fused(fleet, conditions_grid)
+            return
+        chips = fleet.chips
+        population = fleet.population
+        t = fleet._now_all()
+        for chip in chips:
+            if not chip._refresh_enabled:
+                raise CommandSequenceError("refresh is already disabled")
+        with obs.span(
+            "kernel.tile.seek", chips=len(chips), conditions=len(conditions_grid)
+        ):
+            steps, records, vrt_times, t_final = self._replay_schedule(
+                fleet, conditions_grid, t
+            )
+
+            # DPD stream: walk the writes in order so cached/advanced/
+            # replayed draws interleave exactly like the evaluated pass.
+            dpds = tuple(chip.population.dpd for chip in chips)
+            batch_ok = all(d.models_orientation for d in dpds)
+            cache = dpds[0]._cached
+            pending_writes = 0
+
+            def flush() -> None:
+                nonlocal pending_writes
+                if pending_writes:
+                    for dpd in dpds:
+                        advance_uniform_doubles(
+                            dpd._rng, 4 * dpd.n_cells * pending_writes
+                        )
+                    pending_writes = 0
+
+            for step in steps:
+                pattern = step.pattern
+                if pattern.stochastic:
+                    if (
+                        batch_ok
+                        and pattern.name == "random"
+                        and pattern.alignment_beta == (2.0, 2.0)
+                    ):
+                        pending_writes += 1
+                    else:
+                        flush()
+                        for dpd in dpds:
+                            dpd.excite(pattern)
+                elif pattern.key not in cache:
+                    flush()
+                    for dpd in dpds:
+                        dpd.excite(pattern)
+            flush()
+
+            # VRT: the batched arrival check consumes the stream exactly
+            # like the scalar walk; a chip that draws an arrival replays
+            # the schedule scalar (queries are RNG-pure -- skipped).
+            schedule = np.asarray(vrt_times, dtype=np.float64)
+            for chip in chips:
+                if not chip.vrt.advance_schedule(schedule, chip._temperature_c):
+                    for step in steps:
+                        chip.vrt.advance_to(step.t_write, chip._temperature_c)
+                        chip.vrt.advance_to(step.t_wait, chip._temperature_c)
+                        chip.vrt.advance_to(step.t_read, chip._temperature_c)
+
+            # Read streams + per-chip end state (clock, trace, refresh).
+            n_rows = len(steps)
+            for i, chip in enumerate(chips):
+                start, end = population.segment(i)
+                advance_uniform_doubles(chip.read_rng, n_rows * (end - start))
+                chip.clock._now = t_final
+                chip.trace.records.extend(records)
+                chip._refresh_enabled = True
+                chip._disable_time = None
+                chip._frozen_exposure = 0.0
 
     def _run_grid_fused(
         self, fleet: ChipFleet, conditions_grid: Tuple[Conditions, ...]
@@ -222,63 +460,9 @@ class FleetProfiler:
         # evaluate, in the same order, so every value is bit-equal.
         # ------------------------------------------------------------------
         with obs.span("kernel.schedule_replay", chips=n_chips, conditions=len(conditions_grid)):
-            steps: List[_ReadStep] = []
-            records: List[CommandRecord] = []
-            vrt_times: List[float] = []
-            for ci, conditions in enumerate(conditions_grid):
-                trefi = conditions.trefi
-                for _ in range(self.iterations):
-                    for pattern in self.patterns:
-                        t = t + io
-                        t_write = t
-                        t = t + trefi
-                        t_wait = t
-                        exposure = t_wait - t_write
-                        # Tolerate float accumulation error at the exact boundary.
-                        if exposure > max_trefi * (1.0 + 1e-9):
-                            raise ConfigurationError(
-                                f"exposure {exposure:.3f}s exceeds max_trefi_s={max_trefi!r}; "
-                                "construct the chip with a larger max_trefi_s"
-                            )
-                        t = t + io
-                        t_read = t
-                        steps.append(
-                            _ReadStep(
-                                cond=ci,
-                                pattern=pattern,
-                                exposure_s=exposure,
-                                t_write=t_write,
-                                t_wait=t_wait,
-                                t_read=t_read,
-                            )
-                        )
-                        records.append(
-                            CommandRecord(
-                                time=t_write,
-                                command=Command.WRITE_PATTERN,
-                                detail=pattern.key,
-                            )
-                        )
-                        records.append(
-                            CommandRecord(time=t_write, command=Command.REFRESH_DISABLE)
-                        )
-                        records.append(
-                            CommandRecord(
-                                time=t_wait, command=Command.WAIT, detail=f"{trefi:.6f}s"
-                            )
-                        )
-                        records.append(
-                            CommandRecord(time=t_wait, command=Command.REFRESH_ENABLE)
-                        )
-                        records.append(
-                            CommandRecord(
-                                time=t_read,
-                                command=Command.READ_COMPARE,
-                                detail=f"exposure={exposure:.6f}s",
-                            )
-                        )
-                        vrt_times.extend((t_write, t_wait, t_read))
-        t_final = t
+            steps, records, vrt_times, t_final = self._replay_schedule(
+                fleet, conditions_grid, t
+            )
         n_rows = len(steps)
 
         # ------------------------------------------------------------------

@@ -103,6 +103,11 @@ class CampaignJobSpec:
     #: Condition-grid megakernel fusion in fleet workers.  Execution knob
     #: only -- byte-identical results either way.
     megakernel: bool = True
+    #: Condition tiles per fleet chunk (``None`` = chunk dispatch, ``0``
+    #: = auto-size from the worker count, ``N`` = explicit).  Execution
+    #: knob only -- byte-identical results for any tiling; requires the
+    #: fleet path.
+    condition_tiles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.chips_per_vendor <= 0:
@@ -127,6 +132,15 @@ class CampaignJobSpec:
             raise ConfigurationError(
                 "shared_population requires chips_per_unit > 1 (the fleet path)"
             )
+        if self.condition_tiles is not None:
+            if self.condition_tiles < 0:
+                raise ConfigurationError(
+                    "condition_tiles must be >= 0 (0 = auto)"
+                )
+            if self.chips_per_unit is None or self.chips_per_unit <= 1:
+                raise ConfigurationError(
+                    "condition_tiles requires chips_per_unit > 1 (the fleet path)"
+                )
 
     # ------------------------------------------------------------------
     def to_json_dict(self) -> Dict[str, Any]:
@@ -143,6 +157,7 @@ class CampaignJobSpec:
             "workers": self.workers,
             "shared_population": self.shared_population,
             "megakernel": self.megakernel,
+            "condition_tiles": self.condition_tiles,
         }
 
     @classmethod
@@ -170,7 +185,7 @@ class CampaignJobSpec:
             kwargs["intervals_s"] = tuple(float(t) for t in data["intervals_s"])
         if "temperatures_c" in data:
             kwargs["temperatures_c"] = tuple(float(t) for t in data["temperatures_c"])
-        for key in ("chips_per_unit", "workers"):
+        for key in ("chips_per_unit", "workers", "condition_tiles"):
             if key in data and data[key] is not None:
                 kwargs[key] = int(data[key])
         if data.get("fast_path") is not None:

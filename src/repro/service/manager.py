@@ -652,8 +652,13 @@ class JobManager:
             layer.tracer.context = job.trace
         self.plane.register_job(job.job_id, job.tenant, layer)
 
+        # Tile-dispatch runs report per-chunk tile completion out of band
+        # from the unit tracker; both callbacks rebuild the progress dict
+        # wholesale, so each re-merges the other's latest contribution.
+        tiles_state: Dict[str, Any] = {}
+
         def progress(result, tracker):
-            job.record.progress = {
+            snapshot = {
                 "total": tracker.total,
                 "completed": tracker.completed,
                 "succeeded": tracker.succeeded,
@@ -663,7 +668,17 @@ class JobManager:
                 "eta_s": tracker.eta_seconds,
                 "elapsed_s": tracker.elapsed_seconds,
             }
+            if tiles_state:
+                snapshot["tiles"] = dict(tiles_state)
+            job.record.progress = snapshot
             self.plane.note_unit(job.job_id, result.elapsed_s, result.status)
+
+        def tile_progress(info):
+            tiles_state.clear()
+            tiles_state.update(info)
+            merged = dict(job.record.progress)
+            merged["tiles"] = dict(tiles_state)
+            job.record.progress = merged
 
         try:
             summary = campaign.run(
@@ -677,6 +692,10 @@ class JobManager:
                 chips_per_unit=spec.chips_per_unit,
                 shared_population=spec.shared_population,
                 megakernel=spec.megakernel,
+                condition_tiles=spec.condition_tiles,
+                tile_progress=(
+                    tile_progress if spec.condition_tiles is not None else None
+                ),
                 should_stop=job.stop.is_set,
                 observability=layer,
             )

@@ -1,0 +1,824 @@
+"""The tile-sharded megakernel: (chips x conditions) plane dispatch.
+
+Tile dispatch carries the same contract as every other fleet
+optimization -- byte-identical results, just more schedulable -- plus an
+exact-reduction obligation of its own.  The tests here pin
+
+* :func:`repro.core.fleetprof.advance_uniform_doubles` advances a PCG64
+  stream to exactly the state ``count`` uniform-double draws reach,
+  including the buffered-half-word fallback;
+* :meth:`~repro.core.fleetprof.FleetProfiler.seek_grid` lands every chip
+  on the identical clock / trace / RNG / VRT state a full evaluated
+  sweep reaches, for stochastic and deterministic patterns and with the
+  vectorized VRT fast path forced off;
+* ``run_grid(tile=...)`` equals the matching slice of a full sweep with
+  matching end states, fused and sequential;
+* the tile plan helpers (:func:`condition_plan`, :func:`tile_bounds`,
+  :func:`auto_condition_tiles`, :func:`build_tile_units`) produce exact
+  covers with deterministic cost-descending order;
+* campaign summaries are byte-identical across serial, chunk, and tile
+  dispatch at 1, 2, and 8 workers, and tile / chunk / per-chip runs
+  resume each other's run directories (including mid-run interrupts);
+* :func:`merge_tile_counts` is order-independent and refuses overlaps
+  and gaps instead of summing them into silently wrong totals;
+* the cost-aware :class:`repro.runner.executors.CostWindow` reproduces
+  the legacy fixed 4x window for homogeneous unit costs and adapts at
+  the extremes;
+* tile completion is observable: ``kernel.tile.*`` metrics, the
+  ``tile_progress`` feed, and the ``repro top`` TILES column.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.analysis.campaign import CharacterizationCampaign
+from repro.conditions import Conditions
+from repro.core.fleetprof import FleetProfiler, advance_uniform_doubles
+from repro.dram.geometry import ChipGeometry
+from repro.dram.vendor import VENDOR_A, VENDOR_B
+from repro.errors import ConfigurationError
+from repro.infra.testbed import FleetBed
+from repro.obs import Observability
+from repro.obs.top import render_frame
+from repro.runner import (
+    CostWindow,
+    UnitResult,
+    auto_condition_tiles,
+    build_chip_units,
+    build_tile_units,
+    condition_plan,
+    fleet_tile_dispatch,
+    merge_tile_counts,
+    tile_bounds,
+    unit_cost,
+)
+from repro.runner.units import STATUS_FAILED, STATUS_OK, UnitFailure, WorkUnit
+
+from conftest import TEST_SEED
+
+MICRO = ChipGeometry.from_capacity_gigabits(1.0 / 64.0)
+MEMBERS = [(0, VENDOR_B), (1, VENDOR_B), (2, VENDOR_A)]
+
+CAMPAIGN_KW = dict(intervals_s=(0.256, 0.512, 1.024), temperatures_c=(45.0, 55.0))
+
+
+# ----------------------------------------------------------------------
+# RNG stream seek primitive
+# ----------------------------------------------------------------------
+class TestAdvanceUniformDoubles:
+    @pytest.mark.parametrize("count", [0, 1, 7, 1000])
+    def test_advance_equals_draws(self, count):
+        drawn = rng_mod.derive(TEST_SEED, "advance-pin", 0)
+        seeked = rng_mod.derive(TEST_SEED, "advance-pin", 0)
+        drawn.random(count) if count else None
+        advance_uniform_doubles(seeked, count)
+        state = seeked.bit_generator.state
+        assert state == drawn.bit_generator.state
+        # And the next draw agrees, not just the opaque state blob.
+        assert seeked.random() == drawn.random()
+
+    def test_buffered_half_word_falls_back_to_draws(self):
+        """A generator holding a buffered 32-bit half (from a float32 or
+        uint32 draw) cannot use O(1) ``advance``; the fallback must still
+        land on the drawn-past state."""
+        drawn = rng_mod.derive(TEST_SEED, "advance-buf", 0)
+        seeked = rng_mod.derive(TEST_SEED, "advance-buf", 0)
+        drawn.random(3, dtype=np.float32)
+        seeked.random(3, dtype=np.float32)
+        assert seeked.bit_generator.state.get("has_uint32", 0)
+        drawn.random(257)
+        advance_uniform_doubles(seeked, 257)
+        assert seeked.bit_generator.state == drawn.bit_generator.state
+
+    def test_large_count_is_fast(self):
+        rng = rng_mod.derive(TEST_SEED, "advance-big", 0)
+        t0 = time.monotonic()
+        advance_uniform_doubles(rng, 10**15)
+        assert time.monotonic() - t0 < 1.0  # O(1), not O(count)
+
+
+# ----------------------------------------------------------------------
+# seek_grid / run_grid(tile=...)
+# ----------------------------------------------------------------------
+def fresh_fleet(fast_path=None):
+    bed = FleetBed.build(
+        members=MEMBERS, geometry=MICRO, seed=TEST_SEED, fast_path=fast_path
+    )
+    bed.set_ambient(45.0)
+    from repro.dram.fleet import ChipFleet
+
+    return ChipFleet(bed.chips)
+
+
+def chip_end_state(fleet):
+    states = []
+    for chip in fleet.chips:
+        states.append(
+            (
+                chip.clock.now,
+                chip.read_rng.bit_generator.state,
+                chip.vrt._rng.bit_generator.state,
+                len(chip.trace.records),
+            )
+        )
+    return states
+
+
+GRID = (
+    Conditions(0.256, temperature=45.0),
+    Conditions(0.512, temperature=45.0),
+    Conditions(1.024, temperature=45.0),
+    Conditions(2.048, temperature=45.0),
+)
+
+
+class TestSeekGrid:
+    def test_seek_matches_evaluated_sweep(self):
+        profiler = FleetProfiler(iterations=2)
+        ref = fresh_fleet()
+        profiler.run_grid(ref, GRID)
+        seeked = fresh_fleet()
+        profiler.seek_grid(seeked, GRID)
+        assert chip_end_state(seeked) == chip_end_state(ref)
+        for a, b in zip(seeked.chips, ref.chips):
+            assert a.trace.records == b.trace.records
+
+    def test_seek_matches_with_vectorized_vrt_disabled(self, monkeypatch):
+        """Force the VRT vectorized advance to refuse, exercising the
+        scalar per-step fallback; end states must not change."""
+        from repro.dram import vrt as vrt_mod
+
+        profiler = FleetProfiler(iterations=1)
+        ref = fresh_fleet()
+        profiler.run_grid(ref, GRID[:2])
+        monkeypatch.setattr(
+            vrt_mod.VRTProcess,
+            "advance_schedule",
+            lambda self, times, temp: False,
+            raising=True,
+        )
+        seeked = fresh_fleet()
+        profiler.seek_grid(seeked, GRID[:2])
+        assert chip_end_state(seeked) == chip_end_state(ref)
+
+    def test_seek_is_resumable_mid_plan(self):
+        """seek(prefix) then run(suffix) equals run(full) -- the exact
+        shape measure_fleet_tile uses across a temperature boundary."""
+        profiler = FleetProfiler(iterations=2)
+        ref = fresh_fleet()
+        full = profiler.run_grid(ref, GRID)
+        tiled = fresh_fleet()
+        profiler.seek_grid(tiled, GRID[:2])
+        tail = profiler.run_grid(tiled, GRID[2:])
+        assert tail == full[2:]
+        assert chip_end_state(tiled) == chip_end_state(ref)
+
+    def test_empty_seek_is_a_no_op(self):
+        profiler = FleetProfiler(iterations=1)
+        fleet = fresh_fleet()
+        before = chip_end_state(fleet)
+        profiler.seek_grid(fleet, ())
+        assert chip_end_state(fleet) == before
+
+
+class TestRunGridTile:
+    @pytest.mark.parametrize("megakernel", [True, False])
+    @pytest.mark.parametrize("tile", [(0, 4), (0, 2), (1, 3), (3, 4), (2, 2)])
+    def test_tile_equals_slice_of_full_run(self, tile, megakernel):
+        profiler = FleetProfiler(iterations=2)
+        full = profiler.run_grid(fresh_fleet(), GRID, megakernel=megakernel)
+        start, stop = tile
+        got = profiler.run_grid(
+            fresh_fleet(), GRID, megakernel=megakernel, tile=tile
+        )
+        assert got == full[start:stop]
+
+    def test_tile_end_state_matches_prefix_of_full(self):
+        """After run_grid(tile=(1, 3)) the fleet sits exactly where a
+        3-condition evaluated sweep leaves it (prefix seeked, middle
+        evaluated, tail untouched)."""
+        profiler = FleetProfiler(iterations=2)
+        ref = fresh_fleet()
+        profiler.run_grid(ref, GRID[:3])
+        tiled = fresh_fleet()
+        profiler.run_grid(tiled, GRID, tile=(1, 3))
+        assert chip_end_state(tiled) == chip_end_state(ref)
+
+    @pytest.mark.parametrize("tile", [(-1, 2), (0, 9), (3, 1)])
+    def test_bad_tile_bounds_are_refused(self, tile):
+        profiler = FleetProfiler(iterations=1)
+        with pytest.raises(ConfigurationError):
+            profiler.run_grid(fresh_fleet(), GRID, tile=tile)
+
+
+# ----------------------------------------------------------------------
+# Tile plan helpers
+# ----------------------------------------------------------------------
+class TestTilePlan:
+    def test_condition_plan_order(self):
+        plan = condition_plan((0.5, 1.0, 2.0), (45.0, 55.0, 70.0))
+        assert plan == (
+            (0.5, 45.0),
+            (1.0, 45.0),
+            (2.0, 45.0),
+            (2.0, 55.0),
+            (2.0, 70.0),
+        )
+
+    def test_tile_bounds_exact_cover(self):
+        for n in (1, 2, 5, 7, 16):
+            for tiles in (1, 2, 3, 8, 50):
+                bounds = tile_bounds(n, tiles)
+                assert bounds[0][0] == 0 and bounds[-1][1] == n
+                assert all(a[1] == b[0] for a, b in zip(bounds, bounds[1:]))
+                assert all(stop > start for start, stop in bounds)
+                sizes = [stop - start for start, stop in bounds]
+                assert max(sizes) - min(sizes) <= 1
+                assert len(bounds) == min(tiles, n)
+
+    def test_auto_tiles_scales_with_workers_and_caps(self):
+        # One worker, one chunk: enough tiles to fill the plan, max 8.
+        assert auto_condition_tiles(6, 1, 1) == 6
+        # Many chunks per worker already: minimal tiling.
+        assert auto_condition_tiles(6, 64, 2) == 1
+        # Few chunks, many workers: capped at 8 and at the plan size.
+        assert auto_condition_tiles(100, 1, 8) == 8
+        assert auto_condition_tiles(4, 1, 8) == 4
+
+    def test_build_tile_units_cover_and_order(self):
+        units = build_chip_units(
+            chips_per_vendor=2,
+            geometry=MICRO,
+            iterations=1,
+            seed=TEST_SEED,
+            intervals_s=CAMPAIGN_KW["intervals_s"],
+            temperatures_c=CAMPAIGN_KW["temperatures_c"],
+        )
+        tiles = build_tile_units(units, chips_per_unit=3, condition_tiles=2)
+        n_chunks = -(-len(units) // 3)
+        assert len(tiles) == n_chunks * 2
+        # Deterministic cost-descending order, exact per-chunk cover.
+        costs = [t.cost for t in tiles]
+        assert costs == sorted(costs, reverse=True)
+        seen = {}
+        for t in tiles:
+            key = t.payload["members"][0]["unit_id"]
+            seen.setdefault(key, []).append(tuple(t.payload["tile"]))
+        n_conditions = len(CAMPAIGN_KW["intervals_s"]) + 1
+        for intervals in seen.values():
+            ordered = sorted(intervals)
+            assert ordered[0][0] == 0 and ordered[-1][1] == n_conditions
+            assert all(a[1] == b[0] for a, b in zip(ordered, ordered[1:]))
+
+    def test_build_tile_units_rejects_nonpositive_tiles(self):
+        with pytest.raises(ConfigurationError):
+            build_tile_units((), chips_per_unit=2, condition_tiles=0)
+
+
+# ----------------------------------------------------------------------
+# Exact reduction
+# ----------------------------------------------------------------------
+def tiny_members(n_chips=2):
+    units = build_chip_units(
+        chips_per_vendor=1,
+        geometry=MICRO,
+        iterations=1,
+        seed=TEST_SEED,
+        intervals_s=(0.512, 1.024),
+        temperatures_c=(45.0, 55.0),
+        vendor_names=("A", "B"),
+    )[:n_chips]
+    return [{"unit_id": u.unit_id, "payload": u.payload} for u in units]
+
+
+def tile_value(members, pairs):
+    return {
+        "chips": [
+            {
+                "unit_id": m["unit_id"],
+                "counts": [[c, float(v) + i] for c, v in pairs],
+            }
+            for i, m in enumerate(members)
+        ]
+    }
+
+
+class TestMergeTileCounts:
+    def test_order_independent(self):
+        members = tiny_members()
+        a = tile_value(members, [(0, 3), (1, 5)])
+        b = tile_value(members, [(2, 7)])
+        assert merge_tile_counts(members, [a, b]) == merge_tile_counts(
+            members, [b, a]
+        )
+
+    def test_overlap_is_refused(self):
+        members = tiny_members()
+        a = tile_value(members, [(0, 3), (1, 5)])
+        b = tile_value(members, [(1, 9), (2, 7)])
+        with pytest.raises(ConfigurationError, match="two tiles"):
+            merge_tile_counts(members, [a, b])
+
+    def test_gap_is_refused(self):
+        members = tiny_members()
+        a = tile_value(members, [(0, 3)])
+        b = tile_value(members, [(2, 7)])
+        with pytest.raises(ConfigurationError, match="gaps"):
+            merge_tile_counts(members, [a, b])
+
+    def test_member_mismatch_is_refused(self):
+        members = tiny_members()
+        a = tile_value(list(reversed(members)), [(0, 3), (1, 5), (2, 7)])
+        with pytest.raises(ConfigurationError, match="members"):
+            merge_tile_counts(members, [a])
+
+
+class TestDispatchExpand:
+    def make_dispatch_and_tiles(self, **kwargs):
+        dispatch = fleet_tile_dispatch(chips_per_unit=2, condition_tiles=2, **kwargs)
+        units = build_chip_units(
+            chips_per_vendor=1,
+            geometry=MICRO,
+            iterations=1,
+            seed=TEST_SEED,
+            intervals_s=(0.512, 1.024),
+            temperatures_c=(45.0, 55.0),
+            vendor_names=("A", "B"),
+        )
+        tiles = dispatch.group(tuple(units))
+        return dispatch, tiles
+
+    def ok_result(self, unit):
+        start, stop = unit.payload["tile"]
+        members = unit.payload["members"]
+        pairs = [(c, 10 * c) for c in range(start, stop)]
+        return UnitResult(
+            unit_id=unit.unit_id,
+            status=STATUS_OK,
+            value=tile_value(members, pairs),
+            elapsed_s=0.25,
+        )
+
+    def test_partial_group_withholds_results(self):
+        dispatch, tiles = self.make_dispatch_and_tiles()
+        assert len(tiles) == 2  # one 2-chip chunk x two tiles
+        assert dispatch.expand(tiles[0], self.ok_result(tiles[0])) == ()
+        expanded = dispatch.expand(tiles[1], self.ok_result(tiles[1]))
+        assert [r.unit_id for r in expanded] == [
+            m["unit_id"] for m in tiles[0].payload["members"]
+        ]
+        assert all(r.ok for r in expanded)
+        value = expanded[0].value
+        assert set(value) == {
+            "chip_id",
+            "vendor",
+            "interval_failures",
+            "temperature_failures",
+        }
+        # Finalize after a complete drain reports nothing dropped.
+        assert dispatch.finalize() == ()
+
+    def test_failed_tile_fails_the_whole_chunk(self):
+        dispatch, tiles = self.make_dispatch_and_tiles()
+        dispatch.expand(tiles[0], self.ok_result(tiles[0]))
+        boom = UnitFailure(type="RuntimeError", message="boom", traceback="")
+        failed = UnitResult(
+            unit_id=tiles[1].unit_id, status=STATUS_FAILED, error=boom
+        )
+        expanded = dispatch.expand(tiles[1], failed)
+        assert len(expanded) == 2
+        assert all(r.status == STATUS_FAILED and r.error == boom for r in expanded)
+
+    def test_metrics_and_progress_feed(self):
+        layer = Observability()
+        seen = []
+        dispatch, tiles = self.make_dispatch_and_tiles(
+            observability=layer, on_tile=seen.append
+        )
+        for unit in tiles:
+            dispatch.expand(unit, self.ok_result(unit))
+        names = {row["name"] for row in layer.snapshot()}
+        assert {
+            "kernel.tile.plan",
+            "kernel.tile.open",
+            "kernel.tile.completed",
+            "kernel.tile.seconds",
+            "kernel.tile.oldest_open_s",
+        } <= names
+        completed = next(
+            row
+            for row in layer.snapshot()
+            if row["name"] == "kernel.tile.completed"
+        )
+        assert completed["value"] == len(tiles)
+        assert [s["done"] for s in seen] == list(range(1, len(tiles) + 1))
+        assert all(s["total"] == len(tiles) for s in seen)
+        assert seen[-1]["open_groups"] == 0
+
+
+# ----------------------------------------------------------------------
+# Campaign byte-identity and resume
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def campaign():
+    return CharacterizationCampaign(
+        chips_per_vendor=2, geometry=MICRO, iterations=1, seed=TEST_SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_summary(campaign):
+    return campaign.run(**CAMPAIGN_KW)
+
+
+def summary_bytes(summary):
+    return json.dumps(summary.to_json_dict(), sort_keys=True)
+
+
+class TestCampaignIdentity:
+    @pytest.mark.parametrize("tiles", [1, 2, 4, 99, 0])
+    def test_tile_counts_match_serial(self, campaign, serial_summary, tiles):
+        tiled = campaign.run(chips_per_unit=2, condition_tiles=tiles, **CAMPAIGN_KW)
+        assert summary_bytes(tiled) == summary_bytes(serial_summary)
+
+    def test_sequential_kernel_tiles_match_serial(self, campaign, serial_summary):
+        tiled = campaign.run(
+            chips_per_unit=2, condition_tiles=3, megakernel=False, **CAMPAIGN_KW
+        )
+        assert summary_bytes(tiled) == summary_bytes(serial_summary)
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_pooled_tiles_match_serial(self, campaign, serial_summary, workers):
+        pooled = campaign.run(
+            backend="process",
+            workers=workers,
+            chips_per_unit=2,
+            condition_tiles=2,
+            **CAMPAIGN_KW,
+        )
+        assert summary_bytes(pooled) == summary_bytes(serial_summary)
+
+    def test_condition_tiles_requires_fleet_path(self, campaign):
+        with pytest.raises(ConfigurationError):
+            campaign.run(condition_tiles=2, **CAMPAIGN_KW)
+        with pytest.raises(ConfigurationError):
+            campaign.run(chips_per_unit=1, condition_tiles=2, **CAMPAIGN_KW)
+        with pytest.raises(ConfigurationError):
+            campaign.run(chips_per_unit=2, condition_tiles=-1, **CAMPAIGN_KW)
+
+    def test_manifest_records_tiling_but_not_in_fingerprint(
+        self, campaign, serial_summary, tmp_path
+    ):
+        run_a = tmp_path / "tiled"
+        campaign.run(
+            run_dir=str(run_a), chips_per_unit=2, condition_tiles=2, **CAMPAIGN_KW
+        )
+        manifest = json.loads((run_a / "manifest.json").read_text())
+        assert manifest["condition_tiles"] == 2
+        # The same directory resumes under chunk dispatch: tiling is
+        # execution geometry, not campaign identity.
+        resumed = campaign.run(
+            run_dir=str(run_a), resume=True, chips_per_unit=3, **CAMPAIGN_KW
+        )
+        assert summary_bytes(resumed) == summary_bytes(serial_summary)
+
+    def test_spec_diff_names_geometry_on_real_mismatch(self, campaign, tmp_path):
+        run_dir = tmp_path / "run"
+        campaign.run(
+            run_dir=str(run_dir), chips_per_unit=2, condition_tiles=2, **CAMPAIGN_KW
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            campaign.run(
+                run_dir=str(run_dir),
+                resume=True,
+                chips_per_unit=2,
+                condition_tiles=4,
+                intervals_s=(0.256, 0.512),
+                temperatures_c=CAMPAIGN_KW["temperatures_c"],
+            )
+        message = str(excinfo.value)
+        assert "intervals_s" in message
+        assert "condition_tiles" in message
+
+
+class TestCrossModeResume:
+    def truncate_results(self, run_dir, keep):
+        results_path = Path(run_dir) / "results.jsonl"
+        rows = results_path.read_text().splitlines()
+        assert len(rows) > keep
+        results_path.write_text("\n".join(rows[:keep]) + "\n")
+
+    def test_tile_run_resumes_under_chunk_dispatch(
+        self, campaign, serial_summary, tmp_path
+    ):
+        run_dir = str(tmp_path / "run")
+        campaign.run(
+            run_dir=run_dir, chips_per_unit=2, condition_tiles=2, **CAMPAIGN_KW
+        )
+        self.truncate_results(run_dir, keep=2)
+        resumed = campaign.run(
+            run_dir=run_dir, resume=True, chips_per_unit=3, **CAMPAIGN_KW
+        )
+        assert summary_bytes(resumed) == summary_bytes(serial_summary)
+
+    def test_chunk_run_resumes_under_tile_dispatch(
+        self, campaign, serial_summary, tmp_path
+    ):
+        run_dir = str(tmp_path / "run")
+        campaign.run(run_dir=run_dir, chips_per_unit=3, **CAMPAIGN_KW)
+        self.truncate_results(run_dir, keep=1)
+        resumed = campaign.run(
+            run_dir=run_dir, resume=True, chips_per_unit=2, condition_tiles=3,
+            **CAMPAIGN_KW,
+        )
+        assert summary_bytes(resumed) == summary_bytes(serial_summary)
+
+    def test_interrupted_tile_run_resumes_identically(
+        self, campaign, serial_summary, tmp_path
+    ):
+        """A cooperative stop mid-tile-plan withholds partially merged
+        chunks; the resume re-runs exactly those chips and the final
+        summary is byte-identical."""
+        run_dir = str(tmp_path / "run")
+        seen = []
+        campaign.run(
+            run_dir=run_dir,
+            chips_per_unit=2,
+            condition_tiles=2,
+            progress=lambda result, tracker: seen.append(result.unit_id),
+            should_stop=lambda: len(seen) >= 2,
+            **CAMPAIGN_KW,
+        )
+        rows = (Path(run_dir) / "results.jsonl").read_text().splitlines()
+        assert 0 < len(rows) < 4  # partial frontier persisted
+        resumed = campaign.run(
+            run_dir=run_dir,
+            resume=True,
+            chips_per_unit=2,
+            condition_tiles=4,
+            **CAMPAIGN_KW,
+        )
+        assert summary_bytes(resumed) == summary_bytes(serial_summary)
+
+
+KILL9_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    from repro.analysis.campaign import CharacterizationCampaign
+    from repro.dram.geometry import ChipGeometry
+
+    run_dir = sys.argv[1]
+    campaign = CharacterizationCampaign(
+        chips_per_vendor=2,
+        geometry=ChipGeometry.from_capacity_gigabits(1.0 / 64.0),
+        iterations=1,
+        seed=1234,
+    )
+
+    def progress(result, tracker):
+        print("UNIT", result.unit_id, flush=True)
+
+    campaign.run(
+        intervals_s=(0.256, 0.512, 1.024),
+        temperatures_c=(45.0, 55.0),
+        run_dir=run_dir,
+        chips_per_unit=2,
+        condition_tiles=2,
+        progress=progress,
+    )
+    print("DONE", flush=True)
+    """
+)
+
+
+@pytest.mark.slow
+def test_kill9_mid_tile_resumes_identically(campaign, serial_summary, tmp_path):
+    """SIGKILL between tiles of a chunk: the run directory holds only
+    fully merged chips, and a resume under a *different* tiling finishes
+    the rest byte-identically."""
+    run_dir = tmp_path / "run"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", KILL9_SCRIPT, str(run_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 120.0
+    saw_unit = False
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("UNIT"):
+            saw_unit = True
+            break
+        if line == "" and proc.poll() is not None:
+            break
+    assert saw_unit, "child never made progress"
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=30)
+    proc.stdout.close()
+    proc.stderr.close()
+
+    resumed = campaign.run(
+        run_dir=str(run_dir),
+        resume=True,
+        chips_per_unit=3,
+        condition_tiles=4,
+        **CAMPAIGN_KW,
+    )
+    assert summary_bytes(resumed) == summary_bytes(serial_summary)
+
+
+# ----------------------------------------------------------------------
+# Cost-aware submission window
+# ----------------------------------------------------------------------
+class TestCostWindow:
+    def drain(self, window, costs):
+        """Admit greedily; returns the high-water in-flight count."""
+        high = 0
+        for cost in costs:
+            assert window.admit(cost)
+            high = max(high, window.inflight)
+        return high
+
+    def test_homogeneous_costs_reproduce_the_legacy_window(self):
+        for pool in (1, 2, 4, 8):
+            for cost in (0.5, 1.0, 400.0):
+                window = CostWindow(pool, [cost] * 64)
+                admitted = 0
+                while window.admit(cost):
+                    admitted += 1
+                assert admitted == 4 * pool  # the old fixed max(1, 4*pool)
+
+    def test_huge_units_floor_at_pool_plus_one(self):
+        window = CostWindow(4, [1.0, 1.0, 1.0, 1000.0, 1000.0])
+        admitted = 0
+        while window.admit(1000.0):
+            admitted += 1
+        assert admitted == 5  # pool + 1: the pipeline never starves
+
+    def test_tiny_units_cap_at_32x_pool(self):
+        window = CostWindow(2, [100.0] * 10)
+        admitted = 0
+        while window.admit(1e-6):
+            admitted += 1
+        assert admitted == 32 * 2
+
+    def test_complete_frees_budget(self):
+        window = CostWindow(1, [1.0] * 8)
+        while window.admit(1.0):
+            pass
+        assert not window.admit(1.0)
+        window.complete(1.0)
+        assert window.admit(1.0)
+
+    def test_unit_cost_prefers_explicit_cost(self):
+        unit = WorkUnit(unit_id="u", kind="k", payload={}, cost=7.5)
+        assert unit_cost(unit) == 7.5
+        sized = WorkUnit(unit_id="u", kind="k", payload={"x": "y" * 8192})
+        assert unit_cost(sized) > unit_cost(
+            WorkUnit(unit_id="v", kind="k", payload={})
+        )
+
+    def test_cost_is_not_identity(self):
+        """cost is scheduling metadata: units differing only in cost
+        compare equal, so resume fingerprints cannot depend on it."""
+        a = WorkUnit(unit_id="u", kind="k", payload={"p": 1}, cost=1.0)
+        b = WorkUnit(unit_id="u", kind="k", payload={"p": 1}, cost=9.0)
+        assert a == b
+
+    def test_pool_completes_mixed_cost_plan(self, campaign, serial_summary):
+        """End-to-end: the rewritten windowed submission loop drains a
+        heterogeneous tile plan completely and correctly."""
+        pooled = campaign.run(
+            backend="process",
+            workers=2,
+            chips_per_unit=1,
+            **CAMPAIGN_KW,
+        )
+        assert summary_bytes(pooled) == summary_bytes(serial_summary)
+
+
+# ----------------------------------------------------------------------
+# Service spec and repro top
+# ----------------------------------------------------------------------
+class TestServiceSpec:
+    def test_spec_round_trips_condition_tiles(self):
+        from repro.service import CampaignJobSpec
+
+        spec = CampaignJobSpec(chips_per_unit=2, condition_tiles=3)
+        data = spec.to_json_dict()
+        assert data["condition_tiles"] == 3
+        assert CampaignJobSpec.from_json_dict(data) == spec
+        assert CampaignJobSpec.from_json_dict({}).condition_tiles is None
+
+    def test_spec_validates_condition_tiles(self):
+        from repro.service import CampaignJobSpec
+
+        with pytest.raises(ConfigurationError):
+            CampaignJobSpec(chips_per_unit=2, condition_tiles=-1)
+        with pytest.raises(ConfigurationError):
+            CampaignJobSpec(condition_tiles=2)  # needs the fleet path
+
+    def test_tiled_job_matches_blocking_path_and_reports_tiles(self, tmp_path):
+        """End-to-end through the manager: a tile-dispatched job finishes
+        byte-identical to the blocking path and its progress carries the
+        live tiles feed repro top renders."""
+        import asyncio
+
+        from repro.service import DONE, CampaignJobSpec, JobManager
+
+        spec_kwargs = dict(
+            chips_per_vendor=2,
+            capacity_gbit=1.0 / 64.0,
+            iterations=1,
+            intervals_s=(0.256, 0.512, 1.024),
+            temperatures_c=(45.0, 55.0),
+            chips_per_unit=2,
+            condition_tiles=2,
+        )
+
+        async def scenario():
+            manager = JobManager(tmp_path, pool_workers=0, max_running=1)
+            await manager.start()
+            try:
+                record = await manager.submit("acme", CampaignJobSpec(**spec_kwargs))
+                deadline = time.monotonic() + 120.0
+                while manager.job(record.job_id).state != DONE:
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.01)
+                final = manager.job(record.job_id)
+                return final, manager.result(record.job_id)
+            finally:
+                await manager.shutdown()
+
+        final, result = asyncio.run(scenario())
+        tiles = final.progress["tiles"]
+        assert tiles["done"] == tiles["total"] > 0
+        assert tiles["open_groups"] == 0
+
+        spec = {
+            k: v
+            for k, v in spec_kwargs.items()
+            if k not in ("chips_per_unit", "condition_tiles")
+        }
+        from repro.service import CampaignJobSpec as Spec
+
+        baseline = Spec(**spec).build_campaign().run(
+            intervals_s=spec["intervals_s"], temperatures_c=spec["temperatures_c"]
+        )
+        assert json.dumps(result, sort_keys=True) == summary_bytes(baseline)
+
+
+class TestTopTiles:
+    HEALTH = {"status": "ok", "queued": 0, "running": 1}
+
+    def test_render_frame_shows_tile_progress(self):
+        jobs = [
+            {
+                "tenant": "acme",
+                "job_id": "job-000001",
+                "state": "running",
+                "progress": {
+                    "completed": 2,
+                    "total": 6,
+                    "tiles": {
+                        "done": 5,
+                        "total": 12,
+                        "open_groups": 2,
+                        "oldest_open_s": 3.5,
+                    },
+                },
+            }
+        ]
+        frame = render_frame(self.HEALTH, jobs, {}, [])
+        assert "TILES" in frame and "STRAGGLE" in frame
+        assert "5/12" in frame
+        assert "3.50s" in frame
+
+    def test_render_frame_without_tiles_shows_dash(self):
+        jobs = [
+            {
+                "tenant": "acme",
+                "job_id": "job-000002",
+                "state": "running",
+                "progress": {"completed": 1, "total": 6},
+            }
+        ]
+        frame = render_frame(self.HEALTH, jobs, {}, [])
+        row = next(line for line in frame.splitlines() if "job-000002" in line)
+        assert row.split()[4] == "-"  # TILES column
